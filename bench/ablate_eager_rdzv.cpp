@@ -1,0 +1,96 @@
+// Ablation — eager vs rendezvous crossover. Eager wins latency for short
+// messages (no handshake); rendezvous wins throughput for long ones (RDMA,
+// no receive-side FIFO copy). This sweep locates the crossover in the
+// calibrated model and cross-checks the protocols functionally.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mpi/mpi.h"
+#include "sim/des_torus.h"
+
+namespace {
+
+using namespace pamix;
+
+/// Model: one-way time for an eager message (payload streamed through
+/// memory-FIFO packets + per-packet receive copy) vs rendezvous (RTS
+/// round trip + RDMA pull).
+double eager_one_way_us(const sim::BgqCostModel& m, sim::DesTorus& t, std::size_t bytes) {
+  const double net = t.one_way_time(0, 1, bytes);
+  const double copies = static_cast<double>(m.packets_for(bytes)) * m.eager_per_packet_copy_us;
+  return m.pami_send_immediate_origin_us + m.pami_send_extra_us + net + m.pami_dispatch_us +
+         copies;
+}
+
+double rdzv_one_way_us(const sim::BgqCostModel& m, sim::DesTorus& t, std::size_t bytes) {
+  const double rts = t.one_way_time(0, 1, 64) + m.pami_dispatch_us;
+  const double pull_req = t.one_way_time(0, 1, 32);
+  const double data = t.one_way_time(0, 1, bytes);
+  return m.pami_send_immediate_origin_us + m.pami_send_extra_us + rts + pull_req + data;
+}
+
+double host_one_way_us(std::size_t threshold, std::size_t bytes, int iters) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  mpi::MpiConfig cfg;
+  cfg.rendezvous_threshold = threshold;
+  mpi::MpiWorld world(machine, cfg);
+  double us = 0;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Single);
+    const mpi::Comm w = mp.world();
+    std::vector<std::byte> buf(bytes);
+    for (int i = 0; i < iters + 20; ++i) {
+      if (i == 20 && mp.rank(w) == 0) {
+        us = 0;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      if (mp.rank(w) == 0) {
+        mp.send(buf.data(), bytes, 1, 0, w);
+        mp.recv(buf.data(), bytes, 1, 0, w);
+      } else {
+        mp.recv(buf.data(), bytes, 0, 0, w);
+        mp.send(buf.data(), bytes, 0, 0, w);
+      }
+      if (i >= 20 && mp.rank(w) == 0) {
+        us += std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+                  .count() /
+              2.0;
+      }
+    }
+    mp.finalize();
+  });
+  return us / iters;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pamix;
+  bench::header("ABLATION — eager vs rendezvous crossover");
+
+  const sim::BgqCostModel m;
+  sim::DesTorus t(hw::TorusGeometry({2, 1, 1, 1, 1}), m);
+  std::printf("Model (BG/Q-calibrated one-way time, us):\n");
+  std::printf("%-10s %12s %12s %10s\n", "size", "eager", "rendezvous", "winner");
+  std::printf("------------------------------------------------\n");
+  std::size_t crossover = 0;
+  for (std::size_t bytes = 128; bytes <= (1u << 20); bytes *= 2) {
+    const double e = eager_one_way_us(m, t, bytes);
+    const double r = rdzv_one_way_us(m, t, bytes);
+    if (crossover == 0 && r < e) crossover = bytes;
+    std::printf("%-10s %12.2f %12.2f %10s\n", bench::fmt_bytes(bytes).c_str(), e, r,
+                e <= r ? "eager" : "rdzv");
+  }
+  std::printf("\nModel crossover near %s — consistent with kilobyte-scale rendezvous\n"
+              "thresholds on BG/Q (this library defaults to 4KB).\n",
+              crossover ? bench::fmt_bytes(crossover).c_str() : ">1MB");
+
+  std::printf("\nFunctional host check at 64KB (forced protocols, host clock):\n");
+  const double eager_host = host_one_way_us(/*threshold=*/1u << 20, 64u << 10, 300);
+  const double rdzv_host = host_one_way_us(/*threshold=*/1024, 64u << 10, 300);
+  std::printf("  eager      : %8.1f us one-way\n", eager_host);
+  std::printf("  rendezvous : %8.1f us one-way\n", rdzv_host);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation — two-phase MPI_Waitall (paper §IV-A) vs naive per-request
+// waiting, on the functional machine. The two-phase algorithm scans all
+// requests once (overlapping the request-id hashing with the completion-
+// counter loads) and then polls only the incomplete residue; naive waiting
+// walks the requests in order, re-driving progress per request.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mpi/mpi.h"
+
+namespace {
+
+using namespace pamix;
+
+double run_waitall_us(bool two_phase, int msgs, int iters) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  mpi::MpiWorld world(machine, mpi::MpiConfig{});
+  double us = 0;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Single);
+    const mpi::Comm w = mp.world();
+    const int peer = 1 - mp.rank(w);
+    std::vector<int> recv(static_cast<std::size_t>(msgs));
+    std::vector<int> send(static_cast<std::size_t>(msgs), mp.rank(w));
+    double total_us = 0;
+    for (int it = 0; it < iters; ++it) {
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(2 * msgs));
+      for (int i = 0; i < msgs; ++i) {
+        reqs.push_back(mp.irecv(&recv[static_cast<std::size_t>(i)], sizeof(int), peer, i, w));
+      }
+      mp.barrier(w);
+      for (int i = 0; i < msgs; ++i) {
+        reqs.push_back(mp.isend(&send[static_cast<std::size_t>(i)], sizeof(int), peer, i, w));
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      if (two_phase) {
+        mp.waitall(reqs);
+      } else {
+        mp.waitall_naive(reqs);
+      }
+      total_us +=
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+              .count();
+      mp.barrier(w);
+    }
+    if (mp.rank(w) == 0) us = total_us / iters;
+    mp.finalize();
+  });
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pamix;
+  bench::header("ABLATION — two-phase waitall vs naive (functional machine, host clock)");
+  std::printf("%-12s %16s %16s %10s\n", "requests", "two-phase (us)", "naive (us)", "ratio");
+  std::printf("----------------------------------------------------------\n");
+  for (int msgs : {8, 32, 128, 512}) {
+    const double tp = run_waitall_us(true, msgs, 30);
+    const double nv = run_waitall_us(false, msgs, 30);
+    std::printf("%-12d %16.1f %16.1f %9.2fx\n", 2 * msgs, tp, nv, nv / tp);
+  }
+  std::printf("\n(The paper's two-phase gain on BG/Q comes from overlapping request-id\n"
+              " hashing with completion-counter cache misses; on the host the benefit\n"
+              " shows as fewer full progress sweeps for already-complete requests.)\n");
+  return 0;
+}

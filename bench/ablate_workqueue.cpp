@@ -1,0 +1,104 @@
+// Ablation — the L2-atomic lockless work queue vs a mutex-protected deque
+// (the design choice of paper §III-B: bounded-increment slot allocation
+// plus an overflow queue, instead of a lock around every post).
+//
+// Measured with google-benchmark on the host: single-producer and
+// multi-producer post+drain throughput.
+#include <benchmark/benchmark.h>
+
+#include <deque>
+#include <mutex>
+
+#include "core/work_queue.h"
+
+namespace {
+
+using pamix::pami::WorkFn;
+using pamix::pami::WorkQueue;
+
+/// The baseline PAMI explicitly avoids: a global-lock queue.
+class MutexQueue {
+ public:
+  void post(WorkFn fn) {
+    std::lock_guard<std::mutex> g(mu_);
+    q_.push_back(std::move(fn));
+  }
+  std::size_t advance() {
+    std::size_t n = 0;
+    for (;;) {
+      WorkFn fn;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        if (q_.empty()) break;
+        fn = std::move(q_.front());
+        q_.pop_front();
+      }
+      fn();
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::deque<WorkFn> q_;
+};
+
+void BM_WorkQueue_L2Atomic_SingleProducer(benchmark::State& state) {
+  WorkQueue q(1024);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.post([&sink] { ++sink; });
+    q.advance();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WorkQueue_L2Atomic_SingleProducer);
+
+void BM_WorkQueue_Mutex_SingleProducer(benchmark::State& state) {
+  MutexQueue q;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.post([&sink] { ++sink; });
+    q.advance();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_WorkQueue_Mutex_SingleProducer);
+
+template <class Queue>
+void contended_post(benchmark::State& state, Queue& q, std::atomic<std::uint64_t>& sink) {
+  if (state.thread_index() == 0) {
+    // Thread 0 consumes; the rest produce.
+    for (auto _ : state) {
+      q.advance();
+    }
+  } else {
+    for (auto _ : state) {
+      q.post([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+}
+
+WorkQueue g_l2_queue(4096);
+std::atomic<std::uint64_t> g_sink{0};
+void BM_WorkQueue_L2Atomic_MultiProducer(benchmark::State& state) {
+  contended_post(state, g_l2_queue, g_sink);
+  if (state.thread_index() == 0) {
+    while (!g_l2_queue.empty()) g_l2_queue.advance();
+  }
+}
+BENCHMARK(BM_WorkQueue_L2Atomic_MultiProducer)->Threads(4)->Threads(8);
+
+MutexQueue g_mutex_queue;
+void BM_WorkQueue_Mutex_MultiProducer(benchmark::State& state) {
+  contended_post(state, g_mutex_queue, g_sink);
+  if (state.thread_index() == 0) g_mutex_queue.advance();
+}
+BENCHMARK(BM_WorkQueue_Mutex_MultiProducer)->Threads(4)->Threads(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

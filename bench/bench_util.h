@@ -1,0 +1,68 @@
+// Shared helpers for the paper-reproduction harnesses: row printing with
+// paper-vs-model columns, byte formatting, and the standard machine
+// configurations the paper's evaluation uses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "hw/torus.h"
+
+namespace pamix::bench {
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void columns(const char* a, const char* b, const char* c, const char* d = nullptr) {
+  if (d != nullptr) {
+    std::printf("%-28s %14s %14s %14s\n", a, b, c, d);
+  } else {
+    std::printf("%-28s %14s %14s\n", a, b, c);
+  }
+  std::printf("----------------------------------------------------------------\n");
+}
+
+inline std::string fmt_bytes(std::size_t b) {
+  char buf[32];
+  if (b >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%zuMB", b >> 20);
+  } else if (b >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%zuKB", b >> 10);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zuB", b);
+  }
+  return buf;
+}
+
+/// The paper's 2048-node partition (two racks: 8x4x4x8x2).
+inline hw::TorusGeometry paper_2048() { return hw::TorusGeometry::racks(2); }
+
+/// The 32-node block used for Figure 5 and Tables 1-3.
+inline hw::TorusGeometry paper_32() { return hw::TorusGeometry({4, 4, 2, 1, 1}); }
+
+/// Torus shapes for the node-count sweeps of Figures 6-7.
+inline hw::TorusGeometry geometry_for_nodes(int nodes) {
+  switch (nodes) {
+    case 32:
+      return hw::TorusGeometry({4, 4, 2, 1, 1});
+    case 64:
+      return hw::TorusGeometry({4, 4, 2, 2, 1});
+    case 128:
+      return hw::TorusGeometry({4, 4, 4, 2, 1});
+    case 256:
+      return hw::TorusGeometry({4, 4, 4, 2, 2});
+    case 512:
+      return hw::TorusGeometry::midplane();  // 4x4x4x4x2
+    case 1024:
+      return hw::TorusGeometry::rack();  // 4x4x4x8x2
+    case 2048:
+      return hw::TorusGeometry::racks(2);  // 8x4x4x8x2
+    default:
+      return hw::TorusGeometry({nodes, 1, 1, 1, 1});
+  }
+}
+
+}  // namespace pamix::bench

@@ -1,0 +1,74 @@
+// Figure 10 — multicolor rectangle broadcast on 2048 nodes: the root
+// splits the message into ten slices and pipelines each down its own
+// edge-disjoint spanning tree, driving all ten links at once.
+//
+//   Paper anchors: 16.9 GB/s at ppn=1 (94% of the 18 GB/s ten-link peak);
+//   at ppn 4 and 16 the copy into per-process buffers determines
+//   throughput; large messages spill the L2 and fall to DDR rates.
+//
+// The trees here are CONSTRUCTED over the real 2048-node torus and the
+// bench reports the achieved contention (1 = edge-disjoint) and depth, so
+// the 10x claim is backed by an actual tree packing, not an assumption.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mpi/mpi.h"
+#include "sim/rect_bcast.h"
+
+int main() {
+  using namespace pamix;
+  bench::header("FIGURE 10 — 10-color rectangle broadcast on 2048 nodes (MB/s)");
+
+  const hw::TorusGeometry g = bench::paper_2048();
+  std::printf("building %d-color spanning trees over %s (%d nodes)...\n", 10,
+              g.to_string().c_str(), g.node_count());
+  const sim::MulticolorRectBcast trees(g, hw::TorusRectangle::whole_machine(g), 0);
+  std::printf("colors=%d  max link contention=%d  max tree depth=%d  valid=%s\n",
+              trees.colors(), trees.max_contention(), trees.max_depth(),
+              trees.validate() ? "yes" : "NO");
+
+  const sim::BgqCostModel m;
+  std::printf("\n%-10s %12s %12s %12s\n", "size", "ppn=1", "ppn=4", "ppn=16");
+  std::printf("--------------------------------------------------\n");
+  for (std::size_t bytes = 4096; bytes <= (32u << 20); bytes *= 4) {
+    std::printf("%-10s %12.0f %12.0f %12.0f\n", bench::fmt_bytes(bytes).c_str(),
+                trees.throughput_mb_s(m, 1, bytes), trees.throughput_mb_s(m, 4, bytes),
+                trees.throughput_mb_s(m, 16, bytes));
+  }
+  std::printf("\nPaper anchors: 16.9 GB/s peak at ppn=1 (94%% of 18 GB/s);\n"
+              "copy-rate-limited at ppn 4/16; DDR rolloff at large sizes.\n");
+  const double single_tree = m.link_payload_mb_s * 0.96;
+  const double rect = trees.throughput_mb_s(m, 1, 32u << 20);
+  std::printf("speedup over single-tree collective-network bcast: %.1fx (paper: ~10x)\n",
+              rect / single_tree);
+
+  // Functional leg: run the real slice-relay algorithm over a small
+  // machine (MPIX_Rectangle_bcast) and verify it delivers.
+  std::printf("\nFunctional host run (real tree relay, 8 nodes, 1MB, host clock):\n");
+  {
+    runtime::Machine machine(hw::TorusGeometry({2, 2, 2, 1, 1}), 1);
+    mpi::MpiWorld world(machine, mpi::MpiConfig{});
+    const std::size_t bytes = 1u << 20;
+    double mbps = 0;
+    machine.run_spmd([&](int task) {
+      mpi::Mpi& mp = world.at(task);
+      mp.init(mpi::ThreadLevel::Single);
+      const mpi::Comm w = mp.world();
+      std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 0 ? 0xAB : 0x00);
+      mp.barrier(w);
+      const auto t0 = std::chrono::steady_clock::now();
+      constexpr int kIters = 5;
+      for (int i = 0; i < kIters; ++i) mp.mpix_rectangle_bcast(buf.data(), bytes, 0, w);
+      const double us =
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / us;
+      if (buf[bytes - 1] != 0xAB) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
+      mp.finalize();
+    });
+    std::printf("  delivered and verified at every rank; %.0f MB/s broadcast rate on host\n",
+                mbps);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 6 — MPI_Barrier latency via the global-interrupt network, node
+// sweep to 2048, ppn in {1, 4, 16}.
+//
+//   Paper anchors at 2048 nodes: 2.7 us (ppn1), 4.0 us (ppn4), 4.2 us
+//   (ppn16). The GI round is 2 x classroute-tree depth; the ppn surcharge
+//   is the node-local L2-atomic barrier.
+//
+// The model rows use real classroute trees built over each geometry; a
+// functional host run then drives the actual GI + local-barrier code path
+// on a small machine.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mpi/mpi.h"
+#include "sim/collective_model.h"
+
+namespace {
+
+using namespace pamix;
+
+double host_barrier_us(int ppn, int iters) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), ppn);
+  mpi::MpiWorld world(machine, mpi::MpiConfig{});
+  double us = 0;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Single);
+    const mpi::Comm w = mp.world();
+    for (int i = 0; i < 50; ++i) mp.barrier(w);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) mp.barrier(w);
+    if (mp.rank(w) == 0) {
+      us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+               .count() /
+           iters;
+    }
+    mp.finalize();
+  });
+  return us;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("FIGURE 6 — MPI_Barrier latency via GI network (us)");
+
+  std::printf("%-8s %10s %10s %10s %12s\n", "nodes", "ppn=1", "ppn=4", "ppn=16", "tree depth");
+  std::printf("------------------------------------------------------\n");
+  for (int nodes : {32, 64, 128, 256, 512, 1024, 2048}) {
+    const sim::CollectiveModel m(bench::geometry_for_nodes(nodes), sim::BgqCostModel{});
+    std::printf("%-8d %10.2f %10.2f %10.2f %12d\n", nodes, m.barrier_latency_us(1),
+                m.barrier_latency_us(4), m.barrier_latency_us(16), m.world_route().depth());
+  }
+  std::printf("\nPaper anchors @2048 nodes: 2.7 / 4.0 / 4.2 us for ppn 1 / 4 / 16.\n");
+
+  std::printf("\nFunctional host run (real GI + L2 local barrier, 4 nodes, host clock):\n");
+  for (int ppn : {1, 2, 4}) {
+    std::printf("  ppn=%d : %8.2f us/barrier\n", ppn, host_barrier_us(ppn, 2000));
+  }
+  return 0;
+}

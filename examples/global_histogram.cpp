@@ -1,0 +1,102 @@
+// Global histogram — the multi-model application pattern of paper §III-A:
+// an ARMCI/UPC-style one-sided runtime and a Charm++-style message-driven
+// runtime, both running over PAMI on the same machine.
+//
+// Phase 1 (ARMCI): every task bins a local data stream and atomically
+// accumulates its counts into a globally-shared histogram with one-sided
+// ARMCI_Acc operations (no receives posted anywhere).
+//
+// Phase 2 (chares): a message-driven reduction over the histogram finds
+// the argmax bin — entry-method invocations hop a comparison token across
+// a chare array, and the run ends on quiescence detection.
+//
+// Run:  ./global_histogram
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+#include "models/armci.h"
+#include "models/chare.h"
+#include "runtime/machine.h"
+
+using namespace pamix;
+
+namespace {
+constexpr int kBins = 64;
+constexpr int kSamplesPerTask = 200000;
+}  // namespace
+
+int main() {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), /*ppn=*/1);
+  pami::ClientWorld world(machine, pami::ClientConfig{});
+  std::printf("phase 1: ARMCI one-sided histogram, %d tasks x %d samples, %d bins\n",
+              machine.task_count(), kSamplesPerTask, kBins);
+
+  std::atomic<std::int64_t> reported_max{-1};
+  std::atomic<int> reported_bin{-1};
+
+  machine.run_spmd([&](int task) {
+    // ---- Phase 1: one-sided accumulate into task 0's histogram ----------
+    models::Armci armci(world, task);
+    auto mem = armci.malloc_shared(kBins * sizeof(std::int64_t));
+    auto* hist = static_cast<std::int64_t*>(mem->local(0));
+    if (task == 0) std::memset(hist, 0, kBins * sizeof(std::int64_t));
+    armci.barrier();
+
+    // Local binning of a skewed synthetic stream.
+    std::mt19937 rng(1234u + static_cast<unsigned>(task));
+    std::normal_distribution<double> dist(kBins * 0.6, kBins * 0.11);
+    std::int64_t local[kBins] = {};
+    for (int i = 0; i < kSamplesPerTask; ++i) {
+      int bin = static_cast<int>(dist(rng));
+      if (bin < 0) bin = 0;
+      if (bin >= kBins) bin = kBins - 1;
+      ++local[bin];
+    }
+    // One atomic accumulate of the whole vector (target-side application).
+    armci.accumulate(0, hist, local, kBins);
+    // Everyone keeps the target progressing until globally fenced.
+    armci.barrier();
+
+    // ---- Phase 2: message-driven argmax over the shared histogram -------
+    // Chare e compares bin e against the running (bin,count) token and
+    // forwards; element kBins-1 reports the result.
+    struct Token {
+      int best_bin;
+      std::int64_t best_count;
+    };
+    models::ChareRuntime rt(
+        world, task, kBins,
+        [&](int element, int, const std::byte* data, std::size_t bytes,
+            models::ChareSendApi& api) {
+          Token t;
+          std::memcpy(&t, data, bytes);
+          // Read the count for my bin out of the global histogram (task 0
+          // owns it; chare homes are spread, so use ARMCI-style get
+          // through the global VA — here directly, since phase 1 fenced).
+          const std::int64_t mine = hist[element];
+          if (mine > t.best_count) {
+            t.best_count = mine;
+            t.best_bin = element;
+          }
+          if (element + 1 < kBins) {
+            api.send(element + 1, 0, &t, sizeof(t));
+          } else {
+            reported_bin.store(t.best_bin);
+            reported_max.store(t.best_count);
+          }
+        });
+    if (task == 0) {
+      const Token t{-1, -1};
+      rt.send(0, 0, &t, sizeof(t));
+    }
+    rt.run_to_quiescence();
+  });
+
+  const int total = machine.task_count() * kSamplesPerTask;
+  std::printf("phase 2: chare argmax complete at quiescence\n");
+  std::printf("  argmax bin = %d with %lld of %d samples (expected near bin %d)\n",
+              reported_bin.load(), static_cast<long long>(reported_max.load()), total,
+              static_cast<int>(kBins * 0.6));
+  return reported_bin.load() >= 0 ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Hybrid overlap — the paper's Figure 2 workload: an MPI+threads
+// application where the master thread posts communication, communication
+// threads drive it in the background (waking from the wakeup unit), and
+// the application computes meanwhile, polling for completion at the end
+// of the compute phase.
+//
+// The pattern here is a pipelined stencil-ish loop: each iteration
+// launches the halo exchange for the NEXT block while computing on the
+// CURRENT one, with MPI_THREAD_MULTIPLE and commthreads enabled. The run
+// reports how much of the communication time was hidden.
+//
+// Run:  ./hybrid_overlap
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "mpi/mpi.h"
+
+using namespace pamix;
+
+namespace {
+
+constexpr std::size_t kBlock = 1 << 16;  // doubles per exchange (512KB)
+constexpr int kIters = 30;
+
+double run(bool commthreads, double* compute_sink) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  mpi::MpiConfig cfg;
+  cfg.commthreads =
+      commthreads ? mpi::MpiConfig::Commthreads::ForceOn : mpi::MpiConfig::Commthreads::ForceOff;
+  cfg.commthread_count = 1;
+  mpi::MpiWorld world(machine, cfg);
+  double elapsed_us = 0;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Multiple);
+    const mpi::Comm w = mp.world();
+    const int peer = 1 - mp.rank(w);
+    std::vector<double> out(kBlock, 1.0), in(kBlock);
+    std::vector<double> field(kBlock, 0.5);
+    mp.barrier(w);
+    const auto t0 = std::chrono::steady_clock::now();
+    double acc = 0;
+    for (int it = 0; it < kIters; ++it) {
+      // Launch this iteration's exchange...
+      std::vector<mpi::Request> reqs;
+      reqs.push_back(mp.irecv(in.data(), kBlock * sizeof(double), peer, it, w));
+      reqs.push_back(mp.isend(out.data(), kBlock * sizeof(double), peer, it, w));
+      // ...compute while it flies (commthreads make the progress)...
+      for (std::size_t i = 1; i + 1 < kBlock; ++i) {
+        field[i] = 0.5 * field[i] + 0.25 * (field[i - 1] + field[i + 1]);
+      }
+      acc += field[kBlock / 2];
+      // ...then complete it and fold the halo in.
+      mp.waitall(reqs);
+      out.swap(in);
+    }
+    if (mp.rank(w) == 0) {
+      elapsed_us =
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+              .count();
+      *compute_sink = acc;
+    }
+    mp.finalize();
+  });
+  return elapsed_us;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("hybrid MPI+threads overlap: %d iterations of 512KB exchange + stencil\n",
+              kIters);
+  double sink = 0;
+  const double without = run(false, &sink);
+  const double with = run(true, &sink);
+  std::printf("  without commthreads : %8.0f us total\n", without);
+  std::printf("  with commthreads    : %8.0f us total\n", with);
+  std::printf("  (on a multi-core host the commthread run hides the exchange behind the\n"
+              "   stencil; on BG/Q this is the Figure 2 wakeup-unit pattern. sink=%.3f)\n",
+              sink);
+  return 0;
+}

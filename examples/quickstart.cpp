@@ -1,0 +1,165 @@
+// Quickstart — a guided tour of the PAMI API on a simulated 2-node BG/Q
+// machine:
+//
+//   1. bring up a Machine and a ClientWorld (PAMI_Client_create),
+//   2. register an active-message dispatch,
+//   3. send: short (send_immediate), eager, and rendezvous,
+//   4. one-sided put/get over the MU's RDMA engines,
+//   5. hand work to a communication thread and overlap with compute.
+//
+// Run:  ./quickstart
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/client.h"
+#include "core/commthread.h"
+#include "core/context.h"
+#include "runtime/machine.h"
+
+using namespace pamix;
+
+int main() {
+  // --- 1. Machine + client ---------------------------------------------------
+  // Two nodes on a degenerate 2x1x1x1x1 torus, one process per node.
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), /*ppn=*/1);
+  pami::ClientConfig config;
+  config.contexts_per_task = 1;
+  config.eager_limit = 4096;  // rendezvous above 4KB
+  pami::ClientWorld world(machine, config);
+
+  pami::Context& ctx0 = world.client(0).context(0);
+  pami::Context& ctx1 = world.client(1).context(0);
+  std::printf("machine: %s torus, %d tasks\n", machine.geometry().to_string().c_str(),
+              machine.task_count());
+
+  // --- 2. Dispatch registration ----------------------------------------------
+  // Dispatch 7 prints short messages; for long ones it supplies a buffer.
+  std::vector<std::byte> landing;
+  int completed = 0;
+  ctx1.set_dispatch(7, [&](pami::Context&, const void*, std::size_t header_bytes,
+                           const void* pipe, std::size_t pipe_bytes, std::size_t total,
+                           pami::Endpoint origin, pami::RecvDescriptor* recv) {
+    std::printf("  [task 1] dispatch: %zu header bytes, %zu total, from task %d\n",
+                header_bytes, total, origin.task);
+    if (recv == nullptr) {
+      std::printf("  [task 1] immediate payload: \"%.*s\"\n", static_cast<int>(pipe_bytes),
+                  static_cast<const char*>(pipe));
+      ++completed;
+      return;
+    }
+    landing.resize(total);
+    recv->buffer = landing.data();
+    recv->bytes = landing.size();
+    recv->on_complete = [&] {
+      std::printf("  [task 1] async receive complete (%zu bytes)\n", landing.size());
+      ++completed;
+    };
+  });
+
+  // --- 3. Sends ----------------------------------------------------------------
+  const char tag[] = "hdr";
+  const char hello[] = "hello, torus!";
+  std::printf("\nsend_immediate (one packet):\n");
+  while (ctx0.send_immediate(7, pami::Endpoint{1, 0}, tag, sizeof(tag), hello,
+                             sizeof(hello)) != pami::Result::Success) {
+  }
+  while (completed < 1) ctx1.advance();
+
+  std::printf("\neager send (multi-packet, staged copy):\n");
+  std::vector<double> eager_data(256);
+  std::iota(eager_data.begin(), eager_data.end(), 0.0);
+  pami::SendParams eager;
+  eager.dispatch = 7;
+  eager.dest = pami::Endpoint{1, 0};
+  eager.data = eager_data.data();
+  eager.data_bytes = eager_data.size() * sizeof(double);
+  eager.on_local_done = [] { std::printf("  [task 0] eager source buffer reusable\n"); };
+  ctx0.send(eager);
+  while (completed < 2) {
+    ctx0.advance();
+    ctx1.advance();
+  }
+
+  std::printf("\nrendezvous send (RTS -> RDMA remote get -> DONE):\n");
+  std::vector<double> big(32768, 3.25);  // 256KB > eager_limit
+  bool rdzv_done = false;
+  pami::SendParams rdzv;
+  rdzv.dispatch = 7;
+  rdzv.dest = pami::Endpoint{1, 0};
+  rdzv.data = big.data();
+  rdzv.data_bytes = big.size() * sizeof(double);
+  rdzv.on_remote_done = [&] {
+    rdzv_done = true;
+    std::printf("  [task 0] rendezvous DONE received — source buffer free\n");
+  };
+  ctx0.send(rdzv);
+  while (!rdzv_done) {
+    ctx0.advance();
+    ctx1.advance();
+  }
+
+  // --- 4. One-sided -------------------------------------------------------------
+  std::printf("\none-sided put/get over the MU RDMA engines:\n");
+  std::vector<std::uint64_t> window(16, 0);  // owned by task 1
+  std::vector<std::uint64_t> values(16);
+  std::iota(values.begin(), values.end(), 100u);
+  bool put_done = false;
+  pami::PutParams put;
+  put.dest = pami::Endpoint{1, 0};
+  put.local_addr = values.data();
+  put.remote_addr = window.data();
+  put.bytes = values.size() * sizeof(std::uint64_t);
+  put.on_remote_done = [&] { put_done = true; };
+  ctx0.put(std::move(put));
+  while (!put_done) ctx0.advance();
+  std::printf("  put landed: window[15] = %llu\n",
+              static_cast<unsigned long long>(window[15]));
+
+  std::vector<std::uint64_t> readback(16);
+  bool get_done = false;
+  pami::GetParams get;
+  get.dest = pami::Endpoint{1, 0};
+  get.local_addr = readback.data();
+  get.remote_addr = window.data();
+  get.bytes = readback.size() * sizeof(std::uint64_t);
+  get.on_done = [&] { get_done = true; };
+  ctx0.get(std::move(get));
+  while (!get_done) ctx0.advance();  // one-sided: task 1 never advances
+  std::printf("  get returned: readback[0] = %llu (target software never ran)\n",
+              static_cast<unsigned long long>(readback[0]));
+
+  // --- 5. Communication threads --------------------------------------------------
+  std::printf("\ncommthread overlap (PAMI_Context_post + wakeup unit):\n");
+  pami::CommThreadPool helpers0(world.client(0), 1);
+  pami::CommThreadPool helpers1(world.client(1), 1);
+  std::atomic<int> replies{0};
+  ctx1.set_dispatch(8, [&](pami::Context& c, const void*, std::size_t, const void*,
+                           std::size_t, std::size_t, pami::Endpoint origin,
+                           pami::RecvDescriptor*) {
+    c.send_immediate(9, origin, nullptr, 0, nullptr, 0);
+  });
+  ctx0.set_dispatch(9, [&](pami::Context&, const void*, std::size_t, const void*, std::size_t,
+                           std::size_t, pami::Endpoint, pami::RecvDescriptor*) { ++replies; });
+  for (int i = 0; i < 8; ++i) {
+    ctx0.post([&ctx0] {
+      while (ctx0.send_immediate(8, pami::Endpoint{1, 0}, nullptr, 0, nullptr, 0) !=
+             pami::Result::Success) {
+      }
+    });
+  }
+  double sum = 0;  // the "computation" the commthreads overlap with
+  for (int i = 0; i < 5000000; ++i) sum += 1e-7 * i;
+  while (replies.load() < 8) {
+  }
+  std::printf("  8 round trips completed in the background (compute result %.1f)\n", sum);
+  std::printf("  commthread stats: %llu events, %llu wakeup-unit sleeps\n",
+              static_cast<unsigned long long>(helpers0.events_processed() +
+                                              helpers1.events_processed()),
+              static_cast<unsigned long long>(helpers0.sleeps() + helpers1.sleeps()));
+  helpers0.stop();
+  helpers1.stop();
+  std::printf("\nquickstart complete.\n");
+  return 0;
+}

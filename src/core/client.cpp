@@ -1,0 +1,47 @@
+#include "core/client.h"
+
+#include "core/collectives.h"
+#include "core/context.h"
+#include "core/geometry.h"
+
+namespace pamix::pami {
+
+Client::Client(ClientWorld& world, int task)
+    : world_(world), task_(task), local_proc_(world.machine().local_index_of_task(task)) {
+  runtime::Machine& m = world_.machine();
+  runtime::Node& nd = m.node_of(task);
+  // CNK installs the global VA covering the whole process at job start.
+  nd.global_va().register_all(local_proc_);
+  shm_ = std::make_unique<ShmDevice>(world_.config().contexts_per_task,
+                                     world_.config().shm_queue_capacity, &nd.wakeup());
+  contexts_.reserve(static_cast<std::size_t>(world_.config().contexts_per_task));
+  for (int c = 0; c < world_.config().contexts_per_task; ++c) {
+    contexts_.push_back(std::make_unique<Context>(*this, c));
+  }
+  coll::register_collective_dispatch(*this);
+}
+
+Client::~Client() = default;
+
+runtime::Machine& Client::machine() { return world_.machine(); }
+
+runtime::Node& Client::node() { return world_.machine().node_of(task_); }
+
+std::size_t Client::advance_all(int iterations) {
+  std::size_t n = 0;
+  for (auto& ctx : contexts_) n += ctx->advance(iterations);
+  return n;
+}
+
+ClientWorld::ClientWorld(runtime::Machine& machine, ClientConfig config)
+    : machine_(machine), config_(std::move(config)), plan_(config_, machine.ppn()) {
+  clients_.reserve(static_cast<std::size_t>(machine_.task_count()));
+  for (int t = 0; t < machine_.task_count(); ++t) {
+    clients_.push_back(std::make_unique<Client>(*this, t));
+  }
+  geometries_ = std::make_unique<GeometryRegistry>(*this);
+}
+
+ClientWorld::~ClientWorld() = default;
+
+}  // namespace pamix::pami

@@ -1,0 +1,162 @@
+// PAMI Client — an independent network-instance handle (paper §III-A).
+//
+// A client encapsulates all communication resources a programming-model
+// runtime needs: its slice of the node's MU FIFOs, its contexts, its
+// shared-memory queues, and access to the collective hardware.  Multiple
+// clients coexist on one node (e.g. an MPI runtime and a UPC runtime in a
+// mixed-model application): the FIFO space is partitioned statically by
+// client id, so the runtimes never contend.
+//
+// `ClientWorld` is the SPMD-collective creation of one client across every
+// task of a machine (PAMI_Client_create called by each process): it owns
+// the per-task `Client` objects, the deterministic FIFO plan, the shm
+// queue registry, and the geometry (communicator) factory.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/shmem_device.h"
+#include "core/types.h"
+#include "hw/mu.h"
+#include "runtime/machine.h"
+
+namespace pamix::pami {
+
+class Context;
+class GeometryRegistry;
+
+struct ClientConfig {
+  std::string name = "pamix";
+  /// Contexts created per task (equal everywhere, as PAMI requires for
+  /// deterministic resource planning).
+  int contexts_per_task = 1;
+  /// MU path: messages up to this size go eager (memory FIFO); larger ones
+  /// use rendezvous (remote get / RDMA read).
+  std::size_t eager_limit = 4096;
+  /// Shared-memory path: inline-copy limit; larger intra-node messages ride
+  /// zero-copy through the global VA.
+  std::size_t shm_eager_limit = 4096;
+  /// PAMI_Send_immediate limit (header + payload in one packet).
+  std::size_t immediate_limit = 128;
+  /// Injection FIFOs owned per context; sends are pinned to fifo
+  /// (dest_node % count) to preserve per-destination ordering.
+  int send_fifos_per_context = 8;
+  std::size_t work_queue_capacity = 1024;
+  std::size_t shm_queue_capacity = 1024;
+  /// Static MU partition: this client's slot of the node's FIFO space.
+  int client_id = 0;
+  int max_clients = 1;
+};
+
+/// Deterministic, node-wide identical mapping of (process, context) to MU
+/// FIFO indices. Both ends of a connection compute the same plan, so a
+/// sender can address the receiver's reception FIFO without a handshake.
+class FifoPlan {
+ public:
+  FifoPlan() = default;
+  FifoPlan(const ClientConfig& cfg, int ppn)
+      : sends_per_ctx_(cfg.send_fifos_per_context),
+        contexts_(cfg.contexts_per_task),
+        ppn_(ppn) {
+    const int inj_per_client = hw::kInjFifoCount / cfg.max_clients;
+    const int rec_per_client = hw::kRecFifoCount / cfg.max_clients;
+    inj_base_ = cfg.client_id * inj_per_client;
+    rec_base_ = cfg.client_id * rec_per_client;
+    assert(ppn * contexts_ * sends_per_ctx_ <= inj_per_client &&
+           "injection FIFO demand exceeds the client's partition");
+    assert(ppn * contexts_ <= rec_per_client &&
+           "reception FIFO demand exceeds the client's partition");
+  }
+
+  int inj_fifo(int local_proc, int context, int j) const {
+    return inj_base_ + ((local_proc * contexts_ + context) * sends_per_ctx_) + j;
+  }
+  int rec_fifo(int local_proc, int context) const {
+    return rec_base_ + local_proc * contexts_ + context;
+  }
+  int sends_per_context() const { return sends_per_ctx_; }
+  int contexts_per_task() const { return contexts_; }
+
+ private:
+  int sends_per_ctx_ = 1;
+  int contexts_ = 1;
+  int ppn_ = 1;
+  int inj_base_ = 0;
+  int rec_base_ = 0;
+};
+
+class ClientWorld;
+
+/// The per-task client handle. Create contexts through it and hand them to
+/// threads; all other state lives in the shared ClientWorld.
+class Client {
+ public:
+  Client(ClientWorld& world, int task);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  int task() const { return task_; }
+  int context_count() const { return static_cast<int>(contexts_.size()); }
+  Context& context(int i) { return *contexts_[static_cast<std::size_t>(i)]; }
+  ClientWorld& world() { return world_; }
+  runtime::Machine& machine();
+  runtime::Node& node();
+  int local_proc() const { return local_proc_; }
+  ShmDevice& shm_device() { return *shm_; }
+
+  /// Advance every context of this client once (convenience for blocking
+  /// upper-level calls in single-threaded processes).
+  std::size_t advance_all(int iterations = 1);
+
+  /// Opaque per-client state slot for protocol modules (the software
+  /// collective engine keeps its matching state here).
+  std::shared_ptr<void>& collective_cookie() { return coll_cookie_; }
+
+ private:
+  friend class ClientWorld;
+  ClientWorld& world_;
+  int task_;
+  int local_proc_;
+  std::unique_ptr<ShmDevice> shm_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::shared_ptr<void> coll_cookie_;
+};
+
+/// Collective creation of one client over all tasks of a machine.
+class ClientWorld {
+ public:
+  ClientWorld(runtime::Machine& machine, ClientConfig config = {});
+  ~ClientWorld();
+
+  ClientWorld(const ClientWorld&) = delete;
+  ClientWorld& operator=(const ClientWorld&) = delete;
+
+  runtime::Machine& machine() { return machine_; }
+  const ClientConfig& config() const { return config_; }
+  const FifoPlan& plan() const { return plan_; }
+
+  Client& client(int task) { return *clients_[static_cast<std::size_t>(task)]; }
+  int task_count() const { return machine_.task_count(); }
+
+  /// Shared-memory device of any task (senders push to the destination
+  /// process's queue directly).
+  ShmDevice& shm_device(int task) { return client(task).shm_device(); }
+
+  /// Geometry (communicator) registry shared by all tasks.
+  GeometryRegistry& geometries() { return *geometries_; }
+
+ private:
+  runtime::Machine& machine_;
+  ClientConfig config_;
+  FifoPlan plan_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<GeometryRegistry> geometries_;
+};
+
+}  // namespace pamix::pami

@@ -1,0 +1,617 @@
+#include "core/collectives.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "runtime/collective_engine.h"
+#include "sim/rect_bcast.h"
+
+namespace pamix::pami::coll {
+
+namespace {
+
+// ------------------------------------------------------- software engine --
+
+struct CollHeader {
+  std::int32_t geom = 0;
+  std::uint64_t seq = 0;
+  std::int32_t phase = 0;
+};
+
+using MsgKey = std::tuple<std::int32_t, std::uint64_t, std::int32_t, std::int32_t>;
+
+/// Per-client matching state for the software collectives.
+struct CollState {
+  hw::L2AtomicMutex mu;
+  std::map<MsgKey, std::vector<std::vector<std::byte>>> arrived;
+  std::map<int, std::uint64_t> seq;  // per-geometry operation counter
+
+  void deposit(const CollHeader& h, int src, std::vector<std::byte> data) {
+    std::lock_guard<hw::L2AtomicMutex> g(mu);
+    arrived[MsgKey{h.geom, h.seq, h.phase, src}].push_back(std::move(data));
+  }
+
+  bool take(const MsgKey& key, std::vector<std::byte>& out) {
+    std::lock_guard<hw::L2AtomicMutex> g(mu);
+    auto it = arrived.find(key);
+    if (it == arrived.end() || it->second.empty()) return false;
+    out = std::move(it->second.front());
+    it->second.erase(it->second.begin());
+    if (it->second.empty()) arrived.erase(it);
+    return true;
+  }
+};
+
+CollState& state_of(Client& client) {
+  auto& cookie = client.collective_cookie();
+  if (!cookie) cookie = std::make_shared<CollState>();
+  return *std::static_pointer_cast<CollState>(cookie);
+}
+
+/// Next operation sequence number for geometry `g` on this task.
+std::uint64_t next_seq(Client& client, Geometry& g) {
+  CollState& st = state_of(client);
+  std::lock_guard<hw::L2AtomicMutex> lk(st.mu);
+  return st.seq[g.id()]++;
+}
+
+void progress(Context& ctx);
+
+/// Send one software-collective message. Small messages are copied by the
+/// eager/inline protocols, so the caller's buffer is immediately free;
+/// rendezvous-sized ones are pulled from the caller's buffer later, so the
+/// caller passes `pending` and must drain it (drain_sends) before its
+/// buffers go out of scope.
+void send_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase, std::size_t dest_rank,
+               const void* data, std::size_t bytes,
+               const std::shared_ptr<std::atomic<int>>& pending) {
+  CollHeader h;
+  h.geom = g.id();
+  h.seq = seq;
+  h.phase = phase;
+  SendParams p;
+  p.dispatch = kCollDispatchId;
+  p.dest = Endpoint{g.task_of(dest_rank), 0};
+  p.header = &h;
+  p.header_bytes = sizeof(h);
+  p.data = data;
+  p.data_bytes = bytes;
+  const ClientConfig& cfg = ctx.client().world().config();
+  if (bytes > std::min(cfg.eager_limit, cfg.shm_eager_limit)) {
+    pending->fetch_add(1, std::memory_order_acq_rel);
+    p.on_remote_done = [pending] { pending->fetch_sub(1, std::memory_order_acq_rel); };
+  }
+  while (ctx.send(p) == Result::Eagain) {
+    progress(ctx);
+  }
+}
+
+/// Wait until every rendezvous-sized send of this collective has been
+/// pulled by its receiver (sender buffers may then be reused/freed).
+void drain_sends(Context& ctx, const std::shared_ptr<std::atomic<int>>& pending) {
+  while (pending->load(std::memory_order_acquire) > 0) {
+    progress(ctx);
+    std::this_thread::yield();
+  }
+}
+
+std::vector<std::byte> wait_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase,
+                                 std::size_t src_rank) {
+  CollState& st = state_of(ctx.client());
+  const MsgKey key{g.id(), seq, phase, g.task_of(src_rank)};
+  std::vector<std::byte> out;
+  while (!st.take(key, out)) {
+    progress(ctx);
+    std::this_thread::yield();
+  }
+  return out;
+}
+
+/// Progress while blocked inside a collective. The caller owns `ctx`
+/// (possibly holding its lock), but messages and pending injections may
+/// live on the client's other contexts — e.g. point-to-point traffic that
+/// was in flight when the collective started — so those are advanced too,
+/// under trylock so active commthreads are never raced.
+void progress(Context& ctx) {
+  ctx.advance();
+  Client& client = ctx.client();
+  for (int i = 0; i < client.context_count(); ++i) {
+    Context& other = client.context(i);
+    if (&other == &ctx) continue;
+    if (other.trylock()) {
+      other.advance();
+      other.unlock();
+    }
+  }
+}
+
+// ----------------------------------------------------------- local helpers --
+
+struct LocalInfo {
+  Geometry::NodeGroup* group = nullptr;
+  bool is_master = false;
+  int local_index = 0;
+  int local_count = 1;
+};
+
+LocalInfo local_info(Context& ctx, Geometry& g) {
+  LocalInfo li;
+  const int task = ctx.client().task();
+  const int node = ctx.client().machine().node_of_task(task);
+  li.group = &g.node_group(node);
+  li.is_master = li.group->master_task == task;
+  li.local_index = g.local_index(task);
+  li.local_count = static_cast<int>(li.group->local_tasks.size());
+  return li;
+}
+
+void local_barrier(Context& ctx, LocalInfo& li) {
+  li.group->barrier->arrive_and_wait([&ctx] { progress(ctx); });
+}
+
+/// Copy out of a peer's buffer through the CNK global VA.
+const std::byte* peer_read(Context& ctx, int peer_task, const void* addr, std::size_t bytes) {
+  runtime::Machine& m = ctx.client().machine();
+  const std::byte* p = ctx.client().node().global_va().translate(
+      m.local_index_of_task(peer_task), addr, bytes);
+  assert(p != nullptr && "peer buffer not visible through global VA");
+  return p;
+}
+
+// --------------------------------------------------- optimized algorithms --
+
+void barrier_optimized(Context& ctx, Geometry& g) {
+  LocalInfo li = local_info(ctx, g);
+  local_barrier(ctx, li);  // phase 1: everyone local arrived
+  if (li.is_master) {
+    hw::GiBarrier* gi = ctx.client().machine().gi_network().barrier(g.classroute());
+    const std::uint64_t token = gi->arrive();
+    while (!gi->done(token)) {
+      progress(ctx);
+      std::this_thread::yield();
+    }
+  }
+  local_barrier(ctx, li);  // phase 2: release after the GI round
+}
+
+void broadcast_optimized(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
+                         std::size_t bytes) {
+  LocalInfo li = local_info(ctx, g);
+  runtime::Machine& m = ctx.client().machine();
+  const int root_task = g.task_of(root_rank);
+  const int root_node = m.node_of_task(root_task);
+  const int my_task = ctx.client().task();
+  const bool on_root_node = m.node_of_task(my_task) == root_node;
+
+  if (my_task == root_task) li.group->root_slot.publish(buffer);
+  local_barrier(ctx, li);
+
+  if (li.is_master) {
+    runtime::CollectiveNetworkEngine& eng = m.collective_engine(g.classroute());
+    const std::uint64_t round = li.group->round.fetch_add(1, std::memory_order_acq_rel);
+    const void* src = nullptr;
+    if (on_root_node) {
+      src = li.group->root_slot.ptr.load(std::memory_order_acquire);
+      if (my_task != root_task) src = peer_read(ctx, root_task, src, bytes);
+    }
+    const auto ticket =
+        eng.contribute_broadcast(round, on_root_node, src, bytes, buffer);
+    while (!eng.done(ticket)) {
+      progress(ctx);
+      std::this_thread::yield();
+    }
+    li.group->master_slot.publish(buffer);
+  }
+  local_barrier(ctx, li);  // master result is ready
+
+  if (!li.is_master && my_task != root_task) {
+    const void* mbuf = li.group->master_slot.ptr.load(std::memory_order_acquire);
+    const std::byte* src = peer_read(ctx, li.group->master_task, mbuf, bytes);
+    std::memcpy(buffer, src, bytes);
+  }
+  local_barrier(ctx, li);  // master buffer may be reused
+}
+
+void allreduce_optimized(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+                         std::size_t bytes, hw::CombineOp op, hw::CombineType type) {
+  LocalInfo li = local_info(ctx, g);
+  runtime::Machine& m = ctx.client().machine();
+  runtime::CollectiveNetworkEngine& eng = m.collective_engine(g.classroute());
+  const std::size_t elem = hw::combine_type_size(type);
+
+  // Publish contribution buffers; size the staging slice (master).
+  li.group->contrib[static_cast<std::size_t>(li.local_index)].publish(sendbuf);
+  if (li.is_master && li.group->staging.size() < kPipelineSliceBytes) {
+    li.group->staging.resize(kPipelineSliceBytes);
+  }
+  if (li.is_master) li.group->master_slot.publish(recvbuf);
+  local_barrier(ctx, li);
+
+  for (std::size_t off = 0; off < bytes; off += kPipelineSliceBytes) {
+    const std::size_t slice = std::min(kPipelineSliceBytes, bytes - off);
+    // Parallel local math (Figure 3): each local process reduces its
+    // sub-range of the slice across all local contribution buffers.
+    std::byte* staging = li.group->staging.data();
+    {
+      const std::size_t elems = slice / elem;
+      const std::size_t per = (elems + static_cast<std::size_t>(li.local_count) - 1) /
+                              static_cast<std::size_t>(li.local_count);
+      const std::size_t lo = std::min(per * static_cast<std::size_t>(li.local_index), elems);
+      const std::size_t hi = std::min(lo + per, elems);
+      if (hi > lo) {
+        const std::size_t sub_off = lo * elem;
+        const std::size_t sub_bytes = (hi - lo) * elem;
+        bool first = true;
+        for (int i = 0; i < li.local_count; ++i) {
+          const void* contrib_base =
+              li.group->contrib[static_cast<std::size_t>(i)].ptr.load(std::memory_order_acquire);
+          const std::byte* src = peer_read(ctx, li.group->local_tasks[static_cast<std::size_t>(i)],
+                                           static_cast<const std::byte*>(contrib_base) + off +
+                                               sub_off,
+                                           sub_bytes);
+          if (first) {
+            std::memcpy(staging + sub_off, src, sub_bytes);
+            first = false;
+          } else {
+            runtime::combine_buffers(op, type, staging + sub_off, src, sub_bytes);
+          }
+        }
+      }
+    }
+    local_barrier(ctx, li);  // local math done
+
+    if (li.is_master) {
+      const std::uint64_t round = li.group->round.fetch_add(1, std::memory_order_acq_rel);
+      const auto ticket = eng.contribute_reduce(round, staging, slice, op, type,
+                                                static_cast<std::byte*>(recvbuf) + off);
+      while (!eng.done(ticket)) {
+        progress(ctx);
+        std::this_thread::yield();
+      }
+    }
+    local_barrier(ctx, li);  // network result in master's recvbuf
+
+    if (!li.is_master) {
+      const void* mbuf = li.group->master_slot.ptr.load(std::memory_order_acquire);
+      const std::byte* src = peer_read(
+          ctx, li.group->master_task, static_cast<const std::byte*>(mbuf) + off, slice);
+      std::memcpy(static_cast<std::byte*>(recvbuf) + off, src, slice);
+    }
+    local_barrier(ctx, li);  // slice consumed; staging reusable
+  }
+}
+
+// ---------------------------------------------------- software algorithms --
+
+void barrier_software(Context& ctx, Geometry& g) {
+  const std::size_t n = g.size();
+  const std::size_t me = *g.rank_of(ctx.client().task());
+  const std::uint64_t seq = next_seq(ctx.client(), g);
+  auto pending = std::make_shared<std::atomic<int>>(0);
+  // Dissemination barrier: log2(n) rounds of token exchange.
+  for (std::size_t dist = 1, phase = 0; dist < n; dist *= 2, ++phase) {
+    const std::size_t to = (me + dist) % n;
+    const std::size_t from = (me + n - dist) % n;
+    send_coll(ctx, g, seq, static_cast<int>(phase), to, nullptr, 0, pending);
+    wait_coll(ctx, g, seq, static_cast<int>(phase), from);
+  }
+}
+
+void broadcast_software(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
+                        std::size_t bytes) {
+  const std::size_t n = g.size();
+  const std::size_t me = *g.rank_of(ctx.client().task());
+  const std::size_t rel = (me + n - root_rank) % n;
+  const std::uint64_t seq = next_seq(ctx.client(), g);
+  auto pending = std::make_shared<std::atomic<int>>(0);
+
+  // Binomial tree on relative ranks.
+  if (rel != 0) {
+    // Receive from parent: clear lowest set bit.
+    const std::size_t parent_rel = rel & (rel - 1);
+    const std::size_t parent = (parent_rel + root_rank) % n;
+    std::vector<std::byte> data = wait_coll(ctx, g, seq, 0, parent);
+    assert(data.size() == bytes);
+    std::memcpy(buffer, data.data(), bytes);
+  }
+  // Forward to children: set bits above the lowest set bit of rel.
+  for (std::size_t bit = 1; bit < n; bit *= 2) {
+    if (rel & (bit - 1)) continue;  // not aligned: no child at this bit
+    if (rel & bit) break;           // past our own lowest set bit
+    const std::size_t child_rel = rel | bit;
+    if (child_rel >= n) break;
+    const std::size_t child = (child_rel + root_rank) % n;
+    send_coll(ctx, g, seq, 0, child, buffer, bytes, pending);
+  }
+  drain_sends(ctx, pending);
+}
+
+void reduce_software(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbuf,
+                     void* recvbuf, std::size_t bytes, hw::CombineOp op, hw::CombineType type) {
+  const std::size_t n = g.size();
+  const std::size_t me = *g.rank_of(ctx.client().task());
+  const std::size_t rel = (me + n - root_rank) % n;
+  const std::uint64_t seq = next_seq(ctx.client(), g);
+  auto pending = std::make_shared<std::atomic<int>>(0);
+
+  std::vector<std::byte> acc(static_cast<const std::byte*>(sendbuf),
+                             static_cast<const std::byte*>(sendbuf) + bytes);
+  // Binomial reduce: receive from children (low bits first), then send to
+  // parent.
+  for (std::size_t bit = 1; bit < n; bit *= 2) {
+    if (rel & bit) {
+      const std::size_t parent = ((rel & ~bit) + root_rank) % n;
+      send_coll(ctx, g, seq, 1, parent, acc.data(), bytes, pending);
+      break;
+    }
+    const std::size_t child_rel = rel | bit;
+    if (child_rel >= n) continue;
+    const std::size_t child = (child_rel + root_rank) % n;
+    std::vector<std::byte> data = wait_coll(ctx, g, seq, 1, child);
+    runtime::combine_buffers(op, type, acc.data(), data.data(), bytes);
+  }
+  drain_sends(ctx, pending);  // `acc` is pulled from by the parent
+  if (rel == 0 && recvbuf != nullptr) std::memcpy(recvbuf, acc.data(), bytes);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public API --
+
+void register_collective_dispatch(Client& client) {
+  for (int c = 0; c < client.context_count(); ++c) {
+    client.context(c).set_dispatch(
+        kCollDispatchId,
+        [&client](Context&, const void* header, std::size_t header_bytes, const void* pipe,
+                  std::size_t pipe_bytes, std::size_t total, Endpoint origin,
+                  RecvDescriptor* recv) {
+          CollHeader h;
+          assert(header_bytes == sizeof(h));
+          (void)header_bytes;
+          std::memcpy(&h, header, sizeof(h));
+          if (recv == nullptr) {
+            // Whole message arrived inline.
+            std::vector<std::byte> data(static_cast<const std::byte*>(pipe),
+                                        static_cast<const std::byte*>(pipe) + pipe_bytes);
+            state_of(client).deposit(h, origin.task, std::move(data));
+            return;
+          }
+          auto buf = std::make_shared<std::vector<std::byte>>(total);
+          recv->buffer = buf->data();
+          recv->bytes = total;
+          recv->on_complete = [&client, h, origin, buf] {
+            state_of(client).deposit(h, origin.task, std::move(*buf));
+          };
+        });
+  }
+}
+
+void software_barrier(Context& ctx, Geometry& g) { barrier_software(ctx, g); }
+
+void barrier(Context& ctx, Geometry& g) {
+  if (g.optimized()) {
+    barrier_optimized(ctx, g);
+  } else {
+    barrier_software(ctx, g);
+  }
+}
+
+void broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
+               std::size_t bytes) {
+  if (g.optimized()) {
+    broadcast_optimized(ctx, g, root_rank, buffer, bytes);
+  } else {
+    broadcast_software(ctx, g, root_rank, buffer, bytes);
+  }
+}
+
+void allreduce(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf, std::size_t bytes,
+               hw::CombineOp op, hw::CombineType type) {
+  if (g.optimized()) {
+    allreduce_optimized(ctx, g, sendbuf, recvbuf, bytes, op, type);
+  } else {
+    reduce_software(ctx, g, 0, sendbuf, recvbuf, bytes, op, type);
+    broadcast_software(ctx, g, 0, recvbuf, bytes);
+  }
+}
+
+void reduce(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbuf, void* recvbuf,
+            std::size_t bytes, hw::CombineOp op, hw::CombineType type) {
+  if (g.optimized()) {
+    // Collective-network reduce delivers everywhere; non-roots discard
+    // into scratch (the hardware writes every node's master regardless).
+    if (*g.rank_of(ctx.client().task()) == root_rank) {
+      allreduce_optimized(ctx, g, sendbuf, recvbuf, bytes, op, type);
+    } else {
+      std::vector<std::byte> scratch(bytes);
+      allreduce_optimized(ctx, g, sendbuf, scratch.data(), bytes, op, type);
+    }
+  } else {
+    reduce_software(ctx, g, root_rank, sendbuf, recvbuf, bytes, op, type);
+  }
+}
+
+void alltoall(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+              std::size_t bytes_per_rank) {
+  const std::size_t n = g.size();
+  const std::size_t me = *g.rank_of(ctx.client().task());
+  const std::uint64_t seq = next_seq(ctx.client(), g);
+  const auto* send = static_cast<const std::byte*>(sendbuf);
+  auto* recv = static_cast<std::byte*>(recvbuf);
+  auto pending = std::make_shared<std::atomic<int>>(0);
+
+  // Own block.
+  std::memcpy(recv + me * bytes_per_rank, send + me * bytes_per_rank, bytes_per_rank);
+  // Pairwise exchange: at step i, send to me+i, receive from me-i.
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t to = (me + i) % n;
+    const std::size_t from = (me + n - i) % n;
+    send_coll(ctx, g, seq, static_cast<int>(i), to, send + to * bytes_per_rank,
+              bytes_per_rank, pending);
+    std::vector<std::byte> data = wait_coll(ctx, g, seq, static_cast<int>(i), from);
+    assert(data.size() == bytes_per_rank);
+    std::memcpy(recv + from * bytes_per_rank, data.data(), bytes_per_rank);
+  }
+  drain_sends(ctx, pending);
+}
+
+void gather(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbuf, void* recvbuf,
+            std::size_t bytes_per_rank) {
+  const std::size_t n = g.size();
+  const std::size_t me = *g.rank_of(ctx.client().task());
+  const std::uint64_t seq = next_seq(ctx.client(), g);
+  if (me == root_rank) {
+    auto* recv = static_cast<std::byte*>(recvbuf);
+    std::memcpy(recv + me * bytes_per_rank, sendbuf, bytes_per_rank);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == root_rank) continue;
+      std::vector<std::byte> data = wait_coll(ctx, g, seq, 2, r);
+      assert(data.size() == bytes_per_rank);
+      std::memcpy(recv + r * bytes_per_rank, data.data(), bytes_per_rank);
+    }
+  } else {
+    auto pending = std::make_shared<std::atomic<int>>(0);
+    send_coll(ctx, g, seq, 2, root_rank, sendbuf, bytes_per_rank, pending);
+    drain_sends(ctx, pending);
+  }
+}
+
+void allgather(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+               std::size_t bytes_per_rank) {
+  // Gather to rank 0 then broadcast the concatenation; both legs ride the
+  // accelerated paths when the geometry is optimized (broadcast does).
+  gather(ctx, g, 0, sendbuf, recvbuf, bytes_per_rank);
+  broadcast(ctx, g, 0, recvbuf, bytes_per_rank * g.size());
+}
+
+namespace {
+
+/// Cached rectangle-broadcast trees + per-color children lists.
+struct RectTrees {
+  explicit RectTrees(const hw::TorusGeometry& torus, const hw::TorusRectangle& rect, int root)
+      : trees(torus, rect, root) {
+    children.resize(static_cast<std::size_t>(trees.colors()));
+    for (int c = 0; c < trees.colors(); ++c) {
+      auto& per_node = children[static_cast<std::size_t>(c)];
+      for (int node : trees.delivery_order(c)) {
+        const int p = trees.parent(c, node);
+        if (p >= 0) per_node[p].push_back(node);
+      }
+    }
+  }
+  sim::MulticolorRectBcast trees;
+  std::vector<std::map<int, std::vector<int>>> children;  // per color: node -> kids
+};
+
+}  // namespace
+
+void rectangle_broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
+                         std::size_t bytes) {
+  if (!g.rectangle_eligible()) {
+    broadcast(ctx, g, root_rank, buffer, bytes);
+    return;
+  }
+  runtime::Machine& m = ctx.client().machine();
+  LocalInfo li = local_info(ctx, g);
+  const int my_task = ctx.client().task();
+  const int my_node = m.node_of_task(my_task);
+  const int root_task = g.task_of(root_rank);
+  const int root_node = m.node_of_task(root_task);
+
+  // The trees are rooted at the root's node; rebuilding for a new root is
+  // legitimate (the hardware reprograms nothing — this is software), but
+  // the cache keeps the common fixed-root case cheap.
+  auto rt = g.cached<RectTrees>([&] {
+    return std::make_shared<RectTrees>(m.geometry(), *g.topology().rectangle(), root_node);
+  });
+  if (rt->trees.colors() > 0 && rt->trees.delivery_order(0).front() != root_node) {
+    // Cached trees rooted elsewhere: build privately for this call.
+    rt = std::make_shared<RectTrees>(m.geometry(), *g.topology().rectangle(), root_node);
+  }
+  const std::uint64_t seq = next_seq(ctx.client(), g);
+
+  if (my_task == root_task) li.group->root_slot.publish(buffer);
+  local_barrier(ctx, li);
+
+  auto pending = std::make_shared<std::atomic<int>>(0);
+  if (li.is_master) {
+    auto* buf = static_cast<std::byte*>(buffer);
+    if (my_node == root_node && my_task != root_task) {
+      const void* src = li.group->root_slot.ptr.load(std::memory_order_acquire);
+      std::memcpy(buf, peer_read(ctx, root_task, src, bytes), bytes);
+    }
+    // Slice the message across colors and relay each slice down its tree.
+    // (A single-node rectangle has no colors and nothing to relay.)
+    const int ncolors = rt->trees.colors();
+    const std::size_t base = ncolors > 0 ? bytes / static_cast<std::size_t>(ncolors) : 0;
+    const std::size_t rem = ncolors > 0 ? bytes % static_cast<std::size_t>(ncolors) : 0;
+    std::size_t off = 0;
+    for (int c = 0; c < ncolors; ++c) {
+      const std::size_t len = base + (static_cast<std::size_t>(c) < rem ? 1 : 0);
+      const int phase = 1000 + c;
+      if (my_node != root_node) {
+        const int parent_node = rt->trees.parent(c, my_node);
+        const int parent_master = g.node_group(parent_node).master_task;
+        std::vector<std::byte> slice =
+            wait_coll(ctx, g, seq, phase, *g.rank_of(parent_master));
+        assert(slice.size() == len);
+        if (len > 0) std::memcpy(buf + off, slice.data(), len);
+      }
+      const auto kids = rt->children[static_cast<std::size_t>(c)].find(my_node);
+      if (kids != rt->children[static_cast<std::size_t>(c)].end()) {
+        for (int child_node : kids->second) {
+          const int child_master = g.node_group(child_node).master_task;
+          send_coll(ctx, g, seq, phase, *g.rank_of(child_master), buf + off, len, pending);
+        }
+      }
+      off += len;
+    }
+    drain_sends(ctx, pending);  // children pull slices from our buffer
+    li.group->master_slot.publish(buffer);
+  }
+  local_barrier(ctx, li);
+
+  if (!li.is_master && my_task != root_task) {
+    const void* mbuf = li.group->master_slot.ptr.load(std::memory_order_acquire);
+    std::memcpy(buffer, peer_read(ctx, li.group->master_task, mbuf, bytes), bytes);
+  }
+  local_barrier(ctx, li);
+}
+
+void reduce_scatter(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+                    std::size_t bytes_per_rank, hw::CombineOp op, hw::CombineType type) {
+  // Full-vector reduce (collective network when optimized) then keep my
+  // block — the BG/Q collective network has no native scatter phase, so
+  // pamid's reduce_scatter is exactly reduce + local selection.
+  const std::size_t me = *g.rank_of(ctx.client().task());
+  std::vector<std::byte> full(bytes_per_rank * g.size());
+  allreduce(ctx, g, sendbuf, full.data(), full.size(), op, type);
+  std::memcpy(recvbuf, full.data() + me * bytes_per_rank, bytes_per_rank);
+}
+
+void scatter(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbuf, void* recvbuf,
+             std::size_t bytes_per_rank) {
+  const std::size_t n = g.size();
+  const std::size_t me = *g.rank_of(ctx.client().task());
+  const std::uint64_t seq = next_seq(ctx.client(), g);
+  if (me == root_rank) {
+    const auto* send = static_cast<const std::byte*>(sendbuf);
+    std::memcpy(recvbuf, send + me * bytes_per_rank, bytes_per_rank);
+    auto pending = std::make_shared<std::atomic<int>>(0);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == root_rank) continue;
+      send_coll(ctx, g, seq, 3, r, send + r * bytes_per_rank, bytes_per_rank, pending);
+    }
+    drain_sends(ctx, pending);
+  } else {
+    std::vector<std::byte> data = wait_coll(ctx, g, seq, 3, root_rank);
+    assert(data.size() == bytes_per_rank);
+    std::memcpy(recvbuf, data.data(), bytes_per_rank);
+  }
+}
+
+}  // namespace pamix::pami::coll

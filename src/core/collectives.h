@@ -1,0 +1,89 @@
+// Collectives — PAMI's geometry collectives (paper §III-D, §IV-B/C).
+//
+// Two paths, chosen by whether the geometry holds a classroute:
+//
+//  * Optimized (collective network): barrier = node-local L2-atomic
+//    barrier + global-interrupt round; broadcast/(all)reduce = RDMA
+//    combine/broadcast on the embedded collective network, with the
+//    shared-address node protocols of Figures 3 and 4 — peers publish
+//    their buffers, local math is parallelized across the node's
+//    processes, only the node master talks to the network, and peers copy
+//    results straight out of the master's buffer through the CNK global
+//    VA. Long reductions pipeline in slices.
+//
+//  * Software (irregular geometries, or after deoptimize): dissemination
+//    barrier, binomial broadcast/reduce, pairwise all-to-all — built on
+//    PAMI active-message sends, so they exercise the same pt2pt stack.
+//
+// All calls are blocking and advance the caller's context while waiting;
+// software-path calls must run on context 0 (where the collective dispatch
+// is registered).
+#pragma once
+
+#include <cstddef>
+
+#include "core/context.h"
+#include "core/geometry.h"
+#include "hw/classroute.h"
+
+namespace pamix::pami::coll {
+
+/// Pipeline slice for long reductions (Figure 4).
+inline constexpr std::size_t kPipelineSliceBytes = 64 * 1024;
+
+/// Dispatch id reserved for the software-collective engine.
+inline constexpr DispatchId kCollDispatchId = 0xF01;
+
+/// Register the software-collective dispatch on every context of a client.
+/// Called from Client construction; callable again idempotently.
+void register_collective_dispatch(Client& client);
+
+void barrier(Context& ctx, Geometry& g);
+
+/// Always-software barrier, regardless of optimization state. Used to
+/// fence optimize/deoptimize transitions (the software path works in both
+/// states, so every member can meet here while they disagree about the
+/// classroute).
+void software_barrier(Context& ctx, Geometry& g);
+
+void broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
+               std::size_t bytes);
+
+void allreduce(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+               std::size_t bytes, hw::CombineOp op, hw::CombineType type);
+
+void reduce(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbuf,
+            void* recvbuf, std::size_t bytes, hw::CombineOp op, hw::CombineType type);
+
+// --- Extensions (paper §VI future work) -------------------------------------
+
+/// Pairwise-exchange all-to-all: `bytes_per_rank` from/to every member.
+void alltoall(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+              std::size_t bytes_per_rank);
+
+void gather(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbuf,
+            void* recvbuf, std::size_t bytes_per_rank);
+
+void scatter(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbuf,
+             void* recvbuf, std::size_t bytes_per_rank);
+
+/// Allgather: every member contributes `bytes_per_rank`; every member
+/// receives the full concatenation in rank order.
+void allgather(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+               std::size_t bytes_per_rank);
+
+/// Block reduce-scatter: elementwise reduction of each member's
+/// (size * bytes_per_rank) vector, with rank r receiving block r.
+void reduce_scatter(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
+                    std::size_t bytes_per_rank, hw::CombineOp op, hw::CombineType type);
+
+/// Multicolor rectangle broadcast (Figure 10), functional: the message is
+/// split into one slice per color and each slice relays down its own
+/// edge-disjoint spanning tree over PAMI point-to-point sends (torus
+/// links), rather than the collective network. Requires a
+/// rectangle-eligible geometry; falls back to the regular broadcast
+/// otherwise. The constructed trees are cached on the geometry.
+void rectangle_broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
+                         std::size_t bytes);
+
+}  // namespace pamix::pami::coll

@@ -1,0 +1,95 @@
+#include "core/commthread.h"
+
+#include "hw/cnk.h"
+
+namespace pamix::pami {
+
+CommThreadPool::CommThreadPool(Client& client, int count) : client_(client) {
+  hw::HwThreadMap& hwmap = client_.node().hw_threads();
+  const int nctx = client_.context_count();
+  // Distribute contexts round-robin over however many threads we can bind.
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int i = 0; i < count; ++i) {
+    auto slot = hwmap.claim_commthread(client_.local_proc());
+    if (!slot.has_value()) break;  // node out of hardware threads
+    auto w = std::make_unique<Worker>();
+    w->hw_thread = *slot;
+    workers.push_back(std::move(w));
+  }
+  if (workers.empty()) return;
+  for (int c = 0; c < nctx; ++c) {
+    workers[static_cast<std::size_t>(c) % workers.size()]->contexts.push_back(
+        &client_.context(c));
+  }
+  // Program each worker's wakeup watch over its contexts' producer-visible
+  // addresses, then launch.
+  for (auto& w : workers) {
+    std::vector<std::pair<const void*, std::size_t>> ranges;
+    for (Context* ctx : w->contexts) {
+      for (const void* a : ctx->wakeup_addresses()) ranges.emplace_back(a, sizeof(std::uint64_t));
+    }
+    if (!ranges.empty()) {
+      w->watch = client_.node().wakeup().watch_many(std::move(ranges));
+    }
+    threads_.push_back(std::move(w));
+  }
+  for (auto& w : threads_) {
+    Worker* wp = w.get();
+    w->thread = std::thread([this, wp] { run(*wp); });
+  }
+}
+
+CommThreadPool::~CommThreadPool() { stop(); }
+
+void CommThreadPool::stop() {
+  if (stopping_.exchange(true)) return;
+  for (auto& w : threads_) {
+    if (!w->contexts.empty()) client_.node().wakeup().notify_watch(w->watch);
+  }
+  for (auto& w : threads_) {
+    if (w->thread.joinable()) w->thread.join();
+    client_.node().hw_threads().release(w->hw_thread);
+  }
+}
+
+void CommThreadPool::run(Worker& w) {
+  hw::HwThreadMap& hwmap = client_.node().hw_threads();
+  hw::WakeupUnit& wakeup = client_.node().wakeup();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Arm before checking for work: the lost-wakeup-free ordering.
+    const std::uint64_t armed = w.contexts.empty() ? 0 : wakeup.arm(w.watch);
+    std::size_t events = 0;
+    for (Context* ctx : w.contexts) {
+      // A context is advanced under its lock: the commthread competes with
+      // application threads exactly as the thread-optimized MPI does.
+      if (!ctx->trylock()) continue;
+      hwmap.set_priority(w.hw_thread, hw::ThreadPriority::CommHighest);
+      events += ctx->advance();
+      hwmap.set_priority(w.hw_thread, hw::ThreadPriority::CommLowest);
+      ctx->unlock();
+    }
+    events_.fetch_add(events, std::memory_order_relaxed);
+    if (events > 0 || w.contexts.empty()) {
+      if (w.contexts.empty()) std::this_thread::yield();
+      continue;
+    }
+    // Re-check the cheap idle predicates; if anything is live, spin again.
+    bool any_work = false;
+    for (Context* ctx : w.contexts) {
+      if (!ctx->idle()) {
+        any_work = true;
+        break;
+      }
+    }
+    if (any_work) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Nothing to do: `wait` on the wakeup unit (bounded so that stop() is
+    // never missed even if the notify raced the arm).
+    sleeps_.fetch_add(1, std::memory_order_relaxed);
+    wakeup.wait_for(w.watch, armed, std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace pamix::pami

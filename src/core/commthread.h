@@ -1,0 +1,70 @@
+// Communication threads (paper §II-D, §III-C).
+//
+// Commthreads are CNK's special priority-banded pthreads: highest priority
+// while performing communication work (cannot be preempted mid-operation),
+// lowest otherwise (completely out of the application's way).  PAMI binds
+// one commthread per otherwise-idle hardware thread; each owns a set of
+// contexts and performs background `advance` on them, which is what turns
+// a PAMI_Context_post into asynchronous progress and gives MPI its message
+// -rate boost.
+//
+// When a commthread finds nothing to do it programs the wakeup unit over
+// its contexts' work-queue / reception-FIFO / shm-queue addresses and
+// executes the PPC `wait` — consuming no core resources until a store
+// lands in a watched region.  This pool reproduces that loop: idle
+// commthreads block on the WakeupUnit model and are woken by the same
+// stores (posts, packet deliveries, shm pushes).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/context.h"
+
+namespace pamix::pami {
+
+class CommThreadPool {
+ public:
+  /// Spawn `count` commthreads for `client`, distributing the client's
+  /// contexts round-robin across them. Each commthread claims a hardware
+  /// thread slot from the node's map (fails soft: fewer threads spawn if
+  /// the node is out of hardware threads).
+  CommThreadPool(Client& client, int count);
+  ~CommThreadPool();
+
+  CommThreadPool(const CommThreadPool&) = delete;
+  CommThreadPool& operator=(const CommThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(threads_.size()); }
+
+  /// Total advance events processed by all commthreads.
+  std::uint64_t events_processed() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+  /// Number of wakeup-unit sleeps taken (idle transitions).
+  std::uint64_t sleeps() const { return sleeps_.load(std::memory_order_relaxed); }
+
+  void stop();
+
+ private:
+  struct Worker {
+    std::thread thread;
+    int hw_thread = -1;
+    std::vector<Context*> contexts;
+    hw::WakeupUnit::WatchHandle watch = 0;
+  };
+
+  void run(Worker& w);
+
+  Client& client_;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<Worker>> threads_;
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> sleeps_{0};
+};
+
+}  // namespace pamix::pami

@@ -1,0 +1,134 @@
+#include "core/geometry.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/client.h"
+
+namespace pamix::pami {
+
+Geometry::Geometry(ClientWorld& world, int id, Topology topology)
+    : world_(world), id_(id), topo_(std::move(topology)) {
+  runtime::Machine& m = world_.machine();
+  // Build node groups: local membership, master (lowest task), barrier.
+  for (std::size_t r = 0; r < topo_.size(); ++r) {
+    const int task = topo_.task(r);
+    const int node = m.node_of_task(task);
+    auto it = groups_.find(node);
+    if (it == groups_.end()) {
+      it = groups_.emplace(node, std::make_unique<NodeGroup>()).first;
+    }
+    it->second->local_tasks.push_back(task);
+  }
+  for (auto& [node, group] : groups_) {
+    std::sort(group->local_tasks.begin(), group->local_tasks.end());
+    group->master_task = group->local_tasks.front();
+    group->barrier =
+        std::make_unique<LocalBarrier>(static_cast<int>(group->local_tasks.size()));
+    group->contrib = std::vector<SharedSlot>(group->local_tasks.size());
+  }
+}
+
+int Geometry::local_index(int task) {
+  NodeGroup& g = node_group(world_.machine().node_of_task(task));
+  const auto it = std::lower_bound(g.local_tasks.begin(), g.local_tasks.end(), task);
+  assert(it != g.local_tasks.end() && *it == task);
+  return static_cast<int>(it - g.local_tasks.begin());
+}
+
+std::vector<int> Geometry::nodes() const {
+  std::vector<int> out;
+  out.reserve(groups_.size());
+  for (const auto& [node, group] : groups_) out.push_back(node);
+  return out;
+}
+
+bool Geometry::rectangle_eligible() const {
+  const auto rect = topo_.rectangle();
+  if (!rect.has_value()) return false;
+  // Every participating node must contribute the same full process count
+  // (the classroute has one contribution bit per node, not per process).
+  const auto ppn = topo_.axial_ppn();
+  return ppn.has_value();
+}
+
+GeometryRegistry::GeometryRegistry(ClientWorld& world)
+    : world_(world), route_owner_(hw::kClassRoutesPerNode, nullptr) {
+  runtime::Machine& m = world_.machine();
+  // COMM_WORLD: axial over the whole machine, optimized on the system
+  // classroute 0 that the Machine programs at boot.
+  world_geom_ = std::make_shared<Geometry>(
+      world_, 0,
+      Topology::axial(m.geometry(), hw::TorusRectangle::whole_machine(m.geometry()), m.ppn()));
+  world_geom_->classroute_.store(0, std::memory_order_release);
+  route_owner_[0] = world_geom_.get();
+  geometries_[0] = world_geom_;
+}
+
+std::shared_ptr<Geometry> GeometryRegistry::get_or_create(std::uint64_t key,
+                                                          const Topology& topology) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = geometries_.find(key);
+  if (it != geometries_.end()) return it->second;
+  auto geom = std::make_shared<Geometry>(world_, next_geom_id_++, topology);
+  geometries_.emplace(key, geom);
+  return geom;
+}
+
+bool GeometryRegistry::optimize(Geometry& g) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (g.optimized()) {
+    g.touch(++use_stamp_);
+    return true;
+  }
+  if (!g.rectangle_eligible()) return false;
+
+  // Find a free user slot (0 = world, 1 = system-reserved).
+  int slot = -1;
+  for (int s = hw::kSystemClassRoutes; s < hw::kClassRoutesPerNode; ++s) {
+    if (route_owner_[static_cast<std::size_t>(s)] == nullptr) {
+      slot = s;
+      break;
+    }
+  }
+  if (slot < 0) {
+    // Evict the least recently used non-world route.
+    std::uint64_t oldest = UINT64_MAX;
+    for (int s = hw::kSystemClassRoutes; s < hw::kClassRoutesPerNode; ++s) {
+      Geometry* owner = route_owner_[static_cast<std::size_t>(s)];
+      if (owner != nullptr && owner->last_used() < oldest) {
+        oldest = owner->last_used();
+        slot = s;
+      }
+    }
+    if (slot < 0) return false;
+    Geometry* victim = route_owner_[static_cast<std::size_t>(slot)];
+    victim->classroute_.store(-1, std::memory_order_release);
+    route_owner_[static_cast<std::size_t>(slot)] = nullptr;
+    world_.machine().clear_classroute(slot);
+  }
+
+  world_.machine().program_classroute(slot, *g.topology().rectangle());
+  route_owner_[static_cast<std::size_t>(slot)] = &g;
+  g.classroute_.store(slot, std::memory_order_release);
+  g.touch(++use_stamp_);
+  return true;
+}
+
+void GeometryRegistry::deoptimize(Geometry& g) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const int slot = g.classroute();
+  if (slot < hw::kSystemClassRoutes) return;  // world/system routes stay
+  g.classroute_.store(-1, std::memory_order_release);
+  route_owner_[static_cast<std::size_t>(slot)] = nullptr;
+  world_.machine().clear_classroute(slot);
+}
+
+int GeometryRegistry::routes_in_use() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  int n = 0;
+  for (const Geometry* o : route_owner_) n += (o != nullptr);
+  return n;
+}
+
+}  // namespace pamix::pami

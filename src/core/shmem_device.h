@@ -1,0 +1,168 @@
+// Shared-memory device — intra-node messaging over L2-atomic lockless
+// queues (paper §III-F).
+//
+// Each process owns exactly one reception queue; peers atomically append
+// to it (bounded-increment slot allocation, mirroring the work queue).
+// One queue per process — rather than per pair or per context — is the
+// memory-scaling choice the paper calls out.  Short messages copy their
+// payload inline through the queue slot (the L2 is the wire); large
+// messages ride zero-copy: the packet carries the sender's buffer address
+// and the receiver copies directly out of it through the CNK global
+// virtual address, then raises the sender's completion flag.
+//
+// The queue's tail word lives in a wakeup region, so commthreads sleeping
+// on the wakeup unit resume when an intra-node message lands.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+#include "hw/l2_atomics.h"
+#include "hw/mu.h"
+#include "hw/wakeup_unit.h"
+
+namespace pamix::pami {
+
+/// A message traversing the shared-memory device.
+struct ShmPacket {
+  DispatchId dispatch = 0;
+  std::int16_t dest_context = 0;
+  Endpoint origin;
+  std::uint16_t flags = 0;
+  std::uint64_t metadata = 0;
+  std::vector<std::byte> header;
+  // Eager: payload copied inline.
+  std::vector<std::byte> inline_payload;
+  std::uint16_t header_bytes = 0;
+  // Zero-copy: sender's buffer (readable via global VA) + completion
+  // counter the receiver decrements once it has copied the data out
+  // (the same counter type the MU uses, so senders poll both uniformly).
+  const std::byte* zero_copy_src = nullptr;
+  std::size_t total_bytes = 0;
+  hw::MuReceptionCounter* sender_complete = nullptr;
+};
+
+/// The per-process reception queue. Multi-producer (any process on the
+/// node), single-consumer (the owning process's advancing context).
+class ShmQueue {
+ public:
+  explicit ShmQueue(std::size_t capacity = 512, hw::WakeupUnit* wakeup = nullptr)
+      : slots_(capacity), wakeup_(wakeup) {
+    hw::l2::store(bound_, capacity);
+    for (auto& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+  }
+
+  ShmQueue(const ShmQueue&) = delete;
+  ShmQueue& operator=(const ShmQueue&) = delete;
+
+  void push(ShmPacket pkt) {
+    const std::uint64_t idx = hw::l2::load_increment_bounded(tail_, bound_);
+    if (idx == hw::kL2BoundedFailure) {
+      {
+        std::lock_guard<hw::L2AtomicMutex> g(overflow_mutex_);
+        overflow_.push_back(std::move(pkt));
+      }
+      overflow_count_.fetch_add(1, std::memory_order_release);
+    } else {
+      Slot& s = slots_[idx % slots_.size()];
+      s.pkt = std::move(pkt);
+      s.seq.store(idx + 1, std::memory_order_release);
+    }
+    if (wakeup_ != nullptr) wakeup_->notify_write(&tail_);
+  }
+
+  bool pop(ShmPacket& out) {
+    const std::uint64_t tail = hw::l2::load(tail_);
+    if (head_ != tail) {
+      Slot& s = slots_[head_ % slots_.size()];
+      while (s.seq.load(std::memory_order_acquire) != head_ + 1) {
+      }
+      out = std::move(s.pkt);
+      s.pkt = ShmPacket{};
+      ++head_;
+      hw::l2::store(bound_, head_ + slots_.size());
+      return true;
+    }
+    if (overflow_count_.load(std::memory_order_acquire) > 0) {
+      std::lock_guard<hw::L2AtomicMutex> g(overflow_mutex_);
+      if (!overflow_.empty()) {
+        out = std::move(overflow_.front());
+        overflow_.pop_front();
+        overflow_count_.fetch_sub(1, std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool empty() const {
+    return head_ == hw::l2::load(tail_) && overflow_count_.load(std::memory_order_acquire) == 0;
+  }
+
+  const void* wakeup_address() const { return &tail_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    ShmPacket pkt;
+  };
+
+  hw::L2Word tail_;
+  hw::L2Word bound_;
+  std::uint64_t head_ = 0;
+  std::vector<Slot> slots_;
+  hw::L2AtomicMutex overflow_mutex_;
+  std::deque<ShmPacket> overflow_;
+  std::atomic<std::int64_t> overflow_count_{0};
+  hw::WakeupUnit* wakeup_;
+};
+
+/// Per-process shared-memory device: the process's reception queue plus
+/// per-context routing. Any context of the process may advance the device;
+/// packets destined to other contexts are parked in per-context staging
+/// (so the single process queue never head-of-line-blocks a context), and
+/// handlers always run outside the router lock.
+class ShmDevice {
+ public:
+  ShmDevice(int context_count, std::size_t queue_capacity, hw::WakeupUnit* wakeup)
+      : queue_(queue_capacity, wakeup),
+        staging_(static_cast<std::size_t>(context_count)) {}
+
+  ShmQueue& queue() { return queue_; }
+  const void* wakeup_address() const { return queue_.wakeup_address(); }
+
+  /// Drain packets for context `ctx`, invoking `handle` on each (outside
+  /// all locks). Returns the number of packets handled.
+  std::size_t advance(std::int16_t ctx, const std::function<void(ShmPacket&&)>& handle) {
+    std::vector<ShmPacket> mine;
+    {
+      std::lock_guard<hw::L2AtomicMutex> g(router_mutex_);
+      ShmPacket pkt;
+      while (queue_.pop(pkt)) {
+        const auto dest = static_cast<std::size_t>(pkt.dest_context);
+        staging_[dest].push_back(std::move(pkt));
+      }
+      auto& st = staging_[static_cast<std::size_t>(ctx)];
+      while (!st.empty()) {
+        mine.push_back(std::move(st.front()));
+        st.pop_front();
+      }
+    }
+    for (ShmPacket& p : mine) handle(std::move(p));
+    return mine.size();
+  }
+
+  bool idle() const { return queue_.empty(); }
+
+ private:
+  ShmQueue queue_;
+  hw::L2AtomicMutex router_mutex_;
+  std::vector<std::deque<ShmPacket>> staging_;
+};
+
+}  // namespace pamix::pami

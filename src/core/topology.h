@@ -1,0 +1,156 @@
+// Topologies — space-efficient task-set descriptions (paper §III-G).
+//
+// A 96-rack machine has up to sixteen million tasks; storing communicator
+// membership as explicit rank lists at that scale is untenable.  PAMI's
+// answer is typed topologies that trade generality for O(1) memory:
+//
+//   * Range — a contiguous interval of task ids.
+//   * Axial — a torus rectangle x processes-per-node: the "ranges of ranks
+//     emanating from a node" structure used for COMM_WORLD and rectangular
+//     sub-communicators.
+//   * List — the general fallback, O(n) memory.
+//
+// `memory_bytes()` reports the footprint so tests (and users) can verify
+// the scaling claim.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "hw/torus.h"
+
+namespace pamix::pami {
+
+class Topology {
+ public:
+  /// Contiguous tasks [first, last], inclusive.
+  static Topology range(int first, int last) {
+    assert(first <= last);
+    Topology t;
+    t.rep_ = Range{first, last};
+    return t;
+  }
+
+  /// Explicit task list (kept sorted for O(log n) membership).
+  static Topology list(std::vector<int> tasks) {
+    Topology t;
+    std::sort(tasks.begin(), tasks.end());
+    t.rep_ = List{std::move(tasks)};
+    return t;
+  }
+
+  /// A torus rectangle with `ppn` processes per node: task ids are
+  /// node*ppn + p, nodes enumerated row-major inside the rectangle.
+  static Topology axial(const hw::TorusGeometry& geom, const hw::TorusRectangle& rect, int ppn) {
+    Topology t;
+    Axial a;
+    a.geom = geom;
+    a.rect = rect;
+    a.ppn = ppn;
+    for (int d = 0; d < hw::kTorusDims; ++d) {
+      a.extent[d] = rect.hi[d] - rect.lo[d] + 1;
+    }
+    t.rep_ = std::move(a);
+    return t;
+  }
+
+  std::size_t size() const {
+    if (const auto* r = std::get_if<Range>(&rep_)) {
+      return static_cast<std::size_t>(r->last - r->first + 1);
+    }
+    if (const auto* a = std::get_if<Axial>(&rep_)) {
+      return static_cast<std::size_t>(a->rect.node_count()) * static_cast<std::size_t>(a->ppn);
+    }
+    return std::get<List>(rep_).tasks.size();
+  }
+
+  /// Task id of topology rank `i`.
+  int task(std::size_t i) const {
+    if (const auto* r = std::get_if<Range>(&rep_)) {
+      return r->first + static_cast<int>(i);
+    }
+    if (const auto* a = std::get_if<Axial>(&rep_)) {
+      const int p = static_cast<int>(i) % a->ppn;
+      int ni = static_cast<int>(i) / a->ppn;
+      hw::TorusCoords c;
+      for (int d = hw::kTorusDims - 1; d >= 0; --d) {
+        c[d] = a->rect.lo[d] + ni % a->extent[d];
+        ni /= a->extent[d];
+      }
+      return a->geom.node_of(c) * a->ppn + p;
+    }
+    return std::get<List>(rep_).tasks[i];
+  }
+
+  bool contains(int task_id) const { return rank_of(task_id).has_value(); }
+
+  /// Topology rank of a task, if a member.
+  std::optional<std::size_t> rank_of(int task_id) const {
+    if (const auto* r = std::get_if<Range>(&rep_)) {
+      if (task_id < r->first || task_id > r->last) return std::nullopt;
+      return static_cast<std::size_t>(task_id - r->first);
+    }
+    if (const auto* a = std::get_if<Axial>(&rep_)) {
+      const int node = task_id / a->ppn;
+      const int p = task_id % a->ppn;
+      const hw::TorusCoords c = a->geom.coords_of(node);
+      if (!a->rect.contains(c)) return std::nullopt;
+      std::size_t ni = 0;
+      for (int d = 0; d < hw::kTorusDims; ++d) {
+        ni = ni * static_cast<std::size_t>(a->extent[d]) +
+             static_cast<std::size_t>(c[d] - a->rect.lo[d]);
+      }
+      return ni * static_cast<std::size_t>(a->ppn) + static_cast<std::size_t>(p);
+    }
+    const auto& v = std::get<List>(rep_).tasks;
+    const auto it = std::lower_bound(v.begin(), v.end(), task_id);
+    if (it == v.end() || *it != task_id) return std::nullopt;
+    return static_cast<std::size_t>(it - v.begin());
+  }
+
+  /// The torus rectangle, when this topology is axial (classroute
+  /// eligibility check).
+  std::optional<hw::TorusRectangle> rectangle() const {
+    if (const auto* a = std::get_if<Axial>(&rep_)) return a->rect;
+    return std::nullopt;
+  }
+
+  std::optional<int> axial_ppn() const {
+    if (const auto* a = std::get_if<Axial>(&rep_)) return a->ppn;
+    return std::nullopt;
+  }
+
+  /// Approximate memory footprint of the representation itself.
+  std::size_t memory_bytes() const {
+    if (std::holds_alternative<Range>(rep_)) return sizeof(Range);
+    if (std::holds_alternative<Axial>(rep_)) return sizeof(Axial);
+    return sizeof(List) + std::get<List>(rep_).tasks.size() * sizeof(int);
+  }
+
+  bool is_axial() const { return std::holds_alternative<Axial>(rep_); }
+  bool is_range() const { return std::holds_alternative<Range>(rep_); }
+  bool is_list() const { return std::holds_alternative<List>(rep_); }
+
+ private:
+  struct Range {
+    int first = 0;
+    int last = 0;
+  };
+  struct Axial {
+    hw::TorusGeometry geom;
+    hw::TorusRectangle rect;
+    std::array<int, hw::kTorusDims> extent{};
+    int ppn = 1;
+  };
+  struct List {
+    std::vector<int> tasks;
+  };
+
+  std::variant<Range, Axial, List> rep_ = Range{0, 0};
+};
+
+}  // namespace pamix::pami

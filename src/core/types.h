@@ -1,0 +1,125 @@
+// Core PAMI types: results, endpoints, dispatch signatures.
+//
+// PAMI addresses communication by *endpoint* — a (task, context) pair —
+// rather than by process. This is the finer-grain addressing the MPI-3
+// endpoints proposals pursued: threads can be pinned to contexts, and two
+// endpoints communicate independently of traffic on their siblings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace pamix::pami {
+
+/// PAMI-style status codes. The hot path never throws; callers branch on
+/// the result (Eagain = resource temporarily unavailable, retry after
+/// advancing the context).
+enum class Result {
+  Success,
+  Eagain,
+  Invalid,
+  Error,
+};
+
+inline const char* to_string(Result r) {
+  switch (r) {
+    case Result::Success:
+      return "Success";
+    case Result::Eagain:
+      return "Eagain";
+    case Result::Invalid:
+      return "Invalid";
+    case Result::Error:
+      return "Error";
+  }
+  return "?";
+}
+
+/// A communication address: task (process) + context offset within it.
+struct Endpoint {
+  std::int32_t task = 0;
+  std::int16_t context = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Completion callback. PAMI's C API passes (context, cookie, result);
+/// captures replace the cookie in this C++ rendering.
+using EventFn = std::function<void()>;
+
+/// Work item posted to a context's lockless work queue.
+using WorkFn = std::function<void()>;
+
+/// Dispatch identifiers are user-chosen small integers, as in PAMI.
+using DispatchId = std::uint16_t;
+
+class Context;
+
+/// Receive descriptor filled by a dispatch handler for messages that do
+/// not arrive in a single packet ("asynchronous" receives): the handler
+/// supplies the landing buffer and a completion callback.
+///
+/// For rendezvous arrivals the handler may instead *defer*: no data moves
+/// until the upper layer later matches the message and calls
+/// `Context::complete_deferred_rdzv` with the real landing buffer (this is
+/// how MPI handles an RTS that has no posted receive yet — the payload
+/// stays on the sender until matched).
+struct RecvDescriptor {
+  void* buffer = nullptr;
+  std::size_t bytes = 0;  // how many bytes the receiver accepts
+  EventFn on_complete;
+  /// Set by the handler to defer a rendezvous pull. Only honoured for RTS
+  /// arrivals; `defer_handle` is filled by the context on return.
+  bool defer = false;
+  std::uint64_t defer_handle = 0;
+};
+
+/// Active-message dispatch handler.
+///
+/// `header`/`header_bytes`: the send-side header (always fully present).
+/// `pipe_data`: non-null with `pipe_bytes == total_bytes` when the whole
+/// payload arrived with the first packet ("immediate" delivery); the
+/// handler must consume it before returning. Otherwise the handler fills
+/// `recv` to receive `total_bytes` asynchronously.
+using DispatchFn = std::function<void(Context& ctx, const void* header,
+                                      std::size_t header_bytes, const void* pipe_data,
+                                      std::size_t pipe_bytes, std::size_t total_bytes,
+                                      Endpoint origin, RecvDescriptor* recv)>;
+
+/// Parameters of a two-sided active-message send.
+struct SendParams {
+  DispatchId dispatch = 0;
+  Endpoint dest;
+  const void* header = nullptr;
+  std::size_t header_bytes = 0;
+  const void* data = nullptr;
+  std::size_t data_bytes = 0;
+  /// Fired when the source buffer may be reused (payload fully injected).
+  EventFn on_local_done;
+  /// Fired when the destination has fully received the message (requires
+  /// the remote-completion protocol; used by rendezvous).
+  EventFn on_remote_done;
+};
+
+/// One-sided put parameters. `remote_addr` is a destination-process
+/// virtual address (registered with the node's global-VA table / BAT).
+struct PutParams {
+  Endpoint dest;
+  const void* local_addr = nullptr;
+  void* remote_addr = nullptr;
+  std::size_t bytes = 0;
+  EventFn on_local_done;   // source buffer reusable
+  EventFn on_remote_done;  // data landed at the target
+};
+
+/// One-sided get parameters.
+struct GetParams {
+  Endpoint dest;
+  void* local_addr = nullptr;
+  const void* remote_addr = nullptr;
+  std::size_t bytes = 0;
+  EventFn on_done;  // data landed locally
+};
+
+}  // namespace pamix::pami

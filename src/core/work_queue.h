@@ -1,0 +1,125 @@
+// WorkQueue — the lockless multi-producer work queue at the heart of
+// PAMI's context-post mechanism (paper §III-B).
+//
+// Producers allocate slots in a fixed-size array with the L2 *bounded
+// increment* atomic: an atomic fetch-and-increment that fails (returning a
+// sentinel) instead of passing the bound word. The bound is maintained at
+// head + capacity by the single consumer, so allocation, publication and
+// consumption all proceed without a lock. When the array is full the
+// element goes to an overflow queue protected by an L2-atomic mutex — the
+// exact fallback structure the paper describes.
+//
+// The tail word lives in a "wakeup region": every post notifies the node's
+// wakeup unit so sleeping commthreads resume (§III-C).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/types.h"
+#include "hw/l2_atomics.h"
+#include "hw/wakeup_unit.h"
+
+namespace pamix::pami {
+
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t capacity = 256, hw::WakeupUnit* wakeup = nullptr)
+      : slots_(capacity), wakeup_(wakeup) {
+    hw::l2::store(bound_, capacity);
+    for (auto& s : slots_) s.seq.store(0, std::memory_order_relaxed);
+  }
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Multi-producer post. Never blocks; spills to the overflow queue when
+  /// the array is full.
+  void post(WorkFn fn) {
+    const std::uint64_t idx = hw::l2::load_increment_bounded(tail_, bound_);
+    if (idx == hw::kL2BoundedFailure) {
+      {
+        std::lock_guard<hw::L2AtomicMutex> g(overflow_mutex_);
+        overflow_.push_back(std::move(fn));
+      }
+      overflow_count_.fetch_add(1, std::memory_order_release);
+      overflow_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      Slot& s = slots_[idx % slots_.size()];
+      s.fn = std::move(fn);
+      // Publish: consumers spin briefly on seq to close the window between
+      // slot allocation and payload visibility.
+      s.seq.store(idx + 1, std::memory_order_release);
+    }
+    if (wakeup_ != nullptr) wakeup_->notify_write(&tail_);
+  }
+
+  /// Single-consumer drain: run up to `max` items; returns how many ran.
+  std::size_t advance(std::size_t max = SIZE_MAX) {
+    std::size_t ran = 0;
+    while (ran < max) {
+      const std::uint64_t tail = hw::l2::load(tail_);
+      if (head_ == tail) break;
+      Slot& s = slots_[head_ % slots_.size()];
+      // Wait for the producer that allocated this slot to publish it.
+      while (s.seq.load(std::memory_order_acquire) != head_ + 1) {
+      }
+      WorkFn fn = std::move(s.fn);
+      s.fn = nullptr;
+      ++head_;
+      // Open the slot for reuse before running the item: bound = head+cap.
+      hw::l2::store(bound_, head_ + slots_.size());
+      fn();
+      ++ran;
+    }
+    // Overflow items run after the array drains (they were posted when the
+    // queue was at least a full array deep, so this preserves approximate
+    // fairness and exact per-producer order is not guaranteed by post()).
+    while (ran < max && overflow_count_.load(std::memory_order_acquire) > 0) {
+      WorkFn fn;
+      {
+        std::lock_guard<hw::L2AtomicMutex> g(overflow_mutex_);
+        if (overflow_.empty()) break;
+        fn = std::move(overflow_.front());
+        overflow_.pop_front();
+      }
+      overflow_count_.fetch_sub(1, std::memory_order_release);
+      fn();
+      ++ran;
+    }
+    return ran;
+  }
+
+  bool empty() const {
+    return head_ == hw::l2::load(tail_) && overflow_count_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Address producers store to — place this under a wakeup-unit watch.
+  const void* wakeup_address() const { return &tail_; }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t overflow_posts() const {
+    return overflow_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    WorkFn fn;
+  };
+
+  hw::L2Word tail_;   // producer allocation index (wakeup region)
+  hw::L2Word bound_;  // head + capacity, maintained by the consumer
+  std::uint64_t head_ = 0;
+  std::vector<Slot> slots_;
+  hw::L2AtomicMutex overflow_mutex_;
+  std::deque<WorkFn> overflow_;
+  std::atomic<std::int64_t> overflow_count_{0};
+  std::atomic<std::uint64_t> overflow_total_{0};
+  hw::WakeupUnit* wakeup_;
+};
+
+}  // namespace pamix::pami

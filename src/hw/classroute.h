@@ -1,0 +1,193 @@
+// Classroutes — programmable collective trees embedded in the 5D torus.
+//
+// On BG/Q the collective network is not a separate physical network (as on
+// BG/L and BG/P); it is virtualized over the torus links.  A *classroute*
+// programs, at each participating node, which incoming links are "down-tree
+// inputs" to the combine logic, which single link is the "up-tree output",
+// and whether the node's local contribution is included.  Data flows up the
+// tree being combined (integer / floating point add, min, max, bitwise ops)
+// and the result is broadcast back down.  Each node has 16 classroute slots;
+// some are reserved for the system, so user communicators must share the
+// rest (PAMI's optimize/deoptimize dance).
+//
+// This header builds classroutes for arbitrary axis-aligned rectangles of
+// nodes, validates their tree structure, and exposes them to the collective
+// network timing model and the functional runtime.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/torus.h"
+
+namespace pamix::hw {
+
+inline constexpr int kClassRoutesPerNode = 16;
+/// Routes reserved for CNK / system collectives, as on the real machine.
+inline constexpr int kSystemClassRoutes = 2;
+inline constexpr int kUserClassRoutes = kClassRoutesPerNode - kSystemClassRoutes;
+
+/// Per-node programming of one classroute.
+struct ClassRouteNode {
+  bool participates = false;
+  bool local_contribution = true;        // node's own data included in combine
+  std::optional<TorusLink> uplink;       // link toward the root (nullopt at root)
+  std::vector<TorusLink> downtree;       // incoming links from children
+  int parent = -1;                       // node id of parent (-1 at root)
+  std::vector<int> children;             // node ids of children
+  int depth = 0;                         // hops from the root along the tree
+};
+
+/// A fully-programmed classroute over a rectangle of nodes.
+///
+/// Construction builds a dimension-nested spanning tree rooted at the
+/// rectangle corner closest to the machine origin: within the rectangle a
+/// node's parent is one step toward the root corner along the
+/// highest-numbered dimension in which it differs (E first, then D, C, B,
+/// A).  This yields the chained-line trees the hardware classroute
+/// programming actually produces, with tree depth equal to the sum of the
+/// rectangle extents minus the number of dimensions.
+class ClassRoute {
+ public:
+  ClassRoute(const TorusGeometry& geom, const TorusRectangle& rect, int root_node = -1)
+      : geom_(&geom), rect_(rect) {
+    nodes_.resize(static_cast<std::size_t>(geom.node_count()));
+    root_ = root_node >= 0 ? root_node : geom.node_of(rect.lo);
+    assert(rect.contains(geom.coords_of(root_)));
+    build();
+  }
+
+  int root() const { return root_; }
+  const TorusRectangle& rectangle() const { return rect_; }
+  int participant_count() const { return participants_; }
+
+  const ClassRouteNode& node(int id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  /// Maximum tree depth — determines the latency of a combine+broadcast.
+  int depth() const { return depth_; }
+
+  /// Validate tree structure: single root, every participant reaches the
+  /// root, child/parent links are consistent torus hops. Used by tests and
+  /// asserted in debug builds on construction.
+  bool validate() const {
+    int seen = 0;
+    for (int id = 0; id < geom_->node_count(); ++id) {
+      const ClassRouteNode& n = nodes_[static_cast<std::size_t>(id)];
+      if (!n.participates) continue;
+      ++seen;
+      if (id == root_) {
+        if (n.parent != -1 || n.uplink.has_value()) return false;
+        continue;
+      }
+      if (n.parent < 0 || !n.uplink.has_value()) return false;
+      // The uplink must be a real torus hop from this node to the parent.
+      if (geom_->neighbor(id, n.uplink->dim, n.uplink->dir) != n.parent) return false;
+      // Walk to the root, guarding against cycles.
+      int cur = id;
+      int steps = 0;
+      while (cur != root_) {
+        cur = nodes_[static_cast<std::size_t>(cur)].parent;
+        if (cur < 0 || ++steps > participants_) return false;
+      }
+    }
+    return seen == participants_;
+  }
+
+ private:
+  void build() {
+    participants_ = 0;
+    depth_ = 0;
+    for (int id = 0; id < geom_->node_count(); ++id) {
+      const TorusCoords c = geom_->coords_of(id);
+      if (!rect_.contains(c)) continue;
+      ClassRouteNode& n = nodes_[static_cast<std::size_t>(id)];
+      n.participates = true;
+      ++participants_;
+      if (id == root_) continue;
+
+      const TorusCoords rc = geom_->coords_of(root_);
+      // Highest-numbered differing dimension: E-major nesting.
+      int d = kTorusDims - 1;
+      while (d >= 0 && c[d] == rc[d]) --d;
+      assert(d >= 0);
+      // One step toward the root coordinate. Rectangles never wrap, so the
+      // direction is the plain sign of the difference.
+      const Dir dir = c[d] > rc[d] ? Dir::Minus : Dir::Plus;
+      const Dim dim = static_cast<Dim>(d);
+      n.parent = geom_->neighbor(id, dim, dir);
+      n.uplink = TorusLink{id, dim, dir};
+    }
+    // Children lists, reverse downtree links, and depths.
+    for (int id = 0; id < geom_->node_count(); ++id) {
+      ClassRouteNode& n = nodes_[static_cast<std::size_t>(id)];
+      if (!n.participates || id == root_) continue;
+      ClassRouteNode& p = nodes_[static_cast<std::size_t>(n.parent)];
+      p.children.push_back(id);
+      // The down-tree input at the parent is the link arriving from the
+      // child, i.e. the reverse of the child's uplink.
+      p.downtree.push_back(
+          TorusLink{n.parent, n.uplink->dim,
+                    n.uplink->dir == Dir::Plus ? Dir::Minus : Dir::Plus});
+    }
+    // Depths via iterative BFS from the root.
+    std::vector<int> stack{root_};
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      const ClassRouteNode& n = nodes_[static_cast<std::size_t>(id)];
+      for (int ch : n.children) {
+        ClassRouteNode& cn = nodes_[static_cast<std::size_t>(ch)];
+        cn.depth = n.depth + 1;
+        if (cn.depth > depth_) depth_ = cn.depth;
+        stack.push_back(ch);
+      }
+    }
+    assert(validate());
+  }
+
+  const TorusGeometry* geom_;
+  TorusRectangle rect_;
+  int root_ = 0;
+  int participants_ = 0;
+  int depth_ = 0;
+  std::vector<ClassRouteNode> nodes_;
+};
+
+/// Collective-network reduce operations supported by the combine logic.
+enum class CombineOp : std::uint8_t {
+  Add,
+  Min,
+  Max,
+  BitwiseAnd,
+  BitwiseOr,
+  BitwiseXor,
+};
+
+/// Element types the combine logic understands. BG/Q added floating-point
+/// combine (BG/L and BG/P routers were integer-only).
+enum class CombineType : std::uint8_t {
+  Int32,
+  Int64,
+  Uint32,
+  Uint64,
+  Double,
+};
+
+inline std::size_t combine_type_size(CombineType t) {
+  switch (t) {
+    case CombineType::Int32:
+    case CombineType::Uint32:
+      return 4;
+    case CombineType::Int64:
+    case CombineType::Uint64:
+    case CombineType::Double:
+      return 8;
+  }
+  return 8;
+}
+
+}  // namespace pamix::hw

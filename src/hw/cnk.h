@@ -1,0 +1,194 @@
+// CNK — software model of the Compute Node Kernel services PAMI uses.
+//
+// Two CNK facilities matter to the messaging stack:
+//
+//  1. *Global virtual addresses.*  CNK installs a node-wide translation
+//     table so any process on the node can read (and write) the memory of
+//     its peers through a global alias.  PAMI's shared-address collectives
+//     use this to copy broadcast/allreduce results straight out of the
+//     master process's buffer with no intermediate staging.
+//
+//     Model: all simulated processes of a node live in one host address
+//     space, so a peer's pointer *is* readable — but access still goes
+//     through an explicit `GlobalVaTable` of registered segments, keeping
+//     the register/translate discipline (and letting tests assert that
+//     nothing touches unregistered memory).
+//
+//  2. *Commthreads.*  CNK provides one special pthread per hardware thread
+//     with extended priorities: highest while processing communications
+//     (cannot be preempted mid-operation), lowest otherwise (completely out
+//     of the way of application threads).  The commthread pool in
+//     core/commthread.h builds on this plus the wakeup unit.
+//
+//     Model: `HwThreadSlot` bookkeeping for the 64 application hardware
+//     threads per node, with priority levels recorded for tests; host
+//     scheduling is cooperative (commthreads sleep on the wakeup unit
+//     whenever idle, which is the behaviour the priorities exist to
+//     guarantee).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace pamix::hw {
+
+inline constexpr int kAppCoresPerNode = 16;
+inline constexpr int kHwThreadsPerCore = 4;
+inline constexpr int kHwThreadsPerNode = kAppCoresPerNode * kHwThreadsPerCore;  // 64
+
+/// Commthread scheduling priorities (CNK's extended levels).
+enum class ThreadPriority : std::uint8_t {
+  CommLowest,   // commthread parked / yielding to application threads
+  Application,  // normal pthread
+  CommHighest,  // commthread inside a communication operation
+};
+
+/// A registered memory segment visible at a global virtual address.
+struct GlobalVaSegment {
+  int owner_process = 0;
+  std::byte* base = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// Node-wide registry of process memory exposed for intra-node zero-copy.
+///
+/// `translate` checks that [addr, addr+len) lies inside a segment the owner
+/// registered and returns the global alias (identical pointer in this
+/// model). Collectives and the shared-memory device refuse to touch
+/// unregistered peer memory, exactly as a real global-VA miss would fault.
+class GlobalVaTable {
+ public:
+  /// Register a segment of `owner_process` memory. Returns a segment id.
+  int register_segment(int owner_process, void* base, std::size_t bytes) {
+    std::lock_guard<std::mutex> g(mu_);
+    segments_.push_back(GlobalVaSegment{owner_process, static_cast<std::byte*>(base), bytes});
+    return static_cast<int>(segments_.size()) - 1;
+  }
+
+  /// Expose the whole address space of `owner_process` — what CNK actually
+  /// installs at job start (the global VA aliases every process's memory).
+  /// Explicit segments remain useful for tests that pin down the
+  /// register/translate discipline.
+  void register_all(int owner_process) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (static_cast<std::size_t>(owner_process) >= all_.size()) {
+      all_.resize(static_cast<std::size_t>(owner_process) + 1, false);
+    }
+    all_[static_cast<std::size_t>(owner_process)] = true;
+  }
+
+  void unregister_segment(int id) {
+    std::lock_guard<std::mutex> g(mu_);
+    assert(id >= 0 && static_cast<std::size_t>(id) < segments_.size());
+    segments_[static_cast<std::size_t>(id)].bytes = 0;  // tombstone
+  }
+
+  /// Translate a peer pointer: returns the readable alias if registered by
+  /// `owner_process`, or nullptr on a miss.
+  std::byte* translate(int owner_process, const void* addr, std::size_t len) const {
+    const auto* p = static_cast<const std::byte*>(addr);
+    std::lock_guard<std::mutex> g(mu_);
+    if (static_cast<std::size_t>(owner_process) < all_.size() &&
+        all_[static_cast<std::size_t>(owner_process)]) {
+      return const_cast<std::byte*>(p);
+    }
+    for (const GlobalVaSegment& s : segments_) {
+      if (s.owner_process != owner_process || s.bytes == 0) continue;
+      if (p >= s.base && p + len <= s.base + s.bytes) {
+        return const_cast<std::byte*>(p);  // identity alias in-process
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t segment_count() const {
+    std::lock_guard<std::mutex> g(mu_);
+    std::size_t n = 0;
+    for (const GlobalVaSegment& s : segments_) n += (s.bytes != 0);
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<GlobalVaSegment> segments_;
+  std::vector<bool> all_;
+};
+
+/// Bookkeeping for the node's hardware threads: which are given to
+/// application processes and which host commthreads. PAMI asks CNK for one
+/// commthread per otherwise-idle hardware thread (e.g. 16 with 1 process
+/// per node running 1 application thread per core... the exact split is the
+/// runtime's policy; this class only enforces exclusivity).
+class HwThreadMap {
+ public:
+  HwThreadMap() { slots_.resize(kHwThreadsPerNode); }
+
+  /// Claim a hardware thread for an application thread of `process`.
+  std::optional<int> claim_app_thread(int process) {
+    return claim(process, /*comm=*/false);
+  }
+
+  /// Claim a hardware thread for a commthread serving `process`.
+  std::optional<int> claim_commthread(int process) {
+    return claim(process, /*comm=*/true);
+  }
+
+  void release(int hw_thread) {
+    std::lock_guard<std::mutex> g(mu_);
+    slots_[static_cast<std::size_t>(hw_thread)] = Slot{};
+  }
+
+  void set_priority(int hw_thread, ThreadPriority p) {
+    std::lock_guard<std::mutex> g(mu_);
+    slots_[static_cast<std::size_t>(hw_thread)].priority = p;
+  }
+
+  ThreadPriority priority(int hw_thread) const {
+    std::lock_guard<std::mutex> g(mu_);
+    return slots_[static_cast<std::size_t>(hw_thread)].priority;
+  }
+
+  int free_threads() const {
+    std::lock_guard<std::mutex> g(mu_);
+    int n = 0;
+    for (const Slot& s : slots_) n += !s.used;
+    return n;
+  }
+
+  int commthreads() const {
+    std::lock_guard<std::mutex> g(mu_);
+    int n = 0;
+    for (const Slot& s : slots_) n += (s.used && s.comm);
+    return n;
+  }
+
+ private:
+  struct Slot {
+    bool used = false;
+    bool comm = false;
+    int process = -1;
+    ThreadPriority priority = ThreadPriority::Application;
+  };
+
+  std::optional<int> claim(int process, bool comm) {
+    std::lock_guard<std::mutex> g(mu_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].used) {
+        slots_[i] = Slot{true, comm, process,
+                         comm ? ThreadPriority::CommLowest : ThreadPriority::Application};
+        return static_cast<int>(i);
+      }
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace pamix::hw

@@ -1,0 +1,215 @@
+// L2 atomic operations — software model of the Blue Gene/Q L2 cache atomic
+// unit.
+//
+// On BG/Q every 8-byte-aligned word in DDR can be operated on atomically
+// through special alias addresses decoded by the L2 cache slices.  The op is
+// encoded in the alias address, so a single load or store performs an atomic
+// read-modify-write with only a few cycles of added latency per concurrent
+// request (far cheaper than a lock).  PAMI builds its lockless work queues,
+// completion counters and low-overhead mutexes out of these ops.
+//
+// This model reproduces the op set and its exact result semantics on top of
+// std::atomic.  Ops are free functions over `L2Word`; an `L2AtomicDomain`
+// provides allocation of words from a "wakeup-region-able" arena plus
+// per-node statistics, mirroring how CNK hands L2 atomic memory to PAMI.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pamix::hw {
+
+/// Result returned by bounded ops when the bound would be violated.
+/// (Matches the BG/Q encoding: the top bit is set on failure.)
+inline constexpr std::uint64_t kL2BoundedFailure = 0x8000000000000000ull;
+
+/// One 8-byte word of L2-atomic-capable memory.
+/// Aligned to a cache line to avoid false sharing between hot counters,
+/// mirroring the BG/Q guidance of placing atomic counters on distinct lines.
+struct alignas(64) L2Word {
+  std::atomic<std::uint64_t> value{0};
+
+  L2Word() = default;
+  explicit L2Word(std::uint64_t v) : value(v) {}
+  L2Word(const L2Word& other) : value(other.value.load(std::memory_order_relaxed)) {}
+  L2Word& operator=(const L2Word& other) {
+    value.store(other.value.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+namespace l2 {
+
+/// Plain atomic load.
+inline std::uint64_t load(const L2Word& w) { return w.value.load(std::memory_order_acquire); }
+
+/// Plain atomic store (release so queue payloads written before the store
+/// are visible to consumers that acquire-load the word).
+inline void store(L2Word& w, std::uint64_t v) { w.value.store(v, std::memory_order_release); }
+
+/// Atomic load; the word is cleared to zero. Returns the prior value.
+inline std::uint64_t load_clear(L2Word& w) {
+  return w.value.exchange(0, std::memory_order_acq_rel);
+}
+
+/// Atomic fetch-and-increment. Returns the prior value.
+inline std::uint64_t load_increment(L2Word& w) {
+  return w.value.fetch_add(1, std::memory_order_acq_rel);
+}
+
+/// Atomic fetch-and-decrement. Returns the prior value.
+inline std::uint64_t load_decrement(L2Word& w) {
+  return w.value.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+/// Bounded fetch-and-increment: succeeds (and increments) only while
+/// `w < bound`; otherwise returns kL2BoundedFailure and leaves `w` intact.
+///
+/// This is the primitive PAMI uses to atomically allocate slots in a
+/// fixed-size array queue: the bound word holds the array capacity watermark.
+/// On BG/Q the bound is the adjacent 8-byte word of the atomic pair; here it
+/// is an explicit second word.
+inline std::uint64_t load_increment_bounded(L2Word& w, const L2Word& bound) {
+  std::uint64_t cur = w.value.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= bound.value.load(std::memory_order_acquire)) return kL2BoundedFailure;
+    if (w.value.compare_exchange_weak(cur, cur + 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return cur;
+    }
+  }
+}
+
+/// Bounded fetch-and-decrement: succeeds only while `w > bound`.
+inline std::uint64_t load_decrement_bounded(L2Word& w, const L2Word& bound) {
+  std::uint64_t cur = w.value.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur <= bound.value.load(std::memory_order_acquire)) return kL2BoundedFailure;
+    if (w.value.compare_exchange_weak(cur, cur - 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+      return cur;
+    }
+  }
+}
+
+/// Atomic store-add (no result returned on BG/Q; fire-and-forget update).
+inline void store_add(L2Word& w, std::uint64_t v) {
+  w.value.fetch_add(v, std::memory_order_acq_rel);
+}
+
+/// Atomic store-OR.
+inline void store_or(L2Word& w, std::uint64_t v) {
+  w.value.fetch_or(v, std::memory_order_acq_rel);
+}
+
+/// Atomic store-XOR.
+inline void store_xor(L2Word& w, std::uint64_t v) {
+  w.value.fetch_xor(v, std::memory_order_acq_rel);
+}
+
+/// Atomic store-max (unsigned).
+inline void store_max_unsigned(L2Word& w, std::uint64_t v) {
+  std::uint64_t cur = w.value.load(std::memory_order_relaxed);
+  while (cur < v && !w.value.compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                                   std::memory_order_relaxed)) {
+  }
+}
+
+/// Atomic store-twin: store `v` only if the current value equals `v`'s twin
+/// word — modelled here as plain compare-and-swap, the closest host
+/// equivalent. Returns true on success.
+inline bool store_twin(L2Word& w, std::uint64_t expected, std::uint64_t desired) {
+  return w.value.compare_exchange_strong(expected, desired, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed);
+}
+
+}  // namespace l2
+
+/// Low-overhead mutex built from L2 atomics (ticket lock), as used by PAMI
+/// to serialize the MPI receive-queue and the work-queue overflow path.
+/// Fairness is inherited from the ticket discipline.
+class L2AtomicMutex {
+ public:
+  void lock() {
+    const std::uint64_t my = l2::load_increment(next_ticket_);
+    int spins = 0;
+    while (l2::load(now_serving_) != my) {
+      cpu_relax();
+      // On BG/Q a waiter owns its hardware thread and spins; on an
+      // oversubscribed host the holder may need our timeslice to run.
+      if (++spins >= 256) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  bool try_lock() {
+    std::uint64_t serving = l2::load(now_serving_);
+    std::uint64_t expected = serving;
+    // Only take a ticket if we would immediately hold the lock.
+    return next_ticket_.value.compare_exchange_strong(expected, expected + 1,
+                                                      std::memory_order_acq_rel,
+                                                      std::memory_order_relaxed);
+  }
+
+  void unlock() { l2::store_add(now_serving_, 1); }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  L2Word next_ticket_;
+  L2Word now_serving_;
+};
+
+/// Per-node arena of L2-atomic words with named allocation and statistics.
+///
+/// CNK reserves a region of memory for L2 atomic use at job start; PAMI
+/// carves its counters and queue indices from it.  The domain also counts
+/// allocations so tests can assert resource usage stays bounded.
+class L2AtomicDomain {
+ public:
+  explicit L2AtomicDomain(std::size_t capacity_words = 4096) { arena_.reserve(capacity_words); }
+
+  L2AtomicDomain(const L2AtomicDomain&) = delete;
+  L2AtomicDomain& operator=(const L2AtomicDomain&) = delete;
+
+  /// Allocate one word, optionally named for diagnostics. Never reuses
+  /// storage (allocation is job-lifetime on BG/Q as well).
+  L2Word* allocate(std::string name = {}) {
+    std::lock_guard<L2AtomicMutex> g(alloc_mutex_);
+    auto w = std::make_unique<L2Word>();
+    L2Word* out = w.get();
+    arena_.push_back(std::move(w));
+    names_.push_back(std::move(name));
+    return out;
+  }
+
+  /// Allocate a contiguous block of `n` words (e.g. a queue index array).
+  std::vector<L2Word*> allocate_block(std::size_t n, const std::string& name = {}) {
+    std::vector<L2Word*> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(allocate(name));
+    return out;
+  }
+
+  std::size_t allocated_words() const { return arena_.size(); }
+
+ private:
+  L2AtomicMutex alloc_mutex_;
+  std::vector<std::unique_ptr<L2Word>> arena_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pamix::hw

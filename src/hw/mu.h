@@ -1,0 +1,296 @@
+// Messaging Unit (MU) — software model of the BG/Q network DMA engine.
+//
+// The MU moves data between node memory and the 5D torus.  Software
+// initiates every transfer by writing a 64-byte *descriptor* into one of the
+// node's 544 injection FIFOs (32 per core x 17 cores); MU message engines
+// drain the FIFOs, cut messages into packets (32B header + up to 512B
+// payload), and inject them into the network.  On arrival a packet is
+// handled by type:
+//
+//   * memory FIFO  — appended to one of 272 reception FIFOs (16 per core)
+//                    for software to poll; carries software dispatch bytes.
+//   * direct put   — payload DMA'd straight to a destination buffer; a
+//                    reception counter is decremented by the bytes written
+//                    (RDMA write).
+//   * remote get   — the payload *is* a descriptor; the destination MU
+//                    injects it into a local injection FIFO, typically
+//                    producing a direct put back to the requester
+//                    (RDMA read). This is the heart of PAMI's rendezvous.
+//
+// PAMI partitions the FIFOs across contexts so each context owns hardware
+// exclusively and never locks.  Injection FIFOs are pinned per destination
+// so that successive sends to the same peer stay ordered (MPI ordering).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hw/l2_atomics.h"
+#include "hw/torus.h"
+
+namespace pamix::hw {
+
+class WakeupUnit;
+
+/// MU hardware resource shape (per node), as on BG/Q.
+inline constexpr int kMuCores = 17;  // 16 app cores + 1 kernel core
+inline constexpr int kInjFifosPerCore = 32;
+inline constexpr int kRecFifosPerCore = 16;
+inline constexpr int kInjFifoCount = kMuCores * kInjFifosPerCore;  // 544
+inline constexpr int kRecFifoCount = kMuCores * kRecFifosPerCore;  // 272
+
+/// Packet geometry.
+inline constexpr std::size_t kPacketHeaderBytes = 32;
+inline constexpr std::size_t kMaxPacketPayload = 512;
+inline constexpr std::size_t kPayloadGranule = 32;
+
+enum class MuPacketType : std::uint8_t {
+  MemoryFifo,
+  DirectPut,
+  RemoteGet,
+};
+
+/// Routing selector. Deterministic (dimension-ordered) routing preserves
+/// packet order between a (source FIFO, destination) pair; dynamic routing
+/// may adapt per packet and is used for bulk RDMA payload where ordering is
+/// enforced by counters rather than arrival order.
+enum class MuRouting : std::uint8_t { Deterministic, Dynamic };
+
+/// Reception counter used by direct puts: initialized to the message size
+/// and decremented by each arriving packet's payload bytes; software polls
+/// for <= 0. Backed by an L2 atomic word on the real machine as well.
+struct MuReceptionCounter {
+  std::atomic<std::int64_t> bytes_remaining{0};
+
+  void prime(std::int64_t bytes) { bytes_remaining.store(bytes, std::memory_order_release); }
+  void decrement(std::int64_t bytes) {
+    bytes_remaining.fetch_sub(bytes, std::memory_order_acq_rel);
+  }
+  bool complete() const { return bytes_remaining.load(std::memory_order_acquire) <= 0; }
+};
+
+/// Software header carried in memory-FIFO packets (fits the 32B packet
+/// header's software bytes plus the first payload granule, as PAMI lays it
+/// out). Identifies the dispatch handler and message framing at the target.
+struct MuSoftwareHeader {
+  std::uint16_t dispatch_id = 0;
+  std::uint16_t dest_context = 0;
+  std::uint32_t origin_task = 0;
+  std::uint16_t origin_context = 0;
+  std::uint16_t flags = 0;
+  std::uint16_t header_bytes = 0;  // user-header prefix of the payload stream
+  std::uint64_t msg_seq = 0;       // message id for multi-packet reassembly
+  std::uint32_t msg_bytes = 0;     // total payload-stream bytes of the message
+  std::uint32_t packet_offset = 0; // offset of this packet within the stream
+  std::uint64_t metadata = 0;      // protocol-private immediate word
+};
+
+/// A 64-byte injection descriptor (message-level, as software writes it).
+struct MuDescriptor {
+  MuPacketType type = MuPacketType::MemoryFifo;
+  MuRouting routing = MuRouting::Deterministic;
+  int dest_node = 0;
+  /// Deposit bit: the packet is *also* delivered at every intermediate
+  /// node along the (single-dimension) route — the hardware line
+  /// broadcast that underlies the multicolor rectangle algorithms.
+  bool deposit = false;
+
+  // Payload source (local memory). Null for header-only messages.
+  const std::byte* payload = nullptr;
+  std::size_t payload_bytes = 0;
+  // Staged payload owned by the descriptor (eager protocol stages header +
+  // user payload into one stream; the MU frees it after injection).
+  std::shared_ptr<std::vector<std::byte>> owned_payload;
+
+  // MemoryFifo: target reception FIFO and software header.
+  int rec_fifo = 0;
+  MuSoftwareHeader sw;
+
+  // DirectPut: destination buffer (CNK global VA) and reception counter.
+  std::byte* put_dest = nullptr;
+  MuReceptionCounter* rec_counter = nullptr;
+
+  // RemoteGet: descriptor to execute at the destination, and the
+  // destination injection FIFO it is inserted into.
+  std::shared_ptr<MuDescriptor> remote_payload;
+  int remote_inj_fifo = 0;
+
+  // Local injection completion callback (optional): fires when the MU has
+  // fully consumed this descriptor's payload from local memory.
+  std::function<void()> on_injected;
+};
+
+/// A packet in flight: header fields + a copy of its payload slice.
+struct MuPacket {
+  MuPacketType type = MuPacketType::MemoryFifo;
+  MuRouting routing = MuRouting::Deterministic;
+  bool deposit = false;
+  int src_node = 0;
+  int dest_node = 0;
+  int rec_fifo = 0;
+  MuSoftwareHeader sw;
+  std::byte* put_dest = nullptr;
+  MuReceptionCounter* rec_counter = nullptr;
+  std::shared_ptr<MuDescriptor> remote_payload;
+  int remote_inj_fifo = 0;
+  std::vector<std::byte> payload;
+};
+
+/// An injection FIFO: a bounded ring of descriptors. The owning context is
+/// the single producer; the MU message engine is the single consumer, so the
+/// head/tail words need no locking (exactly the hardware contract).
+class InjFifo {
+ public:
+  explicit InjFifo(std::size_t capacity = 128) : ring_(capacity) {}
+
+  bool push(MuDescriptor desc) {
+    const std::uint64_t head = head_.value.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail - head >= ring_.size()) return false;  // FIFO full -> caller retries
+    ring_[tail % ring_.size()] = std::move(desc);
+    tail_.value.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool pop(MuDescriptor& out) {
+    const std::uint64_t tail = tail_.value.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.value.load(std::memory_order_relaxed);
+    if (head == tail) return false;
+    out = std::move(ring_[head % ring_.size()]);
+    head_.value.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.value.load(std::memory_order_acquire) ==
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t injected_total() const { return head_.value.load(std::memory_order_acquire); }
+
+ private:
+  L2Word head_;  // consumer (MU engine) index
+  L2Word tail_;  // producer (software) index
+  std::vector<MuDescriptor> ring_;
+};
+
+/// A reception FIFO: packets delivered by the network, polled by the owning
+/// context. The network side may be fed by many remote nodes concurrently;
+/// the hardware serializes those appends, modelled by a short mutex.
+class RecFifo {
+ public:
+  explicit RecFifo(std::size_t capacity_packets = 4096) : capacity_(capacity_packets) {}
+
+  /// Network-side append. Returns false when the FIFO is full, which on the
+  /// real machine backpressures the torus; callers must retry.
+  bool deliver(MuPacket pkt) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (packets_.size() >= capacity_) return false;
+    packets_.push_back(std::move(pkt));
+    delivered_.fetch_add(1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side poll.
+  bool poll(MuPacket& out) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (packets_.empty()) return false;
+    out = std::move(packets_.front());
+    packets_.pop_front();
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return packets_.empty();
+  }
+
+  /// Monotonic delivery count; its address can be placed under a wakeup
+  /// watch so commthreads sleep until a packet arrives.
+  const std::atomic<std::uint64_t>& delivered_count() const { return delivered_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<MuPacket> packets_;
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+/// Where the MU hands packets for transport. Implemented by the functional
+/// network (immediate routed delivery) and by the DES (timed delivery).
+class NetworkPort {
+ public:
+  virtual ~NetworkPort() = default;
+  /// Transport one packet to its destination node. Returns false if the
+  /// destination cannot accept it right now (backpressure).
+  virtual bool transmit(MuPacket&& pkt) = 0;
+};
+
+/// The per-node messaging unit: FIFO arrays, context partitioning, and the
+/// message engines that packetize and inject.
+class MessagingUnit {
+ public:
+  MessagingUnit(int node_id, NetworkPort* port, WakeupUnit* wakeup,
+                std::size_t inj_capacity = 128, std::size_t rec_capacity = 4096);
+
+  int node_id() const { return node_id_; }
+
+  /// Exclusive FIFO allocation for a context (no locking needed afterwards).
+  /// Returns indices into the node's FIFO arrays.
+  std::vector<int> allocate_inj_fifos(int count);
+  std::vector<int> allocate_rec_fifos(int count);
+  int inj_fifos_available() const;
+  int rec_fifos_available() const;
+
+  InjFifo& inj_fifo(int idx) { return *inj_[static_cast<std::size_t>(idx)]; }
+  RecFifo& rec_fifo(int idx) { return *rec_[static_cast<std::size_t>(idx)]; }
+
+  /// Run the message engines over a set of injection FIFOs: pop
+  /// descriptors, packetize, transmit. Returns the number of descriptors
+  /// fully injected. The caller (context advance or MU engine thread)
+  /// supplies only the FIFOs it owns.
+  int advance_injection(const std::vector<int>& fifo_indices);
+
+  /// Network-side delivery entry point: dispatch a packet by type.
+  /// Returns false on backpressure (memory FIFO full).
+  bool receive(MuPacket&& pkt);
+
+  /// Total packets received by type, for tests and stats.
+  std::uint64_t packets_received(MuPacketType t) const {
+    return rx_count_[static_cast<std::size_t>(t)].load(std::memory_order_relaxed);
+  }
+
+  /// Inject a single descriptor directly, bypassing the FIFO (unit tests
+  /// and single-shot paths). Assumes no backpressure.
+  bool inject_one(MuDescriptor& desc);
+
+ private:
+  bool inject_resumable(int fifo_idx);
+
+  int node_id_;
+  NetworkPort* port_;
+  WakeupUnit* wakeup_;
+  std::vector<std::unique_ptr<InjFifo>> inj_;
+  std::vector<std::unique_ptr<RecFifo>> rec_;
+  std::mutex alloc_mu_;
+  int next_inj_ = 0;
+  int next_rec_ = 0;
+  std::array<std::atomic<std::uint64_t>, 3> rx_count_{};
+  // Descriptors whose transmit was backpressured mid-message, resumed on the
+  // next advance. One slot per injection FIFO (hardware keeps the partially
+  // processed descriptor at the FIFO head likewise).
+  std::vector<std::optional<std::pair<MuDescriptor, std::size_t>>> pending_;
+};
+
+}  // namespace pamix::hw

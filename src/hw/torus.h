@@ -1,0 +1,207 @@
+// 5D torus geometry — coordinates, ranks, links and deterministic routing
+// for the BG/Q interconnect.
+//
+// The BG/Q network is a five-dimensional torus with dimensions labelled
+// A, B, C, D, E; every node has ten links (two per dimension, "+" and "-").
+// Each link moves 2 GB/s raw in each direction; packets carry a 32-byte
+// header and up to 512 bytes of payload in 32-byte increments, giving a
+// peak application payload rate of ~1.8 GB/s per link direction.
+//
+// This header is pure geometry: coordinate arithmetic, hop counts, and the
+// dimension-ordered deterministic routing PAMI relies on for MPI ordering.
+// It is shared by the functional transport and the timing simulator.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace pamix::hw {
+
+inline constexpr int kTorusDims = 5;
+
+/// Dimension labels in BG/Q order.
+enum class Dim : std::uint8_t { A = 0, B = 1, C = 2, D = 3, E = 4 };
+
+/// Link direction along a dimension.
+enum class Dir : std::uint8_t { Plus = 0, Minus = 1 };
+
+inline const char* dim_name(Dim d) {
+  static constexpr const char* names[] = {"A", "B", "C", "D", "E"};
+  return names[static_cast<int>(d)];
+}
+
+/// A node position in the torus.
+struct TorusCoords {
+  std::array<int, kTorusDims> c{};
+
+  int& operator[](int i) { return c[static_cast<std::size_t>(i)]; }
+  int operator[](int i) const { return c[static_cast<std::size_t>(i)]; }
+  friend bool operator==(const TorusCoords&, const TorusCoords&) = default;
+};
+
+/// One of the ten directed links leaving a node.
+struct TorusLink {
+  int node = 0;  // source node id
+  Dim dim = Dim::A;
+  Dir dir = Dir::Plus;
+  friend bool operator==(const TorusLink&, const TorusLink&) = default;
+};
+
+/// Geometry of a (sub)machine: a 5D torus with per-dimension sizes.
+/// BG/Q midplanes are 4x4x4x4x2; a rack is 4x4x4x8x2 (1024 nodes); the
+/// largest configuration is 256 racks.
+class TorusGeometry {
+ public:
+  TorusGeometry() : TorusGeometry({1, 1, 1, 1, 1}) {}
+
+  explicit TorusGeometry(std::array<int, kTorusDims> dims) : dims_(dims) {
+    nodes_ = 1;
+    for (int i = 0; i < kTorusDims; ++i) {
+      assert(dims_[static_cast<std::size_t>(i)] >= 1);
+      nodes_ *= dims_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  /// Common configurations used throughout tests and benches.
+  static TorusGeometry single_node() { return TorusGeometry({1, 1, 1, 1, 1}); }
+  static TorusGeometry midplane() { return TorusGeometry({4, 4, 4, 4, 2}); }  // 512 nodes
+  static TorusGeometry rack() { return TorusGeometry({4, 4, 4, 8, 2}); }      // 1024 nodes
+  static TorusGeometry racks(int n) {
+    // Grow the A dimension rack by rack, as BG/Q cabling does for small
+    // multi-rack partitions.
+    return TorusGeometry({4 * n, 4, 4, 8, 2});
+  }
+
+  int node_count() const { return nodes_; }
+  int size(Dim d) const { return dims_[static_cast<std::size_t>(d)]; }
+  const std::array<int, kTorusDims>& dims() const { return dims_; }
+
+  /// Node id <-> coordinates (row-major, A slowest).
+  TorusCoords coords_of(int node) const {
+    assert(node >= 0 && node < nodes_);
+    TorusCoords out;
+    for (int i = kTorusDims - 1; i >= 0; --i) {
+      const int s = dims_[static_cast<std::size_t>(i)];
+      out[i] = node % s;
+      node /= s;
+    }
+    return out;
+  }
+
+  int node_of(const TorusCoords& c) const {
+    int id = 0;
+    for (int i = 0; i < kTorusDims; ++i) {
+      const int s = dims_[static_cast<std::size_t>(i)];
+      assert(c[i] >= 0 && c[i] < s);
+      id = id * s + c[i];
+    }
+    return id;
+  }
+
+  /// The node one hop away along (dim, dir), with wraparound.
+  int neighbor(int node, Dim d, Dir dir) const {
+    TorusCoords c = coords_of(node);
+    const int s = size(d);
+    const int i = static_cast<int>(d);
+    c[i] = (dir == Dir::Plus) ? (c[i] + 1) % s : (c[i] + s - 1) % s;
+    return node_of(c);
+  }
+
+  /// Signed shortest displacement from a to b along dimension d
+  /// (positive = route in Plus direction). Ties (half-ring) go Plus,
+  /// matching the deterministic tie-break of the hardware.
+  int shortest_delta(int a, int b, Dim d) const {
+    const int s = size(d);
+    const int i = static_cast<int>(d);
+    int delta = (coords_of(b)[i] - coords_of(a)[i] + s) % s;
+    if (delta > s / 2 || (s % 2 == 0 && delta == s / 2)) {
+      // Plus is preferred on ties; only strictly-longer Plus paths fold over.
+      if (delta > s / 2) delta -= s;
+    }
+    return delta;
+  }
+
+  /// Total hop count of the deterministic shortest route.
+  int hops(int a, int b) const {
+    int h = 0;
+    for (int i = 0; i < kTorusDims; ++i) {
+      h += std::abs(shortest_delta(a, b, static_cast<Dim>(i)));
+    }
+    return h;
+  }
+
+  /// Deterministic dimension-ordered route from a to b: the exact sequence
+  /// of directed links a packet traverses. Dimension order is A,B,C,D,E as
+  /// on the hardware's deterministic (non-dynamic) routing, which PAMI uses
+  /// for eager data and rendezvous control to preserve MPI ordering.
+  template <class LinkVisitor>
+  void for_each_route_link(int a, int b, LinkVisitor&& visit) const {
+    int cur = a;
+    for (int i = 0; i < kTorusDims; ++i) {
+      const Dim d = static_cast<Dim>(i);
+      int delta = shortest_delta(a, b, d);
+      const Dir dir = delta >= 0 ? Dir::Plus : Dir::Minus;
+      for (int k = std::abs(delta); k > 0; --k) {
+        visit(TorusLink{cur, d, dir});
+        cur = neighbor(cur, d, dir);
+      }
+    }
+    assert(cur == b);
+  }
+
+  /// Number of directed links in the machine (10 per node when every
+  /// dimension has size > 1; a size-1 or size-2 dimension has fewer
+  /// distinct links).
+  int directed_link_count() const { return nodes_ * 2 * kTorusDims; }
+
+  /// Dense index for a directed link, for per-link accounting tables.
+  int link_index(const TorusLink& l) const {
+    return (l.node * kTorusDims + static_cast<int>(l.dim)) * 2 + static_cast<int>(l.dir);
+  }
+
+  std::string to_string() const {
+    std::string s;
+    for (int i = 0; i < kTorusDims; ++i) {
+      if (i) s += "x";
+      s += std::to_string(dims_[static_cast<std::size_t>(i)]);
+    }
+    return s;
+  }
+
+ private:
+  std::array<int, kTorusDims> dims_;
+  int nodes_ = 1;
+};
+
+/// An axis-aligned rectangular block of nodes — the shape eligible for
+/// collective-network classroutes (lines, planes, cubes, ...).
+struct TorusRectangle {
+  TorusCoords lo;  // inclusive lower corner
+  TorusCoords hi;  // inclusive upper corner
+
+  bool contains(const TorusCoords& c) const {
+    for (int i = 0; i < kTorusDims; ++i) {
+      if (c[i] < lo[i] || c[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  int node_count() const {
+    int n = 1;
+    for (int i = 0; i < kTorusDims; ++i) n *= (hi[i] - lo[i] + 1);
+    return n;
+  }
+
+  static TorusRectangle whole_machine(const TorusGeometry& g) {
+    TorusRectangle r;
+    for (int i = 0; i < kTorusDims; ++i) {
+      r.lo[i] = 0;
+      r.hi[i] = g.size(static_cast<Dim>(i)) - 1;
+    }
+    return r;
+  }
+};
+
+}  // namespace pamix::hw

@@ -1,0 +1,125 @@
+// Wakeup unit — software model of the BG/Q per-core wakeup unit.
+//
+// The hardware unit watches physical address ranges; a hardware thread can
+// execute the PPC `wait` instruction and is suspended (no pipeline slots, no
+// power) until a store from any core, the messaging unit, or the network
+// lands in a watched range.  PAMI places its lockless work queues in such
+// "wakeup regions" so communication threads sleep with zero polling cost and
+// resume the moment work is posted.
+//
+// Host model: a watch is an (address, length) range with an epoch counter.
+// `WakeupUnit::notify_write(addr)` (called by the components that model
+// MU / network / peer-core stores into wakeup regions) bumps the epoch of
+// every overlapping watch and signals its condition variable.  A waiter
+// snapshots the epoch with `arm()`, re-checks its own wake condition, then
+// blocks in `wait()` until the epoch moves — the standard lost-wakeup-free
+// discipline, equivalent to the hardware's arm-then-wait sequence.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace pamix::hw {
+
+class WakeupUnit {
+ public:
+  /// Opaque handle to a programmed watch register.
+  using WatchHandle = std::size_t;
+
+  /// Program a watch over [base, base+len). Returns its handle.
+  /// Mirrors writing a WAC (wakeup address compare) register pair.
+  WatchHandle watch(const void* base, std::size_t len) {
+    return watch_many({{base, len}});
+  }
+
+  /// Program one watch over several ranges (a thread owns multiple WAC
+  /// registers on the hardware; any hit wakes it).
+  WatchHandle watch_many(std::vector<std::pair<const void*, std::size_t>> ranges) {
+    std::lock_guard<std::mutex> g(mu_);
+    watches_.push_back(std::make_unique<Watch>());
+    Watch& w = *watches_.back();
+    for (const auto& [base, len] : ranges) {
+      w.ranges.emplace_back(reinterpret_cast<std::uintptr_t>(base), len);
+    }
+    return watches_.size() - 1;
+  }
+
+  /// Snapshot the watch epoch. Call before checking the wake condition.
+  std::uint64_t arm(WatchHandle h) const {
+    const Watch& w = *watches_[h];
+    std::lock_guard<std::mutex> g(w.mu);
+    return w.epoch;
+  }
+
+  /// Suspend until a write lands in the watched range after `armed_epoch`
+  /// was taken (returns immediately if one already has). Models `wait`.
+  void wait(WatchHandle h, std::uint64_t armed_epoch) {
+    Watch& w = *watches_[h];
+    std::unique_lock<std::mutex> g(w.mu);
+    w.cv.wait(g, [&] { return w.epoch != armed_epoch; });
+  }
+
+  /// As `wait` but with a deadline; returns false on timeout. Used by
+  /// commthreads that must periodically re-check for shutdown.
+  template <class Duration>
+  bool wait_for(WatchHandle h, std::uint64_t armed_epoch, Duration d) {
+    Watch& w = *watches_[h];
+    std::unique_lock<std::mutex> g(w.mu);
+    return w.cv.wait_for(g, d, [&] { return w.epoch != armed_epoch; });
+  }
+
+  /// Report a store to `addr`: wakes every thread waiting on a watch whose
+  /// range contains it.  The producers of wakeup-region data (work-queue
+  /// post, MU reception, shared-memory queue append) call this after their
+  /// store, modelling the snooped write the hardware sees for free.
+  void notify_write(const void* addr) {
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto& wp : watches_) {
+      Watch& w = *wp;
+      for (const auto& [base, len] : w.ranges) {
+        if (a >= base && a < base + len) {
+          {
+            std::lock_guard<std::mutex> wg(w.mu);
+            ++w.epoch;
+          }
+          w.cv.notify_all();
+          break;
+        }
+      }
+    }
+  }
+
+  /// Wake a specific watch unconditionally (network GI signal, shutdown).
+  void notify_watch(WatchHandle h) {
+    Watch& w = *watches_[h];
+    {
+      std::lock_guard<std::mutex> wg(w.mu);
+      ++w.epoch;
+    }
+    w.cv.notify_all();
+  }
+
+  std::size_t watch_count() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return watches_.size();
+  }
+
+ private:
+  struct Watch {
+    std::vector<std::pair<std::uintptr_t, std::size_t>> ranges;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;
+  };
+
+  mutable std::mutex mu_;  // guards the watch list itself
+  std::vector<std::unique_ptr<Watch>> watches_;
+};
+
+}  // namespace pamix::hw

@@ -1,0 +1,101 @@
+// ARMCI-style one-sided runtime over PAMI — one of the "other programming
+// paradigms" the paper positions PAMI under (§I, §III-A: UPC and ARMCI
+// runtimes create their own PAMI client; reference [22]'s mixed MPI+UPC
+// programs run exactly this way, with the two clients partitioning the
+// MU).
+//
+// The model: collective allocation of globally-addressable memory, then
+// one-sided put/get/accumulate into any task's segment, completion fences,
+// and a barrier. Remote accumulate executes *at the target* through a PAMI
+// active message — the classic ARMCI atomicity contract (target-side
+// application makes concurrent accumulates to one element safe).
+//
+// Progress: like real ARMCI-over-PAMI, blocking calls advance the caller's
+// context; passive-target progress for put/get rides the MU (hardware
+// RDMA), while accumulate needs the target to advance (or run
+// commthreads), exactly as on BG/Q.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/collectives.h"
+#include "core/context.h"
+#include "core/geometry.h"
+
+namespace pamix::models {
+
+/// A collectively-allocated global memory region: one segment per task,
+/// addressable from every task.
+struct GlobalMemory {
+  std::size_t bytes = 0;
+  /// Segment base of each task (valid as a remote address for put/get).
+  std::vector<void*> base;
+  /// This task's own backing storage (freed when every task releases its
+  /// GlobalMemory — the collective-free discipline of ARMCI_Free).
+  std::shared_ptr<std::vector<std::byte>> local_storage;
+  void* local(int task) const { return base[static_cast<std::size_t>(task)]; }
+};
+
+/// Per-task ARMCI personality. Collective calls (malloc_shared, barrier)
+/// must be made by every task of the world.
+class Armci {
+ public:
+  /// Dispatch id reserved for the accumulate active message.
+  static constexpr pami::DispatchId kAccDispatchId = 0xF02;
+
+  Armci(pami::ClientWorld& world, int task);
+  ~Armci();
+
+  Armci(const Armci&) = delete;
+  Armci& operator=(const Armci&) = delete;
+
+  int task() const { return task_; }
+  int world_size() const;
+
+  /// Collective: allocate `bytes` of globally addressable memory on every
+  /// task. The returned structure is identical on all tasks.
+  std::shared_ptr<GlobalMemory> malloc_shared(std::size_t bytes);
+
+  /// One-sided put/get (blocking; the nonblocking counterparts return a
+  /// handle to wait on).
+  void put(int dest_task, void* remote, const void* local, std::size_t bytes);
+  void get(int src_task, const void* remote, void* local, std::size_t bytes);
+
+  struct NbHandle {
+    std::shared_ptr<std::atomic<int>> pending = std::make_shared<std::atomic<int>>(0);
+  };
+  NbHandle nb_put(int dest_task, void* remote, const void* local, std::size_t bytes);
+  void wait(NbHandle& h);
+
+  /// Atomic remote accumulate: remote[i] += local[i], executed at the
+  /// target (ARMCI_Acc semantics). Completion is local submission; use
+  /// fence_all() to order against subsequent accesses.
+  void accumulate(int dest_task, std::int64_t* remote, const std::int64_t* local,
+                  std::size_t count);
+
+  /// Fence: wait until every one-sided operation this task issued has
+  /// completed at its targets.
+  void fence_all();
+
+  /// Collective barrier over the world (implies fence_all on all tasks,
+  /// as ARMCI_Barrier does).
+  void barrier();
+
+  /// Drive progress (accumulate targets must advance; commthreads do this
+  /// automatically when enabled).
+  void advance() { ctx_.advance(); }
+
+ private:
+  pami::ClientWorld& world_;
+  int task_;
+  pami::Context& ctx_;
+  std::shared_ptr<pami::Geometry> world_geom_;
+  std::shared_ptr<std::atomic<int>> outstanding_ = std::make_shared<std::atomic<int>>(0);
+};
+
+}  // namespace pamix::models

@@ -1,0 +1,94 @@
+// Charm++-style message-driven runtime over PAMI — the third programming
+// model the paper names (§I: "the parallel programming language Charm++").
+//
+// The model: a *chare array* of N elements distributed over the tasks;
+// elements communicate by sending entry-method invocations (active
+// messages), never by blocking receives. Each task runs a scheduler loop
+// that pulls deliveries off its PAMI context and invokes the element
+// handler; the run terminates on *quiescence* — no element has work and no
+// message is in flight — detected with the classic double all-reduce of
+// (sent - delivered) counters over the collective network.
+//
+// This is intentionally small (single message type, elements mapped
+// round-robin) but it is a genuinely message-driven scheduler on an
+// unmodified PAMI stack, which is the architectural claim being
+// reproduced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/collectives.h"
+#include "core/context.h"
+#include "core/geometry.h"
+
+namespace pamix::models {
+
+class ChareRuntime;
+
+/// Handle passed to entry methods for sending further messages.
+class ChareSendApi {
+ public:
+  explicit ChareSendApi(ChareRuntime* rt) : rt_(rt) {}
+  /// Invoke entry `method` on element `dest` with a payload copy.
+  void send(int dest_element, int method, const void* data, std::size_t bytes);
+
+ private:
+  ChareRuntime* rt_;
+};
+
+/// Entry-method handler: (element index, method id, payload, send api).
+using ChareHandler =
+    std::function<void(int element, int method, const std::byte* data, std::size_t bytes,
+                       ChareSendApi& api)>;
+
+class ChareRuntime {
+ public:
+  static constexpr pami::DispatchId kChareDispatchId = 0xF03;
+
+  /// Per-task construction (collective): `elements` chares mapped
+  /// round-robin over the world's tasks.
+  ChareRuntime(pami::ClientWorld& world, int task, int elements, ChareHandler handler);
+
+  int task() const { return task_; }
+  int elements() const { return elements_; }
+  int home_task(int element) const { return element % world_size_; }
+  bool is_local(int element) const { return home_task(element) == task_; }
+
+  /// Seed a message into the system (typically from task 0 before run()).
+  void send(int dest_element, int method, const void* data, std::size_t bytes);
+
+  /// Run the scheduler until global quiescence. Collective.
+  /// Returns the number of messages this task delivered.
+  std::uint64_t run_to_quiescence();
+
+ private:
+  friend class ChareSendApi;
+
+  struct Delivery {
+    int element;
+    int method;
+    std::vector<std::byte> payload;
+  };
+
+  void deliver(Delivery&& d);
+
+  pami::ClientWorld& world_;
+  int task_;
+  int world_size_;
+  int elements_;
+  ChareHandler handler_;
+  pami::Context& ctx_;
+  std::shared_ptr<pami::Geometry> world_geom_;
+  std::deque<Delivery> local_queue_;
+  std::atomic<std::int64_t> sent_{0};
+  std::atomic<std::int64_t> delivered_{0};
+  std::shared_ptr<std::atomic<int>> send_acks_ = std::make_shared<std::atomic<int>>(0);
+};
+
+}  // namespace pamix::models

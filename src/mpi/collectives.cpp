@@ -1,0 +1,233 @@
+// MPI collectives and communicator management over the PAMI geometry
+// collectives (paper §IV-B). Rectangular communicators ride the collective
+// network when optimized; everything else takes the software trees, which
+// still run over the PAMI point-to-point stack.
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <set>
+
+#include "mpi/matching.h"
+#include "mpi/mpi.h"
+
+namespace pamix::mpi {
+
+namespace {
+
+/// Collectives run on context 0 (where the software-collective dispatch
+/// lives). With commthreads active the context is locked for the duration
+/// so the helper threads stay out of the way of the blocking progress.
+class CollGuard {
+ public:
+  CollGuard(pami::Client& client, bool need_lock)
+      : ctx_(client.context(0)), locked_(need_lock) {
+    if (locked_) ctx_.lock();
+  }
+  ~CollGuard() {
+    if (locked_) ctx_.unlock();
+  }
+  pami::Context& ctx() { return ctx_; }
+
+ private:
+  pami::Context& ctx_;
+  bool locked_;
+};
+
+/// Detect whether a sorted task list is exactly `rect x full ppn` for some
+/// torus rectangle, and return the axial topology if so.
+std::optional<pami::Topology> detect_axial(runtime::Machine& m, const std::vector<int>& tasks) {
+  const int ppn = m.ppn();
+  if (tasks.empty() || tasks.size() % static_cast<std::size_t>(ppn) != 0) return std::nullopt;
+  std::set<int> nodes;
+  for (std::size_t i = 0; i < tasks.size(); i += static_cast<std::size_t>(ppn)) {
+    const int node = m.node_of_task(tasks[i]);
+    // Full local process set, contiguous.
+    for (int p = 0; p < ppn; ++p) {
+      if (tasks[i + static_cast<std::size_t>(p)] != m.task_of(node, p)) return std::nullopt;
+    }
+    nodes.insert(node);
+  }
+  // Bounding box must contain exactly these nodes.
+  hw::TorusRectangle rect;
+  bool first = true;
+  for (int node : nodes) {
+    const hw::TorusCoords c = m.geometry().coords_of(node);
+    for (int d = 0; d < hw::kTorusDims; ++d) {
+      if (first) {
+        rect.lo[d] = rect.hi[d] = c[d];
+      } else {
+        rect.lo[d] = std::min(rect.lo[d], c[d]);
+        rect.hi[d] = std::max(rect.hi[d], c[d]);
+      }
+    }
+    first = false;
+  }
+  if (rect.node_count() != static_cast<int>(nodes.size())) return std::nullopt;
+  return pami::Topology::axial(m.geometry(), rect, ppn);
+}
+
+}  // namespace
+
+void Mpi::barrier(const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::barrier(g.ctx(), *c->geometry);
+}
+
+void Mpi::bcast(void* buf, std::size_t bytes, int root, const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::broadcast(g.ctx(), *c->geometry, static_cast<std::size_t>(root), buf, bytes);
+}
+
+void Mpi::reduce(const void* send, void* recv, std::size_t count, Type type, Op op, int root,
+                 const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::reduce(g.ctx(), *c->geometry, static_cast<std::size_t>(root), send, recv,
+                     count * hw::combine_type_size(type), op, type);
+}
+
+void Mpi::allreduce(const void* send, void* recv, std::size_t count, Type type, Op op,
+                    const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::allreduce(g.ctx(), *c->geometry, send, recv, count * hw::combine_type_size(type),
+                        op, type);
+}
+
+void Mpi::alltoall(const void* send, void* recv, std::size_t bytes_per_rank, const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::alltoall(g.ctx(), *c->geometry, send, recv, bytes_per_rank);
+}
+
+void Mpi::gather(const void* send, void* recv, std::size_t bytes_per_rank, int root,
+                 const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::gather(g.ctx(), *c->geometry, static_cast<std::size_t>(root), send, recv,
+                     bytes_per_rank);
+}
+
+void Mpi::scatter(const void* send, void* recv, std::size_t bytes_per_rank, int root,
+                  const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::scatter(g.ctx(), *c->geometry, static_cast<std::size_t>(root), send, recv,
+                      bytes_per_rank);
+}
+
+void Mpi::allgather(const void* send, void* recv, std::size_t bytes_per_rank, const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::allgather(g.ctx(), *c->geometry, send, recv, bytes_per_rank);
+}
+
+void Mpi::reduce_scatter(const void* send, void* recv, std::size_t count_per_rank, Type type,
+                         Op op, const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::reduce_scatter(g.ctx(), *c->geometry, send, recv,
+                             count_per_rank * hw::combine_type_size(type), op, type);
+}
+
+void Mpi::sendrecv(const void* sendbuf, std::size_t send_bytes, int dest, int sendtag,
+                   void* recvbuf, std::size_t recv_bytes, int source, int recvtag,
+                   const Comm& c, Status* status) {
+  Request r = irecv(recvbuf, recv_bytes, source, recvtag, c);
+  Request s = isend(sendbuf, send_bytes, dest, sendtag, c);
+  wait(s);
+  wait(r, status);
+}
+
+// ----------------------------------------------------------- communicators --
+
+Comm Mpi::dup(const Comm& c) { return split(c, 0, c->my_rank); }
+
+Comm Mpi::split(const Comm& c, int color, int key) {
+  // Allgather (color, key, task) over the parent, then carve out my group.
+  struct Entry {
+    std::int32_t color;
+    std::int32_t key;
+    std::int32_t rank;
+    std::int32_t task;
+  };
+  const int n = c->size();
+  std::vector<Entry> entries(static_cast<std::size_t>(n));
+  Entry mine{color, key, c->my_rank, task_};
+  {
+    CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+    pami::coll::gather(g.ctx(), *c->geometry, 0, &mine, entries.data(), sizeof(Entry));
+    pami::coll::broadcast(g.ctx(), *c->geometry, 0, entries.data(),
+                          entries.size() * sizeof(Entry));
+  }
+  const int my_split = c->split_counter++;
+
+  std::vector<Entry> group;
+  for (const Entry& e : entries) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+  std::vector<int> tasks;
+  tasks.reserve(group.size());
+  int my_new_rank = -1;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    tasks.push_back(group[i].task);
+    if (group[i].task == task_) my_new_rank = static_cast<int>(i);
+  }
+  assert(my_new_rank >= 0);
+
+  // Geometry key: same for every member of this color group, distinct per
+  // (parent, split op, color).
+  const std::uint64_t gkey = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c->id()))
+                              << 40) |
+                             (static_cast<std::uint64_t>(static_cast<std::uint32_t>(my_split))
+                              << 20) |
+                             static_cast<std::uint32_t>(color + 1);
+
+  // Prefer the compact axial topology when the group is a full-ppn torus
+  // rectangle (classroute eligible); otherwise fall back to a list.
+  // Note: topology rank order must equal the split's (key, rank) order for
+  // ranks to be meaningful; the axial order is node-major, which matches
+  // the common key==rank case. If they differ, use the list form.
+  pami::Topology topo = pami::Topology::list(tasks);
+  auto axial = detect_axial(world_.machine(), tasks);
+  if (axial.has_value()) {
+    bool same_order = true;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (axial->task(i) != tasks[i]) {
+        same_order = false;
+        break;
+      }
+    }
+    if (same_order) topo = std::move(*axial);
+  }
+
+  auto geom = world_.client_world().geometries().get_or_create(gkey, topo);
+  auto comm = std::make_shared<CommImpl>();
+  comm->geometry = std::move(geom);
+  comm->my_rank = my_new_rank;
+  return comm;
+}
+
+void Mpi::mpix_rectangle_bcast(void* buf, std::size_t bytes, int root, const Comm& c) {
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::rectangle_broadcast(g.ctx(), *c->geometry, static_cast<std::size_t>(root), buf,
+                                  bytes);
+}
+
+bool Mpi::mpix_optimize(const Comm& c) {
+  // Collective: the trailing software barrier guarantees every member sees
+  // the geometry optimized before anyone runs an accelerated collective.
+  const bool ok = world_.client_world().geometries().optimize(*c->geometry);
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::software_barrier(g.ctx(), *c->geometry);
+  return ok;
+}
+
+void Mpi::mpix_deoptimize(const Comm& c) {
+  // Collective: quiesce before releasing the route, and synchronize after
+  // so no member still believes the route is live.
+  CollGuard g(client_, commthreads_ != nullptr || level_ == ThreadLevel::Multiple);
+  pami::coll::software_barrier(g.ctx(), *c->geometry);
+  world_.client_world().geometries().deoptimize(*c->geometry);
+  pami::coll::software_barrier(g.ctx(), *c->geometry);
+}
+
+bool Mpi::comm_is_optimized(const Comm& c) const { return c->geometry->optimized(); }
+
+}  // namespace pamix::mpi

@@ -1,0 +1,283 @@
+#include "mpi/matching.h"
+
+#include <cassert>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace pamix::mpi {
+
+// ------------------------------------------------------------ RequestPool --
+
+Request RequestPool::acquire(RequestImpl::Kind kind) {
+  const std::size_t shard_idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  Shard& shard = shards_[shard_idx];
+  RequestImpl* impl = nullptr;
+  {
+    std::lock_guard<hw::L2AtomicMutex> g(shard.mu);
+    if (!shard.free.empty()) {
+      impl = shard.free.back();
+      shard.free.pop_back();
+    }
+  }
+  if (impl == nullptr) impl = new RequestImpl();
+  impl->reset();
+  impl->kind = kind;
+  live_.fetch_add(1, std::memory_order_relaxed);
+  return Request(impl, [this, sh = &shard](RequestImpl* p) {
+    live_.fetch_sub(1, std::memory_order_relaxed);
+    std::lock_guard<hw::L2AtomicMutex> g(sh->mu);
+    sh->free.push_back(p);
+  });
+}
+
+// ---------------------------------------------------------------- Matcher --
+
+std::uint32_t Matcher::next_send_seq(int comm, int dest_rank) {
+  std::lock_guard<hw::L2AtomicMutex> g(send_seq_mu_);
+  return send_seq_[{comm, dest_rank}]++;
+}
+
+void Matcher::complete_recv(const Request& req, const Envelope& env, std::size_t bytes) {
+  req->status.source = env.src_rank;
+  req->status.tag = env.tag;
+  req->status.bytes = bytes;
+  req->finish();
+}
+
+void Matcher::on_arrival(Arrival&& a) {
+  std::lock_guard<hw::L2AtomicMutex> g(mu_);
+  const std::pair<std::int32_t, std::int32_t> key{a.env.comm, a.env.src_rank};
+  std::uint32_t& expected = expected_seq_[key];
+  if (a.env.seq != expected) {
+    // Overtaken arrival: park it. Streaming payload must land somewhere
+    // now, so it goes to a temp buffer; rendezvous defers (no data moved).
+    assert(a.env.seq > expected && "duplicate sequence number");
+    parked_total_.fetch_add(1, std::memory_order_relaxed);
+    if (a.kind == Arrival::Kind::Inline && a.pipe != nullptr) {
+      a.owned.assign(a.pipe, a.pipe + a.pipe_bytes);
+      a.pipe = nullptr;
+    } else if (a.kind == Arrival::Kind::Streaming && a.live_recv != nullptr) {
+      auto temp = std::make_shared<Arrival::TempState>();
+      temp->data.resize(a.total);
+      a.live_recv->buffer = temp->data.data();
+      a.live_recv->bytes = a.total;
+      a.live_recv->on_complete = [this, temp] {
+        std::lock_guard<hw::L2AtomicMutex> g2(mu_);
+        temp->arrived = true;
+        if (temp->claimer) {
+          const std::size_t n = std::min(temp->claimer_cap, temp->data.size());
+          std::memcpy(temp->claimer_buf, temp->data.data(), n);
+          temp->claimer->finish();
+        }
+      };
+      a.temp = std::move(temp);
+      a.live_recv = nullptr;
+    } else if (a.kind == Arrival::Kind::Rdzv && a.live_recv != nullptr) {
+      a.live_recv->defer = true;
+      a.defer_handle = a.live_recv->defer_handle;
+      a.live_recv = nullptr;
+    }
+    parked_.emplace(std::make_tuple(a.env.comm, a.env.src_rank, a.env.seq), std::move(a));
+    return;
+  }
+  ++expected;
+  deliver(std::move(a));
+  // Drain any parked successors that are now in order.
+  for (;;) {
+    auto it = parked_.find(std::make_tuple(key.first, key.second, expected));
+    if (it == parked_.end()) break;
+    Arrival parked = std::move(it->second);
+    parked_.erase(it);
+    ++expected;
+    deliver(std::move(parked));
+  }
+}
+
+void Matcher::deliver(Arrival&& a) {
+  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
+    if (matches(*it, a.env)) {
+      PostedRecv p = std::move(*it);
+      posted_.erase(it);
+      posted_matched_.fetch_add(1, std::memory_order_relaxed);
+      bind_posted(std::move(p), std::move(a));
+      return;
+    }
+  }
+  unexpected_total_.fetch_add(1, std::memory_order_relaxed);
+  store_unexpected(std::move(a));
+}
+
+void Matcher::bind_posted(PostedRecv&& p, Arrival&& a) {
+  Request& req = p.req;
+  switch (a.kind) {
+    case Arrival::Kind::Inline: {
+      const std::byte* src = a.pipe != nullptr ? a.pipe : a.owned.data();
+      const std::size_t have = a.pipe != nullptr ? a.pipe_bytes : a.owned.size();
+      const std::size_t n = std::min(req->capacity, have);
+      if (n > 0) std::memcpy(req->buffer, src, n);
+      complete_recv(req, a.env, n);
+      return;
+    }
+    case Arrival::Kind::Streaming: {
+      if (a.live_recv != nullptr) {
+        // Live: land directly in the user buffer.
+        a.live_recv->buffer = req->buffer;
+        a.live_recv->bytes = req->capacity;
+        const std::size_t n = std::min(req->capacity, a.total);
+        a.live_recv->on_complete = [req, env = a.env, n] { complete_recv(req, env, n); };
+        return;
+      }
+      // Parked temp: copy if arrived, else claim.
+      if (a.temp->arrived) {
+        const std::size_t n = std::min(req->capacity, a.temp->data.size());
+        if (n > 0) std::memcpy(req->buffer, a.temp->data.data(), n);
+        complete_recv(req, a.env, n);
+      } else {
+        a.temp->claimer = req;
+        a.temp->claimer_buf = req->buffer;
+        a.temp->claimer_cap = req->capacity;
+        req->status.source = a.env.src_rank;
+        req->status.tag = a.env.tag;
+        req->status.bytes = std::min(req->capacity, a.total);
+      }
+      return;
+    }
+    case Arrival::Kind::Rdzv: {
+      const std::size_t n = std::min(req->capacity, a.total);
+      if (a.live_recv != nullptr) {
+        a.live_recv->buffer = req->buffer;
+        a.live_recv->bytes = req->capacity;
+        a.live_recv->on_complete = [req, env = a.env, n] { complete_recv(req, env, n); };
+        return;
+      }
+      // Deferred: we are on the owning context's thread (parked drains
+      // happen inside that context's dispatch), so complete directly.
+      a.ctx->complete_deferred_rdzv(a.defer_handle, req->buffer, req->capacity,
+                                    [req, env = a.env, n] { complete_recv(req, env, n); });
+      return;
+    }
+  }
+}
+
+void Matcher::store_unexpected(Arrival&& a) {
+  UnexpectedMsg u;
+  u.kind = a.kind;
+  u.env = a.env;
+  u.origin = a.origin;
+  u.total = a.total;
+  switch (a.kind) {
+    case Arrival::Kind::Inline:
+      if (a.pipe != nullptr) {
+        u.data.assign(a.pipe, a.pipe + a.pipe_bytes);
+      } else {
+        u.data = std::move(a.owned);
+      }
+      break;
+    case Arrival::Kind::Streaming:
+      if (a.live_recv != nullptr) {
+        auto temp = std::make_shared<Arrival::TempState>();
+        temp->data.resize(a.total);
+        a.live_recv->buffer = temp->data.data();
+        a.live_recv->bytes = a.total;
+        a.live_recv->on_complete = [this, temp] {
+          std::lock_guard<hw::L2AtomicMutex> g2(mu_);
+          temp->arrived = true;
+          if (temp->claimer) {
+            const std::size_t n = std::min(temp->claimer_cap, temp->data.size());
+            std::memcpy(temp->claimer_buf, temp->data.data(), n);
+            temp->claimer->finish();
+          }
+        };
+        u.temp = std::move(temp);
+      } else {
+        u.temp = std::move(a.temp);
+      }
+      break;
+    case Arrival::Kind::Rdzv:
+      if (a.live_recv != nullptr) {
+        a.live_recv->defer = true;
+        u.defer_handle = a.live_recv->defer_handle;
+        u.ctx = a.ctx;
+      } else {
+        u.defer_handle = a.defer_handle;
+        u.ctx = a.ctx;
+      }
+      break;
+  }
+  unexpected_.push_back(std::move(u));
+}
+
+void Matcher::bind_unexpected(const Request& req, UnexpectedMsg&& u) {
+  switch (u.kind) {
+    case Arrival::Kind::Inline: {
+      const std::size_t n = std::min(req->capacity, u.data.size());
+      if (n > 0) std::memcpy(req->buffer, u.data.data(), n);
+      complete_recv(req, u.env, n);
+      return;
+    }
+    case Arrival::Kind::Streaming: {
+      if (u.temp->arrived) {
+        const std::size_t n = std::min(req->capacity, u.temp->data.size());
+        if (n > 0) std::memcpy(req->buffer, u.temp->data.data(), n);
+        complete_recv(req, u.env, n);
+      } else {
+        u.temp->claimer = req;
+        u.temp->claimer_buf = req->buffer;
+        u.temp->claimer_cap = req->capacity;
+        req->status.source = u.env.src_rank;
+        req->status.tag = u.env.tag;
+        req->status.bytes = std::min(req->capacity, u.total);
+      }
+      return;
+    }
+    case Arrival::Kind::Rdzv: {
+      const std::size_t n = std::min(req->capacity, u.total);
+      // We may be on an application thread: route the pull to the owning
+      // context through its lockless work queue.
+      pami::Context* ctx = u.ctx;
+      const std::uint64_t handle = u.defer_handle;
+      void* buf = req->buffer;
+      const std::size_t cap = req->capacity;
+      Request r = req;
+      Envelope env = u.env;
+      ctx->post([ctx, handle, buf, cap, r, env, n] {
+        ctx->complete_deferred_rdzv(handle, buf, cap,
+                                    [r, env, n] { complete_recv(r, env, n); });
+      });
+      return;
+    }
+  }
+}
+
+bool Matcher::probe(int comm, int src_rank, int tag, Status* status) {
+  std::lock_guard<hw::L2AtomicMutex> g(mu_);
+  for (const UnexpectedMsg& u : unexpected_) {
+    const PostedRecv probe_key{nullptr, comm, src_rank, tag};
+    if (!matches(probe_key, u.env)) continue;
+    if (status != nullptr) {
+      status->source = u.env.src_rank;
+      status->tag = u.env.tag;
+      status->bytes = u.kind == Arrival::Kind::Inline ? u.data.size() : u.total;
+    }
+    return true;
+  }
+  return false;
+}
+
+void Matcher::post_recv(Request req, int comm, int src_rank, int tag) {
+  std::lock_guard<hw::L2AtomicMutex> g(mu_);
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    const PostedRecv probe{req, comm, src_rank, tag};
+    if (matches(probe, it->env)) {
+      UnexpectedMsg u = std::move(*it);
+      unexpected_.erase(it);
+      bind_unexpected(req, std::move(u));
+      return;
+    }
+  }
+  posted_.push_back(PostedRecv{std::move(req), comm, src_rank, tag});
+}
+
+}  // namespace pamix::mpi

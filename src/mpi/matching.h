@@ -1,0 +1,196 @@
+// MPI matching engine — posted-receive and unexpected-message queues.
+//
+// The paper's design decision (§IV-A): wildcard receives are pervasive in
+// Blue Gene applications and wildcard-correct parallel receive queues are
+// complex and slow, so pamid keeps the serial MPICH2 receive queue guarded
+// by one *low-overhead L2-atomic mutex*, and parallelizes everything else
+// (packet processing, payload copies) on commthreads.  This matcher is
+// that structure: one mutex, posted queue in post order, unexpected queue
+// in arrival order, wildcard matching on MPI_ANY_SOURCE / MPI_ANY_TAG.
+//
+// Ordering: each (communicator, source, destination) pair carries a
+// sequence number; arrivals that overtake (possible when Isend handoff
+// work items drain out of order under commthread contention) are parked
+// until their predecessors arrive, so matching order is exactly MPI's
+// non-overtaking order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/context.h"
+#include "core/geometry.h"
+#include "core/types.h"
+#include "hw/l2_atomics.h"
+#include "mpi/mpi.h"
+
+namespace pamix::mpi {
+
+/// Wire envelope carried as the PAMI header of every MPI message.
+struct Envelope {
+  std::int32_t comm = 0;
+  std::int32_t src_rank = 0;
+  std::int32_t tag = 0;
+  std::uint32_t seq = 0;
+};
+
+/// MPI_Request state.
+struct RequestImpl {
+  enum class Kind { Send, Recv };
+  Kind kind = Kind::Send;
+  std::atomic<int> complete{0};
+  Status status;
+  // Recv-side user buffer.
+  void* buffer = nullptr;
+  std::size_t capacity = 0;
+
+  void reset() {
+    complete.store(0, std::memory_order_relaxed);
+    status = Status{};
+    buffer = nullptr;
+    capacity = 0;
+  }
+  bool done() const { return complete.load(std::memory_order_acquire) != 0; }
+  void finish() { complete.store(1, std::memory_order_release); }
+};
+
+/// Thread-sharded request allocator (paper: "thread private pools to
+/// minimize locking overheads"). Shards are picked by thread id hash;
+/// requests recycle through the shard they came from.
+class RequestPool {
+ public:
+  RequestPool() = default;
+  ~RequestPool() {
+    for (Shard& s : shards_) {
+      for (RequestImpl* p : s.free) delete p;
+    }
+  }
+  RequestPool(const RequestPool&) = delete;
+  RequestPool& operator=(const RequestPool&) = delete;
+
+  Request acquire(RequestImpl::Kind kind);
+  std::size_t outstanding() const { return live_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr int kShards = 16;
+  struct Shard {
+    hw::L2AtomicMutex mu;
+    std::vector<RequestImpl*> free;
+  };
+  Shard shards_[kShards];
+  std::atomic<std::size_t> live_{0};
+};
+
+/// Per-task communicator handle: shared geometry + task-local bookkeeping.
+struct CommImpl {
+  std::shared_ptr<pami::Geometry> geometry;
+  int my_rank = 0;
+  int split_counter = 0;  // deterministic child naming (task-local)
+
+  int id() const { return geometry->id(); }
+  int size() const { return static_cast<int>(geometry->size()); }
+};
+
+class Matcher {
+ public:
+  explicit Matcher(Library library) : library_(library) {}
+
+  /// An incoming message, abstracted over eager-inline / eager-streaming /
+  /// rendezvous and over live vs parked delivery.
+  struct Arrival {
+    enum class Kind { Inline, Streaming, Rdzv };
+    Kind kind = Kind::Inline;
+    Envelope env;
+    pami::Endpoint origin;
+    std::size_t total = 0;
+    // Inline: payload bytes (owned once parked/unexpected).
+    const std::byte* pipe = nullptr;
+    std::size_t pipe_bytes = 0;
+    std::vector<std::byte> owned;
+    // Streaming: live descriptor to fill (in-order arrivals only)...
+    pami::RecvDescriptor* live_recv = nullptr;
+    // ...or temp-buffer state for parked arrivals.
+    struct TempState {
+      std::vector<std::byte> data;
+      bool arrived = false;
+      Request claimer;
+      void* claimer_buf = nullptr;
+      std::size_t claimer_cap = 0;
+    };
+    std::shared_ptr<TempState> temp;
+    // Rendezvous: deferred-pull handle on the owning context.
+    pami::Context* ctx = nullptr;
+    std::uint64_t defer_handle = 0;
+  };
+
+  /// Dispatch-side entry: called from the PAMI dispatch handler on the
+  /// receiving context's thread. Handles sequencing, matching, parking.
+  void on_arrival(Arrival&& a);
+
+  /// Post a receive. Matches the unexpected queue first (in arrival
+  /// order), else enqueues on the posted queue (in post order).
+  void post_recv(Request req, int comm, int src_rank, int tag);
+
+  /// MPI_Iprobe: report (without consuming) the first unexpected message
+  /// matching (comm, src, tag). Wildcards allowed.
+  bool probe(int comm, int src_rank, int tag, Status* status);
+
+  std::uint32_t next_send_seq(int comm, int dest_rank);
+
+  std::uint64_t unexpected_count() const {
+    return unexpected_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t posted_matched_count() const {
+    return posted_matched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t parked_count() const { return parked_total_.load(std::memory_order_relaxed); }
+
+ private:
+  struct PostedRecv {
+    Request req;
+    int comm;
+    int src;  // kAnySource allowed
+    int tag;  // kAnyTag allowed
+  };
+
+  struct UnexpectedMsg {
+    Arrival::Kind kind;
+    Envelope env;
+    pami::Endpoint origin;
+    std::size_t total = 0;
+    std::vector<std::byte> data;  // inline payload
+    std::shared_ptr<Arrival::TempState> temp;
+    pami::Context* ctx = nullptr;
+    std::uint64_t defer_handle = 0;
+  };
+
+  static bool matches(const PostedRecv& p, const Envelope& env) {
+    return p.comm == env.comm && (p.src == kAnySource || p.src == env.src_rank) &&
+           (p.tag == kAnyTag || p.tag == env.tag);
+  }
+
+  void deliver(Arrival&& a);                       // under mu_
+  void bind_posted(PostedRecv&& p, Arrival&& a);   // under mu_
+  void store_unexpected(Arrival&& a);              // under mu_
+  void bind_unexpected(const Request& req, UnexpectedMsg&& u);  // under mu_
+
+  static void complete_recv(const Request& req, const Envelope& env, std::size_t bytes);
+
+  Library library_;
+  hw::L2AtomicMutex mu_;
+  std::deque<PostedRecv> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::uint32_t> expected_seq_;
+  std::map<std::tuple<std::int32_t, std::int32_t, std::uint32_t>, Arrival> parked_;
+  hw::L2AtomicMutex send_seq_mu_;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::uint32_t> send_seq_;
+  std::atomic<std::uint64_t> unexpected_total_{0};
+  std::atomic<std::uint64_t> posted_matched_{0};
+  std::atomic<std::uint64_t> parked_total_{0};
+};
+
+}  // namespace pamix::mpi

@@ -1,0 +1,313 @@
+#include "mpi/mpi.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "hw/cnk.h"
+#include "mpi/matching.h"
+
+namespace pamix::mpi {
+
+namespace {
+/// Dispatch id reserved for MPI point-to-point traffic.
+constexpr pami::DispatchId kMpiDispatchId = 1;
+}  // namespace
+
+struct Mpi::Impl {
+  explicit Impl(Library lib) : matcher(lib), library(lib) {}
+
+  Matcher matcher;
+  RequestPool requests;
+  Library library;
+  hw::L2AtomicMutex global_lock;  // the "classic" library's global lock
+};
+
+// ------------------------------------------------------------------ world --
+
+MpiWorld::MpiWorld(runtime::Machine& machine, MpiConfig config)
+    : machine_(machine), config_(config) {
+  pami::ClientConfig cc;
+  cc.name = "mpi";
+  cc.contexts_per_task = config_.contexts_per_task;
+  cc.eager_limit = config_.rendezvous_threshold;
+  cc.shm_eager_limit = config_.rendezvous_threshold;
+  // Keep the FIFO demand within the MU partition at high ppn.
+  const int budget = hw::kInjFifoCount / std::max(1, machine.ppn() * config_.contexts_per_task);
+  cc.send_fifos_per_context = std::clamp(budget, 1, 8);
+  clients_ = std::make_unique<pami::ClientWorld>(machine, cc);
+  ranks_.reserve(static_cast<std::size_t>(machine.task_count()));
+  for (int t = 0; t < machine.task_count(); ++t) {
+    ranks_.push_back(std::make_unique<Mpi>(*this, t));
+  }
+}
+
+MpiWorld::~MpiWorld() = default;
+
+// -------------------------------------------------------------------- Mpi --
+
+Mpi::Mpi(MpiWorld& world, int task)
+    : world_(world),
+      client_(world.client_world().client(task)),
+      task_(task),
+      impl_(std::make_unique<Impl>(world.config().library)) {
+  // COMM_WORLD handle for this task.
+  auto comm = std::make_shared<CommImpl>();
+  comm->geometry = world.client_world().geometries().world_geometry();
+  comm->my_rank = static_cast<int>(*comm->geometry->rank_of(task));
+  world_comm_ = std::move(comm);
+
+  // Register the pamid dispatch on every context: the handler classifies
+  // the arrival and feeds the matcher.
+  for (int c = 0; c < client_.context_count(); ++c) {
+    client_.context(c).set_dispatch(
+        kMpiDispatchId,
+        [this](pami::Context& ctx, const void* header, std::size_t header_bytes,
+               const void* pipe, std::size_t pipe_bytes, std::size_t total,
+               pami::Endpoint origin, pami::RecvDescriptor* recv) {
+          Envelope env;
+          assert(header_bytes == sizeof(env));
+          (void)header_bytes;
+          std::memcpy(&env, header, sizeof(env));
+          Matcher::Arrival a;
+          a.env = env;
+          a.origin = origin;
+          a.total = total;
+          if (recv == nullptr) {
+            a.kind = Matcher::Arrival::Kind::Inline;
+            a.pipe = static_cast<const std::byte*>(pipe);
+            a.pipe_bytes = pipe_bytes;
+          } else if (recv->defer_handle != 0) {
+            // Only rendezvous-style arrivals (MU RTS, shm zero-copy) carry
+            // a defer handle.
+            a.kind = Matcher::Arrival::Kind::Rdzv;
+            a.live_recv = recv;
+            a.ctx = &ctx;
+          } else {
+            a.kind = Matcher::Arrival::Kind::Streaming;
+            a.live_recv = recv;
+          }
+          impl_->matcher.on_arrival(std::move(a));
+        });
+  }
+}
+
+Mpi::~Mpi() = default;
+
+ThreadLevel Mpi::init(ThreadLevel requested) {
+  assert(!initialized_);
+  initialized_ = true;
+  level_ = requested;
+  const MpiConfig& cfg = world_.config();
+  const bool want_comm =
+      cfg.commthreads == MpiConfig::Commthreads::ForceOn ||
+      (cfg.commthreads == MpiConfig::Commthreads::Auto && level_ == ThreadLevel::Multiple);
+  if (want_comm) {
+    int count = cfg.commthread_count;
+    if (count < 0) {
+      const int ppn = world_.machine().ppn();
+      count = std::max(1, (hw::kHwThreadsPerNode - ppn) / std::max(1, ppn));
+      count = std::min(count, client_.context_count());
+    }
+    if (count > 0) commthreads_ = std::make_unique<pami::CommThreadPool>(client_, count);
+  }
+  return level_;
+}
+
+void Mpi::finalize() {
+  if (!initialized_) return;
+  barrier(world_comm_);
+  if (commthreads_) {
+    commthreads_->stop();
+    commthreads_.reset();
+  }
+  initialized_ = false;
+}
+
+int Mpi::commthread_count() const {
+  return commthreads_ ? commthreads_->thread_count() : 0;
+}
+
+int Mpi::rank(const Comm& c) const { return c->my_rank; }
+int Mpi::size(const Comm& c) const { return c->size(); }
+
+// --------------------------------------------------------------- progress --
+
+void Mpi::progress() {
+  const bool need_ctx_lock = commthreads_ != nullptr || level_ == ThreadLevel::Multiple;
+  for (int i = 0; i < client_.context_count(); ++i) {
+    pami::Context& ctx = client_.context(i);
+    if (need_ctx_lock) {
+      if (!ctx.trylock()) continue;  // a commthread is already on it
+      ctx.advance();
+      ctx.unlock();
+    } else {
+      ctx.advance();
+    }
+  }
+}
+
+void Mpi::progress_until(const std::function<bool()>& pred) {
+  while (!pred()) {
+    progress();
+    std::this_thread::yield();
+  }
+}
+
+// ------------------------------------------------------------ point2point --
+
+pami::Context& Mpi::context_for_send(const CommImpl& c, int dest_rank) {
+  // Source context hashed from (destination, communicator); the peer
+  // context is hashed symmetrically from (source, communicator), so one
+  // (comm, src, dst) triple always rides one ordered channel.
+  const int n = client_.context_count();
+  return client_.context((dest_rank + c.id()) % n);
+}
+
+void Mpi::complete_isend(const CommImpl& c, int dest_rank, Request req, const void* buf,
+                         std::size_t bytes, int tag) {
+  pami::Context& ctx = context_for_send(c, dest_rank);
+  const int n = client_.context_count();
+  Envelope env;
+  env.comm = c.id();
+  env.src_rank = c.my_rank;
+  env.tag = tag;
+  env.seq = impl_->matcher.next_send_seq(c.id(), dest_rank);
+
+  pami::SendParams p;
+  p.dispatch = kMpiDispatchId;
+  p.dest = pami::Endpoint{c.geometry->task_of(static_cast<std::size_t>(dest_rank)),
+                          static_cast<std::int16_t>((c.my_rank + c.id()) % n)};
+  p.header = &env;  // copied below into the work closure when handed off
+  p.header_bytes = sizeof(env);
+  p.data = buf;
+  p.data_bytes = bytes;
+  p.on_local_done = [req] { req->finish(); };
+
+  const bool handoff = commthreads_ != nullptr && impl_->library == Library::ThreadOptimized;
+  if (handoff) {
+    // Message-rate path (paper §IV-A): hand descriptor construction and
+    // injection to the commthread owning the hashed context.
+    ctx.post([&ctx, env, p]() mutable {
+      p.header = &env;
+      while (ctx.send(p) == pami::Result::Eagain) {
+        ctx.advance();
+      }
+    });
+    return;
+  }
+  const bool need_ctx_lock = commthreads_ != nullptr || level_ == ThreadLevel::Multiple;
+  for (;;) {
+    pami::Result r;
+    if (need_ctx_lock) {
+      ctx.lock();
+      r = ctx.send(p);
+      ctx.unlock();
+    } else {
+      r = ctx.send(p);
+    }
+    if (r != pami::Result::Eagain) break;
+    progress();
+  }
+}
+
+Request Mpi::isend(const void* buf, std::size_t bytes, int dest, int tag, const Comm& c) {
+  assert(initialized_);
+  Request req = impl_->requests.acquire(RequestImpl::Kind::Send);
+  const bool classic_locked =
+      impl_->library == Library::Classic && level_ == ThreadLevel::Multiple;
+  if (classic_locked) impl_->global_lock.lock();
+  complete_isend(*c, dest, req, buf, bytes, tag);
+  if (classic_locked) impl_->global_lock.unlock();
+  return req;
+}
+
+Request Mpi::irecv(void* buf, std::size_t bytes, int source, int tag, const Comm& c) {
+  assert(initialized_);
+  Request req = impl_->requests.acquire(RequestImpl::Kind::Recv);
+  req->buffer = buf;
+  req->capacity = bytes;
+  const bool classic_locked =
+      impl_->library == Library::Classic && level_ == ThreadLevel::Multiple;
+  if (classic_locked) impl_->global_lock.lock();
+  impl_->matcher.post_recv(req, c->id(), source, tag);
+  if (classic_locked) impl_->global_lock.unlock();
+  return req;
+}
+
+void Mpi::send(const void* buf, std::size_t bytes, int dest, int tag, const Comm& c) {
+  Request r = isend(buf, bytes, dest, tag, c);
+  wait(r);
+}
+
+void Mpi::recv(void* buf, std::size_t bytes, int source, int tag, const Comm& c,
+               Status* status) {
+  Request r = irecv(buf, bytes, source, tag, c);
+  wait(r, status);
+}
+
+void Mpi::wait(Request& r, Status* status) {
+  progress_until([&] { return r->done(); });
+  if (status != nullptr) *status = r->status;
+  r.reset();
+}
+
+bool Mpi::test(Request& r, Status* status) {
+  progress();
+  if (!r->done()) return false;
+  if (status != nullptr) *status = r->status;
+  r.reset();
+  return true;
+}
+
+bool Mpi::iprobe(int source, int tag, const Comm& c, Status* status) {
+  progress();
+  return impl_->matcher.probe(c->id(), source, tag, status);
+}
+
+void Mpi::probe(int source, int tag, const Comm& c, Status* status) {
+  progress_until([&] { return impl_->matcher.probe(c->id(), source, tag, status); });
+}
+
+void Mpi::waitall(std::vector<Request>& rs) {
+  // Two-phase waitall (paper §IV-A): phase one walks the requests once,
+  // overlapping the (modelled) id-to-object conversion with the completion
+  // -counter loads, and queues the incomplete ones; phase two polls only
+  // the queued residue while driving progress.
+  std::vector<RequestImpl*> incomplete;
+  incomplete.reserve(rs.size());
+  for (Request& r : rs) {
+    if (!r->done()) incomplete.push_back(r.get());
+  }
+  // Phase two polls only the residue, dropping requests as they complete
+  // (swap-erase keeps each sweep proportional to what is actually left).
+  while (!incomplete.empty()) {
+    progress();
+    for (std::size_t i = 0; i < incomplete.size();) {
+      if (incomplete[i]->done()) {
+        incomplete[i] = incomplete.back();
+        incomplete.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    if (!incomplete.empty()) std::this_thread::yield();
+  }
+  for (Request& r : rs) r.reset();
+  rs.clear();
+}
+
+void Mpi::waitall_naive(std::vector<Request>& rs) {
+  for (Request& r : rs) wait(r);
+  rs.clear();
+}
+
+// -------------------------------------------------------------- accessors --
+
+std::uint64_t Mpi::unexpected_messages() const { return impl_->matcher.unexpected_count(); }
+std::uint64_t Mpi::posted_receives_matched() const {
+  return impl_->matcher.posted_matched_count();
+}
+
+}  // namespace pamix::mpi

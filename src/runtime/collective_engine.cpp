@@ -1,0 +1,141 @@
+#include "runtime/collective_engine.h"
+
+#include <cassert>
+#include <type_traits>
+
+namespace pamix::runtime {
+
+namespace {
+
+template <typename T, typename Fn>
+void combine_typed(void* acc, const void* in, std::size_t bytes, Fn&& fn) {
+  auto* a = static_cast<T*>(acc);
+  const auto* b = static_cast<const T*>(in);
+  const std::size_t n = bytes / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) a[i] = fn(a[i], b[i]);
+}
+
+template <typename T>
+void combine_op(hw::CombineOp op, void* acc, const void* in, std::size_t bytes) {
+  switch (op) {
+    case hw::CombineOp::Add:
+      combine_typed<T>(acc, in, bytes, [](T a, T b) { return a + b; });
+      return;
+    case hw::CombineOp::Min:
+      combine_typed<T>(acc, in, bytes, [](T a, T b) { return b < a ? b : a; });
+      return;
+    case hw::CombineOp::Max:
+      combine_typed<T>(acc, in, bytes, [](T a, T b) { return a < b ? b : a; });
+      return;
+    case hw::CombineOp::BitwiseAnd:
+    case hw::CombineOp::BitwiseOr:
+    case hw::CombineOp::BitwiseXor:
+      if constexpr (std::is_integral_v<T>) {
+        if (op == hw::CombineOp::BitwiseAnd) {
+          combine_typed<T>(acc, in, bytes, [](T a, T b) { return static_cast<T>(a & b); });
+        } else if (op == hw::CombineOp::BitwiseOr) {
+          combine_typed<T>(acc, in, bytes, [](T a, T b) { return static_cast<T>(a | b); });
+        } else {
+          combine_typed<T>(acc, in, bytes, [](T a, T b) { return static_cast<T>(a ^ b); });
+        }
+      } else {
+        assert(false && "bitwise combine on floating point");
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+void combine_buffers(hw::CombineOp op, hw::CombineType type, void* acc, const void* in,
+                     std::size_t bytes) {
+  switch (type) {
+    case hw::CombineType::Int32:
+      combine_op<std::int32_t>(op, acc, in, bytes);
+      return;
+    case hw::CombineType::Uint32:
+      combine_op<std::uint32_t>(op, acc, in, bytes);
+      return;
+    case hw::CombineType::Int64:
+      combine_op<std::int64_t>(op, acc, in, bytes);
+      return;
+    case hw::CombineType::Uint64:
+      combine_op<std::uint64_t>(op, acc, in, bytes);
+      return;
+    case hw::CombineType::Double:
+      combine_op<double>(op, acc, in, bytes);
+      return;
+  }
+}
+
+CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute(
+    std::uint64_t round, bool broadcast, bool provides_data, const void* data, std::size_t bytes,
+    hw::CombineOp op, hw::CombineType type, void* result_dest) {
+  std::lock_guard<std::mutex> g(mu_);
+  Round& r = rounds_[round];
+  assert(!r.complete && "contribution to an already-completed round");
+  r.is_broadcast = broadcast;
+  if (provides_data) {
+    if (broadcast) {
+      assert(r.acc.empty() && "two roots in one broadcast round");
+      r.acc.assign(static_cast<const std::byte*>(data),
+                   static_cast<const std::byte*>(data) + bytes);
+      r.bytes = bytes;
+    } else {
+      if (!r.have_op) {
+        r.op = op;
+        r.type = type;
+        r.bytes = bytes;
+        r.have_op = true;
+        r.acc.assign(static_cast<const std::byte*>(data),
+                     static_cast<const std::byte*>(data) + bytes);
+      } else {
+        assert(r.bytes == bytes && r.op == op && r.type == type &&
+               "mismatched collective contributions");
+        combine_buffers(op, type, r.acc.data(), data, bytes);
+      }
+    }
+  }
+  if (result_dest != nullptr) r.dests.push_back(result_dest);
+  ++r.arrived;
+  if (r.arrived == participants_) {
+    // Round fires: RDMA-write the result into every registered buffer.
+    assert((!broadcast || !r.acc.empty()) && "broadcast round had no root");
+    for (void* d : r.dests) {
+      if (d != r.acc.data() && !r.acc.empty()) std::memcpy(d, r.acc.data(), r.bytes);
+    }
+    r.complete = true;
+    if (round + 1 > completed_upto_) completed_upto_ = round + 1;
+    // Prune long-completed rounds.
+    while (!rounds_.empty() && rounds_.begin()->first + 64 < completed_upto_ &&
+           rounds_.begin()->second.complete) {
+      rounds_.erase(rounds_.begin());
+    }
+  }
+  return Ticket{round};
+}
+
+CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute_reduce(
+    std::uint64_t round, const void* data, std::size_t bytes, hw::CombineOp op,
+    hw::CombineType type, void* result_dest) {
+  return contribute(round, /*broadcast=*/false, /*provides_data=*/true, data, bytes, op, type,
+                    result_dest);
+}
+
+CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute_broadcast(
+    std::uint64_t round, bool is_root, const void* data, std::size_t bytes, void* result_dest) {
+  return contribute(round, /*broadcast=*/true, is_root, data, bytes, hw::CombineOp::Add,
+                    hw::CombineType::Double, result_dest);
+}
+
+bool CollectiveNetworkEngine::done(const Ticket& t) const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (t.round < completed_upto_) {
+    auto it = rounds_.find(t.round);
+    return it == rounds_.end() || it->second.complete;
+  }
+  auto it = rounds_.find(t.round);
+  return it != rounds_.end() && it->second.complete;
+}
+
+}  // namespace pamix::runtime

@@ -1,0 +1,88 @@
+// CollectiveNetworkEngine — functional model of the embedded collective
+// network's combine/broadcast datapath.
+//
+// A classroute programmed for reduction accepts one contribution per
+// participating node per round; the routers combine contributions flowing
+// up the tree and broadcast the result down, RDMA-writing it into each
+// node's destination buffer.  Functionally that collapses to: gather all
+// contributions for a round, apply the combine op once, copy the result to
+// every registered destination, and mark the round complete.  The arm/poll
+// interface mirrors the hardware (software injects a descriptor, then
+// polls a reception counter), so PAMI's collective code drives this engine
+// exactly as it would drive the MU.
+//
+// Rounds are pipelined: a fast node may contribute to round r+1 while
+// stragglers are still completing round r; per-round state is keyed by the
+// caller-supplied round number (PAMI sequences collectives per geometry,
+// which provides exactly this monotonic round id).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "hw/classroute.h"
+
+namespace pamix::runtime {
+
+/// Apply a combine op elementwise: acc = acc OP in.
+void combine_buffers(hw::CombineOp op, hw::CombineType type, void* acc, const void* in,
+                     std::size_t bytes);
+
+class CollectiveNetworkEngine {
+ public:
+  /// Program the engine for `participants` nodes (one master contribution
+  /// per node). Mirrors writing the classroute DCRs.
+  explicit CollectiveNetworkEngine(int participants) : participants_(participants) {}
+
+  struct Ticket {
+    std::uint64_t round = 0;
+  };
+
+  /// Contribute this node's data for reduction round `round`.
+  /// `result_dest` is where the network RDMA-writes this node's copy of
+  /// the combined result (the master's receive buffer).
+  /// `on_complete` (optional) runs under no locks after the result lands.
+  Ticket contribute_reduce(std::uint64_t round, const void* data, std::size_t bytes,
+                           hw::CombineOp op, hw::CombineType type, void* result_dest);
+
+  /// Broadcast round: exactly one contributor (the root's master) supplies
+  /// data; every participant still calls in to register its destination
+  /// buffer and advance the round.
+  Ticket contribute_broadcast(std::uint64_t round, bool is_root, const void* data,
+                              std::size_t bytes, void* result_dest);
+
+  /// True once the round of `t` has completed and this node's result has
+  /// been written.
+  bool done(const Ticket& t) const;
+
+  int participants() const { return participants_; }
+
+ private:
+  struct Round {
+    int arrived = 0;
+    bool is_broadcast = false;
+    bool have_op = false;
+    hw::CombineOp op = hw::CombineOp::Add;
+    hw::CombineType type = hw::CombineType::Double;
+    std::size_t bytes = 0;
+    std::vector<std::byte> acc;
+    std::vector<void*> dests;
+    bool complete = false;
+  };
+
+  Ticket contribute(std::uint64_t round, bool broadcast, bool provides_data, const void* data,
+                    std::size_t bytes, hw::CombineOp op, hw::CombineType type,
+                    void* result_dest);
+
+  const int participants_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Round> rounds_;
+  std::uint64_t completed_upto_ = 0;  // rounds below this are complete & erased
+};
+
+}  // namespace pamix::runtime

@@ -1,0 +1,45 @@
+// FunctionalNetwork — the byte-moving transport of the functional machine.
+//
+// Where the DES torus (sim/) models *when* packets arrive, this transport
+// actually delivers them: a packet handed to `transmit` is routed to the
+// destination node's MessagingUnit immediately (the host memory system is
+// the wire).  Ordering matches the deterministic-routing guarantee PAMI
+// relies on: packets from one injection FIFO to one destination arrive in
+// injection order, because the sending MU engine drains its FIFO in order
+// and delivery is synchronous.
+//
+// Per-link traffic counters are kept so tests and examples can audit
+// routes (e.g. that nearest-neighbor traffic really used one link).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "hw/mu.h"
+#include "hw/torus.h"
+
+namespace pamix::runtime {
+
+class Machine;
+
+class FunctionalNetwork final : public hw::NetworkPort {
+ public:
+  explicit FunctionalNetwork(Machine* machine) : machine_(machine) {}
+
+  bool transmit(hw::MuPacket&& pkt) override;
+
+  std::uint64_t packets_delivered() const {
+    return packets_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t payload_bytes_delivered() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Machine* machine_;
+  std::atomic<std::uint64_t> packets_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace pamix::runtime

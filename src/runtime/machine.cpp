@@ -1,0 +1,93 @@
+#include "runtime/machine.h"
+
+#include <exception>
+#include <mutex>
+
+namespace pamix::runtime {
+
+bool FunctionalNetwork::transmit(hw::MuPacket&& pkt) {
+  const std::size_t payload = pkt.payload.size();
+  if (pkt.deposit) {
+    // Deposit-bit line broadcast: the packet is consumed by every node the
+    // deterministic route passes through, as well as the final
+    // destination. (The hardware restricts this to single-dimension
+    // routes; memory-FIFO deposits land in the same FIFO id per node.)
+    std::vector<int> hops;
+    machine_->geometry().for_each_route_link(
+        pkt.src_node, pkt.dest_node, [&](const hw::TorusLink& l) {
+          const int next = machine_->geometry().neighbor(l.node, l.dim, l.dir);
+          hops.push_back(next);
+        });
+    bool ok = true;
+    for (int node : hops) {
+      hw::MuPacket copy = pkt;
+      // A deposited direct-put writes the same offset in each node's
+      // (process-local) destination; our single-address-space model keeps
+      // one target, so deposit is only meaningful for memory-FIFO packets.
+      ok = machine_->node(node).mu().receive(std::move(copy)) && ok;
+      packets_.fetch_add(1, std::memory_order_relaxed);
+      bytes_.fetch_add(payload, std::memory_order_relaxed);
+    }
+    return ok;
+  }
+  Node& dest = machine_->node(pkt.dest_node);
+  if (!dest.mu().receive(std::move(pkt))) return false;
+  packets_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(payload, std::memory_order_relaxed);
+  return true;
+}
+
+Machine::Machine(hw::TorusGeometry geometry, int ppn, MachineOptions options)
+    : geom_(std::move(geometry)),
+      ppn_(ppn),
+      options_(options),
+      network_(this),
+      gi_(hw::kClassRoutesPerNode),
+      routes_(hw::kClassRoutesPerNode),
+      engines_(hw::kClassRoutesPerNode) {
+  assert(ppn_ >= 1 && ppn_ <= 64);
+  nodes_.reserve(static_cast<std::size_t>(geom_.node_count()));
+  for (int n = 0; n < geom_.node_count(); ++n) {
+    nodes_.push_back(std::make_unique<Node>(n, &network_, options_));
+  }
+  // Classroute 0 is system-programmed over the whole partition at boot
+  // (the COMM_WORLD route), exactly as CNK does.
+  program_classroute(0, hw::TorusRectangle::whole_machine(geom_));
+}
+
+Machine::~Machine() = default;
+
+void Machine::program_classroute(int id, const hw::TorusRectangle& rect) {
+  assert(id >= 0 && id < hw::kClassRoutesPerNode);
+  routes_[static_cast<std::size_t>(id)] = std::make_unique<hw::ClassRoute>(geom_, rect);
+  engines_[static_cast<std::size_t>(id)] =
+      std::make_unique<CollectiveNetworkEngine>(rect.node_count());
+  gi_.program(id, rect.node_count());
+}
+
+void Machine::clear_classroute(int id) {
+  assert(id >= 0 && id < hw::kClassRoutesPerNode);
+  routes_[static_cast<std::size_t>(id)].reset();
+  engines_[static_cast<std::size_t>(id)].reset();
+}
+
+void Machine::run_spmd(const std::function<void(int task)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(task_count()));
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  for (int t = 0; t < task_count(); ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        body(t);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace pamix::runtime

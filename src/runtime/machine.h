@@ -1,0 +1,120 @@
+// Machine — the functional multi-node BG/Q machine hosted on one process.
+//
+// A Machine instantiates `node_count` simulated nodes, each with the full
+// per-node hardware complement (messaging unit, wakeup unit, L2 atomic
+// domain, global-VA table, hardware-thread map), wires their MUs to the
+// functional network, and provides the classroute / global-interrupt
+// resources of the partition.  Simulated MPI *tasks* are host threads:
+// task t lives on node t/ppn with node-local index t%ppn (the ABCDE-T
+// mapping the paper's runs use).
+//
+// CNK's shared-address-space support maps naturally: all simulated
+// processes share the host address space, and the per-node GlobalVaTable
+// keeps the explicit register/translate discipline.
+//
+// Scale guidance: functional machines are for correctness and host-side
+// measurement at small scale (tests use <= 32 nodes x <= 8 ppn). The
+// paper-scale experiments (2048 nodes) run on the timing simulator.
+#pragma once
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "hw/classroute.h"
+#include "hw/cnk.h"
+#include "hw/global_interrupt.h"
+#include "hw/l2_atomics.h"
+#include "hw/mu.h"
+#include "hw/torus.h"
+#include "hw/wakeup_unit.h"
+#include "runtime/collective_engine.h"
+#include "runtime/functional_network.h"
+
+namespace pamix::runtime {
+
+struct MachineOptions {
+  std::size_t inj_fifo_capacity = 256;
+  std::size_t rec_fifo_capacity = 8192;
+};
+
+/// One simulated compute node.
+class Node {
+ public:
+  Node(int id, hw::NetworkPort* port, const MachineOptions& opt)
+      : id_(id), mu_(std::make_unique<hw::MessagingUnit>(id, port, &wakeup_, opt.inj_fifo_capacity,
+                                                         opt.rec_fifo_capacity)) {}
+
+  int id() const { return id_; }
+  hw::MessagingUnit& mu() { return *mu_; }
+  hw::WakeupUnit& wakeup() { return wakeup_; }
+  hw::L2AtomicDomain& l2() { return l2_; }
+  hw::GlobalVaTable& global_va() { return global_va_; }
+  hw::HwThreadMap& hw_threads() { return hw_threads_; }
+
+ private:
+  int id_;
+  hw::WakeupUnit wakeup_;
+  hw::L2AtomicDomain l2_;
+  hw::GlobalVaTable global_va_;
+  hw::HwThreadMap hw_threads_;
+  std::unique_ptr<hw::MessagingUnit> mu_;
+};
+
+class Machine {
+ public:
+  Machine(hw::TorusGeometry geometry, int ppn, MachineOptions options = {});
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const hw::TorusGeometry& geometry() const { return geom_; }
+  int ppn() const { return ppn_; }
+  int node_count() const { return geom_.node_count(); }
+  int task_count() const { return geom_.node_count() * ppn_; }
+
+  int node_of_task(int task) const { return task / ppn_; }
+  int local_index_of_task(int task) const { return task % ppn_; }
+  int task_of(int node, int local_index) const { return node * ppn_ + local_index; }
+
+  Node& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
+  Node& node_of(int task) { return node(node_of_task(task)); }
+  FunctionalNetwork& network() { return network_; }
+  hw::GlobalInterruptNetwork& gi_network() { return gi_; }
+  const MachineOptions& options() const { return options_; }
+
+  // --- Classroute + collective-engine slots (16 per partition; 2 system) ---
+
+  /// Program classroute slot `id` over `rect`: builds the spanning tree,
+  /// the GI barrier, and the functional combine engine. Overwrites any
+  /// previous programming of the slot (PAMI's deoptimize/optimize reuse).
+  void program_classroute(int id, const hw::TorusRectangle& rect);
+  void clear_classroute(int id);
+  bool classroute_programmed(int id) const {
+    return routes_[static_cast<std::size_t>(id)] != nullptr;
+  }
+  const hw::ClassRoute& classroute(int id) const { return *routes_[static_cast<std::size_t>(id)]; }
+  CollectiveNetworkEngine& collective_engine(int id) {
+    return *engines_[static_cast<std::size_t>(id)];
+  }
+
+  /// Run `body(task)` on one host thread per task and join them all.
+  /// Any exception escaping a task is rethrown (first one wins) after all
+  /// tasks finish or abort.
+  void run_spmd(const std::function<void(int task)>& body);
+
+ private:
+  hw::TorusGeometry geom_;
+  int ppn_;
+  MachineOptions options_;
+  FunctionalNetwork network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  hw::GlobalInterruptNetwork gi_;
+  std::vector<std::unique_ptr<hw::ClassRoute>> routes_;
+  std::vector<std::unique_ptr<CollectiveNetworkEngine>> engines_;
+};
+
+}  // namespace pamix::runtime

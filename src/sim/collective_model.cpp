@@ -1,0 +1,78 @@
+#include "sim/collective_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pamix::sim {
+
+double CollectiveModel::local_barrier_us(int ppn) const {
+  if (ppn <= 1) return 0.0;
+  return model_.local_barrier_base_us +
+         model_.local_barrier_log_us * std::log2(static_cast<double>(ppn));
+}
+
+double CollectiveModel::barrier_latency_us(int ppn) const {
+  // GI round: the AND signal propagates up the classroute tree and the
+  // release interrupt propagates back down — 2 x depth router hops.
+  const double gi_round = 2.0 * world_route_.depth() * model_.hop_latency_us;
+  return model_.barrier_sw_us + local_barrier_us(ppn) + gi_round;
+}
+
+double CollectiveModel::allreduce_latency_us(int ppn, std::size_t bytes) const {
+  // Up-tree combine pays the extra per-hop combine-logic latency; the
+  // down-tree broadcast of the result pays plain hop latency.
+  const double up = world_route_.depth() * (model_.hop_latency_us + model_.combine_hop_extra_us);
+  const double down = world_route_.depth() * model_.hop_latency_us;
+  const double wire = 2.0 * model_.packet_serialization_us(bytes);
+  double sw;
+  if (ppn <= 1) {
+    sw = model_.allreduce_sw_solo_us;
+  } else {
+    // Shared-address mode: peers take over result copy-out (shorter master
+    // critical path), but the node-local combine grows with ppn.
+    sw = model_.allreduce_sw_shared_us +
+         model_.allreduce_local_log_us * std::log2(static_cast<double>(2 * ppn));
+  }
+  return sw + up + down + wire;
+}
+
+double CollectiveModel::net_rate_mb_s(double derate, double ppn_log_derate, int ppn) const {
+  const double ppn_derate =
+      (ppn > 1) ? ppn_log_derate * std::log2(static_cast<double>(ppn)) : 0.0;
+  return model_.link_payload_mb_s * std::max(0.0, derate - ppn_derate);
+}
+
+double CollectiveModel::allreduce_time_us(int ppn, std::size_t bytes) const {
+  // Working set on a node: each process holds a send and a receive buffer.
+  const std::size_t working_set = 2 * bytes * static_cast<std::size_t>(ppn);
+  const double touch_bw = model_.copy_bandwidth_mb_s(working_set);
+  const double mem_rate = touch_bw / model_.touches_allreduce(ppn);
+  double net_rate = net_rate_mb_s(model_.combine_bw_derate, model_.allreduce_ppn_log_derate, ppn);
+  // Even at ppn=1 the MU's reads/writes fall to DDR once buffers spill L2.
+  if (working_set > model_.l2_bytes && ppn == 1) net_rate *= 0.97;
+  const double rate = std::min(net_rate, mem_rate);
+  const double fill = allreduce_latency_us(ppn, std::min<std::size_t>(bytes, 512));
+  return fill + static_cast<double>(bytes) / rate;
+}
+
+double CollectiveModel::allreduce_throughput_mb_s(int ppn, std::size_t bytes) const {
+  return static_cast<double>(bytes) / allreduce_time_us(ppn, bytes);
+}
+
+double CollectiveModel::bcast_time_us(int ppn, std::size_t bytes) const {
+  const std::size_t working_set = bytes * static_cast<std::size_t>(ppn);
+  const double touch_bw = model_.copy_bandwidth_mb_s(working_set);
+  const double mem_rate = touch_bw / model_.touches_bcast(ppn);
+  double net_rate = net_rate_mb_s(model_.bcast_bw_derate, model_.bcast_ppn_log_derate, ppn);
+  if (working_set > model_.l2_bytes && ppn == 1) net_rate *= 0.97;
+  const double rate = std::min(net_rate, mem_rate);
+  const double fill = world_route_.depth() * model_.hop_latency_us + model_.barrier_sw_us +
+                      local_barrier_us(ppn);
+  return fill + static_cast<double>(bytes) / rate;
+}
+
+double CollectiveModel::bcast_throughput_mb_s(int ppn, std::size_t bytes) const {
+  return static_cast<double>(bytes) / bcast_time_us(ppn, bytes);
+}
+
+}  // namespace pamix::sim

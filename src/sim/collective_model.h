@@ -1,0 +1,62 @@
+// Collective-network timing model — latency and throughput of the BG/Q
+// embedded collective network (classroutes over the torus) and the GI
+// barrier, composed from real classroute tree structure plus the calibrated
+// cost model.
+//
+// Latency experiments (Figures 6 and 7) are dominated by the up-tree /
+// down-tree traversal: 2 x depth hops, where depth is the actual depth of
+// the classroute spanning tree this library builds over the given torus
+// geometry — not a closed-form guess.  Throughput experiments (Figures 8
+// and 9) are pipelined: packets stream up the tree being combined and the
+// result streams down, so the steady-state rate is the minimum of the
+// network combine rate and the node memory pipeline; tree depth only
+// contributes a fill term.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/classroute.h"
+#include "hw/torus.h"
+#include "sim/cost_model.h"
+
+namespace pamix::sim {
+
+class CollectiveModel {
+ public:
+  CollectiveModel(const hw::TorusGeometry& geom, BgqCostModel model)
+      : geom_(geom),
+        model_(model),
+        world_route_(geom_, hw::TorusRectangle::whole_machine(geom_)) {}
+
+  const hw::ClassRoute& world_route() const { return world_route_; }
+  const BgqCostModel& model() const { return model_; }
+
+  /// MPI_Barrier latency (µs): node-local L2-atomic barrier + GI round
+  /// (up-tree AND-combine, down-tree interrupt) over the classroute.
+  double barrier_latency_us(int ppn) const;
+
+  /// MPI_Allreduce latency (µs) for a short message of `bytes` (Fig 7 uses
+  /// one double = 8 bytes): local combine, up-tree combine, down-tree
+  /// broadcast, shared-address copy-out.
+  double allreduce_latency_us(int ppn, std::size_t bytes = 8) const;
+
+  /// MPI_Allreduce throughput (MB/s) for `bytes` per process pair (Fig 8).
+  double allreduce_throughput_mb_s(int ppn, std::size_t bytes) const;
+
+  /// MPI_Bcast throughput via the collective network (MB/s, Fig 9).
+  double bcast_throughput_mb_s(int ppn, std::size_t bytes) const;
+
+  /// Total time of one allreduce of `bytes` (used by throughput + tests).
+  double allreduce_time_us(int ppn, std::size_t bytes) const;
+  double bcast_time_us(int ppn, std::size_t bytes) const;
+
+ private:
+  double local_barrier_us(int ppn) const;
+  double net_rate_mb_s(double derate, double ppn_log_derate, int ppn) const;
+
+  hw::TorusGeometry geom_;  // owned copy: world_route_ points into it
+  BgqCostModel model_;
+  hw::ClassRoute world_route_;
+};
+
+}  // namespace pamix::sim

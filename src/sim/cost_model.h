@@ -1,0 +1,210 @@
+// BgqCostModel — calibrated first-principles cost model of a BG/Q node and
+// its network, used by the timing simulator.
+//
+// Sources for the constants:
+//   * hardware parameters published in the paper and in Chen et al.,
+//     "The Blue Gene/Q Interconnection Network" (SC'11): 1.6 GHz A2 cores,
+//     2 GB/s raw per link direction, 512B payload / 32B header packets,
+//     ~1.8 GB/s peak payload rate, ~40 ns per torus hop;
+//   * software-overhead terms calibrated so the model reproduces the
+//     paper's Table 1/2 latencies and Figure 5 message rates (documented
+//     per-term below and cross-checked in EXPERIMENTS.md).
+//
+// Every figure/table bench composes *these named terms with simulated
+// network behaviour* (real routes, real classroute depths) rather than
+// hard-coding the paper's results, so sweeps away from the published
+// points (other node counts, sizes, ppn) remain meaningful.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace pamix::sim {
+
+struct BgqCostModel {
+  // --- Clock & link physics -------------------------------------------------
+  double clock_ghz = 1.6;
+  /// Raw unidirectional link bandwidth (bytes per microsecond = MB/s).
+  double link_raw_mb_s = 2000.0;
+  /// Achievable application payload bandwidth per link direction after
+  /// packet headers, protocol packets and consistency checks (paper: §II-B).
+  double link_payload_mb_s = 1800.0;
+  /// Per-hop router latency (ns), including link serialization of the head.
+  double hop_latency_us = 0.040;
+  /// Additional per-hop latency of the collective-network combine logic
+  /// (integer/FP reduce performed in the router as data flows up-tree).
+  double combine_hop_extra_us = 0.048;
+
+  std::size_t packet_payload_bytes = 512;
+  std::size_t packet_header_bytes = 32;
+
+  // --- Memory system --------------------------------------------------------
+  /// L2 cache capacity (bytes): collective buffers that fit here stream at
+  /// L2 rates; beyond it DDR bandwidth governs (the figure 8-10 falloff).
+  std::size_t l2_bytes = 32ull * 1024 * 1024;
+  /// Node-aggregate memory-touch bandwidth (each read and write of a byte
+  /// counted once) when the working set fits in L2 (MB/s).
+  double l2_copy_mb_s = 100000.0;
+  /// The same once the working set spills to DDR, under the concurrent
+  /// sharer access patterns of the shared-address collectives.
+  double ddr_copy_mb_s = 14000.0;
+
+  // --- MU / PAMI software overheads (µs), calibrated to Table 1 ------------
+  /// Software cost on the sender for PAMI_Send_immediate: build the packet
+  /// in-line and store it to the injection FIFO.
+  double pami_send_immediate_origin_us = 0.36;
+  /// Extra origin cost of full PAMI_Send: 64B descriptor build, payload
+  /// pinning, completion bookkeeping.
+  double pami_send_extra_us = 0.14;
+  /// Receiver software cost: poll the reception FIFO, run the dispatch.
+  double pami_dispatch_us = 0.45;
+  /// MU hardware pipeline: injection FIFO fetch + packet launch.
+  double mu_injection_us = 0.17;
+  /// MU reception: packet landing in the reception FIFO / memory.
+  double mu_reception_us = 0.12;
+  /// Per-packet software handling when copying eager payload out of a
+  /// memory FIFO (bounds the eager protocol's throughput, Table 3).
+  double eager_per_packet_copy_us = 0.137;
+
+  // --- MPI ("pamid") software overheads (µs), calibrated to Table 2 --------
+  /// Match+complete cost of an MPI message over the PAMI active-message
+  /// dispatch: receive-queue lookup, request object, completion.
+  double mpi_matching_us = 0.63;
+  /// Extra per-call cost of the thread-optimized library's fine-grained
+  /// mutexes (receive queue, allocator pools) when THREAD_MULTIPLE.
+  double mpi_threadopt_multiple_us = 0.46;
+  /// Extra cost per call of the classic library's global lock (uncontended
+  /// acquire/release pair), paid only when initialized THREAD_MULTIPLE.
+  double mpi_global_lock_us = 0.33;
+  /// Extra cost of the thread-optimized library's memory synchronization
+  /// (lwsync fences keeping state consistent with commthreads) — paid even
+  /// in THREAD_SINGLE, which is why classic wins single-threaded.
+  double mpi_threadopt_sync_us = 0.55;
+  /// Extra per-message cost when the thread-optimized library also runs
+  /// commthreads in a latency test: handoff + wakeup of the commthread.
+  double mpi_commthread_handoff_us = 0.29;
+  /// Penalty per message when the *classic* library must bounce its
+  /// context lock against an active commthread (lock ping-pong between the
+  /// main thread and the helper): dominates Table 2's 8.7 µs entry.
+  double classic_commthread_lock_bounce_us = 6.4;
+  /// Matching serialization penalty applied to wildcard (MPI_ANY_SOURCE)
+  /// receives: the receive queue must be scanned under one mutex.
+  double wildcard_match_penalty = 0.15;
+
+  // --- Message-rate terms (µs per message), calibrated to Figure 5 ---------
+  /// PAMI per-message origin cost in the message-rate benchmark (software
+  /// pipelining hides part of the latency-path cost).
+  double pami_rate_per_msg_us = 0.298;
+  /// MPI per-message cost in the same benchmark (adds matching etc.).
+  double mpi_rate_per_msg_us = 1.397;
+  /// Serial (non-offloadable) fraction of the MPI per-message cost when
+  /// commthreads are used: the Isend post, ordering and completion stay on
+  /// the main thread (paper: speedup saturates at 2.4x with 16 helpers).
+  double mpi_rate_serial_fraction = 0.38;
+  /// Per-message handoff cost of posting work to a context's work queue.
+  double context_post_us = 0.085;
+
+  // --- Collective software terms (µs), calibrated to Figures 6-8 -----------
+  /// MPI_Barrier software overhead at the node master (GI arm + poll).
+  double barrier_sw_us = 1.02;
+  /// Node-local barrier via L2 atomics: cost added per doubling of ppn.
+  double local_barrier_base_us = 0.97;
+  double local_barrier_log_us = 0.14;
+  /// MPI_Allreduce software overhead at the master when a single process
+  /// runs the whole node (injection and polling on one thread).
+  double allreduce_sw_solo_us = 2.77;
+  /// The same overhead when peers share the node: the master's critical
+  /// path shrinks because peers take over the result copy-out...
+  double allreduce_sw_shared_us = 1.82;
+  /// ...but the node-local combine/copy adds a term growing with ppn
+  /// (applied per log2(2*ppn): gather + scatter legs of the local phase).
+  double allreduce_local_log_us = 0.15;
+  /// Shared-address copy/math overhead per process participating locally.
+  double shared_addr_sync_us = 0.12;
+  /// Collective-network achievable fraction of link payload bandwidth for
+  /// reduce traffic (Fig 8: 1704 MB/s = 94.7% of 1800 at ppn=1).
+  double combine_bw_derate = 0.947;
+  /// Broadcast achievable fraction (Fig 9: 1728 MB/s = 96%).
+  double bcast_bw_derate = 0.960;
+  /// Per-log2(ppn) derate of achievable allreduce bandwidth (local math
+  /// scheduling interleaved with injection; Fig 8 peaks drop with ppn).
+  double allreduce_ppn_log_derate = 0.008;
+  /// Per-log2(ppn) derate for broadcast (copy-out only; Fig 9 drops less).
+  double bcast_ppn_log_derate = 0.003;
+
+  // --- Memory-pipeline ops per result byte (Figs 8-10 falloff) -------------
+  // These count node memory "touches" (each read and each write of a byte)
+  // per result byte in the large-message pipelined regime; throughput is
+  // then bounded by copy_bandwidth / touches.
+  double touches_allreduce(int ppn) const {
+    // Local reduce reads ppn inputs and writes one result; the master's
+    // buffer is read+written by the MU; peers copy the result out (ppn
+    // reads of the master buffer + ppn writes).
+    return static_cast<double>(ppn) + 1.0 + 2.0 + 2.0 * ppn;
+  }
+  double touches_bcast(int ppn) const {
+    // MU writes the master buffer; peers copy it out.
+    return 1.0 + 2.0 * static_cast<double>(ppn);
+  }
+
+  // --- Table 3 neighbor-throughput terms ------------------------------------
+  /// Achieved fraction of the 2x1800 MB/s bidirectional per-link peak for
+  /// rendezvous RDMA traffic (paper: 3333/3600 = 92.6%).
+  double rdzv_link_efficiency = 0.9255;
+  /// Rendezvous efficiency lost per extra concurrent neighbor link (MU
+  /// engine arbitration; 10 links reach 90% of peak).
+  double rdzv_multi_link_derate = 0.0035;
+  /// Per-reception-FIFO eager drain rate (MB/s): a memory-FIFO's packets
+  /// are copied out serially, and +/- neighbors of one torus dimension
+  /// hash to the same context FIFO (reproduces Table 3's pairwise steps).
+  double eager_rec_fifo_mb_s = 1680.0;
+  /// Aggregate single-process eager receive-copy rate cap (MB/s).
+  double eager_recv_cap_mb_s = 4233.0;
+
+  // --- Derived helpers ------------------------------------------------------
+  /// Number of network packets for a payload of `bytes`.
+  std::size_t packets_for(std::size_t bytes) const {
+    if (bytes == 0) return 1;  // header-only packet still flows
+    return (bytes + packet_payload_bytes - 1) / packet_payload_bytes;
+  }
+
+  /// Wire serialization time of one packet carrying `payload` bytes (µs),
+  /// at raw link rate including the 32B header.
+  double packet_serialization_us(std::size_t payload) const {
+    // Effective wire bytes are scaled so that a stream of full 512B-payload
+    // packets achieves exactly link_payload_mb_s of application payload
+    // (the protocol/consistency overhead folded into the scale factor).
+    const double scale = (link_raw_mb_s / link_payload_mb_s) *
+                         (512.0 / (512.0 + static_cast<double>(packet_header_bytes)));
+    const double wire_bytes = static_cast<double>(payload + packet_header_bytes) * scale;
+    return wire_bytes / link_raw_mb_s;
+  }
+
+  /// Streaming payload time for `bytes` over one link direction (µs).
+  double link_stream_us(std::size_t bytes) const {
+    return static_cast<double>(bytes) / link_payload_mb_s;
+  }
+
+  /// Node-aggregate memory copy bandwidth (MB/s) for a working set of
+  /// `working_set_bytes`: L2-resident sets stream fast, spilled sets are
+  /// held to DDR rates. The transition is smoothed over a small band so
+  /// sweeps produce the gradual rollover the paper's figures show.
+  double copy_bandwidth_mb_s(std::size_t working_set_bytes) const {
+    const double ws = static_cast<double>(working_set_bytes);
+    const double cap = static_cast<double>(l2_bytes);
+    if (ws <= 0.75 * cap) return l2_copy_mb_s;
+    if (ws >= 1.5 * cap) return ddr_copy_mb_s;
+    const double t = (ws - 0.75 * cap) / (0.75 * cap);
+    return l2_copy_mb_s + t * (ddr_copy_mb_s - l2_copy_mb_s);
+  }
+
+  /// One-way small-message network time across `hops` torus hops (µs):
+  /// MU injection, per-hop latency, MU reception.
+  double network_one_way_us(int hops, std::size_t payload) const {
+    return mu_injection_us + packet_serialization_us(payload) +
+           hop_latency_us * std::max(1, hops) + mu_reception_us;
+  }
+};
+
+}  // namespace pamix::sim

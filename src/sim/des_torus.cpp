@@ -1,0 +1,127 @@
+#include "sim/des_torus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace pamix::sim {
+
+std::vector<hw::TorusLink> DesTorus::route_for(int src, int dst, hw::MuRouting routing,
+                                               std::uint64_t packet_seq) const {
+  std::vector<hw::TorusLink> route;
+  if (routing == hw::MuRouting::Deterministic) {
+    geom_.for_each_route_link(src, dst, [&](const hw::TorusLink& l) { route.push_back(l); });
+    return route;
+  }
+  // Dynamic routing: spread packets over rotations of the dimension order,
+  // approximating the adaptive spreading of bulk RDMA traffic.
+  const int rot = static_cast<int>(packet_seq % hw::kTorusDims);
+  int cur = src;
+  for (int i = 0; i < hw::kTorusDims; ++i) {
+    const auto d = static_cast<hw::Dim>((i + rot) % hw::kTorusDims);
+    int delta = geom_.shortest_delta(src, dst, d);
+    hw::Dir dir = delta >= 0 ? hw::Dir::Plus : hw::Dir::Minus;
+    // A size-2 ring has two physical links to the partner node (BG/Q's E
+    // dimension is cabled with both); adaptive traffic alternates between
+    // them packet by packet.
+    if (geom_.size(d) == 2 && delta != 0 && (packet_seq & 1)) {
+      dir = dir == hw::Dir::Plus ? hw::Dir::Minus : hw::Dir::Plus;
+    }
+    for (int k = std::abs(delta); k > 0; --k) {
+      route.push_back(hw::TorusLink{cur, d, dir});
+      cur = geom_.neighbor(cur, d, dir);
+    }
+  }
+  assert(cur == dst);
+  return route;
+}
+
+void DesTorus::send_message(SimTime start, int src, int dst, std::size_t bytes,
+                            hw::MuRouting routing, OnDelivered done) {
+  const std::size_t npackets = model_.packets_for(bytes);
+  auto msg_state =
+      std::make_shared<std::pair<std::size_t, OnDelivered>>(npackets, std::move(done));
+
+  std::size_t remaining = bytes;
+  SimTime t = start + model_.mu_injection_us;
+  for (std::size_t p = 0; p < npackets; ++p) {
+    const std::size_t payload = std::min(remaining, model_.packet_payload_bytes);
+    remaining -= payload;
+    auto plan = std::make_shared<PacketPlan>();
+    plan->route = route_for(src, dst, routing, packet_seq_++);
+    plan->payload = payload;
+    if (plan->route.empty()) {
+      // Self-send: deliver after reception overhead only.
+      events_.schedule_at(t + model_.mu_reception_us, [this, msg_state] {
+        if (--msg_state->first == 0) msg_state->second(events_.now());
+      });
+      continue;
+    }
+    events_.schedule_at(t, [this, plan, msg_state] { step_packet(*plan, 0, msg_state); });
+  }
+}
+
+void DesTorus::step_packet(
+    const PacketPlan& plan, std::size_t hop_index,
+    const std::shared_ptr<std::pair<std::size_t, OnDelivered>>& msg_state) {
+  const hw::TorusLink& link = plan.route[hop_index];
+  const std::size_t li = static_cast<std::size_t>(geom_.link_index(link));
+  const SimTime ser = model_.packet_serialization_us(plan.payload);
+  const SimTime depart = std::max(events_.now(), link_free_[li]);
+  // The link is occupied for the full serialization time (bandwidth), but
+  // routing is cut-through: the head moves on after one hop latency, and
+  // the tail (full packet) only matters at the final reception.
+  link_free_[li] = depart + ser;
+  ++link_packets_[li];
+  const SimTime arrive = depart + model_.hop_latency_us;
+  const bool last = hop_index + 1 == plan.route.size();
+  if (last) {
+    events_.schedule_at(arrive + ser + model_.mu_reception_us, [this, msg_state] {
+      if (--msg_state->first == 0) msg_state->second(events_.now());
+    });
+  } else {
+    auto plan_copy = std::make_shared<PacketPlan>(plan);
+    events_.schedule_at(arrive, [this, plan_copy, hop_index, msg_state] {
+      step_packet(*plan_copy, hop_index + 1, msg_state);
+    });
+  }
+}
+
+SimTime DesTorus::one_way_time(int src, int dst, std::size_t bytes) {
+  DesTorus fresh(geom_, model_);
+  SimTime delivered = -1.0;
+  fresh.send_message(0.0, src, dst, bytes, hw::MuRouting::Deterministic,
+                     [&](SimTime t) { delivered = t; });
+  fresh.run();
+  assert(delivered >= 0.0);
+  return delivered;
+}
+
+double DesTorus::neighbor_exchange_mb_s(int neighbors, std::size_t bytes) {
+  assert(neighbors >= 1 && neighbors <= 2 * hw::kTorusDims);
+  DesTorus fresh(geom_, model_);
+  const int ref = 0;
+  SimTime last = 0.0;
+  int outstanding = 0;
+  auto on_done = [&](SimTime t) {
+    last = std::max(last, t);
+    --outstanding;
+  };
+  // Neighbors are assigned to distinct links: A+, A-, B+, B-, ... as the
+  // paper's benchmark distributes peers over the ten links out of a node.
+  for (int i = 0; i < neighbors; ++i) {
+    const auto dim = static_cast<hw::Dim>(i / 2);
+    const auto dir = (i % 2 == 0) ? hw::Dir::Plus : hw::Dir::Minus;
+    const int peer = geom_.neighbor(ref, dim, dir);
+    assert(peer != ref && "geometry too small for distinct neighbors");
+    outstanding += 2;
+    fresh.send_message(0.0, ref, peer, bytes, hw::MuRouting::Dynamic, on_done);
+    fresh.send_message(0.0, peer, ref, bytes, hw::MuRouting::Dynamic, on_done);
+  }
+  fresh.run();
+  assert(outstanding == 0);
+  const double total_mb = 2.0 * neighbors * static_cast<double>(bytes);
+  return total_mb / last;  // bytes/µs == MB/s
+}
+
+}  // namespace pamix::sim

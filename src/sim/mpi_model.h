@@ -1,0 +1,73 @@
+// MpiModel — composes the PAMI/MPI software-overhead terms with simulated
+// network behaviour into the quantities the paper's point-to-point
+// evaluation reports: Table 1 (PAMI latency), Table 2 (MPI latency across
+// library/threading variants), Figure 5 (message rates with and without
+// communication threads), and Table 3 (eager vs rendezvous neighbor
+// throughput).
+//
+// The network leg of every latency comes from the DES torus over the real
+// route; only the software terms are calibrated constants, so sweeps over
+// distance, size and ppn stay meaningful.
+#pragma once
+
+#include <cstddef>
+
+#include "hw/torus.h"
+#include "sim/cost_model.h"
+
+namespace pamix::sim {
+
+/// Which MPI library build is modelled (paper §V, Table 2).
+enum class MpiLibrary {
+  Classic,          // global lock around every MPI call
+  ThreadOptimized,  // fine-grained locks + lockless techniques
+};
+
+/// MPI_Init_thread level.
+enum class ThreadLevel { Single, Multiple };
+
+class MpiModel {
+ public:
+  MpiModel(hw::TorusGeometry geom, BgqCostModel model)
+      : geom_(std::move(geom)), model_(model) {}
+
+  const BgqCostModel& model() const { return model_; }
+  const hw::TorusGeometry& geometry() const { return geom_; }
+
+  // --- Table 1: PAMI half-round-trip latency (µs), 0-byte message ---------
+  double pami_send_immediate_latency_us(int src = 0, int dst = -1) const;
+  double pami_send_latency_us(int src = 0, int dst = -1) const;
+
+  // --- Table 2: MPI half-round-trip latency (µs), 0-byte message ----------
+  /// `commthreads` models the latency microbenchmark run with
+  /// communication threads active. Classic + commthreads is pathological
+  /// (context-lock ping-pong); ThreadOptimized pays only the handoff.
+  double mpi_latency_us(MpiLibrary lib, ThreadLevel level, bool commthreads, int src = 0,
+                        int dst = -1) const;
+
+  // --- Figure 5: message rate (million messages/s at the reference node) --
+  /// PAMI message-rate benchmark: `ppn` processes, each paired with a peer
+  /// on a neighboring node, peers spread over the ten links.
+  double pami_message_rate_mmps(int ppn) const;
+  /// MPI message rate without communication threads.
+  double mpi_message_rate_mmps(int ppn, bool wildcard_recv = false) const;
+  /// MPI message rate with communication threads accelerating Isends.
+  double mpi_message_rate_commthread_mmps(int ppn, bool wildcard_recv = false) const;
+  /// Helpers exposed for tests: commthreads available per process at ppn.
+  int commthreads_per_process(int ppn) const;
+  /// Node packet-rate ceiling (all ten links, small packets) in MMPS.
+  double node_packet_rate_ceiling_mmps() const;
+
+  // --- Table 3: neighbor send+receive throughput (MB/s), 1 MB messages ----
+  double eager_neighbor_throughput_mb_s(int neighbors, std::size_t bytes) const;
+  double rendezvous_neighbor_throughput_mb_s(int neighbors, std::size_t bytes) const;
+
+ private:
+  /// One-way network time between nearest neighbors for a small packet.
+  double net_one_way_us(int src, int dst, std::size_t payload) const;
+
+  hw::TorusGeometry geom_;
+  BgqCostModel model_;
+};
+
+}  // namespace pamix::sim

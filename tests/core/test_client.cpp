@@ -1,0 +1,131 @@
+#include "core/client.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/context.h"
+#include "runtime/machine.h"
+
+namespace pamix::pami {
+namespace {
+
+TEST(FifoPlan, DeterministicAndDisjointAcrossContexts) {
+  ClientConfig cfg;
+  cfg.contexts_per_task = 4;
+  cfg.send_fifos_per_context = 8;
+  const FifoPlan plan(cfg, /*ppn=*/4);
+  std::set<int> inj, rec;
+  for (int p = 0; p < 4; ++p) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_TRUE(rec.insert(plan.rec_fifo(p, c)).second) << "rec fifo shared";
+      for (int j = 0; j < 8; ++j) {
+        const int f = plan.inj_fifo(p, c, j);
+        EXPECT_GE(f, 0);
+        EXPECT_LT(f, hw::kInjFifoCount);
+        EXPECT_TRUE(inj.insert(f).second) << "inj fifo shared";
+      }
+    }
+  }
+  EXPECT_EQ(inj.size(), 4u * 4u * 8u);
+}
+
+TEST(FifoPlan, ClientsPartitionTheMuStatically) {
+  ClientConfig a;
+  a.client_id = 0;
+  a.max_clients = 2;
+  a.contexts_per_task = 2;
+  a.send_fifos_per_context = 4;
+  ClientConfig b = a;
+  b.client_id = 1;
+  const FifoPlan pa(a, 2), pb(b, 2);
+  std::set<int> fa, fb;
+  for (int p = 0; p < 2; ++p) {
+    for (int c = 0; c < 2; ++c) {
+      fa.insert(pa.rec_fifo(p, c));
+      fb.insert(pb.rec_fifo(p, c));
+      for (int j = 0; j < 4; ++j) {
+        fa.insert(1000 + pa.inj_fifo(p, c, j));
+        fb.insert(1000 + pb.inj_fifo(p, c, j));
+      }
+    }
+  }
+  for (int f : fa) EXPECT_EQ(fb.count(f), 0u) << "clients share MU resource " << f;
+}
+
+TEST(FifoPlan, BothEndsComputeTheSamePlan) {
+  ClientConfig cfg;
+  cfg.contexts_per_task = 3;
+  const FifoPlan sender_side(cfg, 4);
+  const FifoPlan receiver_side(cfg, 4);
+  for (int p = 0; p < 4; ++p) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(sender_side.rec_fifo(p, c), receiver_side.rec_fifo(p, c));
+    }
+  }
+}
+
+TEST(ClientWorld, CreatesAllClientsWithContexts) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 2);
+  ClientConfig cfg;
+  cfg.contexts_per_task = 3;
+  ClientWorld world(machine, cfg);
+  EXPECT_EQ(world.task_count(), 4);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(world.client(t).context_count(), 3);
+    EXPECT_EQ(world.client(t).task(), t);
+    for (int c = 0; c < 3; ++c) {
+      const Endpoint ep = world.client(t).context(c).endpoint();
+      EXPECT_EQ(ep.task, t);
+      EXPECT_EQ(ep.context, c);
+    }
+  }
+}
+
+TEST(ClientWorld, GlobalVaRegisteredForEveryProcess) {
+  runtime::Machine machine(hw::TorusGeometry({1, 1, 1, 1, 1}), 4);
+  ClientWorld world(machine, ClientConfig{});
+  int x = 0;
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_NE(machine.node(0).global_va().translate(p, &x, sizeof(x)), nullptr);
+  }
+}
+
+TEST(ClientWorld, AdvanceAllTouchesEveryContext) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  ClientConfig cfg;
+  cfg.contexts_per_task = 2;
+  ClientWorld world(machine, cfg);
+  bool ran0 = false, ran1 = false;
+  world.client(0).context(0).post([&] { ran0 = true; });
+  world.client(0).context(1).post([&] { ran1 = true; });
+  world.client(0).advance_all();
+  EXPECT_TRUE(ran0);
+  EXPECT_TRUE(ran1);
+}
+
+TEST(ClientWorld, CrossContextMessaging) {
+  // Endpoint addressing reaches a specific context, not just a task.
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  ClientConfig cfg;
+  cfg.contexts_per_task = 2;
+  ClientWorld world(machine, cfg);
+  int hit_ctx0 = 0, hit_ctx1 = 0;
+  world.client(1).context(0).set_dispatch(
+      3, [&](Context&, const void*, std::size_t, const void*, std::size_t, std::size_t,
+             Endpoint, RecvDescriptor*) { ++hit_ctx0; });
+  world.client(1).context(1).set_dispatch(
+      3, [&](Context&, const void*, std::size_t, const void*, std::size_t, std::size_t,
+             Endpoint, RecvDescriptor*) { ++hit_ctx1; });
+  Context& src = world.client(0).context(0);
+  ASSERT_EQ(src.send_immediate(3, Endpoint{1, 1}, nullptr, 0, nullptr, 0), Result::Success);
+  for (int i = 0; i < 100 && hit_ctx1 == 0; ++i) {
+    world.client(1).context(0).advance();
+    world.client(1).context(1).advance();
+  }
+  EXPECT_EQ(hit_ctx0, 0);
+  EXPECT_EQ(hit_ctx1, 1);
+}
+
+}  // namespace
+}  // namespace pamix::pami

@@ -1,0 +1,182 @@
+#include "core/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <numeric>
+
+#include "core/client.h"
+#include "runtime/machine.h"
+
+namespace pamix::pami {
+namespace {
+
+/// SPMD collective tests over a functional machine: 4 nodes x 2 ppn.
+class CollectivesTest : public ::testing::Test {
+ protected:
+  CollectivesTest()
+      : machine_(hw::TorusGeometry({2, 2, 1, 1, 1}), 2), world_(machine_, cfg()) {}
+  static ClientConfig cfg() {
+    ClientConfig c;
+    c.contexts_per_task = 1;
+    return c;
+  }
+  void spmd(const std::function<void(int task, Context& ctx, Geometry& g)>& body) {
+    auto geom = world_.geometries().world_geometry();
+    machine_.run_spmd(
+        [&](int task) { body(task, world_.client(task).context(0), *geom); });
+  }
+
+  runtime::Machine machine_;
+  ClientWorld world_;
+};
+
+TEST_F(CollectivesTest, OptimizedBarrierSynchronizes) {
+  std::atomic<int> arrived{0};
+  spmd([&](int, Context& ctx, Geometry& g) {
+    for (int round = 1; round <= 5; ++round) {
+      arrived.fetch_add(1);
+      coll::barrier(ctx, g);
+      EXPECT_GE(arrived.load(), 8 * round);
+    }
+  });
+}
+
+TEST_F(CollectivesTest, OptimizedBroadcastFromEveryRoot) {
+  for (std::size_t root = 0; root < 8; root += 3) {
+    spmd([&](int task, Context& ctx, Geometry& g) {
+      std::vector<double> buf(64, -1.0);
+      if (*g.rank_of(task) == root) {
+        std::iota(buf.begin(), buf.end(), 100.0);
+      }
+      coll::broadcast(ctx, g, root, buf.data(), buf.size() * sizeof(double));
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        ASSERT_DOUBLE_EQ(buf[i], 100.0 + static_cast<double>(i));
+      }
+    });
+  }
+}
+
+TEST_F(CollectivesTest, OptimizedAllreduceSum) {
+  spmd([&](int task, Context& ctx, Geometry& g) {
+    const auto rank = static_cast<double>(*g.rank_of(task));
+    std::vector<double> in(32), out(32);
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = rank + static_cast<double>(i);
+    coll::allreduce(ctx, g, in.data(), out.data(), in.size() * sizeof(double),
+                    hw::CombineOp::Add, hw::CombineType::Double);
+    // sum over ranks 0..7 of (rank + i) = 28 + 8i.
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_DOUBLE_EQ(out[i], 28.0 + 8.0 * static_cast<double>(i));
+    }
+  });
+}
+
+TEST_F(CollectivesTest, OptimizedAllreduceMinMax) {
+  spmd([&](int task, Context& ctx, Geometry& g) {
+    const auto rank = static_cast<std::int64_t>(*g.rank_of(task));
+    std::int64_t in = 100 - rank;
+    std::int64_t out = 0;
+    coll::allreduce(ctx, g, &in, &out, sizeof(in), hw::CombineOp::Min, hw::CombineType::Int64);
+    EXPECT_EQ(out, 93);
+    coll::allreduce(ctx, g, &in, &out, sizeof(in), hw::CombineOp::Max, hw::CombineType::Int64);
+    EXPECT_EQ(out, 100);
+  });
+}
+
+TEST_F(CollectivesTest, LongAllreducePipelinesSlices) {
+  // > kPipelineSliceBytes forces the Figure-4 pipelined path.
+  const std::size_t count = (coll::kPipelineSliceBytes / sizeof(double)) * 3 + 17;
+  spmd([&](int task, Context& ctx, Geometry& g) {
+    const auto rank = static_cast<double>(*g.rank_of(task));
+    std::vector<double> in(count, rank + 1.0), out(count);
+    coll::allreduce(ctx, g, in.data(), out.data(), count * sizeof(double), hw::CombineOp::Add,
+                    hw::CombineType::Double);
+    for (std::size_t i = 0; i < count; ++i) ASSERT_DOUBLE_EQ(out[i], 36.0);  // sum 1..8
+  });
+}
+
+TEST_F(CollectivesTest, ReduceDeliversOnlyAtRoot) {
+  spmd([&](int task, Context& ctx, Geometry& g) {
+    const auto rank = static_cast<double>(*g.rank_of(task));
+    double in = rank;
+    double out = -1.0;
+    coll::reduce(ctx, g, 3, &in, &out, sizeof(double), hw::CombineOp::Add,
+                 hw::CombineType::Double);
+    if (*g.rank_of(task) == 3) {
+      EXPECT_DOUBLE_EQ(out, 28.0);
+    }
+  });
+}
+
+TEST_F(CollectivesTest, SoftwareCollectivesOnIrregularGeometry) {
+  // Tasks {0, 2, 5, 7}: not a rectangle — software trees over pt2pt.
+  auto geom = world_.geometries().get_or_create(77, Topology::list({0, 2, 5, 7}));
+  ASSERT_FALSE(geom->optimized());
+  machine_.run_spmd([&](int task) {
+    if (!geom->rank_of(task).has_value()) return;
+    Context& ctx = world_.client(task).context(0);
+    const auto rank = static_cast<double>(*geom->rank_of(task));
+    // Barrier.
+    coll::barrier(ctx, *geom);
+    // Broadcast from rank 2 (task 5).
+    std::array<int, 4> buf{};
+    if (rank == 2) buf = {10, 20, 30, 40};
+    coll::broadcast(ctx, *geom, 2, buf.data(), sizeof(buf));
+    EXPECT_EQ(buf[3], 40);
+    // Allreduce.
+    double in = rank + 1.0, out = 0.0;
+    coll::allreduce(ctx, *geom, &in, &out, sizeof(double), hw::CombineOp::Add,
+                    hw::CombineType::Double);
+    EXPECT_DOUBLE_EQ(out, 10.0);  // 1+2+3+4
+  });
+}
+
+TEST_F(CollectivesTest, AlltoallExchangesAllBlocks) {
+  spmd([&](int task, Context& ctx, Geometry& g) {
+    const int n = static_cast<int>(g.size());
+    const int me = static_cast<int>(*g.rank_of(task));
+    std::vector<std::int32_t> send(static_cast<std::size_t>(n)), recv(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) send[static_cast<std::size_t>(r)] = me * 100 + r;
+    coll::alltoall(ctx, g, send.data(), recv.data(), sizeof(std::int32_t));
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(r)], r * 100 + me);
+    }
+  });
+}
+
+TEST_F(CollectivesTest, GatherAndScatter) {
+  spmd([&](int task, Context& ctx, Geometry& g) {
+    const int n = static_cast<int>(g.size());
+    const int me = static_cast<int>(*g.rank_of(task));
+    const std::int64_t mine = 1000 + me;
+    std::vector<std::int64_t> all(static_cast<std::size_t>(n));
+    coll::gather(ctx, g, 1, &mine, all.data(), sizeof(std::int64_t));
+    if (me == 1) {
+      for (int r = 0; r < n; ++r) ASSERT_EQ(all[static_cast<std::size_t>(r)], 1000 + r);
+      for (int r = 0; r < n; ++r) all[static_cast<std::size_t>(r)] = 2000 + r;
+    }
+    std::int64_t got = 0;
+    coll::scatter(ctx, g, 1, all.data(), &got, sizeof(std::int64_t));
+    EXPECT_EQ(got, 2000 + me);
+  });
+}
+
+TEST_F(CollectivesTest, MixedCollectiveSequenceStaysConsistent) {
+  spmd([&](int task, Context& ctx, Geometry& g) {
+    const auto rank = static_cast<double>(*g.rank_of(task));
+    for (int round = 0; round < 10; ++round) {
+      double in = rank + round, out = 0;
+      coll::allreduce(ctx, g, &in, &out, sizeof(double), hw::CombineOp::Add,
+                      hw::CombineType::Double);
+      ASSERT_DOUBLE_EQ(out, 28.0 + 8.0 * round);
+      coll::barrier(ctx, g);
+      double root_val = (rank == 0) ? out * 2 : 0;
+      coll::broadcast(ctx, g, 0, &root_val, sizeof(double));
+      ASSERT_DOUBLE_EQ(root_val, 2 * (28.0 + 8.0 * round));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pamix::pami

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "core/client.h"
+#include "core/context.h"
+#include "runtime/machine.h"
+
+namespace pamix::pami {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int salt = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i * 13 + salt);
+  return v;
+}
+
+/// Two-node fixture: task 0 on node 0, task 1 on node 1 (inter-node MU
+/// path); single-threaded progress by explicit advance.
+class ContextPt2Pt : public ::testing::Test {
+ protected:
+  ContextPt2Pt()
+      : machine_(hw::TorusGeometry({2, 1, 1, 1, 1}), 1),
+        world_(machine_, make_config()) {}
+
+  static ClientConfig make_config() {
+    ClientConfig c;
+    c.contexts_per_task = 1;
+    c.eager_limit = 1024;
+    return c;
+  }
+
+  Context& ctx(int task) { return world_.client(task).context(0); }
+  void advance_both() {
+    ctx(0).advance();
+    ctx(1).advance();
+  }
+
+  runtime::Machine machine_;
+  ClientWorld world_;
+};
+
+TEST_F(ContextPt2Pt, SendImmediateDeliversHeaderAndPayload) {
+  std::vector<std::byte> got;
+  std::uint32_t got_header = 0;
+  Endpoint got_origin{};
+  ctx(1).set_dispatch(7, [&](Context&, const void* h, std::size_t hb, const void* pipe,
+                             std::size_t pb, std::size_t total, Endpoint origin,
+                             RecvDescriptor* recv) {
+    ASSERT_EQ(hb, sizeof(std::uint32_t));
+    std::memcpy(&got_header, h, hb);
+    ASSERT_EQ(recv, nullptr);  // short message: immediate delivery
+    ASSERT_EQ(pb, total);
+    got.assign(static_cast<const std::byte*>(pipe), static_cast<const std::byte*>(pipe) + pb);
+    got_origin = origin;
+  });
+
+  const std::uint32_t header = 0xABCD1234;
+  const auto payload = pattern(48);
+  ASSERT_EQ(ctx(0).send_immediate(7, Endpoint{1, 0}, &header, sizeof(header), payload.data(),
+                                  payload.size()),
+            Result::Success);
+  for (int i = 0; i < 100 && got.empty(); ++i) advance_both();
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(got_header, 0xABCD1234u);
+  EXPECT_EQ(got_origin, (Endpoint{0, 0}));
+}
+
+TEST_F(ContextPt2Pt, SendImmediateRejectsOversize) {
+  std::vector<std::byte> big(4096);
+  EXPECT_EQ(ctx(0).send_immediate(7, Endpoint{1, 0}, nullptr, 0, big.data(), big.size()),
+            Result::Invalid);
+}
+
+TEST_F(ContextPt2Pt, EagerMultiPacketMessageReassembles) {
+  const auto payload = pattern(900);  // > 512: two packets, still eager
+  std::vector<std::byte> recv_buf(payload.size());
+  bool complete = false;
+  ctx(1).set_dispatch(3, [&](Context&, const void*, std::size_t, const void* pipe,
+                             std::size_t, std::size_t total, Endpoint, RecvDescriptor* recv) {
+    ASSERT_EQ(pipe, nullptr);  // multi-packet: asynchronous receive
+    ASSERT_NE(recv, nullptr);
+    ASSERT_EQ(total, payload.size());
+    recv->buffer = recv_buf.data();
+    recv->bytes = recv_buf.size();
+    recv->on_complete = [&] { complete = true; };
+  });
+
+  SendParams p;
+  p.dispatch = 3;
+  p.dest = Endpoint{1, 0};
+  p.data = payload.data();
+  p.data_bytes = payload.size();
+  bool local_done = false;
+  p.on_local_done = [&] { local_done = true; };
+  ASSERT_EQ(ctx(0).send(p), Result::Success);
+  EXPECT_TRUE(local_done);  // eager: buffer reusable immediately
+  for (int i = 0; i < 200 && !complete; ++i) advance_both();
+  ASSERT_TRUE(complete);
+  EXPECT_EQ(recv_buf, payload);
+}
+
+TEST_F(ContextPt2Pt, RendezvousTransfersLargePayloadZeroCopy) {
+  const auto payload = pattern(64 * 1024);  // >> eager_limit: rendezvous
+  std::vector<std::byte> recv_buf(payload.size());
+  bool remote_done = false, local_done = false, recv_complete = false;
+  ctx(1).set_dispatch(4, [&](Context&, const void*, std::size_t, const void* pipe,
+                             std::size_t, std::size_t total, Endpoint, RecvDescriptor* recv) {
+    ASSERT_EQ(pipe, nullptr);
+    ASSERT_EQ(total, payload.size());
+    recv->buffer = recv_buf.data();
+    recv->bytes = recv_buf.size();
+    recv->on_complete = [&] { recv_complete = true; };
+  });
+
+  SendParams p;
+  p.dispatch = 4;
+  p.dest = Endpoint{1, 0};
+  p.data = payload.data();
+  p.data_bytes = payload.size();
+  p.on_local_done = [&] { local_done = true; };
+  p.on_remote_done = [&] { remote_done = true; };
+  ASSERT_EQ(ctx(0).send(p), Result::Success);
+  EXPECT_FALSE(local_done);  // rendezvous: buffer pinned until DONE
+  for (int i = 0; i < 500 && !remote_done; ++i) advance_both();
+  EXPECT_TRUE(recv_complete);
+  EXPECT_TRUE(local_done);
+  EXPECT_TRUE(remote_done);
+  EXPECT_EQ(recv_buf, payload);
+}
+
+TEST_F(ContextPt2Pt, RendezvousTruncatesToReceiverWindow) {
+  const auto payload = pattern(8000);
+  std::vector<std::byte> recv_buf(1000);
+  bool remote_done = false;
+  ctx(1).set_dispatch(4, [&](Context&, const void*, std::size_t, const void*, std::size_t,
+                             std::size_t, Endpoint, RecvDescriptor* recv) {
+    recv->buffer = recv_buf.data();
+    recv->bytes = recv_buf.size();
+  });
+  SendParams p;
+  p.dispatch = 4;
+  p.dest = Endpoint{1, 0};
+  p.data = payload.data();
+  p.data_bytes = payload.size();
+  p.on_remote_done = [&] { remote_done = true; };
+  ASSERT_EQ(ctx(0).send(p), Result::Success);
+  for (int i = 0; i < 500 && !remote_done; ++i) advance_both();
+  ASSERT_TRUE(remote_done);
+  EXPECT_TRUE(std::equal(recv_buf.begin(), recv_buf.end(), payload.begin()));
+}
+
+TEST_F(ContextPt2Pt, EagerWithRemoteCompletionAck) {
+  const auto payload = pattern(256);
+  bool remote_done = false;
+  std::vector<std::byte> got;
+  ctx(1).set_dispatch(9, [&](Context&, const void*, std::size_t, const void* pipe,
+                             std::size_t pb, std::size_t, Endpoint, RecvDescriptor*) {
+    got.assign(static_cast<const std::byte*>(pipe), static_cast<const std::byte*>(pipe) + pb);
+  });
+  SendParams p;
+  p.dispatch = 9;
+  p.dest = Endpoint{1, 0};
+  p.data = payload.data();
+  p.data_bytes = payload.size();
+  p.on_remote_done = [&] { remote_done = true; };
+  ASSERT_EQ(ctx(0).send(p), Result::Success);
+  for (int i = 0; i < 200 && !remote_done; ++i) advance_both();
+  EXPECT_TRUE(remote_done);
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(ContextPt2Pt, ManyMessagesArriveInOrderPerPair) {
+  constexpr int kCount = 200;
+  std::vector<int> received;
+  ctx(1).set_dispatch(2, [&](Context&, const void* h, std::size_t, const void*, std::size_t,
+                             std::size_t, Endpoint, RecvDescriptor*) {
+    int idx;
+    std::memcpy(&idx, h, sizeof(idx));
+    received.push_back(idx);
+  });
+  for (int i = 0; i < kCount; ++i) {
+    while (ctx(0).send_immediate(2, Endpoint{1, 0}, &i, sizeof(i), nullptr, 0) !=
+           Result::Success) {
+      advance_both();
+    }
+  }
+  for (int i = 0; i < 1000 && static_cast<int>(received.size()) < kCount; ++i) advance_both();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST_F(ContextPt2Pt, PostRunsOnAdvance) {
+  bool ran = false;
+  ctx(0).post([&] { ran = true; });
+  EXPECT_FALSE(ran);
+  ctx(0).advance();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(ContextPt2Pt, ContextLockSemantics) {
+  Context& c = ctx(0);
+  EXPECT_TRUE(c.trylock());
+  EXPECT_FALSE(c.trylock());
+  c.unlock();
+  c.lock();
+  c.unlock();
+}
+
+TEST_F(ContextPt2Pt, ZeroByteMessageDispatches) {
+  int calls = 0;
+  ctx(1).set_dispatch(5, [&](Context&, const void*, std::size_t hb, const void*, std::size_t pb,
+                             std::size_t total, Endpoint, RecvDescriptor*) {
+    EXPECT_EQ(hb, 0u);
+    EXPECT_EQ(pb, 0u);
+    EXPECT_EQ(total, 0u);
+    ++calls;
+  });
+  ASSERT_EQ(ctx(0).send_immediate(5, Endpoint{1, 0}, nullptr, 0, nullptr, 0), Result::Success);
+  for (int i = 0; i < 100 && calls == 0; ++i) advance_both();
+  EXPECT_EQ(calls, 1);
+}
+
+// Property sweep: every message size crosses the packetization and
+// protocol boundaries intact (0, 1, granule edges, packet edges, eager
+// limit edges, multi-packet rendezvous).
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  SizeSweep()
+      : machine_(hw::TorusGeometry({2, 1, 1, 1, 1}), 1), world_(machine_, make_config()) {}
+  static ClientConfig make_config() {
+    ClientConfig c;
+    c.eager_limit = 1024;
+    return c;
+  }
+  runtime::Machine machine_;
+  ClientWorld world_;
+};
+
+TEST_P(SizeSweep, PayloadIntactAcrossProtocols) {
+  const std::size_t bytes = GetParam();
+  Context& src = world_.client(0).context(0);
+  Context& dst = world_.client(1).context(0);
+  const auto payload = pattern(std::max<std::size_t>(bytes, 1));
+  std::vector<std::byte> got(bytes);
+  bool done = false;
+  dst.set_dispatch(1, [&](Context&, const void*, std::size_t, const void* pipe,
+                          std::size_t pipe_bytes, std::size_t total, Endpoint,
+                          RecvDescriptor* recv) {
+    ASSERT_EQ(total, bytes);
+    if (recv == nullptr) {
+      if (pipe_bytes > 0) std::memcpy(got.data(), pipe, pipe_bytes);
+      done = true;
+      return;
+    }
+    recv->buffer = got.data();
+    recv->bytes = got.size();
+    recv->on_complete = [&] { done = true; };
+  });
+  SendParams p;
+  p.dispatch = 1;
+  p.dest = Endpoint{1, 0};
+  p.data = payload.data();
+  p.data_bytes = bytes;
+  bool remote = false;
+  p.on_remote_done = [&] { remote = true; };
+  while (src.send(p) == Result::Eagain) {
+    src.advance();
+    dst.advance();
+  }
+  for (int i = 0; i < 5000 && !(done && remote); ++i) {
+    src.advance();
+    dst.advance();
+  }
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(remote);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(0u, 1u, 31u, 32u, 33u, 511u, 512u, 513u, 1023u,
+                                           1024u, 1025u, 4096u, 65536u, 1048577u));
+
+}  // namespace
+}  // namespace pamix::pami

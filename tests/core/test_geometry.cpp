@@ -1,0 +1,143 @@
+#include "core/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/client.h"
+
+namespace pamix::pami {
+namespace {
+
+class GeometryTest : public ::testing::Test {
+ protected:
+  GeometryTest() : machine_(hw::TorusGeometry({2, 2, 1, 1, 1}), 2), world_(machine_, cfg()) {}
+  static ClientConfig cfg() {
+    ClientConfig c;
+    c.contexts_per_task = 1;
+    return c;
+  }
+  runtime::Machine machine_;
+  ClientWorld world_;
+};
+
+TEST_F(GeometryTest, WorldGeometryCoversEveryTaskAndIsOptimized) {
+  auto w = world_.geometries().world_geometry();
+  EXPECT_EQ(w->id(), 0);
+  EXPECT_EQ(w->size(), 8u);
+  EXPECT_TRUE(w->optimized());
+  EXPECT_EQ(w->classroute(), 0);
+  for (int t = 0; t < 8; ++t) {
+    ASSERT_TRUE(w->rank_of(t).has_value());
+    EXPECT_EQ(w->task_of(*w->rank_of(t)), t);
+  }
+}
+
+TEST_F(GeometryTest, NodeGroupsHaveMastersAndBarriers) {
+  auto w = world_.geometries().world_geometry();
+  for (int node = 0; node < machine_.node_count(); ++node) {
+    ASSERT_TRUE(w->node_participates(node));
+    auto& g = w->node_group(node);
+    EXPECT_EQ(g.local_tasks.size(), 2u);
+    EXPECT_EQ(g.master_task, machine_.task_of(node, 0));
+    EXPECT_EQ(g.barrier->participants(), 2);
+  }
+  EXPECT_EQ(w->local_index(5), 1);  // task 5 = node 2, local 1
+}
+
+TEST_F(GeometryTest, GetOrCreateReturnsSharedInstance) {
+  auto a = world_.geometries().get_or_create(42, Topology::range(0, 3));
+  auto b = world_.geometries().get_or_create(42, Topology::range(0, 3));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a->id(), 0);
+}
+
+TEST_F(GeometryTest, OptimizeRequiresRectangle) {
+  auto list_geom = world_.geometries().get_or_create(1, Topology::list({0, 2, 4}));
+  EXPECT_FALSE(world_.geometries().optimize(*list_geom));
+  EXPECT_FALSE(list_geom->optimized());
+
+  hw::TorusRectangle r;
+  r.lo = {0, 0, 0, 0, 0};
+  r.hi = {1, 0, 0, 0, 0};  // 2 nodes x 2 ppn
+  auto rect_geom = world_.geometries().get_or_create(
+      2, Topology::axial(machine_.geometry(), r, 2));
+  EXPECT_TRUE(world_.geometries().optimize(*rect_geom));
+  EXPECT_TRUE(rect_geom->optimized());
+  EXPECT_GE(rect_geom->classroute(), hw::kSystemClassRoutes);
+  EXPECT_TRUE(machine_.classroute_programmed(rect_geom->classroute()));
+}
+
+TEST_F(GeometryTest, DeoptimizeFreesTheSlot) {
+  hw::TorusRectangle r;
+  r.lo = {0, 0, 0, 0, 0};
+  r.hi = {0, 1, 0, 0, 0};
+  auto g = world_.geometries().get_or_create(3, Topology::axial(machine_.geometry(), r, 2));
+  ASSERT_TRUE(world_.geometries().optimize(*g));
+  const int slot = g->classroute();
+  const int used = world_.geometries().routes_in_use();
+  world_.geometries().deoptimize(*g);
+  EXPECT_FALSE(g->optimized());
+  EXPECT_FALSE(machine_.classroute_programmed(slot));
+  EXPECT_EQ(world_.geometries().routes_in_use(), used - 1);
+}
+
+TEST_F(GeometryTest, LruEvictionRotatesClassroutes) {
+  // Fill all 14 user slots, then optimize one more: the least recently
+  // used route must be evicted (the paper's active-set reuse).
+  std::vector<std::shared_ptr<Geometry>> geoms;
+  for (int i = 0; i < hw::kClassRoutesPerNode - hw::kSystemClassRoutes + 1; ++i) {
+    hw::TorusRectangle r;
+    r.lo = {0, 0, 0, 0, 0};
+    r.hi = {i % 2, i / 2 % 2, 0, 0, 0};
+    geoms.push_back(world_.geometries().get_or_create(
+        100 + static_cast<std::uint64_t>(i), Topology::axial(machine_.geometry(), r, 2)));
+  }
+  for (std::size_t i = 0; i + 1 < geoms.size(); ++i) {
+    EXPECT_TRUE(world_.geometries().optimize(*geoms[i]));
+  }
+  // All user slots are now taken.
+  EXPECT_EQ(world_.geometries().routes_in_use(), hw::kClassRoutesPerNode - 1);
+  EXPECT_TRUE(world_.geometries().optimize(*geoms.back()));
+  EXPECT_TRUE(geoms.back()->optimized());
+  // The first-optimized (least recently used) geometry lost its route.
+  EXPECT_FALSE(geoms.front()->optimized());
+}
+
+TEST_F(GeometryTest, WorldRouteNeverEvicted) {
+  auto w = world_.geometries().world_geometry();
+  world_.geometries().deoptimize(*w);
+  EXPECT_TRUE(w->optimized());  // world/system routes are pinned
+}
+
+TEST(LocalBarrierTest, SenseReversalOverManyRounds) {
+  LocalBarrier b(4);
+  std::atomic<int> sum{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      for (int round = 0; round < 200; ++round) {
+        sum.fetch_add(1);
+        b.arrive_and_wait();
+        // All four increments of this round must be visible.
+        EXPECT_GE(sum.load(), 4 * (round + 1));
+        b.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(sum.load(), 800);
+}
+
+TEST(SharedSlotTest, PublishAndWait) {
+  SharedSlot slot;
+  int value = 7;
+  std::thread publisher([&] { slot.publish(&value); });
+  const void* p = slot.wait_for(1);
+  publisher.join();
+  EXPECT_EQ(p, &value);
+}
+
+}  // namespace
+}  // namespace pamix::pami

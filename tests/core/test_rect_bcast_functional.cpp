@@ -1,0 +1,101 @@
+// Functional multicolor rectangle broadcast: real slices relayed down the
+// real constructed trees over the PAMI point-to-point stack.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/client.h"
+#include "core/collectives.h"
+#include "runtime/machine.h"
+
+namespace pamix::pami {
+namespace {
+
+class RectBcastFunctional : public ::testing::TestWithParam<std::pair<std::array<int, 5>, int>> {
+};
+
+TEST_P(RectBcastFunctional, DeliversEverywhere) {
+  const auto [dims, ppn] = GetParam();
+  runtime::Machine machine(hw::TorusGeometry(dims), ppn);
+  ClientWorld world(machine, ClientConfig{});
+  auto geom = world.geometries().world_geometry();
+  const std::size_t bytes = 40000;  // not divisible by 10: uneven slices
+
+  machine.run_spmd([&](int task) {
+    Context& ctx = world.client(task).context(0);
+    std::vector<std::uint8_t> buf(bytes, 0);
+    if (*geom->rank_of(task) == 0) {
+      for (std::size_t i = 0; i < bytes; ++i) buf[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    }
+    coll::rectangle_broadcast(ctx, *geom, 0, buf.data(), bytes);
+    for (std::size_t i = 0; i < bytes; i += 997) {
+      ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 7 + 3)) << "task " << task;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RectBcastFunctional,
+    ::testing::Values(std::make_pair(std::array<int, 5>{2, 2, 1, 1, 1}, 1),
+                      std::make_pair(std::array<int, 5>{2, 2, 1, 1, 1}, 2),
+                      std::make_pair(std::array<int, 5>{3, 3, 1, 1, 1}, 1),
+                      std::make_pair(std::array<int, 5>{2, 2, 2, 1, 1}, 1),
+                      std::make_pair(std::array<int, 5>{1, 1, 1, 1, 1}, 4)),
+    [](const auto& info) {
+      std::string s = "t";
+      for (int d : info.param.first) s += std::to_string(d);
+      return s + "_ppn" + std::to_string(info.param.second);
+    });
+
+TEST(RectBcastFunctionalRoots, NonZeroAndNonMasterRoots) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 2);
+  ClientWorld world(machine, ClientConfig{});
+  auto geom = world.geometries().world_geometry();
+  const std::size_t bytes = 8192;
+  // Root 5 = node 2, local index 1: NOT its node's master.
+  for (std::size_t root : {std::size_t{5}, std::size_t{3}}) {
+    machine.run_spmd([&](int task) {
+      Context& ctx = world.client(task).context(0);
+      std::vector<std::uint32_t> buf(bytes / 4, 0);
+      if (*geom->rank_of(task) == root) {
+        std::iota(buf.begin(), buf.end(), static_cast<std::uint32_t>(root) * 1000);
+      }
+      coll::rectangle_broadcast(ctx, *geom, root, buf.data(), bytes);
+      ASSERT_EQ(buf.front(), root * 1000);
+      ASSERT_EQ(buf.back(), root * 1000 + bytes / 4 - 1);
+    });
+  }
+}
+
+TEST(RectBcastFunctionalSmall, TinyAndEmptyMessages) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 1);
+  ClientWorld world(machine, ClientConfig{});
+  auto geom = world.geometries().world_geometry();
+  machine.run_spmd([&](int task) {
+    Context& ctx = world.client(task).context(0);
+    // Fewer bytes than colors: most slices are empty.
+    std::array<std::uint8_t, 3> small{};
+    if (*geom->rank_of(task) == 0) small = {9, 8, 7};
+    coll::rectangle_broadcast(ctx, *geom, 0, small.data(), small.size());
+    EXPECT_EQ(small[0], 9);
+    EXPECT_EQ(small[2], 7);
+    // Zero bytes: pure synchronization.
+    coll::rectangle_broadcast(ctx, *geom, 0, small.data(), 0);
+  });
+}
+
+TEST(RectBcastFunctionalIrregular, FallsBackForNonRectangles) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 1);
+  ClientWorld world(machine, ClientConfig{});
+  auto geom = world.geometries().get_or_create(5, Topology::list({0, 1, 3}));
+  machine.run_spmd([&](int task) {
+    if (!geom->rank_of(task).has_value()) return;
+    Context& ctx = world.client(task).context(0);
+    int v = *geom->rank_of(task) == 0 ? 77 : 0;
+    coll::rectangle_broadcast(ctx, *geom, 0, &v, sizeof(v));
+    EXPECT_EQ(v, 77);
+  });
+}
+
+}  // namespace
+}  // namespace pamix::pami

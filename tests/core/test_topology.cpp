@@ -1,0 +1,87 @@
+#include "core/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace pamix::pami {
+namespace {
+
+TEST(Topology, RangeBasics) {
+  const Topology t = Topology::range(10, 19);
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_EQ(t.task(0), 10);
+  EXPECT_EQ(t.task(9), 19);
+  EXPECT_TRUE(t.contains(15));
+  EXPECT_FALSE(t.contains(9));
+  EXPECT_FALSE(t.contains(20));
+  EXPECT_EQ(*t.rank_of(13), 3u);
+  EXPECT_TRUE(t.is_range());
+}
+
+TEST(Topology, ListBasicsAndSorting) {
+  const Topology t = Topology::list({7, 3, 11});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.task(0), 3);  // sorted
+  EXPECT_EQ(t.task(2), 11);
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_EQ(*t.rank_of(11), 2u);
+}
+
+TEST(Topology, AxialCoversRectangleTimesPpn) {
+  const hw::TorusGeometry g({4, 4, 2, 1, 1});
+  hw::TorusRectangle r;
+  r.lo = {1, 0, 0, 0, 0};
+  r.hi = {2, 1, 1, 0, 0};  // 2x2x2 = 8 nodes
+  const Topology t = Topology::axial(g, r, 4);
+  EXPECT_EQ(t.size(), 32u);
+  // Round trip every rank.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const int task = t.task(i);
+    ASSERT_TRUE(t.rank_of(task).has_value());
+    EXPECT_EQ(*t.rank_of(task), i);
+  }
+  // A task whose node is outside the rectangle is not a member.
+  EXPECT_FALSE(t.contains(0));
+  ASSERT_TRUE(t.rectangle().has_value());
+  EXPECT_EQ(t.rectangle()->node_count(), 8);
+  EXPECT_EQ(*t.axial_ppn(), 4);
+}
+
+TEST(Topology, MemoryFootprintScaling) {
+  // The §III-G claim: range/axial are O(1) memory; list is O(n).
+  const Topology range = Topology::range(0, 1 << 20);
+  const hw::TorusGeometry g = hw::TorusGeometry::racks(2);
+  const Topology axial =
+      Topology::axial(g, hw::TorusRectangle::whole_machine(g), 16);  // 32768 tasks
+  std::vector<int> many(1 << 16);
+  for (int i = 0; i < (1 << 16); ++i) many[static_cast<std::size_t>(i)] = i * 2;
+  const Topology list = Topology::list(std::move(many));
+
+  EXPECT_LT(range.memory_bytes(), 64u);
+  EXPECT_LT(axial.memory_bytes(), 128u);
+  EXPECT_GT(list.memory_bytes(), (1u << 16) * sizeof(int) / 2);
+  // 32k tasks in an axial topology: thousands of times smaller than a list.
+  EXPECT_LT(axial.memory_bytes() * 1000, list.memory_bytes());
+}
+
+TEST(Topology, RangeAndListAgreeOnSameTasks) {
+  const Topology r = Topology::range(4, 8);
+  std::vector<int> v{4, 5, 6, 7, 8};
+  const Topology l = Topology::list(v);
+  ASSERT_EQ(r.size(), l.size());
+  for (std::size_t i = 0; i < r.size(); ++i) EXPECT_EQ(r.task(i), l.task(i));
+}
+
+// Axial enumeration must be node-major row-major in rectangle coords.
+TEST(Topology, AxialEnumerationOrder) {
+  const hw::TorusGeometry g({2, 2, 1, 1, 1});
+  const Topology t = Topology::axial(g, hw::TorusRectangle::whole_machine(g), 2);
+  // Nodes 0..3 in row-major order, each contributing tasks node*2, node*2+1.
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(t.task(static_cast<std::size_t>(2 * n)), 2 * n);
+    EXPECT_EQ(t.task(static_cast<std::size_t>(2 * n + 1)), 2 * n + 1);
+  }
+}
+
+}  // namespace
+}  // namespace pamix::pami

@@ -1,0 +1,117 @@
+#include "core/work_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pamix::pami {
+namespace {
+
+TEST(WorkQueue, SingleProducerFifoOrder) {
+  WorkQueue q(8);
+  std::vector<int> ran;
+  for (int i = 0; i < 5; ++i) {
+    q.post([&ran, i] { ran.push_back(i); });
+  }
+  EXPECT_EQ(q.advance(), 5u);
+  EXPECT_EQ(ran, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, OverflowSpillsAndStillRuns) {
+  WorkQueue q(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    q.post([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_GT(q.overflow_posts(), 0u);
+  std::size_t total = 0;
+  while (!q.empty()) total += q.advance();
+  EXPECT_EQ(ran.load(), 20);
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(WorkQueue, AdvanceWithMaxCap) {
+  WorkQueue q(16);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) q.post([&ran] { ran.fetch_add(1); });
+  EXPECT_EQ(q.advance(3), 3u);
+  EXPECT_EQ(ran.load(), 3);
+  EXPECT_EQ(q.advance(), 7u);
+}
+
+TEST(WorkQueue, MultiProducerAllItemsRunExactlyOnce) {
+  WorkQueue q(64);
+  std::atomic<int> ran{0};
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load() || !q.empty()) q.advance();
+  });
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) q.post([&ran] { ran.fetch_add(1); });
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true);
+  consumer.join();
+  EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+}
+
+TEST(WorkQueue, WakeupNotifiedOnPost) {
+  hw::WakeupUnit wu;
+  WorkQueue q(8, &wu);
+  const auto h = wu.watch(q.wakeup_address(), sizeof(std::uint64_t));
+  const auto armed = wu.arm(h);
+  q.post([] {});
+  EXPECT_TRUE(wu.wait_for(h, armed, std::chrono::milliseconds(100)));
+  q.advance();
+}
+
+TEST(WorkQueue, PostedWorkMayPostMoreWork) {
+  WorkQueue q(8);
+  std::atomic<int> ran{0};
+  q.post([&] {
+    ran.fetch_add(1);
+    q.post([&] { ran.fetch_add(1); });
+  });
+  while (!q.empty()) q.advance();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+// Property sweep: per-producer order is preserved while the array never
+// overflows (capacity >= total posts).
+class WorkQueueOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkQueueOrderSweep, PerProducerOrderWithinArray) {
+  const int producers = GetParam();
+  constexpr int kEach = 50;
+  WorkQueue q(4096);
+  std::vector<std::vector<int>> seen(static_cast<std::size_t>(producers));
+  std::vector<std::thread> ts;
+  for (int p = 0; p < producers; ++p) {
+    ts.emplace_back([&, p] {
+      for (int i = 0; i < kEach; ++i) {
+        q.post([&seen, p, i] { seen[static_cast<std::size_t>(p)].push_back(i); });
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  while (!q.empty()) q.advance();
+  for (int p = 0; p < producers; ++p) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(p)].size(), static_cast<std::size_t>(kEach));
+    for (int i = 0; i < kEach; ++i) {
+      EXPECT_EQ(seen[static_cast<std::size_t>(p)][static_cast<std::size_t>(i)], i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WorkQueueOrderSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace pamix::pami

@@ -1,0 +1,126 @@
+#include "hw/classroute.h"
+
+#include <gtest/gtest.h>
+
+namespace pamix::hw {
+namespace {
+
+TEST(ClassRoute, WholeMachineTreeIsValid) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  const ClassRoute cr(g, TorusRectangle::whole_machine(g));
+  EXPECT_TRUE(cr.validate());
+  EXPECT_EQ(cr.participant_count(), g.node_count());
+  // Depth of the corner-rooted nested tree: sum of (extent-1).
+  EXPECT_EQ(cr.depth(), 3 + 3 + 3 + 3 + 1);
+}
+
+TEST(ClassRoute, TwoRackDepthMatchesPaperScale) {
+  const TorusGeometry g = TorusGeometry::racks(2);  // 8x4x4x8x2 = 2048 nodes
+  const ClassRoute cr(g, TorusRectangle::whole_machine(g));
+  EXPECT_TRUE(cr.validate());
+  EXPECT_EQ(cr.depth(), 7 + 3 + 3 + 7 + 1);
+}
+
+TEST(ClassRoute, LineRectangle) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  TorusRectangle line;
+  line.lo = {0, 2, 1, 3, 0};
+  line.hi = {3, 2, 1, 3, 0};
+  const ClassRoute cr(g, line);
+  EXPECT_TRUE(cr.validate());
+  EXPECT_EQ(cr.participant_count(), 4);
+  EXPECT_EQ(cr.depth(), 3);
+}
+
+TEST(ClassRoute, PlaneRectangleChildrenConsistent) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  TorusRectangle plane;
+  plane.lo = {1, 1, 2, 0, 0};
+  plane.hi = {2, 3, 2, 0, 0};
+  const ClassRoute cr(g, plane);
+  EXPECT_TRUE(cr.validate());
+  // Edge count of a tree: participants - 1, counted via children lists.
+  int edges = 0;
+  for (int n = 0; n < g.node_count(); ++n) {
+    if (cr.node(n).participates) edges += static_cast<int>(cr.node(n).children.size());
+  }
+  EXPECT_EQ(edges, cr.participant_count() - 1);
+}
+
+TEST(ClassRoute, DowntreeLinksAreReverseOfChildUplinks) {
+  const TorusGeometry g({3, 3, 1, 1, 1});
+  const ClassRoute cr(g, TorusRectangle::whole_machine(g));
+  for (int n = 0; n < g.node_count(); ++n) {
+    const ClassRouteNode& parent = cr.node(n);
+    ASSERT_EQ(parent.children.size(), parent.downtree.size());
+    for (std::size_t i = 0; i < parent.children.size(); ++i) {
+      const ClassRouteNode& child = cr.node(parent.children[i]);
+      ASSERT_TRUE(child.uplink.has_value());
+      // The parent's downtree input is the reverse direction of the
+      // child's uptree output, on the same dimension.
+      EXPECT_EQ(parent.downtree[i].dim, child.uplink->dim);
+      EXPECT_NE(parent.downtree[i].dir, child.uplink->dir);
+    }
+  }
+}
+
+TEST(ClassRoute, DepthsIncreaseFromRoot) {
+  const TorusGeometry g({4, 4, 2, 1, 1});
+  const ClassRoute cr(g, TorusRectangle::whole_machine(g));
+  EXPECT_EQ(cr.node(cr.root()).depth, 0);
+  for (int n = 0; n < g.node_count(); ++n) {
+    const ClassRouteNode& cn = cr.node(n);
+    if (!cn.participates || n == cr.root()) continue;
+    EXPECT_EQ(cn.depth, cr.node(cn.parent).depth + 1);
+  }
+}
+
+TEST(ClassRoute, SingleNodeRectangle) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  TorusRectangle r;
+  r.lo = r.hi = {2, 2, 2, 2, 1};
+  const ClassRoute cr(g, r);
+  EXPECT_TRUE(cr.validate());
+  EXPECT_EQ(cr.participant_count(), 1);
+  EXPECT_EQ(cr.depth(), 0);
+}
+
+TEST(CombineType, Sizes) {
+  EXPECT_EQ(combine_type_size(CombineType::Int32), 4u);
+  EXPECT_EQ(combine_type_size(CombineType::Uint32), 4u);
+  EXPECT_EQ(combine_type_size(CombineType::Int64), 8u);
+  EXPECT_EQ(combine_type_size(CombineType::Uint64), 8u);
+  EXPECT_EQ(combine_type_size(CombineType::Double), 8u);
+}
+
+// Property: every sub-rectangle of a midplane yields a valid tree with
+// depth == sum(extent - 1).
+class ClassRouteSweep
+    : public ::testing::TestWithParam<std::pair<std::array<int, 5>, std::array<int, 5>>> {};
+
+TEST_P(ClassRouteSweep, ValidTreeExpectedDepth) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  const auto [lo, hi] = GetParam();
+  TorusRectangle r;
+  int expect_depth = 0;
+  for (int d = 0; d < kTorusDims; ++d) {
+    r.lo[d] = lo[static_cast<std::size_t>(d)];
+    r.hi[d] = hi[static_cast<std::size_t>(d)];
+    expect_depth += r.hi[d] - r.lo[d];
+  }
+  const ClassRoute cr(g, r);
+  EXPECT_TRUE(cr.validate());
+  EXPECT_EQ(cr.depth(), expect_depth);
+  EXPECT_EQ(cr.participant_count(), r.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClassRouteSweep,
+    ::testing::Values(
+        std::make_pair(std::array<int, 5>{0, 0, 0, 0, 0}, std::array<int, 5>{1, 1, 0, 0, 0}),
+        std::make_pair(std::array<int, 5>{1, 0, 2, 0, 0}, std::array<int, 5>{3, 2, 3, 1, 1}),
+        std::make_pair(std::array<int, 5>{0, 0, 0, 0, 0}, std::array<int, 5>{3, 3, 3, 3, 1}),
+        std::make_pair(std::array<int, 5>{2, 2, 2, 2, 1}, std::array<int, 5>{3, 3, 3, 3, 1})));
+
+}  // namespace
+}  // namespace pamix::hw

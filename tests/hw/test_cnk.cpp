@@ -1,0 +1,99 @@
+#include "hw/cnk.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "hw/global_interrupt.h"
+
+namespace pamix::hw {
+namespace {
+
+TEST(GlobalVaTable, TranslateRequiresRegistration) {
+  GlobalVaTable t;
+  std::array<std::byte, 64> buf{};
+  EXPECT_EQ(t.translate(0, buf.data(), buf.size()), nullptr);
+  const int id = t.register_segment(0, buf.data(), buf.size());
+  EXPECT_EQ(t.translate(0, buf.data(), buf.size()), buf.data());
+  // Wrong owner misses.
+  EXPECT_EQ(t.translate(1, buf.data(), buf.size()), nullptr);
+  // Out-of-range access misses.
+  EXPECT_EQ(t.translate(0, buf.data() + 32, 64), nullptr);
+  t.unregister_segment(id);
+  EXPECT_EQ(t.translate(0, buf.data(), buf.size()), nullptr);
+}
+
+TEST(GlobalVaTable, RegisterAllExposesWholeAddressSpace) {
+  GlobalVaTable t;
+  std::array<std::byte, 8> buf{};
+  t.register_all(3);
+  EXPECT_EQ(t.translate(3, buf.data(), buf.size()), buf.data());
+  EXPECT_EQ(t.translate(2, buf.data(), buf.size()), nullptr);
+}
+
+TEST(GlobalVaTable, SegmentCountTracksLiveSegments) {
+  GlobalVaTable t;
+  std::array<std::byte, 16> a{}, b{};
+  const int ia = t.register_segment(0, a.data(), a.size());
+  t.register_segment(1, b.data(), b.size());
+  EXPECT_EQ(t.segment_count(), 2u);
+  t.unregister_segment(ia);
+  EXPECT_EQ(t.segment_count(), 1u);
+}
+
+TEST(HwThreadMap, SixtyFourThreadsPerNode) {
+  HwThreadMap m;
+  EXPECT_EQ(m.free_threads(), kHwThreadsPerNode);
+  for (int i = 0; i < kHwThreadsPerNode; ++i) {
+    EXPECT_TRUE(m.claim_app_thread(0).has_value());
+  }
+  EXPECT_FALSE(m.claim_app_thread(0).has_value());
+  EXPECT_FALSE(m.claim_commthread(0).has_value());
+}
+
+TEST(HwThreadMap, CommthreadAccountingAndPriorities) {
+  HwThreadMap m;
+  const auto app = m.claim_app_thread(0);
+  const auto comm = m.claim_commthread(0);
+  ASSERT_TRUE(app && comm);
+  EXPECT_EQ(m.commthreads(), 1);
+  EXPECT_EQ(m.priority(*comm), ThreadPriority::CommLowest);
+  m.set_priority(*comm, ThreadPriority::CommHighest);
+  EXPECT_EQ(m.priority(*comm), ThreadPriority::CommHighest);
+  m.release(*comm);
+  EXPECT_EQ(m.commthreads(), 0);
+  EXPECT_EQ(m.free_threads(), kHwThreadsPerNode - 1);
+}
+
+TEST(GiBarrier, FiresWhenAllArrive) {
+  GiBarrier b(3);
+  const auto t1 = b.arrive();
+  EXPECT_FALSE(b.done(t1));
+  const auto t2 = b.arrive();
+  EXPECT_FALSE(b.done(t2));
+  const auto t3 = b.arrive();
+  EXPECT_TRUE(b.done(t1));
+  EXPECT_TRUE(b.done(t2));
+  EXPECT_TRUE(b.done(t3));
+}
+
+TEST(GiBarrier, GenerationsAreReusable) {
+  GiBarrier b(2);
+  for (int round = 0; round < 5; ++round) {
+    const auto ta = b.arrive();
+    const auto tb = b.arrive();
+    EXPECT_TRUE(b.done(ta));
+    EXPECT_TRUE(b.done(tb));
+  }
+}
+
+TEST(GlobalInterruptNetwork, ProgramAndReprogramSlots) {
+  GlobalInterruptNetwork net(16);
+  net.program(3, 4);
+  EXPECT_EQ(net.barrier(3)->participants(), 4);
+  net.program(3, 8);  // reuse after deoptimize
+  EXPECT_EQ(net.barrier(3)->participants(), 8);
+}
+
+}  // namespace
+}  // namespace pamix::hw

@@ -1,0 +1,167 @@
+#include "hw/l2_atomics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pamix::hw {
+namespace {
+
+TEST(L2Atomics, LoadIncrementReturnsPriorValue) {
+  L2Word w(41);
+  EXPECT_EQ(l2::load_increment(w), 41u);
+  EXPECT_EQ(l2::load(w), 42u);
+}
+
+TEST(L2Atomics, LoadDecrementReturnsPriorValue) {
+  L2Word w(10);
+  EXPECT_EQ(l2::load_decrement(w), 10u);
+  EXPECT_EQ(l2::load(w), 9u);
+}
+
+TEST(L2Atomics, LoadClearReturnsAndZeroes) {
+  L2Word w(0xDEADu);
+  EXPECT_EQ(l2::load_clear(w), 0xDEADu);
+  EXPECT_EQ(l2::load(w), 0u);
+}
+
+TEST(L2Atomics, StoreAddOrXorMax) {
+  L2Word w(0b0001);
+  l2::store_add(w, 1);
+  EXPECT_EQ(l2::load(w), 2u);
+  l2::store_or(w, 0b1000);
+  EXPECT_EQ(l2::load(w), 0b1010u);
+  l2::store_xor(w, 0b0010);
+  EXPECT_EQ(l2::load(w), 0b1000u);
+  l2::store_max_unsigned(w, 5);
+  EXPECT_EQ(l2::load(w), 8u);  // 8 > 5: unchanged
+  l2::store_max_unsigned(w, 100);
+  EXPECT_EQ(l2::load(w), 100u);
+}
+
+TEST(L2Atomics, BoundedIncrementStopsAtBound) {
+  L2Word w(0);
+  L2Word bound(3);
+  EXPECT_EQ(l2::load_increment_bounded(w, bound), 0u);
+  EXPECT_EQ(l2::load_increment_bounded(w, bound), 1u);
+  EXPECT_EQ(l2::load_increment_bounded(w, bound), 2u);
+  EXPECT_EQ(l2::load_increment_bounded(w, bound), kL2BoundedFailure);
+  EXPECT_EQ(l2::load(w), 3u);  // failure leaves the word intact
+  // Raising the bound re-enables allocation — the queue-consumer pattern.
+  l2::store(bound, 4);
+  EXPECT_EQ(l2::load_increment_bounded(w, bound), 3u);
+}
+
+TEST(L2Atomics, BoundedDecrementStopsAtBound) {
+  L2Word w(2);
+  L2Word bound(0);
+  EXPECT_EQ(l2::load_decrement_bounded(w, bound), 2u);
+  EXPECT_EQ(l2::load_decrement_bounded(w, bound), 1u);
+  EXPECT_EQ(l2::load_decrement_bounded(w, bound), kL2BoundedFailure);
+}
+
+TEST(L2Atomics, StoreTwinComparesAndSwaps) {
+  L2Word w(7);
+  EXPECT_FALSE(l2::store_twin(w, 8, 9));
+  EXPECT_EQ(l2::load(w), 7u);
+  EXPECT_TRUE(l2::store_twin(w, 7, 9));
+  EXPECT_EQ(l2::load(w), 9u);
+}
+
+TEST(L2Atomics, ConcurrentIncrementsAreExact) {
+  L2Word w(0);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) l2::load_increment(w);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(l2::load(w), static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(L2Atomics, ConcurrentBoundedIncrementNeverExceedsBound) {
+  L2Word w(0);
+  L2Word bound(5000);
+  std::atomic<int> successes{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        if (l2::load_increment_bounded(w, bound) != kL2BoundedFailure) {
+          successes.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(successes.load(), 5000);
+  EXPECT_EQ(l2::load(w), 5000u);
+}
+
+TEST(L2AtomicMutex, MutualExclusionUnderContention) {
+  L2AtomicMutex mu;
+  int counter = 0;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<L2AtomicMutex> g(mu);
+        ++counter;  // unsynchronized except for the mutex
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 80000);
+}
+
+TEST(L2AtomicMutex, TryLockFailsWhenHeldAndSucceedsWhenFree) {
+  L2AtomicMutex mu;
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_FALSE(mu.try_lock());
+  mu.unlock();
+  EXPECT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(L2AtomicDomain, AllocatesDistinctWords) {
+  L2AtomicDomain dom;
+  L2Word* a = dom.allocate("a");
+  L2Word* b = dom.allocate("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dom.allocated_words(), 2u);
+  auto block = dom.allocate_block(10, "blk");
+  EXPECT_EQ(block.size(), 10u);
+  EXPECT_EQ(dom.allocated_words(), 12u);
+}
+
+// Property sweep: bounded increment allocates exactly `bound` slots for any
+// producer count (the work-queue allocation invariant).
+class BoundedIncrementSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BoundedIncrementSweep, ExactAllocation) {
+  const auto [threads, bound_val] = GetParam();
+  L2Word w(0);
+  L2Word bound(static_cast<std::uint64_t>(bound_val));
+  std::atomic<int> got{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < bound_val; ++i) {
+        if (l2::load_increment_bounded(w, bound) != kL2BoundedFailure) got.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(got.load(), bound_val);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundedIncrementSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 7, 64, 1000)));
+
+}  // namespace
+}  // namespace pamix::hw

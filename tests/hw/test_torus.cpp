@@ -1,0 +1,134 @@
+#include "hw/torus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pamix::hw {
+namespace {
+
+TEST(TorusGeometry, NodeCountsForStandardPartitions) {
+  EXPECT_EQ(TorusGeometry::single_node().node_count(), 1);
+  EXPECT_EQ(TorusGeometry::midplane().node_count(), 512);
+  EXPECT_EQ(TorusGeometry::rack().node_count(), 1024);
+  EXPECT_EQ(TorusGeometry::racks(2).node_count(), 2048);
+}
+
+TEST(TorusGeometry, CoordsRoundTrip) {
+  const TorusGeometry g({3, 4, 5, 2, 2});
+  for (int n = 0; n < g.node_count(); ++n) {
+    EXPECT_EQ(g.node_of(g.coords_of(n)), n);
+  }
+}
+
+TEST(TorusGeometry, NeighborWrapsAround) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  const int origin = 0;
+  const int plus = g.neighbor(origin, Dim::A, Dir::Plus);
+  EXPECT_EQ(g.coords_of(plus)[0], 1);
+  const int minus = g.neighbor(origin, Dim::A, Dir::Minus);
+  EXPECT_EQ(g.coords_of(minus)[0], 3);  // wrap
+  // E dimension of size 2: plus and minus reach the same partner node.
+  EXPECT_EQ(g.neighbor(origin, Dim::E, Dir::Plus), g.neighbor(origin, Dim::E, Dir::Minus));
+}
+
+TEST(TorusGeometry, ShortestDeltaPrefersShortWayAround) {
+  const TorusGeometry g({8, 1, 1, 1, 1});
+  const int a = g.node_of({0, 0, 0, 0, 0});
+  const int b = g.node_of({6, 0, 0, 0, 0});
+  EXPECT_EQ(g.shortest_delta(a, b, Dim::A), -2);  // 2 hops minus beats 6 plus
+  const int c = g.node_of({3, 0, 0, 0, 0});
+  EXPECT_EQ(g.shortest_delta(a, c, Dim::A), 3);
+}
+
+TEST(TorusGeometry, HopsMatchesManhattanWithWrap) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  const int a = g.node_of({0, 0, 0, 0, 0});
+  const int b = g.node_of({3, 2, 1, 0, 1});
+  // A: 1 hop (wrap), B: 2, C: 1, D: 0, E: 1.
+  EXPECT_EQ(g.hops(a, b), 5);
+  EXPECT_EQ(g.hops(a, a), 0);
+}
+
+TEST(TorusGeometry, RouteVisitsConsecutiveLinksAndReachesDest) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  const int a = g.node_of({1, 2, 3, 0, 0});
+  const int b = g.node_of({3, 0, 1, 2, 1});
+  int cur = a;
+  int links = 0;
+  g.for_each_route_link(a, b, [&](const TorusLink& l) {
+    EXPECT_EQ(l.node, cur);
+    cur = g.neighbor(cur, l.dim, l.dir);
+    ++links;
+  });
+  EXPECT_EQ(cur, b);
+  EXPECT_EQ(links, g.hops(a, b));
+}
+
+TEST(TorusGeometry, RouteIsDimensionOrdered) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  const int a = 0;
+  const int b = g.node_of({2, 2, 0, 0, 0});
+  int last_dim = -1;
+  g.for_each_route_link(a, b, [&](const TorusLink& l) {
+    EXPECT_GE(static_cast<int>(l.dim), last_dim);
+    last_dim = static_cast<int>(l.dim);
+  });
+}
+
+TEST(TorusGeometry, LinkIndexIsDense) {
+  const TorusGeometry g({2, 2, 2, 2, 2});
+  std::set<int> seen;
+  for (int n = 0; n < g.node_count(); ++n) {
+    for (int d = 0; d < kTorusDims; ++d) {
+      for (int s = 0; s < 2; ++s) {
+        const int idx = g.link_index(
+            TorusLink{n, static_cast<Dim>(d), s == 0 ? Dir::Plus : Dir::Minus});
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, g.directed_link_count());
+        EXPECT_TRUE(seen.insert(idx).second) << "duplicate link index";
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), g.directed_link_count());
+}
+
+TEST(TorusRectangle, ContainsAndCounts) {
+  const TorusGeometry g({4, 4, 4, 4, 2});
+  TorusRectangle r;
+  r.lo = {1, 1, 0, 0, 0};
+  r.hi = {2, 3, 0, 0, 1};
+  EXPECT_EQ(r.node_count(), 2 * 3 * 1 * 1 * 2);
+  EXPECT_TRUE(r.contains({1, 2, 0, 0, 1}));
+  EXPECT_FALSE(r.contains({0, 2, 0, 0, 1}));
+  EXPECT_FALSE(r.contains({1, 2, 1, 0, 1}));
+  const TorusRectangle whole = TorusRectangle::whole_machine(g);
+  EXPECT_EQ(whole.node_count(), g.node_count());
+}
+
+// Property sweep over geometries: route length equals hops for random pairs.
+class TorusSweep : public ::testing::TestWithParam<std::array<int, 5>> {};
+
+TEST_P(TorusSweep, RoutesConsistent) {
+  const TorusGeometry g(GetParam());
+  const int n = g.node_count();
+  for (int a = 0; a < n; a += std::max(1, n / 17)) {
+    for (int b = 0; b < n; b += std::max(1, n / 13)) {
+      int cur = a;
+      g.for_each_route_link(a, b, [&](const TorusLink& l) {
+        cur = g.neighbor(cur, l.dim, l.dir);
+      });
+      EXPECT_EQ(cur, b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TorusSweep,
+                         ::testing::Values(std::array<int, 5>{1, 1, 1, 1, 1},
+                                           std::array<int, 5>{2, 1, 1, 1, 1},
+                                           std::array<int, 5>{3, 3, 3, 1, 1},
+                                           std::array<int, 5>{4, 4, 4, 4, 2},
+                                           std::array<int, 5>{2, 3, 4, 5, 2}));
+
+}  // namespace
+}  // namespace pamix::hw

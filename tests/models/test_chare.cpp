@@ -1,0 +1,149 @@
+#include "models/chare.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "runtime/machine.h"
+
+namespace pamix::models {
+namespace {
+
+class ChareTest : public ::testing::Test {
+ protected:
+  ChareTest() : machine_(hw::TorusGeometry({2, 2, 1, 1, 1}), 1), world_(machine_, cfg()) {}
+  static pami::ClientConfig cfg() {
+    pami::ClientConfig c;
+    c.name = "charm";
+    return c;
+  }
+  runtime::Machine machine_;
+  pami::ClientWorld world_;
+};
+
+TEST_F(ChareTest, RingHopTerminatesAtQuiescence) {
+  // A token hops element-to-element around a 16-element ring 3 full laps,
+  // then stops; quiescence detection must end every task's scheduler.
+  constexpr int kElements = 16;
+  constexpr int kLaps = 3;
+  std::atomic<int> total_hops{0};
+  machine_.run_spmd([&](int task) {
+    ChareRuntime rt(
+        world_, task, kElements,
+        [&](int element, int method, const std::byte* data, std::size_t bytes,
+            ChareSendApi& api) {
+          ASSERT_EQ(method, 1);
+          ASSERT_EQ(bytes, sizeof(int));
+          int hops_left;
+          std::memcpy(&hops_left, data, sizeof(int));
+          total_hops.fetch_add(1);
+          if (hops_left > 0) {
+            const int next = (element + 1) % kElements;
+            const int v = hops_left - 1;
+            api.send(next, 1, &v, sizeof(v));
+          }
+        });
+    if (task == 0) {
+      const int v = kElements * kLaps - 1;
+      rt.send(0, 1, &v, sizeof(v));
+    }
+    rt.run_to_quiescence();
+  });
+  EXPECT_EQ(total_hops.load(), kElements * kLaps);
+}
+
+TEST_F(ChareTest, FanOutFanInCounts) {
+  // Element 0 broadcasts to all, each replies; method 2 = request,
+  // method 3 = reply accumulated at element 0.
+  constexpr int kElements = 12;
+  std::atomic<int> replies{0};
+  machine_.run_spmd([&](int task) {
+    ChareRuntime rt(world_, task, kElements,
+                    [&](int element, int method, const std::byte*, std::size_t,
+                        ChareSendApi& api) {
+                      if (method == 2) {
+                        api.send(0, 3, nullptr, 0);
+                      } else {
+                        ASSERT_EQ(element, 0);
+                        replies.fetch_add(1);
+                      }
+                    });
+    if (task == 0) {
+      for (int e = 1; e < kElements; ++e) rt.send(e, 2, nullptr, 0);
+    }
+    rt.run_to_quiescence();
+  });
+  EXPECT_EQ(replies.load(), kElements - 1);
+}
+
+TEST_F(ChareTest, LargePayloadsFlowThroughRendezvous) {
+  constexpr int kElements = 4;
+  std::atomic<int> verified{0};
+  const std::size_t n = 50000;  // 400KB: rendezvous territory
+  machine_.run_spmd([&](int task) {
+    ChareRuntime rt(world_, task, kElements,
+                    [&](int, int, const std::byte* data, std::size_t bytes, ChareSendApi&) {
+                      ASSERT_EQ(bytes, n);
+                      bool ok = true;
+                      for (std::size_t i = 0; i < bytes; i += 503) {
+                        ok = ok && data[i] == static_cast<std::byte>(i * 3);
+                      }
+                      if (ok) verified.fetch_add(1);
+                    });
+    if (task == 0) {
+      std::vector<std::byte> payload(n);
+      for (std::size_t i = 0; i < n; ++i) payload[i] = static_cast<std::byte>(i * 3);
+      for (int e = 1; e < kElements; ++e) rt.send(e, 0, payload.data(), n);
+      // payload freed only after run_to_quiescence drains the pulls — the
+      // send_acks_ tracking makes that safe.
+      rt.run_to_quiescence();
+    } else {
+      rt.run_to_quiescence();
+    }
+  });
+  EXPECT_EQ(verified.load(), kElements - 1);
+}
+
+TEST_F(ChareTest, QuiescenceOnEmptySystem) {
+  machine_.run_spmd([&](int task) {
+    ChareRuntime rt(world_, task, 8,
+                    [](int, int, const std::byte*, std::size_t, ChareSendApi&) {
+                      FAIL() << "no messages were sent";
+                    });
+    EXPECT_EQ(rt.run_to_quiescence(), 0u);
+  });
+}
+
+TEST_F(ChareTest, DivideAndConquerTree) {
+  // Fibonacci-style recursive fan-out: element e with value v spawns work
+  // on 2e+1 and 2e+2 while v > 0; counts total spawns.
+  constexpr int kElements = 64;
+  std::atomic<int> activations{0};
+  machine_.run_spmd([&](int task) {
+    ChareRuntime rt(world_, task, kElements,
+                    [&](int element, int, const std::byte* data, std::size_t bytes,
+                        ChareSendApi& api) {
+                      ASSERT_EQ(bytes, sizeof(int));
+                      int depth;
+                      std::memcpy(&depth, data, sizeof(int));
+                      activations.fetch_add(1);
+                      if (depth > 0) {
+                        const int d = depth - 1;
+                        const int l = 2 * element + 1;
+                        const int r = 2 * element + 2;
+                        if (l < kElements) api.send(l, 0, &d, sizeof(d));
+                        if (r < kElements) api.send(r, 0, &d, sizeof(d));
+                      }
+                    });
+    if (task == 0) {
+      const int depth = 5;
+      rt.send(0, 0, &depth, sizeof(depth));
+    }
+    rt.run_to_quiescence();
+  });
+  EXPECT_EQ(activations.load(), 63);  // full binary tree of depth 5 within 64 elements
+}
+
+}  // namespace
+}  // namespace pamix::models

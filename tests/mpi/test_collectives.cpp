@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpi/mpi.h"
+
+namespace pamix::mpi {
+namespace {
+
+class MpiCollectives : public ::testing::Test {
+ protected:
+  MpiCollectives()
+      : machine_(hw::TorusGeometry({2, 2, 1, 1, 1}), 2), world_(machine_, MpiConfig{}) {}
+  void spmd(const std::function<void(Mpi&)>& body) {
+    machine_.run_spmd([&](int task) {
+      Mpi& mpi = world_.at(task);
+      mpi.init(ThreadLevel::Single);
+      body(mpi);
+      mpi.finalize();
+    });
+  }
+  runtime::Machine machine_;
+  MpiWorld world_;
+};
+
+TEST_F(MpiCollectives, BarrierRepeats) {
+  std::atomic<int> counter{0};
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    for (int round = 1; round <= 10; ++round) {
+      counter.fetch_add(1);
+      mpi.barrier(w);
+      ASSERT_GE(counter.load(), 8 * round);
+    }
+  });
+}
+
+TEST_F(MpiCollectives, BcastAllSizes) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    for (std::size_t count : {1u, 64u, 4096u, 100000u}) {
+      std::vector<double> buf(count, -1.0);
+      if (me == 2) {
+        std::iota(buf.begin(), buf.end(), static_cast<double>(count));
+      }
+      mpi.bcast(buf.data(), count * sizeof(double), 2, w);
+      ASSERT_DOUBLE_EQ(buf.front(), static_cast<double>(count));
+      ASSERT_DOUBLE_EQ(buf.back(), static_cast<double>(2 * count - 1));
+    }
+  });
+}
+
+TEST_F(MpiCollectives, AllreduceDoubleSum) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const double in = mpi.rank(w) + 1.0;
+    double out = 0;
+    mpi.allreduce(&in, &out, 1, Type::Double, Op::Add, w);
+    EXPECT_DOUBLE_EQ(out, 36.0);
+  });
+}
+
+TEST_F(MpiCollectives, AllreduceLargePipelined) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const std::size_t count = 300000;  // > 2MB: multiple pipeline slices
+    std::vector<double> in(count, 1.0), out(count);
+    mpi.allreduce(in.data(), out.data(), count, Type::Double, Op::Add, w);
+    for (std::size_t i = 0; i < count; i += 997) ASSERT_DOUBLE_EQ(out[i], 8.0);
+  });
+}
+
+TEST_F(MpiCollectives, ReduceToRoot) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const std::int64_t in = mpi.rank(w);
+    std::int64_t out = -1;
+    mpi.reduce(&in, &out, 1, Type::Int64, Op::Max, 5, w);
+    if (mpi.rank(w) == 5) {
+      EXPECT_EQ(out, 7);
+    }
+  });
+}
+
+TEST_F(MpiCollectives, AlltoallMatrixTranspose) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int n = mpi.size(w);
+    const int me = mpi.rank(w);
+    std::vector<std::int32_t> send(static_cast<std::size_t>(n)),
+        recv(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) send[static_cast<std::size_t>(r)] = me * n + r;
+    mpi.alltoall(send.data(), recv.data(), sizeof(std::int32_t), w);
+    for (int r = 0; r < n; ++r) ASSERT_EQ(recv[static_cast<std::size_t>(r)], r * n + me);
+  });
+}
+
+TEST_F(MpiCollectives, GatherScatterRoundTrip) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int n = mpi.size(w);
+    const int me = mpi.rank(w);
+    const double mine = 3.5 * me;
+    std::vector<double> all(static_cast<std::size_t>(n));
+    mpi.gather(&mine, all.data(), sizeof(double), 0, w);
+    double back = -1;
+    mpi.scatter(all.data(), &back, sizeof(double), 0, w);
+    EXPECT_DOUBLE_EQ(back, mine);
+  });
+}
+
+TEST_F(MpiCollectives, CollectivesInterleavedWithPt2Pt) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    const int n = mpi.size(w);
+    for (int round = 0; round < 5; ++round) {
+      // Ring pt2pt.
+      const int to = (me + 1) % n;
+      const int from = (me + n - 1) % n;
+      int token = me;
+      Request r = mpi.irecv(&token, sizeof(token), from, round, w);
+      const int out_token = me * 10 + round;
+      mpi.send(&out_token, sizeof(out_token), to, round, w);
+      mpi.wait(r);
+      EXPECT_EQ(token, from * 10 + round);
+      // Then a collective.
+      double in = 1.0, sum = 0;
+      mpi.allreduce(&in, &sum, 1, Type::Double, Op::Add, w);
+      ASSERT_DOUBLE_EQ(sum, static_cast<double>(n));
+    }
+  });
+}
+
+TEST_F(MpiCollectives, MpixRectangleBcastMatchesBcast) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    for (std::size_t bytes : {64u, 8192u, 100000u}) {
+      std::vector<std::uint8_t> a(bytes, 0), b(bytes, 0);
+      if (me == 1) {
+        for (std::size_t i = 0; i < bytes; ++i) {
+          a[i] = b[i] = static_cast<std::uint8_t>(i ^ bytes);
+        }
+      }
+      mpi.bcast(a.data(), bytes, 1, w);
+      mpi.mpix_rectangle_bcast(b.data(), bytes, 1, w);
+      ASSERT_EQ(a, b);
+      ASSERT_EQ(a[bytes / 2], static_cast<std::uint8_t>((bytes / 2) ^ bytes));
+    }
+  });
+}
+
+TEST_F(MpiCollectives, ProbeAndIprobe) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    if (me == 2) {
+      mpi.barrier(w);
+      const double v[3] = {1, 2, 3};
+      mpi.send(v, sizeof(v), 0, 9, w);
+    } else if (me == 0) {
+      EXPECT_FALSE(mpi.iprobe(2, 9, w));  // nothing yet
+      mpi.barrier(w);
+      Status st;
+      mpi.probe(2, 9, w, &st);  // blocks until the message is unexpected
+      EXPECT_EQ(st.source, 2);
+      EXPECT_EQ(st.tag, 9);
+      EXPECT_EQ(st.bytes, 3 * sizeof(double));
+      // Probe does not consume: the receive still matches.
+      double v[3] = {};
+      mpi.recv(v, sizeof(v), 2, 9, w);
+      EXPECT_DOUBLE_EQ(v[2], 3.0);
+      EXPECT_FALSE(mpi.iprobe(2, 9, w));  // consumed now
+    } else {
+      mpi.barrier(w);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pamix::mpi

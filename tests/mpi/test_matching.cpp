@@ -1,0 +1,207 @@
+// Direct Matcher unit tests: sequencing (out-of-order parking), posted vs
+// unexpected paths across all three arrival kinds, wildcard rules, and the
+// request pool.
+#include "mpi/matching.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace pamix::mpi {
+namespace {
+
+Matcher::Arrival inline_arrival(int comm, int src, int tag, std::uint32_t seq,
+                                const void* data, std::size_t bytes) {
+  Matcher::Arrival a;
+  a.kind = Matcher::Arrival::Kind::Inline;
+  a.env = Envelope{comm, src, tag, seq};
+  a.origin = pami::Endpoint{src, 0};
+  a.total = bytes;
+  a.pipe = static_cast<const std::byte*>(data);
+  a.pipe_bytes = bytes;
+  return a;
+}
+
+TEST(Matcher, PostedThenArrivalCompletes) {
+  Matcher m(Library::ThreadOptimized);
+  RequestPool pool;
+  int buf = 0;
+  auto req = pool.acquire(RequestImpl::Kind::Recv);
+  req->buffer = &buf;
+  req->capacity = sizeof(buf);
+  m.post_recv(req, 0, 1, 5);
+  const int v = 42;
+  m.on_arrival(inline_arrival(0, 1, 5, 0, &v, sizeof(v)));
+  EXPECT_TRUE(req->done());
+  EXPECT_EQ(buf, 42);
+  EXPECT_EQ(req->status.source, 1);
+  EXPECT_EQ(req->status.tag, 5);
+  EXPECT_EQ(m.posted_matched_count(), 1u);
+  EXPECT_EQ(m.unexpected_count(), 0u);
+}
+
+TEST(Matcher, ArrivalThenPostedCompletes) {
+  Matcher m(Library::ThreadOptimized);
+  RequestPool pool;
+  const int v = 7;
+  m.on_arrival(inline_arrival(0, 2, 3, 0, &v, sizeof(v)));
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  int buf = 0;
+  auto req = pool.acquire(RequestImpl::Kind::Recv);
+  req->buffer = &buf;
+  req->capacity = sizeof(buf);
+  m.post_recv(req, 0, 2, 3);
+  EXPECT_TRUE(req->done());
+  EXPECT_EQ(buf, 7);
+}
+
+TEST(Matcher, OutOfOrderArrivalsAreParkedAndReordered) {
+  Matcher m(Library::ThreadOptimized);
+  RequestPool pool;
+  // Sequence 1 arrives before sequence 0 (commthread overtake).
+  const int v1 = 111, v0 = 100;
+  m.on_arrival(inline_arrival(0, 4, 9, 1, &v1, sizeof(v1)));
+  EXPECT_EQ(m.parked_count(), 1u);
+  EXPECT_EQ(m.unexpected_count(), 0u);  // not matchable yet
+
+  int buf_a = 0, buf_b = 0;
+  auto ra = pool.acquire(RequestImpl::Kind::Recv);
+  ra->buffer = &buf_a;
+  ra->capacity = sizeof(buf_a);
+  auto rb = pool.acquire(RequestImpl::Kind::Recv);
+  rb->buffer = &buf_b;
+  rb->capacity = sizeof(buf_b);
+  m.post_recv(ra, 0, 4, 9);
+  m.post_recv(rb, 0, 4, 9);
+  EXPECT_FALSE(ra->done());
+
+  // Seq 0 arrives: both deliver, in MPI order (0 to the first post).
+  m.on_arrival(inline_arrival(0, 4, 9, 0, &v0, sizeof(v0)));
+  EXPECT_TRUE(ra->done());
+  EXPECT_TRUE(rb->done());
+  EXPECT_EQ(buf_a, 100);
+  EXPECT_EQ(buf_b, 111);
+}
+
+TEST(Matcher, SequencesAreIndependentPerSource) {
+  Matcher m(Library::ThreadOptimized);
+  const int v = 1;
+  // Source 1's seq 0 and source 2's seq 0 both deliver immediately.
+  m.on_arrival(inline_arrival(0, 1, 0, 0, &v, sizeof(v)));
+  m.on_arrival(inline_arrival(0, 2, 0, 0, &v, sizeof(v)));
+  EXPECT_EQ(m.unexpected_count(), 2u);
+  EXPECT_EQ(m.parked_count(), 0u);
+}
+
+TEST(Matcher, SequencesAreIndependentPerCommunicator) {
+  Matcher m(Library::ThreadOptimized);
+  const int v = 1;
+  m.on_arrival(inline_arrival(7, 1, 0, 0, &v, sizeof(v)));
+  m.on_arrival(inline_arrival(8, 1, 0, 0, &v, sizeof(v)));
+  EXPECT_EQ(m.parked_count(), 0u);
+}
+
+TEST(Matcher, WildcardSourcePostedMatchesAnyArrival) {
+  Matcher m(Library::ThreadOptimized);
+  RequestPool pool;
+  int buf = 0;
+  auto req = pool.acquire(RequestImpl::Kind::Recv);
+  req->buffer = &buf;
+  req->capacity = sizeof(buf);
+  m.post_recv(req, 0, kAnySource, kAnyTag);
+  const int v = 55;
+  m.on_arrival(inline_arrival(0, 6, 13, 0, &v, sizeof(v)));
+  EXPECT_TRUE(req->done());
+  EXPECT_EQ(req->status.source, 6);
+  EXPECT_EQ(req->status.tag, 13);
+}
+
+TEST(Matcher, PostedQueueSearchedInPostOrder) {
+  Matcher m(Library::ThreadOptimized);
+  RequestPool pool;
+  int buf1 = 0, buf2 = 0;
+  auto r1 = pool.acquire(RequestImpl::Kind::Recv);
+  r1->buffer = &buf1;
+  r1->capacity = sizeof(buf1);
+  auto r2 = pool.acquire(RequestImpl::Kind::Recv);
+  r2->buffer = &buf2;
+  r2->capacity = sizeof(buf2);
+  m.post_recv(r1, 0, kAnySource, 1);
+  m.post_recv(r2, 0, 3, 1);  // more specific, but posted later
+  const int v = 9;
+  m.on_arrival(inline_arrival(0, 3, 1, 0, &v, sizeof(v)));
+  EXPECT_TRUE(r1->done());   // MPI: first matching posted receive wins
+  EXPECT_FALSE(r2->done());
+}
+
+TEST(Matcher, TruncationKeepsPrefixAndReportsActualBytes) {
+  Matcher m(Library::ThreadOptimized);
+  RequestPool pool;
+  std::uint8_t buf[4] = {};
+  auto req = pool.acquire(RequestImpl::Kind::Recv);
+  req->buffer = buf;
+  req->capacity = sizeof(buf);
+  m.post_recv(req, 0, 1, 0);
+  const std::uint8_t v[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  m.on_arrival(inline_arrival(0, 1, 0, 0, v, sizeof(v)));
+  EXPECT_TRUE(req->done());
+  EXPECT_EQ(req->status.bytes, 4u);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(Matcher, StreamingUnexpectedClaimedBeforeDataArrives) {
+  Matcher m(Library::ThreadOptimized);
+  RequestPool pool;
+  // A streaming (multi-packet) arrival with a live descriptor, no posted
+  // receive: the matcher parks it in a temp buffer.
+  pami::RecvDescriptor rd;
+  Matcher::Arrival a;
+  a.kind = Matcher::Arrival::Kind::Streaming;
+  a.env = Envelope{0, 1, 2, 0};
+  a.total = 16;
+  a.live_recv = &rd;
+  m.on_arrival(std::move(a));
+  ASSERT_NE(rd.buffer, nullptr);  // temp buffer installed
+  ASSERT_EQ(rd.bytes, 16u);
+
+  // The receive posts while the message is still streaming: it claims.
+  std::uint8_t buf[16] = {};
+  auto req = pool.acquire(RequestImpl::Kind::Recv);
+  req->buffer = buf;
+  req->capacity = sizeof(buf);
+  m.post_recv(req, 0, 1, 2);
+  EXPECT_FALSE(req->done());
+
+  // Data lands; the context fires on_complete; the claimer completes.
+  for (int i = 0; i < 16; ++i) static_cast<std::uint8_t*>(rd.buffer)[i] = std::uint8_t(i);
+  rd.on_complete();
+  EXPECT_TRUE(req->done());
+  EXPECT_EQ(buf[15], 15);
+}
+
+TEST(RequestPoolTest, RecyclesRequests) {
+  RequestPool pool;
+  RequestImpl* first;
+  {
+    auto r = pool.acquire(RequestImpl::Kind::Send);
+    first = r.get();
+    r->finish();
+    EXPECT_EQ(pool.outstanding(), 1u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+  auto r2 = pool.acquire(RequestImpl::Kind::Recv);
+  EXPECT_EQ(r2.get(), first);      // same storage, recycled
+  EXPECT_FALSE(r2->done());        // fully reset
+  EXPECT_EQ(r2->kind, RequestImpl::Kind::Recv);
+}
+
+TEST(MatcherSeq, SendSequencesIncreasePerDestination) {
+  Matcher m(Library::ThreadOptimized);
+  EXPECT_EQ(m.next_send_seq(0, 1), 0u);
+  EXPECT_EQ(m.next_send_seq(0, 1), 1u);
+  EXPECT_EQ(m.next_send_seq(0, 2), 0u);  // independent per destination
+  EXPECT_EQ(m.next_send_seq(1, 1), 0u);  // independent per communicator
+}
+
+}  // namespace
+}  // namespace pamix::mpi

@@ -1,0 +1,172 @@
+// Stress tests: sustained mixed traffic under THREAD_MULTIPLE with
+// commthreads, rendezvous + eager interleave, wildcard receivers under
+// load, and repeated init/finalize cycles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mpi/mpi.h"
+
+namespace pamix::mpi {
+namespace {
+
+TEST(MpiStress, MixedSizesBothDirectionsManyIterations) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 2);
+  mpi::MpiConfig cfg;
+  cfg.rendezvous_threshold = 512;
+  MpiWorld world(machine, cfg);
+  machine.run_spmd([&](int task) {
+    Mpi& mp = world.at(task);
+    mp.init(ThreadLevel::Single);
+    const Comm w = mp.world();
+    const int me = mp.rank(w);
+    const int peer = (me + 2) % 4;  // cross-node pairs
+    for (int round = 0; round < 15; ++round) {
+      std::vector<Request> reqs;
+      std::vector<std::vector<std::uint32_t>> in(6), out(6);
+      for (int i = 0; i < 6; ++i) {
+        const std::size_t count = std::size_t{1} << (2 * i + 2);  // 16B..64KB
+        in[static_cast<std::size_t>(i)].resize(count);
+        out[static_cast<std::size_t>(i)].assign(count,
+                                                static_cast<std::uint32_t>(me * 100 + i));
+        reqs.push_back(mp.irecv(in[static_cast<std::size_t>(i)].data(),
+                                count * sizeof(std::uint32_t), peer, i, w));
+      }
+      for (int i = 0; i < 6; ++i) {
+        reqs.push_back(mp.isend(out[static_cast<std::size_t>(i)].data(),
+                                out[static_cast<std::size_t>(i)].size() * sizeof(std::uint32_t),
+                                peer, i, w));
+      }
+      mp.waitall(reqs);
+      for (int i = 0; i < 6; ++i) {
+        for (std::uint32_t v : in[static_cast<std::size_t>(i)]) {
+          ASSERT_EQ(v, static_cast<std::uint32_t>(peer * 100 + i));
+        }
+      }
+    }
+    mp.finalize();
+  });
+}
+
+TEST(MpiStress, WildcardSinkUnderCommthreadLoad) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 2);
+  mpi::MpiConfig cfg;
+  cfg.commthreads = MpiConfig::Commthreads::ForceOn;
+  cfg.commthread_count = 1;
+  MpiWorld world(machine, cfg);
+  constexpr int kPerSender = 60;
+  machine.run_spmd([&](int task) {
+    Mpi& mp = world.at(task);
+    mp.init(ThreadLevel::Multiple);
+    const Comm w = mp.world();
+    const int me = mp.rank(w);
+    if (me == 0) {
+      long long sum = 0;
+      for (int i = 0; i < 3 * kPerSender; ++i) {
+        int v = 0;
+        Status st;
+        mp.recv(&v, sizeof(v), kAnySource, kAnyTag, w, &st);
+        EXPECT_EQ(v, st.source * 1000 + st.tag);
+        sum += v;
+      }
+      long long expect = 0;
+      for (int s = 1; s <= 3; ++s) {
+        for (int t = 0; t < kPerSender; ++t) expect += s * 1000 + t;
+      }
+      EXPECT_EQ(sum, expect);
+    } else {
+      for (int t = 0; t < kPerSender; ++t) {
+        const int v = me * 1000 + t;
+        mp.send(&v, sizeof(v), 0, t, w);
+      }
+    }
+    mp.finalize();
+  });
+}
+
+TEST(MpiStress, RendezvousFloodBothWays) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  mpi::MpiConfig cfg;
+  cfg.rendezvous_threshold = 1024;
+  MpiWorld world(machine, cfg);
+  machine.run_spmd([&](int task) {
+    Mpi& mp = world.at(task);
+    mp.init(ThreadLevel::Single);
+    const Comm w = mp.world();
+    const int peer = 1 - mp.rank(w);
+    constexpr int kInFlight = 12;
+    std::vector<std::vector<double>> in(kInFlight), out(kInFlight);
+    std::vector<Request> reqs;
+    for (int i = 0; i < kInFlight; ++i) {
+      const std::size_t count = 2048 + static_cast<std::size_t>(i) * 512;
+      in[static_cast<std::size_t>(i)].resize(count);
+      out[static_cast<std::size_t>(i)].assign(count, mp.rank(w) * 10.0 + i);
+      reqs.push_back(mp.irecv(in[static_cast<std::size_t>(i)].data(), count * sizeof(double),
+                              peer, i, w));
+      reqs.push_back(mp.isend(out[static_cast<std::size_t>(i)].data(), count * sizeof(double),
+                              peer, i, w));
+    }
+    mp.waitall(reqs);
+    for (int i = 0; i < kInFlight; ++i) {
+      for (double v : in[static_cast<std::size_t>(i)]) ASSERT_DOUBLE_EQ(v, peer * 10.0 + i);
+    }
+    mp.finalize();
+  });
+}
+
+TEST(MpiStress, ManyCommunicatorsConcurrently) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 1);
+  MpiWorld world(machine, MpiConfig{});
+  machine.run_spmd([&](int task) {
+    Mpi& mp = world.at(task);
+    mp.init(ThreadLevel::Single);
+    const Comm w = mp.world();
+    std::vector<Comm> comms;
+    for (int i = 0; i < 6; ++i) comms.push_back(mp.dup(w));
+    // Same tags on every communicator: no cross-talk.
+    const int me = mp.rank(w);
+    const int peer = (me + 1) % mp.size(w);
+    const int from = (me + mp.size(w) - 1) % mp.size(w);
+    std::vector<Request> reqs;
+    std::vector<int> got(comms.size(), -1);
+    for (std::size_t c = 0; c < comms.size(); ++c) {
+      reqs.push_back(mp.irecv(&got[c], sizeof(int), from, 0, comms[c]));
+    }
+    std::vector<int> vals(comms.size());
+    for (std::size_t c = 0; c < comms.size(); ++c) {
+      vals[c] = me * 10 + static_cast<int>(c);
+      reqs.push_back(mp.isend(&vals[c], sizeof(int), peer, 0, comms[c]));
+    }
+    mp.waitall(reqs);
+    for (std::size_t c = 0; c < comms.size(); ++c) {
+      EXPECT_EQ(got[c], from * 10 + static_cast<int>(c));
+    }
+    mp.finalize();
+  });
+}
+
+TEST(MpiStress, CollectiveHammer) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 2);
+  MpiWorld world(machine, MpiConfig{});
+  machine.run_spmd([&](int task) {
+    Mpi& mp = world.at(task);
+    mp.init(ThreadLevel::Single);
+    const Comm w = mp.world();
+    const int n = mp.size(w);
+    double expect_sum = n * (n - 1) / 2.0;
+    for (int i = 0; i < 40; ++i) {
+      double in = mp.rank(w), out = 0;
+      mp.allreduce(&in, &out, 1, Type::Double, Op::Add, w);
+      ASSERT_DOUBLE_EQ(out, expect_sum);
+      if (i % 4 == 0) mp.barrier(w);
+      int word = mp.rank(w) == i % n ? i : -1;
+      mp.bcast(&word, sizeof(word), i % n, w);
+      ASSERT_EQ(word, i);
+    }
+    mp.finalize();
+  });
+}
+
+}  // namespace
+}  // namespace pamix::mpi

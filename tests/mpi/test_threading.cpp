@@ -1,0 +1,157 @@
+// Thread-level support: THREAD_MULTIPLE, commthread auto-enable, classic
+// vs thread-optimized builds, concurrent Isend handoff (the paper's
+// message-rate mechanism) with ordering preserved.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+
+#include "mpi/mpi.h"
+
+namespace pamix::mpi {
+namespace {
+
+class MpiThreading : public ::testing::TestWithParam<Library> {
+ protected:
+  MpiThreading() : machine_(hw::TorusGeometry({2, 1, 1, 1, 1}), 1) {}
+
+  MpiConfig cfg(MpiConfig::Commthreads ct = MpiConfig::Commthreads::Auto) const {
+    MpiConfig c;
+    c.library = GetParam();
+    c.commthreads = ct;
+    c.commthread_count = 2;
+    c.contexts_per_task = 2;
+    return c;
+  }
+
+  runtime::Machine machine_;
+};
+
+TEST_P(MpiThreading, CommthreadsAutoEnableAtThreadMultiple) {
+  MpiWorld world(machine_, cfg());
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    EXPECT_TRUE(mpi.commthreads_active());
+    EXPECT_EQ(mpi.commthread_count(), 2);
+    mpi.finalize();
+    EXPECT_FALSE(mpi.commthreads_active());
+  });
+}
+
+TEST_P(MpiThreading, CommthreadsStayOffAtThreadSingle) {
+  MpiWorld world(machine_, cfg());
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Single);
+    EXPECT_FALSE(mpi.commthreads_active());
+    mpi.finalize();
+  });
+}
+
+TEST_P(MpiThreading, ForceOffOverridesAuto) {
+  MpiWorld world(machine_, cfg(MpiConfig::Commthreads::ForceOff));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    EXPECT_FALSE(mpi.commthreads_active());
+    mpi.finalize();
+  });
+}
+
+TEST_P(MpiThreading, PingPongUnderThreadMultiple) {
+  MpiWorld world(machine_, cfg());
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    for (int i = 0; i < 50; ++i) {
+      int v = -1;
+      if (mpi.rank(w) == 0) {
+        mpi.send(&i, sizeof(i), 1, i, w);
+        mpi.recv(&v, sizeof(v), 1, i, w);
+        EXPECT_EQ(v, i + 100);
+      } else {
+        mpi.recv(&v, sizeof(v), 0, i, w);
+        const int reply = v + 100;
+        mpi.send(&reply, sizeof(reply), 0, i, w);
+      }
+    }
+    mpi.finalize();
+  });
+}
+
+TEST_P(MpiThreading, ConcurrentSendersFromMultipleAppThreads) {
+  MpiWorld world(machine_, cfg());
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 40;
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    if (mpi.rank(w) == 0) {
+      // Three app threads send interleaved streams on distinct tags.
+      std::vector<std::thread> senders;
+      for (int t = 0; t < kThreads; ++t) {
+        senders.emplace_back([&, t] {
+          for (int i = 0; i < kPerThread; ++i) {
+            const int v = t * 10000 + i;
+            mpi.send(&v, sizeof(v), 1, /*tag=*/t, w);
+          }
+        });
+      }
+      for (auto& s : senders) s.join();
+    } else {
+      // Per-tag (per-thread) streams must arrive in order.
+      std::array<int, kThreads> next{};
+      for (int i = 0; i < kThreads * kPerThread; ++i) {
+        int v = -1;
+        Status st;
+        mpi.recv(&v, sizeof(v), 0, kAnyTag, w, &st);
+        ASSERT_GE(st.tag, 0);
+        ASSERT_LT(st.tag, kThreads);
+        const auto tag = static_cast<std::size_t>(st.tag);
+        EXPECT_EQ(v, st.tag * 10000 + next[tag]);
+        ++next[tag];
+      }
+    }
+    mpi.finalize();
+  });
+}
+
+TEST_P(MpiThreading, IsendHandoffCompletesThroughCommthreads) {
+  MpiWorld world(machine_, cfg(MpiConfig::Commthreads::ForceOn));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    constexpr int kMsgs = 64;
+    std::vector<Request> reqs;
+    std::vector<int> recv(kMsgs, -1);
+    const int peer = 1 - mpi.rank(w);
+    for (int i = 0; i < kMsgs; ++i) {
+      reqs.push_back(mpi.irecv(&recv[static_cast<std::size_t>(i)], sizeof(int), peer, i, w));
+    }
+    mpi.barrier(w);
+    std::vector<int> vals(kMsgs);
+    for (int i = 0; i < kMsgs; ++i) {
+      vals[static_cast<std::size_t>(i)] = mpi.rank(w) * 777 + i;
+      reqs.push_back(mpi.isend(&vals[static_cast<std::size_t>(i)], sizeof(int), peer, i, w));
+    }
+    mpi.waitall(reqs);
+    for (int i = 0; i < kMsgs; ++i) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(i)], peer * 777 + i);
+    }
+    mpi.finalize();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Libraries, MpiThreading,
+                         ::testing::Values(Library::Classic, Library::ThreadOptimized),
+                         [](const auto& info) {
+                           return info.param == Library::Classic ? "Classic" : "ThreadOptimized";
+                         });
+
+}  // namespace
+}  // namespace pamix::mpi

@@ -1,0 +1,168 @@
+// Wildcard matching — the paper singles out MPI_ANY_SOURCE as the reason
+// pamid keeps one serial receive queue under an L2-atomic mutex (§IV-A).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "mpi/mpi.h"
+
+namespace pamix::mpi {
+namespace {
+
+class MpiWildcards : public ::testing::Test {
+ protected:
+  MpiWildcards() : machine_(hw::TorusGeometry({2, 2, 1, 1, 1}), 1), world_(machine_, MpiConfig{}) {}
+  void spmd(const std::function<void(Mpi&)>& body) {
+    machine_.run_spmd([&](int task) {
+      Mpi& mpi = world_.at(task);
+      mpi.init(ThreadLevel::Single);
+      body(mpi);
+      mpi.finalize();
+    });
+  }
+  runtime::Machine machine_;
+  MpiWorld world_;
+};
+
+TEST_F(MpiWildcards, AnySourceReceivesFromEveryRank) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    const int n = mpi.size(w);
+    if (me == 0) {
+      std::set<int> sources;
+      for (int i = 0; i < n - 1; ++i) {
+        int v = -1;
+        Status st;
+        mpi.recv(&v, sizeof(v), kAnySource, 42, w, &st);
+        EXPECT_EQ(v, st.source * 10);
+        sources.insert(st.source);
+      }
+      EXPECT_EQ(static_cast<int>(sources.size()), n - 1);
+    } else {
+      const int v = me * 10;
+      mpi.send(&v, sizeof(v), 0, 42, w);
+    }
+  });
+}
+
+TEST_F(MpiWildcards, AnyTagMatchesFirstArrival) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    if (me == 1) {
+      const int a = 7;
+      mpi.send(&a, sizeof(a), 2, 1000, w);
+    } else if (me == 2) {
+      int v = 0;
+      Status st;
+      mpi.recv(&v, sizeof(v), 1, kAnyTag, w, &st);
+      EXPECT_EQ(st.tag, 1000);
+      EXPECT_EQ(v, 7);
+    }
+  });
+}
+
+TEST_F(MpiWildcards, WildcardPreservesPerSourceOrder) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    constexpr int kPer = 50;
+    if (me != 0) {
+      for (int i = 0; i < kPer; ++i) {
+        const int v = me * 1000 + i;
+        mpi.send(&v, sizeof(v), 0, 5, w);
+      }
+    } else {
+      const int n = mpi.size(w);
+      std::map<int, int> last_per_source;
+      for (int i = 0; i < kPer * (n - 1); ++i) {
+        int v = -1;
+        Status st;
+        mpi.recv(&v, sizeof(v), kAnySource, 5, w, &st);
+        const int idx = v - st.source * 1000;
+        auto it = last_per_source.find(st.source);
+        if (it != last_per_source.end()) {
+          EXPECT_EQ(idx, it->second + 1);  // non-overtaking per source
+        } else {
+          EXPECT_EQ(idx, 0);
+        }
+        last_per_source[st.source] = idx;
+      }
+    }
+  });
+}
+
+TEST_F(MpiWildcards, WildcardAndSpecificPostedTogether) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    if (me == 0) {
+      // Post a specific receive for rank 3 and a wildcard; rank 3's message
+      // must land in whichever was posted first and matches (the specific
+      // one), and rank 1's message matches the wildcard.
+      int spec = -1, wild = -1;
+      Request r_spec = mpi.irecv(&spec, sizeof(spec), 3, 8, w);
+      Request r_wild = mpi.irecv(&wild, sizeof(wild), kAnySource, 8, w);
+      mpi.barrier(w);
+      mpi.wait(r_spec);
+      mpi.wait(r_wild);
+      EXPECT_EQ(spec, 33);
+      EXPECT_EQ(wild, 11);
+    } else {
+      mpi.barrier(w);
+      if (me == 3) {
+        const int v = 33;
+        mpi.send(&v, sizeof(v), 0, 8, w);
+      } else if (me == 1) {
+        const int v = 11;
+        mpi.send(&v, sizeof(v), 0, 8, w);
+      }
+    }
+  });
+}
+
+TEST_F(MpiWildcards, WildcardMatchesUnexpectedQueueInArrivalOrder) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    if (me == 2) {
+      const int v = 77;
+      mpi.send(&v, sizeof(v), 0, 3, w);
+      mpi.barrier(w);
+    } else if (me == 0) {
+      mpi.barrier(w);  // rank 2's message is unexpected now
+      int v = -1;
+      Status st;
+      mpi.recv(&v, sizeof(v), kAnySource, kAnyTag, w, &st);
+      EXPECT_EQ(st.source, 2);
+      EXPECT_EQ(st.tag, 3);
+      EXPECT_EQ(v, 77);
+    } else {
+      mpi.barrier(w);
+    }
+  });
+}
+
+TEST_F(MpiWildcards, RendezvousWithAnySource) {
+  spmd([&](Mpi& mpi) {
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    const std::size_t count = 32768;  // rendezvous-sized
+    if (me == 3) {
+      std::vector<double> data(count, 2.5);
+      mpi.send(data.data(), count * sizeof(double), 0, 6, w);
+    } else if (me == 0) {
+      std::vector<double> buf(count);
+      Status st;
+      mpi.recv(buf.data(), count * sizeof(double), kAnySource, 6, w, &st);
+      EXPECT_EQ(st.source, 3);
+      for (double d : buf) ASSERT_DOUBLE_EQ(d, 2.5);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pamix::mpi

@@ -1,0 +1,86 @@
+#include "sim/collective_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pamix::sim {
+namespace {
+
+/// The paper's 2048-node partition (two racks).
+CollectiveModel paper_machine() {
+  return CollectiveModel(hw::TorusGeometry::racks(2), BgqCostModel{});
+}
+
+TEST(CollectiveModel, BarrierLatencyMatchesFigure6At2048Nodes) {
+  const CollectiveModel m = paper_machine();
+  // Paper: 2.7 / 4.0 / 4.2 us at ppn = 1 / 4 / 16.
+  EXPECT_NEAR(m.barrier_latency_us(1), 2.7, 0.15);
+  EXPECT_NEAR(m.barrier_latency_us(4), 4.0, 0.2);
+  EXPECT_NEAR(m.barrier_latency_us(16), 4.2, 0.2);
+}
+
+TEST(CollectiveModel, BarrierLatencyGrowsWithMachineDepth) {
+  const BgqCostModel c;
+  const CollectiveModel small(hw::TorusGeometry::midplane(), c);
+  const CollectiveModel big(hw::TorusGeometry::racks(2), c);
+  EXPECT_LT(small.barrier_latency_us(1), big.barrier_latency_us(1));
+}
+
+TEST(CollectiveModel, AllreduceLatencyMatchesFigure7At2048Nodes) {
+  const CollectiveModel m = paper_machine();
+  // Paper: 5.5 / 5.0 / 5.3 us at ppn = 1 / 4 / 16 — note the dip at 4.
+  EXPECT_NEAR(m.allreduce_latency_us(1), 5.5, 0.25);
+  EXPECT_NEAR(m.allreduce_latency_us(4), 5.0, 0.25);
+  EXPECT_NEAR(m.allreduce_latency_us(16), 5.3, 0.25);
+  EXPECT_LT(m.allreduce_latency_us(4), m.allreduce_latency_us(1));
+  EXPECT_LT(m.allreduce_latency_us(4), m.allreduce_latency_us(16));
+}
+
+TEST(CollectiveModel, AllreduceThroughputMatchesFigure8Peaks) {
+  const CollectiveModel m = paper_machine();
+  // Paper peaks: 1704 MB/s @ ppn1/8MB, 1693 @ ppn4/2MB, 1643 @ ppn16/512KB.
+  EXPECT_NEAR(m.allreduce_throughput_mb_s(1, 8u << 20), 1704, 40);
+  EXPECT_NEAR(m.allreduce_throughput_mb_s(4, 2u << 20), 1693, 60);
+  EXPECT_NEAR(m.allreduce_throughput_mb_s(16, 512u << 10), 1643, 60);
+}
+
+TEST(CollectiveModel, AllreduceFallsOffWhenSpillingL2) {
+  const CollectiveModel m = paper_machine();
+  // ppn=16: past the L2-resident peak the DDR pipeline takes over.
+  const double at_peak = m.allreduce_throughput_mb_s(16, 512u << 10);
+  const double spilled = m.allreduce_throughput_mb_s(16, 8u << 20);
+  EXPECT_LT(spilled, 0.6 * at_peak);
+}
+
+TEST(CollectiveModel, BcastThroughputMatchesFigure9Peaks) {
+  const CollectiveModel m = paper_machine();
+  // Paper: 1728 @ ppn1/32MB (96% of peak), 1722 @ ppn4/4MB, 1701 @ ppn16/1MB.
+  EXPECT_NEAR(m.bcast_throughput_mb_s(1, 32u << 20), 1728, 40);
+  EXPECT_NEAR(m.bcast_throughput_mb_s(4, 4u << 20), 1722, 60);
+  EXPECT_NEAR(m.bcast_throughput_mb_s(16, 1u << 20), 1701, 60);
+}
+
+TEST(CollectiveModel, BcastPpn16FallsOffAtLargeSizes) {
+  const CollectiveModel m = paper_machine();
+  const double at_peak = m.bcast_throughput_mb_s(16, 1u << 20);
+  const double spilled = m.bcast_throughput_mb_s(16, 16u << 20);
+  EXPECT_LT(spilled, 0.5 * at_peak);
+}
+
+TEST(CollectiveModel, ThroughputRisesWithMessageSizeBeforePeak) {
+  const CollectiveModel m = paper_machine();
+  double prev = 0;
+  for (std::size_t bytes = 8; bytes <= (1u << 20); bytes *= 8) {
+    const double cur = m.bcast_throughput_mb_s(1, bytes);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(CollectiveModel, SmallAllreduceLatencyDominatedBySoftwareAndTree) {
+  const CollectiveModel m = paper_machine();
+  // An 8B and a 64B allreduce should be nearly identical (latency-bound).
+  EXPECT_NEAR(m.allreduce_latency_us(1, 8), m.allreduce_latency_us(1, 64), 0.1);
+}
+
+}  // namespace
+}  // namespace pamix::sim

@@ -1,0 +1,65 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pamix::sim {
+namespace {
+
+TEST(BgqCostModel, PacketCounts) {
+  const BgqCostModel m;
+  EXPECT_EQ(m.packets_for(0), 1u);  // header-only packet still flows
+  EXPECT_EQ(m.packets_for(1), 1u);
+  EXPECT_EQ(m.packets_for(512), 1u);
+  EXPECT_EQ(m.packets_for(513), 2u);
+  EXPECT_EQ(m.packets_for(1 << 20), 2048u);
+}
+
+TEST(BgqCostModel, FullPacketStreamHitsPayloadPeak) {
+  const BgqCostModel m;
+  // Back-to-back 512B-payload packets must achieve exactly the 1.8 GB/s
+  // payload peak the paper quotes.
+  const double rate = 512.0 / m.packet_serialization_us(512);
+  EXPECT_NEAR(rate, m.link_payload_mb_s, 1.0);
+}
+
+TEST(BgqCostModel, SmallPacketsPayLargerRelativeOverhead) {
+  const BgqCostModel m;
+  const double eff_small = 32.0 / m.packet_serialization_us(32);
+  const double eff_big = 512.0 / m.packet_serialization_us(512);
+  EXPECT_LT(eff_small, 0.55 * eff_big);  // header dominates small packets
+}
+
+TEST(BgqCostModel, CopyBandwidthDegradesPastL2) {
+  const BgqCostModel m;
+  EXPECT_DOUBLE_EQ(m.copy_bandwidth_mb_s(1 << 20), m.l2_copy_mb_s);
+  EXPECT_DOUBLE_EQ(m.copy_bandwidth_mb_s(16u << 20), m.l2_copy_mb_s);
+  EXPECT_DOUBLE_EQ(m.copy_bandwidth_mb_s(256u << 20), m.ddr_copy_mb_s);
+  // The transition band is monotonically decreasing.
+  double prev = m.copy_bandwidth_mb_s(20u << 20);
+  for (std::size_t ws = 24; ws <= 52; ws += 4) {
+    const double cur = m.copy_bandwidth_mb_s(ws << 20);
+    EXPECT_LE(cur, prev + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(BgqCostModel, NetworkOneWayGrowsWithHops) {
+  const BgqCostModel m;
+  const double one = m.network_one_way_us(1, 32);
+  const double ten = m.network_one_way_us(10, 32);
+  EXPECT_GT(ten, one);
+  EXPECT_NEAR(ten - one, 9 * m.hop_latency_us, 1e-9);
+}
+
+TEST(BgqCostModel, MemoryTouchCounts) {
+  const BgqCostModel m;
+  // ppn=1 allreduce: MU read+write plus the local in/out — far fewer
+  // touches than ppn=16 where every peer reads inputs and copies results.
+  EXPECT_LT(m.touches_allreduce(1), m.touches_allreduce(16));
+  EXPECT_LT(m.touches_bcast(1), m.touches_bcast(16));
+  EXPECT_DOUBLE_EQ(m.touches_bcast(1), 3.0);
+  EXPECT_DOUBLE_EQ(m.touches_bcast(16), 33.0);
+}
+
+}  // namespace
+}  // namespace pamix::sim

@@ -1,0 +1,115 @@
+#include "sim/mpi_model.h"
+
+#include <gtest/gtest.h>
+
+namespace pamix::sim {
+namespace {
+
+MpiModel paper_32_nodes() {
+  // Figure 5 / Tables 1-3 run on small partitions; 32 nodes = 4x4x2 block.
+  return MpiModel(hw::TorusGeometry({4, 4, 2, 1, 1}), BgqCostModel{});
+}
+
+TEST(MpiModel, Table1PamiLatency) {
+  const MpiModel m = paper_32_nodes();
+  EXPECT_NEAR(m.pami_send_immediate_latency_us(), 1.18, 0.05);
+  EXPECT_NEAR(m.pami_send_latency_us(), 1.32, 0.05);
+  EXPECT_LT(m.pami_send_immediate_latency_us(), m.pami_send_latency_us());
+}
+
+TEST(MpiModel, Table2MpiLatencyAllVariants) {
+  const MpiModel m = paper_32_nodes();
+  using L = MpiLibrary;
+  using T = ThreadLevel;
+  EXPECT_NEAR(m.mpi_latency_us(L::Classic, T::Single, false), 1.95, 0.08);
+  EXPECT_NEAR(m.mpi_latency_us(L::Classic, T::Multiple, false), 2.28, 0.08);
+  EXPECT_NEAR(m.mpi_latency_us(L::Classic, T::Multiple, true), 8.7, 0.3);
+  EXPECT_NEAR(m.mpi_latency_us(L::ThreadOptimized, T::Single, false), 2.5, 0.1);
+  EXPECT_NEAR(m.mpi_latency_us(L::ThreadOptimized, T::Multiple, false), 2.96, 0.1);
+  EXPECT_NEAR(m.mpi_latency_us(L::ThreadOptimized, T::Multiple, true), 3.25, 0.12);
+}
+
+TEST(MpiModel, Table2Orderings) {
+  const MpiModel m = paper_32_nodes();
+  using L = MpiLibrary;
+  using T = ThreadLevel;
+  // Classic wins single-threaded; commthreads are pathological for classic
+  // but nearly free for the thread-optimized library.
+  EXPECT_LT(m.mpi_latency_us(L::Classic, T::Single, false),
+            m.mpi_latency_us(L::ThreadOptimized, T::Single, false));
+  EXPECT_GT(m.mpi_latency_us(L::Classic, T::Multiple, true),
+            2.5 * m.mpi_latency_us(L::ThreadOptimized, T::Multiple, true));
+}
+
+TEST(MpiModel, Figure5MessageRates) {
+  const MpiModel m = paper_32_nodes();
+  // Paper: PAMI 107 MMPS and MPI 22.9 MMPS at 32 ppn.
+  EXPECT_NEAR(m.pami_message_rate_mmps(32), 107.0, 4.0);
+  EXPECT_NEAR(m.mpi_message_rate_mmps(32), 22.9, 1.0);
+  // PAMI always beats MPI (matching overheads).
+  for (int ppn : {1, 2, 4, 8, 16, 32}) {
+    EXPECT_GT(m.pami_message_rate_mmps(ppn), 3.0 * m.mpi_message_rate_mmps(ppn));
+  }
+}
+
+TEST(MpiModel, Figure5CommthreadSpeedup) {
+  const MpiModel m = paper_32_nodes();
+  // Paper: 2.4x at ppn=1 where 16 commthreads are available; the speedup
+  // shrinks as processes eat the hardware threads.
+  const double s1 = m.mpi_message_rate_commthread_mmps(1) / m.mpi_message_rate_mmps(1);
+  EXPECT_NEAR(s1, 2.4, 0.12);
+  const double s16 = m.mpi_message_rate_commthread_mmps(16) / m.mpi_message_rate_mmps(16);
+  EXPECT_GT(s1, s16);
+  EXPECT_GT(s16, 1.0);
+  // Best absolute rate ~18.7 MMPS at ppn 16 with commthreads.
+  EXPECT_NEAR(m.mpi_message_rate_commthread_mmps(16), 18.7, 1.5);
+  // No commthreads left at 32 ppn: rates coincide.
+  EXPECT_DOUBLE_EQ(m.mpi_message_rate_commthread_mmps(32), m.mpi_message_rate_mmps(32));
+}
+
+TEST(MpiModel, Figure5WildcardPenalty) {
+  const MpiModel m = paper_32_nodes();
+  EXPECT_LT(m.mpi_message_rate_mmps(8, /*wildcard=*/true),
+            m.mpi_message_rate_mmps(8, /*wildcard=*/false));
+}
+
+TEST(MpiModel, CommthreadsPerProcess) {
+  const MpiModel m = paper_32_nodes();
+  EXPECT_EQ(m.commthreads_per_process(1), 16);  // capped by contexts
+  EXPECT_EQ(m.commthreads_per_process(16), 3);
+  EXPECT_EQ(m.commthreads_per_process(32), 1);
+  EXPECT_EQ(m.commthreads_per_process(64), 0);
+}
+
+TEST(MpiModel, Table3RendezvousThroughput) {
+  const MpiModel m = paper_32_nodes();
+  const std::size_t mb = 1u << 20;
+  EXPECT_NEAR(m.rendezvous_neighbor_throughput_mb_s(1, mb), 3333, 120);
+  EXPECT_NEAR(m.rendezvous_neighbor_throughput_mb_s(2, mb), 6625, 250);
+  EXPECT_NEAR(m.rendezvous_neighbor_throughput_mb_s(4, mb), 13139, 450);
+  EXPECT_NEAR(m.rendezvous_neighbor_throughput_mb_s(10, mb), 32355, 1100);
+}
+
+TEST(MpiModel, Table3EagerThroughput) {
+  const MpiModel m = paper_32_nodes();
+  const std::size_t mb = 1u << 20;
+  EXPECT_NEAR(m.eager_neighbor_throughput_mb_s(1, mb), 3267, 140);
+  EXPECT_NEAR(m.eager_neighbor_throughput_mb_s(2, mb), 3360, 140);
+  EXPECT_NEAR(m.eager_neighbor_throughput_mb_s(4, mb), 6676, 280);
+  EXPECT_NEAR(m.eager_neighbor_throughput_mb_s(10, mb), 8467, 350);
+}
+
+TEST(MpiModel, RendezvousBeatsEagerBeyondTwoNeighbors) {
+  const MpiModel m = paper_32_nodes();
+  const std::size_t mb = 1u << 20;
+  // At one neighbor they are close (both near link speed); the gap opens
+  // with neighbor count as eager's receive-side copies saturate.
+  EXPECT_NEAR(m.rendezvous_neighbor_throughput_mb_s(1, mb) /
+                  m.eager_neighbor_throughput_mb_s(1, mb),
+              1.02, 0.06);
+  EXPECT_GT(m.rendezvous_neighbor_throughput_mb_s(10, mb),
+            3.5 * m.eager_neighbor_throughput_mb_s(10, mb));
+}
+
+}  // namespace
+}  // namespace pamix::sim
