@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_context_hash.dir/ablate_context_hash.cpp.o"
+  "CMakeFiles/ablate_context_hash.dir/ablate_context_hash.cpp.o.d"
+  "ablate_context_hash"
+  "ablate_context_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_context_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_eager_rdzv.dir/ablate_eager_rdzv.cpp.o"
+  "CMakeFiles/ablate_eager_rdzv.dir/ablate_eager_rdzv.cpp.o.d"
+  "ablate_eager_rdzv"
+  "ablate_eager_rdzv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_eager_rdzv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_waitall.dir/ablate_waitall.cpp.o"
+  "CMakeFiles/ablate_waitall.dir/ablate_waitall.cpp.o.d"
+  "ablate_waitall"
+  "ablate_waitall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_waitall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

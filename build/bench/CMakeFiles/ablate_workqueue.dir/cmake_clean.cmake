@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_workqueue.dir/ablate_workqueue.cpp.o"
+  "CMakeFiles/ablate_workqueue.dir/ablate_workqueue.cpp.o.d"
+  "ablate_workqueue"
+  "ablate_workqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_workqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

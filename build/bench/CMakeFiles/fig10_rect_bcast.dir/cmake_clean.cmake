@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rect_bcast.dir/fig10_rect_bcast.cpp.o"
+  "CMakeFiles/fig10_rect_bcast.dir/fig10_rect_bcast.cpp.o.d"
+  "fig10_rect_bcast"
+  "fig10_rect_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rect_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

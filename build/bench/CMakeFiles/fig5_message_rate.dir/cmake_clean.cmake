@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_message_rate.dir/fig5_message_rate.cpp.o"
+  "CMakeFiles/fig5_message_rate.dir/fig5_message_rate.cpp.o.d"
+  "fig5_message_rate"
+  "fig5_message_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_message_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

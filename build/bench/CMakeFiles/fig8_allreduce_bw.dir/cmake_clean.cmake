@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_allreduce_bw.dir/fig8_allreduce_bw.cpp.o"
+  "CMakeFiles/fig8_allreduce_bw.dir/fig8_allreduce_bw.cpp.o.d"
+  "fig8_allreduce_bw"
+  "fig8_allreduce_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_allreduce_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_bcast_bw.dir/fig9_bcast_bw.cpp.o"
+  "CMakeFiles/fig9_bcast_bw.dir/fig9_bcast_bw.cpp.o.d"
+  "fig9_bcast_bw"
+  "fig9_bcast_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_bcast_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_neighbor_throughput.dir/table3_neighbor_throughput.cpp.o"
+  "CMakeFiles/table3_neighbor_throughput.dir/table3_neighbor_throughput.cpp.o.d"
+  "table3_neighbor_throughput"
+  "table3_neighbor_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_neighbor_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_neighbor_throughput.
+# This may be replaced when dependencies are built.

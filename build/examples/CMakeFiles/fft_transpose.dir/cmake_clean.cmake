@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_transpose.dir/fft_transpose.cpp.o"
+  "CMakeFiles/fft_transpose.dir/fft_transpose.cpp.o.d"
+  "fft_transpose"
+  "fft_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/global_histogram.cpp" "examples/CMakeFiles/global_histogram.dir/global_histogram.cpp.o" "gcc" "examples/CMakeFiles/global_histogram.dir/global_histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pamix_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

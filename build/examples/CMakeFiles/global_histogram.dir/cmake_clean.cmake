@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_histogram.dir/global_histogram.cpp.o"
+  "CMakeFiles/global_histogram.dir/global_histogram.cpp.o.d"
+  "global_histogram"
+  "global_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

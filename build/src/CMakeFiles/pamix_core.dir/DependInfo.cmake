@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cpp" "src/CMakeFiles/pamix_core.dir/core/client.cpp.o" "gcc" "src/CMakeFiles/pamix_core.dir/core/client.cpp.o.d"
+  "/root/repo/src/core/collectives.cpp" "src/CMakeFiles/pamix_core.dir/core/collectives.cpp.o" "gcc" "src/CMakeFiles/pamix_core.dir/core/collectives.cpp.o.d"
+  "/root/repo/src/core/commthread.cpp" "src/CMakeFiles/pamix_core.dir/core/commthread.cpp.o" "gcc" "src/CMakeFiles/pamix_core.dir/core/commthread.cpp.o.d"
+  "/root/repo/src/core/context.cpp" "src/CMakeFiles/pamix_core.dir/core/context.cpp.o" "gcc" "src/CMakeFiles/pamix_core.dir/core/context.cpp.o.d"
+  "/root/repo/src/core/geometry.cpp" "src/CMakeFiles/pamix_core.dir/core/geometry.cpp.o" "gcc" "src/CMakeFiles/pamix_core.dir/core/geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pamix_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

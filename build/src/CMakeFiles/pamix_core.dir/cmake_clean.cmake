@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamix_core.dir/core/client.cpp.o"
+  "CMakeFiles/pamix_core.dir/core/client.cpp.o.d"
+  "CMakeFiles/pamix_core.dir/core/collectives.cpp.o"
+  "CMakeFiles/pamix_core.dir/core/collectives.cpp.o.d"
+  "CMakeFiles/pamix_core.dir/core/commthread.cpp.o"
+  "CMakeFiles/pamix_core.dir/core/commthread.cpp.o.d"
+  "CMakeFiles/pamix_core.dir/core/context.cpp.o"
+  "CMakeFiles/pamix_core.dir/core/context.cpp.o.d"
+  "CMakeFiles/pamix_core.dir/core/geometry.cpp.o"
+  "CMakeFiles/pamix_core.dir/core/geometry.cpp.o.d"
+  "libpamix_core.a"
+  "libpamix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamix_hw.dir/hw/mu.cpp.o"
+  "CMakeFiles/pamix_hw.dir/hw/mu.cpp.o.d"
+  "libpamix_hw.a"
+  "libpamix_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamix_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamix_models.dir/models/armci.cpp.o"
+  "CMakeFiles/pamix_models.dir/models/armci.cpp.o.d"
+  "CMakeFiles/pamix_models.dir/models/chare.cpp.o"
+  "CMakeFiles/pamix_models.dir/models/chare.cpp.o.d"
+  "libpamix_models.a"
+  "libpamix_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamix_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

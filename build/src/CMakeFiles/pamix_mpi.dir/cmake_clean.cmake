@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamix_mpi.dir/mpi/collectives.cpp.o"
+  "CMakeFiles/pamix_mpi.dir/mpi/collectives.cpp.o.d"
+  "CMakeFiles/pamix_mpi.dir/mpi/matching.cpp.o"
+  "CMakeFiles/pamix_mpi.dir/mpi/matching.cpp.o.d"
+  "CMakeFiles/pamix_mpi.dir/mpi/mpi.cpp.o"
+  "CMakeFiles/pamix_mpi.dir/mpi/mpi.cpp.o.d"
+  "libpamix_mpi.a"
+  "libpamix_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamix_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

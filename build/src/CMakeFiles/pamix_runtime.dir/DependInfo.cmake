@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/collective_engine.cpp" "src/CMakeFiles/pamix_runtime.dir/runtime/collective_engine.cpp.o" "gcc" "src/CMakeFiles/pamix_runtime.dir/runtime/collective_engine.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/CMakeFiles/pamix_runtime.dir/runtime/machine.cpp.o" "gcc" "src/CMakeFiles/pamix_runtime.dir/runtime/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pamix_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamix_runtime.dir/runtime/collective_engine.cpp.o"
+  "CMakeFiles/pamix_runtime.dir/runtime/collective_engine.cpp.o.d"
+  "CMakeFiles/pamix_runtime.dir/runtime/machine.cpp.o"
+  "CMakeFiles/pamix_runtime.dir/runtime/machine.cpp.o.d"
+  "libpamix_runtime.a"
+  "libpamix_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamix_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpamix_runtime.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collective_model.cpp" "src/CMakeFiles/pamix_sim.dir/sim/collective_model.cpp.o" "gcc" "src/CMakeFiles/pamix_sim.dir/sim/collective_model.cpp.o.d"
+  "/root/repo/src/sim/des_torus.cpp" "src/CMakeFiles/pamix_sim.dir/sim/des_torus.cpp.o" "gcc" "src/CMakeFiles/pamix_sim.dir/sim/des_torus.cpp.o.d"
+  "/root/repo/src/sim/mpi_model.cpp" "src/CMakeFiles/pamix_sim.dir/sim/mpi_model.cpp.o" "gcc" "src/CMakeFiles/pamix_sim.dir/sim/mpi_model.cpp.o.d"
+  "/root/repo/src/sim/rect_bcast.cpp" "src/CMakeFiles/pamix_sim.dir/sim/rect_bcast.cpp.o" "gcc" "src/CMakeFiles/pamix_sim.dir/sim/rect_bcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pamix_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

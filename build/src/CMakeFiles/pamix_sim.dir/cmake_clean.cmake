@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pamix_sim.dir/sim/collective_model.cpp.o"
+  "CMakeFiles/pamix_sim.dir/sim/collective_model.cpp.o.d"
+  "CMakeFiles/pamix_sim.dir/sim/des_torus.cpp.o"
+  "CMakeFiles/pamix_sim.dir/sim/des_torus.cpp.o.d"
+  "CMakeFiles/pamix_sim.dir/sim/mpi_model.cpp.o"
+  "CMakeFiles/pamix_sim.dir/sim/mpi_model.cpp.o.d"
+  "CMakeFiles/pamix_sim.dir/sim/rect_bcast.cpp.o"
+  "CMakeFiles/pamix_sim.dir/sim/rect_bcast.cpp.o.d"
+  "libpamix_sim.a"
+  "libpamix_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pamix_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_client.cpp" "tests/CMakeFiles/test_core.dir/core/test_client.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_client.cpp.o.d"
+  "/root/repo/tests/core/test_collectives.cpp" "tests/CMakeFiles/test_core.dir/core/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_collectives.cpp.o.d"
+  "/root/repo/tests/core/test_commthread.cpp" "tests/CMakeFiles/test_core.dir/core/test_commthread.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_commthread.cpp.o.d"
+  "/root/repo/tests/core/test_context_pt2pt.cpp" "tests/CMakeFiles/test_core.dir/core/test_context_pt2pt.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_context_pt2pt.cpp.o.d"
+  "/root/repo/tests/core/test_geometry.cpp" "tests/CMakeFiles/test_core.dir/core/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_geometry.cpp.o.d"
+  "/root/repo/tests/core/test_onesided.cpp" "tests/CMakeFiles/test_core.dir/core/test_onesided.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_onesided.cpp.o.d"
+  "/root/repo/tests/core/test_rect_bcast_functional.cpp" "tests/CMakeFiles/test_core.dir/core/test_rect_bcast_functional.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rect_bcast_functional.cpp.o.d"
+  "/root/repo/tests/core/test_shmem.cpp" "tests/CMakeFiles/test_core.dir/core/test_shmem.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_shmem.cpp.o.d"
+  "/root/repo/tests/core/test_topology.cpp" "tests/CMakeFiles/test_core.dir/core/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_topology.cpp.o.d"
+  "/root/repo/tests/core/test_work_queue.cpp" "tests/CMakeFiles/test_core.dir/core/test_work_queue.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_work_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pamix_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

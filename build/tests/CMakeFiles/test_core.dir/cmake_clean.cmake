@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_client.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_client.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_collectives.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_collectives.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_commthread.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_commthread.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_context_pt2pt.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_context_pt2pt.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_geometry.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_geometry.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_onesided.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_onesided.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rect_bcast_functional.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rect_bcast_functional.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_shmem.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_shmem.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_topology.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_topology.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_work_queue.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_work_queue.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_classroute.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_classroute.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_classroute.cpp.o.d"
+  "/root/repo/tests/hw/test_cnk.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_cnk.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_cnk.cpp.o.d"
+  "/root/repo/tests/hw/test_l2_atomics.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_l2_atomics.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_l2_atomics.cpp.o.d"
+  "/root/repo/tests/hw/test_mu.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_mu.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_mu.cpp.o.d"
+  "/root/repo/tests/hw/test_torus.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_torus.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_torus.cpp.o.d"
+  "/root/repo/tests/hw/test_wakeup_unit.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_wakeup_unit.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_wakeup_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pamix_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_classroute.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_classroute.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_cnk.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_cnk.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_l2_atomics.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_l2_atomics.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_mu.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_mu.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_torus.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_torus.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_wakeup_unit.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_wakeup_unit.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

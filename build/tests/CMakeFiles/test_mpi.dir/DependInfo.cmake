@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpi/test_collectives.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_collectives.cpp.o.d"
+  "/root/repo/tests/mpi/test_comm.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_comm.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_comm.cpp.o.d"
+  "/root/repo/tests/mpi/test_matching.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_matching.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_matching.cpp.o.d"
+  "/root/repo/tests/mpi/test_pt2pt.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_pt2pt.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_pt2pt.cpp.o.d"
+  "/root/repo/tests/mpi/test_stress.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_stress.cpp.o.d"
+  "/root/repo/tests/mpi/test_threading.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_threading.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_threading.cpp.o.d"
+  "/root/repo/tests/mpi/test_wildcards.cpp" "tests/CMakeFiles/test_mpi.dir/mpi/test_wildcards.cpp.o" "gcc" "tests/CMakeFiles/test_mpi.dir/mpi/test_wildcards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pamix_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pamix_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi.dir/mpi/test_collectives.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/test_collectives.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/test_comm.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/test_comm.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/test_matching.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/test_matching.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/test_pt2pt.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/test_pt2pt.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/test_stress.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/test_stress.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/test_threading.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/test_threading.cpp.o.d"
+  "CMakeFiles/test_mpi.dir/mpi/test_wildcards.cpp.o"
+  "CMakeFiles/test_mpi.dir/mpi/test_wildcards.cpp.o.d"
+  "test_mpi"
+  "test_mpi.pdb"
+  "test_mpi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

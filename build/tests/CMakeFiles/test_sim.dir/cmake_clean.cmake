@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_collective_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_collective_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_cost_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_des_torus.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_des_torus.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_mpi_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_mpi_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_rect_bcast.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_rect_bcast.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
