@@ -10,7 +10,6 @@
 // spreads the load). On a many-core host the multi-context build scales;
 // on a 1-CPU CI box the numbers converge — the structural point (distinct
 // peers -> distinct contexts) is verified either way.
-#include <chrono>
 #include <cstdio>
 #include <thread>
 
@@ -35,7 +34,7 @@ double run_us(int contexts, int sender_threads, int msgs_per_thread) {
     const int me = mp.rank(w);
     if (me == 0) {
       mp.barrier(w);
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       std::vector<std::thread> senders;
       for (int t = 0; t < sender_threads; ++t) {
         senders.emplace_back([&, t] {
@@ -47,8 +46,7 @@ double run_us(int contexts, int sender_threads, int msgs_per_thread) {
         });
       }
       for (auto& s : senders) s.join();
-      us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-               .count();
+      us = sw.elapsed_us();
       mp.barrier(w);
     } else {
       mp.barrier(w);

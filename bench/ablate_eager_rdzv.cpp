@@ -2,7 +2,6 @@
 // messages (no handshake); rendezvous wins throughput for long ones (RDMA,
 // no receive-side FIFO copy). This sweep locates the crossover in the
 // calibrated model and cross-checks the protocols functionally.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -45,7 +44,7 @@ double host_one_way_us(std::size_t threshold, std::size_t bytes, int iters) {
       if (i == 20 && mp.rank(w) == 0) {
         us = 0;
       }
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       if (mp.rank(w) == 0) {
         mp.send(buf.data(), bytes, 1, 0, w);
         mp.recv(buf.data(), bytes, 1, 0, w);
@@ -53,11 +52,7 @@ double host_one_way_us(std::size_t threshold, std::size_t bytes, int iters) {
         mp.recv(buf.data(), bytes, 0, 0, w);
         mp.send(buf.data(), bytes, 0, 0, w);
       }
-      if (i >= 20 && mp.rank(w) == 0) {
-        us += std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-                  .count() /
-              2.0;
-      }
+      if (i >= 20 && mp.rank(w) == 0) us += sw.elapsed_us() / 2.0;
     }
     mp.finalize();
   });

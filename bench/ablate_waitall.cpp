@@ -3,7 +3,6 @@
 // requests once (overlapping the request-id hashing with the completion-
 // counter loads) and then polls only the incomplete residue; naive waiting
 // walks the requests in order, re-driving progress per request.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -35,15 +34,13 @@ double run_waitall_us(bool two_phase, int msgs, int iters) {
       for (int i = 0; i < msgs; ++i) {
         reqs.push_back(mp.isend(&send[static_cast<std::size_t>(i)], sizeof(int), peer, i, w));
       }
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       if (two_phase) {
         mp.waitall(reqs);
       } else {
         mp.waitall_naive(reqs);
       }
-      total_us +=
-          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-              .count();
+      total_us += sw.elapsed_us();
       mp.barrier(w);
     }
     if (mp.rank(w) == 0) us = total_us / iters;

@@ -1,14 +1,49 @@
 // Shared helpers for the paper-reproduction harnesses: row printing with
-// paper-vs-model columns, byte formatting, and the standard machine
-// configurations the paper's evaluation uses.
+// paper-vs-model columns, byte formatting, the standard machine
+// configurations the paper's evaluation uses, and the telemetry hooks
+// (one shared monotonic stopwatch + pvar phase reporting).
 #pragma once
 
 #include <cstdio>
 #include <string>
 
 #include "hw/torus.h"
+#include "obs/clock.h"
+#include "obs/export.h"
 
 namespace pamix::bench {
+
+/// The bench stopwatch IS the obs clock: every measurement here shares the
+/// timebase of the trace-ring events, so a bench number can be correlated
+/// with its chrome://tracing span directly.
+using Stopwatch = obs::Stopwatch;
+
+/// Scoped pvar delta over one bench phase: captures registry totals at
+/// construction; report() prints what the phase did (nonzero deltas only).
+/// Reporting is gated on PAMIX_OBS so default bench output is unchanged;
+/// delta() always works — the counters themselves are never off.
+class PvarPhase {
+ public:
+  PvarPhase() : before_(obs::Registry::instance().totals()) {}
+  obs::PvarSnapshot delta() const { return obs::Registry::instance().totals() - before_; }
+  void report(const char* title) const {
+    if (obs::ObsConfig::get().trace_enabled) obs::dump_pvar_delta(stdout, delta(), title);
+  }
+
+ private:
+  obs::PvarSnapshot before_;
+};
+
+/// End-of-main hook: honour PAMIX_OBS / PAMIX_TRACE_FILE (chrome trace
+/// export) and print the full per-domain pvar table when tracing is on.
+inline void obs_finish() {
+  if (obs::ObsConfig::get().trace_enabled) {
+    std::printf("\nFull pvar table (all domains):\n");
+    obs::dump_pvar_table(stdout);
+  }
+  std::fflush(stdout);  // the exporter reports on stderr
+  obs::export_from_env();
+}
 
 inline void header(const char* title) {
   std::printf("\n================================================================\n");

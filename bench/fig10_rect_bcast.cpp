@@ -9,7 +9,6 @@
 // The trees here are CONSTRUCTED over the real 2048-node torus and the
 // bench reports the achieved contention (1 = edge-disjoint) and depth, so
 // the 10x claim is backed by an actual tree packing, not an assumption.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -57,13 +56,10 @@ int main() {
       const mpi::Comm w = mp.world();
       std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 0 ? 0xAB : 0x00);
       mp.barrier(w);
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       constexpr int kIters = 5;
       for (int i = 0; i < kIters; ++i) mp.mpix_rectangle_bcast(buf.data(), bytes, 0, w);
-      const double us =
-          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-              .count();
-      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / us;
+      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / sw.elapsed_us();
       if (buf[bytes - 1] != 0xAB) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
       mp.finalize();
     });

@@ -9,8 +9,10 @@
 // The sweep composes the calibrated per-message costs with the simulated
 // node packet ceiling; a functional host run then measures a real
 // message-rate microbenchmark (PAMI sends + MPI isend/irecv with source
-// ranks and with wildcards) to verify the orderings.
-#include <chrono>
+// ranks, wildcards, and commthread handoff) to verify the orderings.
+//
+// With PAMIX_OBS=on each host phase also prints its pvar delta, and main
+// exports the merged trace rings to PAMIX_TRACE_FILE (chrome://tracing).
 #include <cstdio>
 
 #include "bench_util.h"
@@ -23,13 +25,18 @@ using namespace pamix;
 
 /// Host functional message rate: `msgs` 0-byte sends task0 -> task1 with
 /// posted receives, measured end to end. Returns million messages/sec.
-double host_mpi_rate_mmps(bool wildcard, int msgs) {
+/// `commthreads` forces the commthread pool on and initialises at
+/// THREAD_MULTIPLE so sends ride the post/handoff path (paper §IV-A).
+double host_mpi_rate_mmps(bool wildcard, int msgs, bool commthreads = false) {
   runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
-  mpi::MpiWorld world(machine, mpi::MpiConfig{});
+  mpi::MpiConfig cfg;
+  if (commthreads) cfg.commthreads = mpi::MpiConfig::Commthreads::ForceOn;
+  mpi::MpiWorld world(machine, cfg);
+  const auto level = commthreads ? mpi::ThreadLevel::Multiple : mpi::ThreadLevel::Single;
   double mmps = 0;
   machine.run_spmd([&](int task) {
     mpi::Mpi& mp = world.at(task);
-    mp.init(mpi::ThreadLevel::Single);
+    mp.init(level);
     const mpi::Comm w = mp.world();
     if (mp.rank(w) == 1) {
       std::vector<mpi::Request> reqs;
@@ -42,7 +49,7 @@ double host_mpi_rate_mmps(bool wildcard, int msgs) {
       mp.barrier(w);
     } else {
       mp.barrier(w);
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       std::vector<mpi::Request> reqs;
       reqs.reserve(static_cast<std::size_t>(msgs));
       for (int i = 0; i < msgs; ++i) {
@@ -50,10 +57,7 @@ double host_mpi_rate_mmps(bool wildcard, int msgs) {
       }
       mp.waitall(reqs);
       mp.barrier(w);
-      const double us =
-          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-              .count();
-      mmps = msgs / us;
+      mmps = msgs / sw.elapsed_us();
     }
     mp.finalize();
   });
@@ -68,7 +72,7 @@ double host_pami_rate_mmps(int msgs) {
   int received = 0;
   c1.set_dispatch(1, [&](pami::Context&, const void*, std::size_t, const void*, std::size_t,
                          std::size_t, pami::Endpoint, pami::RecvDescriptor*) { ++received; });
-  const auto t0 = std::chrono::steady_clock::now();
+  bench::Stopwatch sw;
   for (int i = 0; i < msgs; ++i) {
     while (c0.send_immediate(1, pami::Endpoint{1, 0}, nullptr, 0, nullptr, 0) !=
            pami::Result::Success) {
@@ -77,9 +81,7 @@ double host_pami_rate_mmps(int msgs) {
     if ((i & 63) == 0) c1.advance();
   }
   while (received < msgs) c1.advance();
-  const double us =
-      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0).count();
-  return msgs / us;
+  return msgs / sw.elapsed_us();
 }
 
 }  // namespace
@@ -107,14 +109,39 @@ int main() {
               "2.4x commthread speedup @1ppn; best 18.7 MMPS @16ppn.\n");
 
   std::printf("\nFunctional host run (real stacks, host clock, 1 process pair):\n");
-  const double pami_host = host_pami_rate_mmps(200000);
+  constexpr int kPamiMsgs = 200000;
+  bench::PvarPhase pami_phase;
+  const double pami_host = host_pami_rate_mmps(kPamiMsgs);
+  const auto pami_delta = pami_phase.delta();
+  pami_phase.report("PAMI send_immediate phase");
+
+  bench::PvarPhase mpi_phase;
   const double mpi_host = host_mpi_rate_mmps(false, 50000);
+  mpi_phase.report("MPI isend/irecv phase");
+
   const double mpi_host_wc = host_mpi_rate_mmps(true, 50000);
+
+  bench::PvarPhase comm_phase;
+  const double mpi_host_ct = host_mpi_rate_mmps(false, 50000, /*commthreads=*/true);
+  comm_phase.report("MPI commthread-handoff phase");
+
   std::printf("  PAMI send_immediate rate : %8.2f Mmsg/s\n", pami_host);
   std::printf("  MPI isend/irecv rate     : %8.2f Mmsg/s\n", mpi_host);
   std::printf("  MPI with ANY_SOURCE      : %8.2f Mmsg/s\n", mpi_host_wc);
+  std::printf("  MPI with commthreads     : %8.2f Mmsg/s\n", mpi_host_ct);
   std::printf("  shape: PAMI > MPI: %s; wildcard <= source-ranked: %s\n",
               pami_host > mpi_host ? "OK" : "UNEXPECTED",
               mpi_host_wc <= mpi_host * 1.10 ? "OK" : "UNEXPECTED");
+
+  // Accounting check: every message of the PAMI phase must appear in the
+  // send pvars exactly once (eager, rendezvous, or shm).
+  const std::uint64_t pami_sends = pami_delta[obs::Pvar::SendsEager] +
+                                   pami_delta[obs::Pvar::SendsRdzv] +
+                                   pami_delta[obs::Pvar::SendsShm];
+  std::printf("  pvar accounting: eager+rdzv+shm sends = %llu, messages sent = %d: %s\n",
+              static_cast<unsigned long long>(pami_sends), kPamiMsgs,
+              pami_sends == static_cast<std::uint64_t>(kPamiMsgs) ? "OK" : "MISMATCH");
+
+  bench::obs_finish();
   return 0;
 }

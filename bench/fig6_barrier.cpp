@@ -8,7 +8,6 @@
 // The model rows use real classroute trees built over each geometry; a
 // functional host run then drives the actual GI + local-barrier code path
 // on a small machine.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -28,13 +27,9 @@ double host_barrier_us(int ppn, int iters) {
     mp.init(mpi::ThreadLevel::Single);
     const mpi::Comm w = mp.world();
     for (int i = 0; i < 50; ++i) mp.barrier(w);
-    const auto t0 = std::chrono::steady_clock::now();
+    bench::Stopwatch sw;
     for (int i = 0; i < iters; ++i) mp.barrier(w);
-    if (mp.rank(w) == 0) {
-      us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-               .count() /
-           iters;
-    }
+    if (mp.rank(w) == 0) us = sw.elapsed_us() / iters;
     mp.finalize();
   });
   return us;

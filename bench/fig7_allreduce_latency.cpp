@@ -5,7 +5,10 @@
 //   (ppn16) — note the dip at ppn=4: the shared-address protocol lets
 //   node peers take over the result copy-out, shortening the master's
 //   critical path, while larger ppn grows the local combine again.
-#include <chrono>
+//
+// With PAMIX_OBS=on each host run also prints its pvar delta (collective
+// rounds, sends, advance calls) and main exports trace rings to
+// PAMIX_TRACE_FILE.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -28,15 +31,11 @@ double host_allreduce_us(int ppn, int iters) {
     for (int i = 0; i < 50; ++i) {
       mp.allreduce(&in, &out, 1, mpi::Type::Double, mpi::Op::Add, w);
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    bench::Stopwatch sw;
     for (int i = 0; i < iters; ++i) {
       mp.allreduce(&in, &out, 1, mpi::Type::Double, mpi::Op::Add, w);
     }
-    if (mp.rank(w) == 0) {
-      us = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-               .count() /
-           iters;
-    }
+    if (mp.rank(w) == 0) us = sw.elapsed_us() / iters;
     mp.finalize();
   });
   return us;
@@ -59,7 +58,13 @@ int main() {
 
   std::printf("\nFunctional host run (real collective-network engine, 4 nodes):\n");
   for (int ppn : {1, 2, 4}) {
+    bench::PvarPhase phase;
     std::printf("  ppn=%d : %8.2f us/allreduce\n", ppn, host_allreduce_us(ppn, 2000));
+    char title[32];
+    std::snprintf(title, sizeof(title), "allreduce ppn=%d", ppn);
+    phase.report(title);
   }
+
+  bench::obs_finish();
   return 0;
 }

@@ -5,7 +5,6 @@
 //   ppn=4 / 2MB; 1643 MB/s at ppn=16 / 512KB. Beyond the peak the send
 //   and receive buffers spill out of the 32MB L2 and DDR throughput
 //   governs — the curves roll off, earliest at ppn=16.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -56,15 +55,12 @@ int main() {
       const mpi::Comm w = mp.world();
       std::vector<double> in(count, 1.0), out(count);
       mp.barrier(w);
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       constexpr int kIters = 3;
       for (int i = 0; i < kIters; ++i) {
         mp.allreduce(in.data(), out.data(), count, mpi::Type::Double, mpi::Op::Add, w);
       }
-      const double us =
-          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-              .count();
-      if (mp.rank(w) == 0) mbps = kIters * count * sizeof(double) / us;
+      if (mp.rank(w) == 0) mbps = kIters * count * sizeof(double) / sw.elapsed_us();
       if (out[count / 2] != 8.0) std::printf("  VERIFICATION FAILED\n");
       mp.finalize();
     });

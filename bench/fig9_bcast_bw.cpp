@@ -5,7 +5,6 @@
 //   ppn=4 / 4MB; 1701 MB/s at ppn=16 / 1MB; saturation/rolloff at large
 //   sizes where the broadcast data spills the L2 and peer copy-out runs
 //   at DDR rates.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -54,13 +53,10 @@ int main() {
       const mpi::Comm w = mp.world();
       std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 3 ? 0x42 : 0x00);
       mp.barrier(w);
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       constexpr int kIters = 3;
       for (int i = 0; i < kIters; ++i) mp.bcast(buf.data(), bytes, 3, w);
-      const double us =
-          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-              .count();
-      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / us;
+      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / sw.elapsed_us();
       if (buf[bytes - 1] != 0x42) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
       mp.finalize();
     });

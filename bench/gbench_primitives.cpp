@@ -1,6 +1,7 @@
 // Microbenchmarks of the primitives the paper's design rests on: L2
 // atomics vs mutexes, the L2-atomic ticket mutex vs std::mutex, matcher
-// throughput, and topology memory/lookup costs.
+// throughput, topology memory/lookup costs, and the obs telemetry
+// primitives (whose per-event cost bounds the tracer's intrusiveness).
 #include <benchmark/benchmark.h>
 
 #include <mutex>
@@ -8,6 +9,9 @@
 #include "core/topology.h"
 #include "hw/l2_atomics.h"
 #include "mpi/matching.h"
+#include "obs/clock.h"
+#include "obs/pvar.h"
+#include "obs/trace_ring.h"
 
 namespace {
 
@@ -155,6 +159,48 @@ void BM_Topology_ListRankLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Topology_ListRankLookup);
+
+// ----------------------------------------------------------------- obs ----
+// The telemetry primitives sit on the fast path of every send and advance;
+// these measure the cost the subsystem adds per counted/traced event.
+
+void BM_Obs_PvarAdd(benchmark::State& state) {
+  static obs::PvarSet pvars;
+  for (auto _ : state) pvars.add(obs::Pvar::SendsEager);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Obs_PvarAdd)->Threads(1)->Threads(4);
+
+void BM_Obs_PvarSnapshot(benchmark::State& state) {
+  obs::PvarSet pvars;
+  pvars.add(obs::Pvar::SendsEager, 123);
+  for (auto _ : state) {
+    obs::PvarSnapshot s = pvars.snapshot();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Obs_PvarSnapshot);
+
+void BM_Obs_ClockNow(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(obs::now_ns());
+}
+BENCHMARK(BM_Obs_ClockNow);
+
+void BM_Obs_TraceRecord(benchmark::State& state) {
+  obs::TraceRing ring;
+  ring.enable(4096, ~0u);
+  for (auto _ : state) ring.record(obs::TraceEv::SendEagerBegin, 42);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Obs_TraceRecord);
+
+void BM_Obs_TraceRecordDisabled(benchmark::State& state) {
+  // What instrumented code pays when tracing is off (the common case).
+  obs::TraceRing ring;
+  for (auto _ : state) ring.record(obs::TraceEv::SendEagerBegin, 42);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Obs_TraceRecordDisabled);
 
 }  // namespace
 

@@ -9,7 +9,6 @@
 //       packet / dispatch stack on this machine, reported for reference
 //       (host cycles are not BG/Q cycles; only the Immediate < Send
 //       ordering is expected to transfer).
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -62,7 +61,7 @@ double host_pingpong_us(bool immediate, int iters) {
       c0.advance();
     }
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  bench::Stopwatch sw;
   for (int i = 0; i < iters; ++i) {
     send_one();
     const int want = pongs + 1;
@@ -71,10 +70,7 @@ double host_pingpong_us(bool immediate, int iters) {
       c0.advance();
     }
   }
-  const auto dt = std::chrono::duration<double, std::micro>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-  return dt / iters / 2.0;  // half round trip
+  return sw.elapsed_us() / iters / 2.0;  // half round trip
 }
 
 }  // namespace

@@ -12,7 +12,6 @@
 // run real MPI ping-pongs through pamid on this machine and check the
 // orderings the paper explains (classic fastest single-threaded; the
 // thread-optimized build pays its fences; commthreads hurt classic most).
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -49,7 +48,7 @@ double host_mpi_pingpong_us(mpi::Library lib, mpi::ThreadLevel level, bool commt
         mp.send(&dummy, 0, peer, 0, w);
       }
     }
-    const auto t0 = std::chrono::steady_clock::now();
+    bench::Stopwatch sw;
     for (int i = 0; i < iters; ++i) {
       if (me == 0) {
         mp.send(&dummy, 0, peer, 0, w);
@@ -59,11 +58,7 @@ double host_mpi_pingpong_us(mpi::Library lib, mpi::ThreadLevel level, bool commt
         mp.send(&dummy, 0, peer, 0, w);
       }
     }
-    if (me == 0) {
-      result = std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-                   .count() /
-               iters / 2.0;
-    }
+    if (me == 0) result = sw.elapsed_us() / iters / 2.0;
     mp.finalize();
   });
   return result;

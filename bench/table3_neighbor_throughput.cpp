@@ -14,7 +14,6 @@
 // (the +/- neighbors of one dimension hash to the same context FIFO).
 // A functional host exchange then verifies the protocol-level shape:
 // rendezvous beats eager for wide communication at 1 MB.
-#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -42,17 +41,14 @@ double host_exchange_mb_s(std::size_t threshold, std::size_t bytes, int peers) {
     std::vector<std::byte> in(bytes);
     if (me == 0) {
       mp.barrier(w);
-      const auto t0 = std::chrono::steady_clock::now();
+      bench::Stopwatch sw;
       std::vector<mpi::Request> reqs;
       for (int p = 1; p <= peers; ++p) {
         reqs.push_back(mp.irecv(in.data(), bytes, p, 0, w));
         reqs.push_back(mp.isend(out.data(), bytes, p, 0, w));
       }
       mp.waitall(reqs);
-      const double us =
-          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-              .count();
-      mbps = 2.0 * peers * static_cast<double>(bytes) / us;
+      mbps = 2.0 * peers * static_cast<double>(bytes) / sw.elapsed_us();
       mp.barrier(w);
     } else {
       mp.barrier(w);

@@ -10,12 +10,12 @@
 // reports how much of the communication time was hidden.
 //
 // Run:  ./hybrid_overlap
-#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <vector>
 
 #include "mpi/mpi.h"
+#include "obs/clock.h"
 
 using namespace pamix;
 
@@ -40,7 +40,7 @@ double run(bool commthreads, double* compute_sink) {
     std::vector<double> out(kBlock, 1.0), in(kBlock);
     std::vector<double> field(kBlock, 0.5);
     mp.barrier(w);
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch sw;
     double acc = 0;
     for (int it = 0; it < kIters; ++it) {
       // Launch this iteration's exchange...
@@ -57,9 +57,7 @@ double run(bool commthreads, double* compute_sink) {
       out.swap(in);
     }
     if (mp.rank(w) == 0) {
-      elapsed_us =
-          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
-              .count();
+      elapsed_us = sw.elapsed_us();
       *compute_sink = acc;
     }
     mp.finalize();

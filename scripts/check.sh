@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + full test suite in the default configuration,
+# then prove the obs tracer compiles out cleanly with -DPAMIX_OBS=OFF
+# (build + tests again — the pvar-backed accessors must keep working).
+#
+# Usage: scripts/check.sh [build-dir-prefix]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> [1/2] default build (PAMIX_OBS=ON) + tests"
+cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${prefix}" -j "${jobs}"
+ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
+
+echo "==> [2/2] tracer compiled out (-DPAMIX_OBS=OFF) + tests"
+cmake -B "${prefix}-obs-off" -S . -DCMAKE_BUILD_TYPE=Release -DPAMIX_OBS=OFF
+cmake --build "${prefix}-obs-off" -j "${jobs}"
+ctest --test-dir "${prefix}-obs-off" --output-on-failure -j "${jobs}"
+
+echo "==> all checks passed"

@@ -14,6 +14,11 @@ CommThreadPool::CommThreadPool(Client& client, int count) : client_(client) {
     if (!slot.has_value()) break;  // node out of hardware threads
     auto w = std::make_unique<Worker>();
     w->hw_thread = *slot;
+    // tid 64+i keeps commthread tracks clear of context tracks (tid =
+    // context offset) in the merged chrome trace.
+    w->obs = &obs::Registry::instance().create(
+        "task" + std::to_string(client_.task()) + ".commthr" + std::to_string(i),
+        client_.task(), 64 + i);
     workers.push_back(std::move(w));
   }
   if (workers.empty()) return;
@@ -88,7 +93,12 @@ void CommThreadPool::run(Worker& w) {
     // Nothing to do: `wait` on the wakeup unit (bounded so that stop() is
     // never missed even if the notify raced the arm).
     sleeps_.fetch_add(1, std::memory_order_relaxed);
+    w.obs->pvars.add(obs::Pvar::CommSleeps);
+    const std::uint64_t sleep_t0 = obs::now_ns();
     wakeup.wait_for(w.watch, armed, std::chrono::milliseconds(50));
+    w.obs->pvars.add(obs::Pvar::CommWakeups);
+    w.obs->trace.record_span(obs::TraceEv::CommSleep, sleep_t0);
+    w.obs->trace.record(obs::TraceEv::CommWake);
   }
 }
 

@@ -56,6 +56,9 @@ class CommThreadPool {
     int hw_thread = -1;
     std::vector<Context*> contexts;
     hw::WakeupUnit::WatchHandle watch = 0;
+    // Telemetry domain (sleep/wake pvars + trace ring). The worker thread
+    // is the ring's single writer.
+    obs::Domain* obs = nullptr;
   };
 
   void run(Worker& w);

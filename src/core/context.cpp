@@ -22,13 +22,17 @@ Context::Context(Client& client, int offset)
       machine_(client.machine()),
       mu_(client.node().mu()),
       work_queue_(client.world().config().work_queue_capacity, &client.node().wakeup()),
-      dispatch_(1 << 12) {
+      dispatch_(1 << 12),
+      obs_(obs::Registry::instance().create(
+          "task" + std::to_string(client.task()) + ".ctx" + std::to_string(offset),
+          client.task(), offset)) {
   const FifoPlan& plan = client_.world().plan();
   inj_fifos_.reserve(static_cast<std::size_t>(plan.sends_per_context()));
   for (int j = 0; j < plan.sends_per_context(); ++j) {
     inj_fifos_.push_back(plan.inj_fifo(client_.local_proc(), offset_, j));
   }
   rec_fifo_ = plan.rec_fifo(client_.local_proc(), offset_);
+  work_queue_.bind_pvars(&obs_.pvars);
 }
 
 Context::~Context() = default;
@@ -77,6 +81,7 @@ void Context::complete_send_state(std::uint32_t handle, bool remote_done) {
   assert(handle < send_states_.size() && send_states_[handle].in_use);
   SendState st = std::move(send_states_[handle]);
   send_states_[handle] = SendState{};
+  obs_.trace.record(obs::TraceEv::SendComplete, handle);
   if (st.on_local_done) st.on_local_done();
   if (remote_done && st.on_remote_done) st.on_remote_done();
 }
@@ -119,12 +124,11 @@ Result Context::send_immediate(DispatchId dispatch, Endpoint dest, const void* h
 }
 
 Result Context::send(SendParams params) {
-  ++sends_initiated_;
   const int dest_node = machine_.node_of_task(params.dest.task);
-  if (dest_node == machine_.node_of_task(client_.task())) {
-    return send_shm(params);
-  }
-  return send_mu(params);
+  const Result r = dest_node == machine_.node_of_task(client_.task()) ? send_shm(params)
+                                                                      : send_mu(params);
+  if (r == Result::Eagain) obs_.pvars.add(obs::Pvar::SendEagain);
+  return r;
 }
 
 Result Context::send_mu(SendParams& params) {
@@ -175,6 +179,9 @@ Result Context::send_mu(SendParams& params) {
       --next_msg_seq_;
       return Result::Eagain;
     }
+    obs_.pvars.add(obs::Pvar::SendsEager);
+    obs_.trace.record(obs::TraceEv::SendEagerBegin,
+                      static_cast<std::uint32_t>(params.data_bytes));
     if (params.on_local_done) params.on_local_done();
     return Result::Success;
   }
@@ -205,6 +212,10 @@ Result Context::send_mu(SendParams& params) {
     --next_msg_seq_;
     return Result::Eagain;
   }
+  obs_.pvars.add(obs::Pvar::SendsRdzv);
+  obs_.pvars.add(obs::Pvar::RdzvRtsSent);
+  obs_.trace.record(obs::TraceEv::SendRdzvBegin,
+                    static_cast<std::uint32_t>(params.data_bytes));
   return Result::Success;
 }
 
@@ -243,6 +254,9 @@ Result Context::send_shm(SendParams& params) {
 
   const bool zero_copy = pkt.zero_copy_src != nullptr;
   client_.world().shm_device(params.dest.task).queue().push(std::move(pkt));
+  obs_.pvars.add(obs::Pvar::SendsShm);
+  if (zero_copy) obs_.pvars.add(obs::Pvar::ShmZeroCopyHits);
+  obs_.trace.record(obs::TraceEv::SendShmBegin, static_cast<std::uint32_t>(params.data_bytes));
 
   if (zero_copy) {
     EventFn local = std::move(params.on_local_done);
@@ -331,20 +345,37 @@ Result Context::get(GetParams params) {
 void Context::post(WorkFn fn) { work_queue_.post(std::move(fn)); }
 
 std::size_t Context::advance(int iterations) {
+  obs_.pvars.add(obs::Pvar::AdvanceCalls);
+  const bool tracing = obs_.trace.enabled();
+  const std::uint64_t t0 = tracing ? obs::now_ns() : 0;
   std::size_t events = 0;
   for (int it = 0; it < iterations; ++it) {
-    events += work_queue_.advance();
+    const std::size_t drained = work_queue_.advance();
+    if (drained > 0) {
+      obs_.pvars.add(obs::Pvar::WorkItemsDrained, drained);
+      obs_.trace.record(obs::TraceEv::WorkDrain, static_cast<std::uint32_t>(drained));
+    }
+    events += drained;
     events += flush_control();
     events += static_cast<std::size_t>(mu_.advance_injection(inj_fifos_));
     hw::MuPacket pkt;
     int budget = 64;
+    std::size_t rx = 0;
     while (budget-- > 0 && mu_.rec_fifo(rec_fifo_).poll(pkt)) {
       process_mu_packet(std::move(pkt));
-      ++events;
+      ++rx;
     }
+    if (rx > 0) obs_.pvars.add(obs::Pvar::PacketsReceived, rx);
+    events += rx;
     events += client_.shm_device().advance(
         static_cast<std::int16_t>(offset_), [this](ShmPacket&& p) { process_shm_packet(std::move(p)); });
     events += poll_counters();
+  }
+  if (events > 0) {
+    obs_.pvars.add(obs::Pvar::AdvanceEvents, events);
+    if (tracing) {
+      obs_.trace.record_span(obs::TraceEv::AdvanceBatch, t0, static_cast<std::uint32_t>(events));
+    }
   }
   return events;
 }
@@ -362,7 +393,7 @@ void Context::deliver_first_packet(Endpoint origin, DispatchId dispatch, const s
   const DispatchFn& fn = dispatch_[dispatch];
   assert(fn && "no dispatch registered for incoming message");
   const std::size_t total_data = total_stream_bytes - header_bytes;
-  ++messages_dispatched_;
+  obs_.pvars.add(obs::Pvar::MessagesDispatched);
 
   if (stream_bytes == total_stream_bytes) {
     // Whole message in one packet: immediate delivery.
@@ -396,6 +427,8 @@ void Context::process_mu_packet(hw::MuPacket&& pkt) {
                         static_cast<std::int16_t>(sw.origin_context)};
 
   if (sw.flags & kFlagRdzvDone) {
+    obs_.pvars.add(obs::Pvar::RdzvDone);
+    obs_.trace.record(obs::TraceEv::RdzvDone, static_cast<std::uint32_t>(sw.metadata));
     complete_send_state(static_cast<std::uint32_t>(sw.metadata), true);
     return;
   }
@@ -493,6 +526,8 @@ void Context::start_rdzv_pull(Endpoint origin, const RtsInfo& rts, void* buffer,
   }
 
   // Pull the payload with an RDMA remote get straight into the user buffer.
+  obs_.pvars.add(obs::Pvar::RdzvPullsStarted);
+  obs_.trace.record(obs::TraceEv::RdzvPull, static_cast<std::uint32_t>(pull));
   auto counter = std::make_unique<hw::MuReceptionCounter>();
   counter->prime(static_cast<std::int64_t>(pull));
 
@@ -529,7 +564,9 @@ void Context::handle_rts(Endpoint origin, const std::byte* stream, std::size_t s
 
   const DispatchFn& fn = dispatch_[sw.dispatch_id];
   assert(fn && "no dispatch registered for incoming RTS");
-  ++messages_dispatched_;
+  obs_.pvars.add(obs::Pvar::MessagesDispatched);
+  obs_.pvars.add(obs::Pvar::RdzvRtsReceived);
+  obs_.trace.record(obs::TraceEv::RdzvRts, static_cast<std::uint32_t>(rts.bytes));
   RecvDescriptor rd;
   rd.defer_handle = next_defer_handle_++;
   fn(*this, stream, sw.header_bytes, nullptr, 0, rts.bytes, origin, &rd);
@@ -570,12 +607,14 @@ void Context::complete_deferred_rdzv(std::uint64_t handle, void* buffer, std::si
 
 void Context::process_shm_packet(ShmPacket&& pkt) {
   if (pkt.flags & kFlagRdzvDone) {
+    obs_.pvars.add(obs::Pvar::RdzvDone);
+    obs_.trace.record(obs::TraceEv::RdzvDone, static_cast<std::uint32_t>(pkt.metadata));
     complete_send_state(static_cast<std::uint32_t>(pkt.metadata), true);
     return;
   }
   const DispatchFn& fn = dispatch_[pkt.dispatch];
   assert(fn && "no dispatch registered for incoming shm message");
-  ++messages_dispatched_;
+  obs_.pvars.add(obs::Pvar::MessagesDispatched);
 
   if (pkt.zero_copy_src == nullptr) {
     // Inline message: complete on arrival.

@@ -23,6 +23,7 @@
 #include "core/work_queue.h"
 #include "hw/l2_atomics.h"
 #include "hw/mu.h"
+#include "obs/pvar.h"
 
 namespace pamix::pami {
 
@@ -95,8 +96,20 @@ class Context {
   }
 
   // --- Introspection / stats -------------------------------------------------
-  std::uint64_t sends_initiated() const { return sends_initiated_; }
-  std::uint64_t messages_dispatched() const { return messages_dispatched_; }
+  // The historical counters are thin views over the obs pvar registry:
+  // sends_initiated keeps its original semantics (one tick per send() call,
+  // successful or Eagain-bounced).
+  std::uint64_t sends_initiated() const {
+    return obs_.pvars.get(obs::Pvar::SendsEager) + obs_.pvars.get(obs::Pvar::SendsRdzv) +
+           obs_.pvars.get(obs::Pvar::SendsShm) + obs_.pvars.get(obs::Pvar::SendEagain);
+  }
+  std::uint64_t messages_dispatched() const {
+    return obs_.pvars.get(obs::Pvar::MessagesDispatched);
+  }
+
+  /// This context's telemetry domain (pvar counters + trace ring).
+  obs::Domain& obs() { return obs_; }
+  const obs::Domain& obs() const { return obs_; }
   bool has_pending_state() const {
     return !recv_states_.empty() || !pending_counters_.empty() || !send_states_.empty() ||
            !pending_control_.empty();
@@ -192,8 +205,7 @@ class Context {
   std::uint64_t next_defer_handle_ = 1;
   std::deque<std::pair<int, hw::MuDescriptor>> pending_control_;
 
-  std::uint64_t sends_initiated_ = 0;
-  std::uint64_t messages_dispatched_ = 0;
+  obs::Domain& obs_;  // registry-owned; outlives the context
 };
 
 }  // namespace pamix::pami

@@ -22,6 +22,7 @@
 #include "core/types.h"
 #include "hw/l2_atomics.h"
 #include "hw/wakeup_unit.h"
+#include "obs/pvar.h"
 
 namespace pamix::pami {
 
@@ -36,9 +37,14 @@ class WorkQueue {
   WorkQueue(const WorkQueue&) = delete;
   WorkQueue& operator=(const WorkQueue&) = delete;
 
+  /// Attach the owning context's pvar set; posts and overflow spills are
+  /// counted there (multi-producer safe: pvar adds are relaxed atomics).
+  void bind_pvars(obs::PvarSet* pvars) { pvars_ = pvars; }
+
   /// Multi-producer post. Never blocks; spills to the overflow queue when
   /// the array is full.
   void post(WorkFn fn) {
+    if (pvars_ != nullptr) pvars_->add(obs::Pvar::WorkPosts);
     const std::uint64_t idx = hw::l2::load_increment_bounded(tail_, bound_);
     if (idx == hw::kL2BoundedFailure) {
       {
@@ -47,6 +53,7 @@ class WorkQueue {
       }
       overflow_count_.fetch_add(1, std::memory_order_release);
       overflow_total_.fetch_add(1, std::memory_order_relaxed);
+      if (pvars_ != nullptr) pvars_->add(obs::Pvar::WorkOverflowPosts);
     } else {
       Slot& s = slots_[idx % slots_.size()];
       s.fn = std::move(fn);
@@ -120,6 +127,7 @@ class WorkQueue {
   std::atomic<std::int64_t> overflow_count_{0};
   std::atomic<std::uint64_t> overflow_total_{0};
   hw::WakeupUnit* wakeup_;
+  obs::PvarSet* pvars_ = nullptr;
 };
 
 }  // namespace pamix::pami

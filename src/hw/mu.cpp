@@ -9,7 +9,11 @@ namespace pamix::hw {
 
 MessagingUnit::MessagingUnit(int node_id, NetworkPort* port, WakeupUnit* wakeup,
                              std::size_t inj_capacity, std::size_t rec_capacity)
-    : node_id_(node_id), port_(port), wakeup_(wakeup) {
+    : node_id_(node_id),
+      port_(port),
+      wakeup_(wakeup),
+      obs_(obs::Registry::instance().create("node" + std::to_string(node_id) + ".mu",
+                                            /*pid=*/node_id, /*tid=*/0, /*want_ring=*/false)) {
   inj_.reserve(kInjFifoCount);
   rec_.reserve(kRecFifoCount);
   for (int i = 0; i < kInjFifoCount; ++i) {
@@ -125,6 +129,7 @@ bool MessagingUnit::inject_one(MuDescriptor& desc) {
       pkt.rec_counter = desc.rec_counter;
     }
     if (!port_->transmit(std::move(pkt))) return false;
+    obs_.pvars.add(obs::Pvar::PacketsInjected);
     off += chunk;
   } while (off < desc.payload_bytes);
   if (desc.on_injected) desc.on_injected();
@@ -156,6 +161,7 @@ bool MessagingUnit::inject_resumable(int fifo_idx) {
       pkt.rec_counter = desc.rec_counter;
     }
     if (!port_->transmit(std::move(pkt))) return false;  // keep slot, resume later
+    obs_.pvars.add(obs::Pvar::PacketsInjected);
     off += chunk;
   } while (off < desc.payload_bytes);
   if (desc.on_injected) desc.on_injected();

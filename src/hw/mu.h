@@ -37,6 +37,7 @@
 
 #include "hw/l2_atomics.h"
 #include "hw/torus.h"
+#include "obs/pvar.h"
 
 namespace pamix::hw {
 
@@ -275,12 +276,17 @@ class MessagingUnit {
   /// and single-shot paths). Assumes no backpressure.
   bool inject_one(MuDescriptor& desc);
 
+  /// This node's MU telemetry domain (packet counters; no trace ring —
+  /// the MU is driven concurrently from many threads).
+  obs::Domain& obs() { return obs_; }
+
  private:
   bool inject_resumable(int fifo_idx);
 
   int node_id_;
   NetworkPort* port_;
   WakeupUnit* wakeup_;
+  obs::Domain& obs_;
   std::vector<std::unique_ptr<InjFifo>> inj_;
   std::vector<std::unique_ptr<RecFifo>> rec_;
   std::mutex alloc_mu_;

@@ -7,6 +7,7 @@
 
 #include "hw/cnk.h"
 #include "mpi/matching.h"
+#include "obs/pvar.h"
 
 namespace pamix::mpi {
 
@@ -16,12 +17,19 @@ constexpr pami::DispatchId kMpiDispatchId = 1;
 }  // namespace
 
 struct Mpi::Impl {
-  explicit Impl(Library lib) : matcher(lib), library(lib) {}
+  Impl(Library lib, int task)
+      : matcher(lib),
+        library(lib),
+        // Counters only: MPI entry points may run on any application
+        // thread, and trace rings are single-writer.
+        obs(obs::Registry::instance().create("task" + std::to_string(task) + ".mpi", task,
+                                             /*tid=*/128, /*want_ring=*/false)) {}
 
   Matcher matcher;
   RequestPool requests;
   Library library;
   hw::L2AtomicMutex global_lock;  // the "classic" library's global lock
+  obs::Domain& obs;
 };
 
 // ------------------------------------------------------------------ world --
@@ -51,7 +59,7 @@ Mpi::Mpi(MpiWorld& world, int task)
     : world_(world),
       client_(world.client_world().client(task)),
       task_(task),
-      impl_(std::make_unique<Impl>(world.config().library)) {
+      impl_(std::make_unique<Impl>(world.config().library, task)) {
   // COMM_WORLD handle for this task.
   auto comm = std::make_shared<CommImpl>();
   comm->geometry = world.client_world().geometries().world_geometry();
@@ -214,6 +222,7 @@ void Mpi::complete_isend(const CommImpl& c, int dest_rank, Request req, const vo
 
 Request Mpi::isend(const void* buf, std::size_t bytes, int dest, int tag, const Comm& c) {
   assert(initialized_);
+  impl_->obs.pvars.add(obs::Pvar::MpiIsends);
   Request req = impl_->requests.acquire(RequestImpl::Kind::Send);
   const bool classic_locked =
       impl_->library == Library::Classic && level_ == ThreadLevel::Multiple;
@@ -225,6 +234,7 @@ Request Mpi::isend(const void* buf, std::size_t bytes, int dest, int tag, const 
 
 Request Mpi::irecv(void* buf, std::size_t bytes, int source, int tag, const Comm& c) {
   assert(initialized_);
+  impl_->obs.pvars.add(obs::Pvar::MpiIrecvs);
   Request req = impl_->requests.acquire(RequestImpl::Kind::Recv);
   req->buffer = buf;
   req->capacity = bytes;

@@ -1,0 +1,37 @@
+// The one monotonic clock of the repository.
+//
+// Every timestamp in the system — trace-ring events, pvar snapshot times,
+// and the bench harnesses' stopwatches — comes from this helper, so a
+// trace event can be lined up against a bench measurement without clock
+// arithmetic. Nanoseconds since an arbitrary (per-process) epoch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pamix::obs {
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic stopwatch used by the bench harnesses (bench_util.h re-exports
+/// it) and by spans recorded into the trace ring.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(now_ns()) {}
+  void reset() { start_ = now_ns(); }
+  std::uint64_t start_ns() const { return start_; }
+  std::uint64_t elapsed_ns() const { return now_ns() - start_; }
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) * 1e-3; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) * 1e-6; }
+  double elapsed_s() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace pamix::obs

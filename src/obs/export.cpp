@@ -1,0 +1,143 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <limits>
+#include <vector>
+
+namespace pamix::obs {
+
+namespace {
+
+const char* cat_string(TraceCat c) {
+  switch (c) {
+    case kCatSend: return "send";
+    case kCatRdzv: return "rdzv";
+    case kCatAdvance: return "advance";
+    case kCatWork: return "work";
+    case kCatCommthread: return "commthread";
+    case kCatCollective: return "collective";
+  }
+  return "obs";
+}
+
+struct DomainEvents {
+  const Domain* domain;
+  std::vector<TraceEvent> events;
+};
+
+}  // namespace
+
+bool write_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  // Gather first so the time base can be rebased to the earliest event.
+  std::vector<DomainEvents> all;
+  std::uint64_t t0 = std::numeric_limits<std::uint64_t>::max();
+  Registry::instance().for_each([&](const Domain& d) {
+    if (d.trace.size() == 0) return;
+    DomainEvents de{&d, d.trace.drain_copy()};
+    for (const TraceEvent& e : de.events) t0 = std::min(t0, e.ts_ns);
+    all.push_back(std::move(de));
+  });
+  if (all.empty()) t0 = 0;
+
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  // Thread-name metadata rows: the domain name labels the track.
+  for (const DomainEvents& de : all) {
+    std::fprintf(f,
+                 "%s{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",\n", de.domain->pid, de.domain->tid,
+                 de.domain->name.c_str());
+    first = false;
+  }
+  for (const DomainEvents& de : all) {
+    for (const TraceEvent& e : de.events) {
+      const double ts_us = static_cast<double>(e.ts_ns - t0) / 1000.0;
+      const char* name = trace_ev_name(e.type);
+      const char* cat = cat_string(trace_ev_cat(e.type));
+      if (e.dur_ns > 0) {
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                     "\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"arg\":%" PRIu32 "}}",
+                     first ? "" : ",\n", name, cat, ts_us, e.dur_ns / 1000.0,
+                     de.domain->pid, de.domain->tid, e.arg);
+      } else {
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                     "\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"args\":{\"arg\":%" PRIu32 "}}",
+                     first ? "" : ",\n", name, cat, ts_us, de.domain->pid, de.domain->tid,
+                     e.arg);
+      }
+      first = false;
+    }
+  }
+  std::fputs("\n]}\n", f);
+  std::fclose(f);
+  return true;
+}
+
+void dump_pvar_table(std::FILE* out, bool csv) {
+  const PvarSnapshot totals = Registry::instance().totals();
+  if (csv) {
+    std::fputs("domain", out);
+    for (std::size_t i = 0; i < kPvarCount; ++i) {
+      if (totals.values[i] == 0) continue;
+      std::fprintf(out, ",%s", pvar_name(static_cast<Pvar>(i)));
+    }
+    std::fputc('\n', out);
+    const auto row = [&](const char* name, const PvarSnapshot& s) {
+      std::fputs(name, out);
+      for (std::size_t i = 0; i < kPvarCount; ++i) {
+        if (totals.values[i] == 0) continue;
+        std::fprintf(out, ",%" PRIu64, s.values[i]);
+      }
+      std::fputc('\n', out);
+    };
+    Registry::instance().for_each(
+        [&](const Domain& d) { row(d.name.c_str(), d.pvars.snapshot()); });
+    row("TOTAL", totals);
+    return;
+  }
+  std::fprintf(out, "%-28s %16s   %s\n", "pvar", "total", "per-domain (nonzero)");
+  std::fprintf(out, "--------------------------------------------------------------------\n");
+  for (std::size_t i = 0; i < kPvarCount; ++i) {
+    if (totals.values[i] == 0) continue;
+    const Pvar p = static_cast<Pvar>(i);
+    std::fprintf(out, "%-28s %16" PRIu64 "  ", pvar_name(p), totals.values[i]);
+    int shown = 0;
+    Registry::instance().for_each([&](const Domain& d) {
+      const std::uint64_t v = d.pvars.get(p);
+      if (v == 0 || shown >= 6) return;
+      std::fprintf(out, " %s=%" PRIu64, d.name.c_str(), v);
+      ++shown;
+    });
+    std::fputc('\n', out);
+  }
+}
+
+void dump_pvar_delta(std::FILE* out, const PvarSnapshot& delta, const char* title) {
+  std::fprintf(out, "  pvars [%s]:\n", title);
+  for (std::size_t i = 0; i < kPvarCount; ++i) {
+    if (delta.values[i] == 0) continue;
+    std::fprintf(out, "    %-28s %16" PRIu64 "\n", pvar_name(static_cast<Pvar>(i)),
+                 delta.values[i]);
+  }
+}
+
+bool export_from_env() {
+  const ObsConfig& cfg = ObsConfig::get();
+  if (!cfg.trace_enabled || cfg.trace_file.empty()) return false;
+  const bool ok = write_chrome_trace(cfg.trace_file);
+  if (ok) {
+    std::fprintf(stderr, "[obs] wrote chrome://tracing file: %s\n", cfg.trace_file.c_str());
+  } else {
+    std::fprintf(stderr, "[obs] FAILED to write trace file: %s\n", cfg.trace_file.c_str());
+  }
+  return ok;
+}
+
+}  // namespace pamix::obs

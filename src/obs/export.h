@@ -1,0 +1,36 @@
+// Telemetry exporters: chrome://tracing JSON for the trace rings, and
+// text/CSV tables for the pvar registry.
+//
+// Call these after the traced threads have quiesced (benches call them
+// after stop()/finalize()); the rings are single-writer and the exporter
+// is a plain reader.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/pvar.h"
+
+namespace pamix::obs {
+
+/// Merge every registered trace ring into one chrome://tracing JSON file
+/// (load via chrome://tracing or https://ui.perfetto.dev). Timestamps are
+/// rebased so the trace starts near t=0. Returns false if the file could
+/// not be written.
+bool write_chrome_trace(const std::string& path);
+
+/// Dump one row per domain (plus a totals row) for every pvar that is
+/// nonzero somewhere. `csv` switches the format from an aligned table to
+/// machine-readable CSV.
+void dump_pvar_table(std::FILE* out, bool csv = false);
+
+/// Print the nonzero entries of a snapshot delta on one small table —
+/// the bench-summary form ("this phase did N eager sends, M advances").
+void dump_pvar_delta(std::FILE* out, const PvarSnapshot& delta, const char* title);
+
+/// Honour the environment: when tracing is on and PAMIX_TRACE_FILE is set,
+/// write the chrome trace there. Returns true if a file was written.
+/// Benches call this once at exit.
+bool export_from_env();
+
+}  // namespace pamix::obs

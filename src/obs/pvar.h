@@ -1,0 +1,177 @@
+// Performance variables (pvars) — the MPI_T-style counter layer.
+//
+// Every observable unit of the runtime (a context, a commthread worker, a
+// node's MU, an MPI rank) registers a *domain* with the process-global
+// `Registry` and counts into its own cache-line-aligned `PvarSet`.  The
+// hot path is one relaxed fetch-add on a counter nobody else writes; reads
+// (snapshots, tables) race benignly and are monotonic, so deltas between
+// two snapshots are overflow-free for any realistic run length.
+//
+// Domains are never destroyed: contexts come and go with their worlds, but
+// telemetry must survive teardown so a bench can print tables and export
+// traces after the run. A domain is ~2 KB plus its (optional) trace ring.
+//
+// Build-time gate: `-DPAMIX_OBS=OFF` sets PAMIX_OBS_ENABLED=0, which
+// compiles the *tracer* out entirely (see trace_ring.h). The counters stay
+// functional in both builds — they back public accessors like
+// `Context::sends_initiated()` — and cost one uncontended relaxed add.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_ring.h"
+
+#ifndef PAMIX_OBS_ENABLED
+#define PAMIX_OBS_ENABLED 1
+#endif
+
+namespace pamix::obs {
+
+/// Every counter the runtime exports, one enumerator per name. Adding one
+/// means also adding its string to pvar_name() in registry.cpp.
+enum class Pvar : std::uint32_t {
+  // Context send protocols (counted once per successful send()).
+  SendsEager,
+  SendsRdzv,
+  SendsShm,
+  // send() attempts bounced by injection-FIFO exhaustion.
+  SendEagain,
+  // MU packet engines.
+  PacketsInjected,
+  PacketsReceived,
+  // Context progress.
+  AdvanceCalls,
+  AdvanceEvents,
+  WorkPosts,
+  WorkOverflowPosts,
+  WorkItemsDrained,
+  MessagesDispatched,
+  // Rendezvous protocol phases.
+  RdzvRtsSent,
+  RdzvRtsReceived,
+  RdzvPullsStarted,
+  RdzvDone,
+  // Shared-memory path.
+  ShmZeroCopyHits,
+  // Commthreads.
+  CommWakeups,
+  CommSleeps,
+  // Collective-network engine.
+  CollRoundsContributed,
+  CollRoundsCompleted,
+  // MPI ("pamid") layer.
+  MpiIsends,
+  MpiIrecvs,
+  Count,
+};
+
+inline constexpr std::size_t kPvarCount = static_cast<std::size_t>(Pvar::Count);
+
+const char* pvar_name(Pvar p);
+
+/// A point-in-time copy of one domain's counters. Plain values: subtract
+/// snapshots freely.
+struct PvarSnapshot {
+  std::array<std::uint64_t, kPvarCount> values{};
+
+  std::uint64_t operator[](Pvar p) const { return values[static_cast<std::size_t>(p)]; }
+
+  PvarSnapshot operator-(const PvarSnapshot& rhs) const {
+    PvarSnapshot d;
+    for (std::size_t i = 0; i < kPvarCount; ++i) d.values[i] = values[i] - rhs.values[i];
+    return d;
+  }
+  PvarSnapshot& operator+=(const PvarSnapshot& rhs) {
+    for (std::size_t i = 0; i < kPvarCount; ++i) values[i] += rhs.values[i];
+    return *this;
+  }
+};
+
+/// One domain's counters. Each cell sits alone on a cache line so two
+/// domains (or two counters) never false-share; the owner is the only
+/// writer, so relaxed adds suffice and readers see monotonic values.
+class PvarSet {
+ public:
+  void add(Pvar p, std::uint64_t n = 1) {
+    cells_[static_cast<std::size_t>(p)].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t get(Pvar p) const {
+    return cells_[static_cast<std::size_t>(p)].v.load(std::memory_order_relaxed);
+  }
+  PvarSnapshot snapshot() const {
+    PvarSnapshot s;
+    for (std::size_t i = 0; i < kPvarCount; ++i) {
+      s.values[i] = cells_[i].v.load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kPvarCount> cells_{};
+};
+
+/// One observable unit: a named PvarSet plus (when tracing is on and the
+/// unit has a single advancing writer) a trace ring. `pid`/`tid` become the
+/// chrome://tracing process/thread rows.
+struct Domain {
+  Domain(std::string name_, int pid_, int tid_) : name(std::move(name_)), pid(pid_), tid(tid_) {}
+
+  const std::string name;
+  const int pid;
+  const int tid;
+  PvarSet pvars;
+  TraceRing trace;
+};
+
+/// Runtime configuration, read once from the environment:
+///   PAMIX_OBS            on|1|true  → tracing enabled (counters are always on)
+///   PAMIX_TRACE_FILE     path for the chrome://tracing JSON dump
+///   PAMIX_TRACE_EVENTS   comma list of categories (send,rdzv,advance,work,
+///                        commthread,collective); default: all
+///   PAMIX_TRACE_CAPACITY events kept per ring (default 16384, most recent win)
+struct ObsConfig {
+  bool trace_enabled = false;
+  std::string trace_file;
+  std::uint32_t event_mask = ~0u;
+  std::size_t ring_capacity = 16384;
+
+  static const ObsConfig& get();
+};
+
+/// Process-global domain registry. Registration is the cold path (context
+/// construction) and takes a mutex; counting never does.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Create a new domain. `want_ring` requests a trace ring, honoured only
+  /// when tracing is enabled *and* the build has the tracer compiled in;
+  /// pass false for domains written by more than one thread concurrently
+  /// (rings are single-writer).
+  Domain& create(std::string name, int pid = 0, int tid = 0, bool want_ring = true);
+
+  /// Visit every domain ever created, in creation order.
+  void for_each(const std::function<void(const Domain&)>& fn) const;
+
+  /// Sum of all domains' counters.
+  PvarSnapshot totals() const;
+
+  std::size_t domain_count() const;
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Domain>> domains_;
+};
+
+}  // namespace pamix::obs

@@ -1,0 +1,162 @@
+#include "obs/pvar.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace pamix::obs {
+
+const char* pvar_name(Pvar p) {
+  switch (p) {
+    case Pvar::SendsEager: return "sends.eager";
+    case Pvar::SendsRdzv: return "sends.rdzv";
+    case Pvar::SendsShm: return "sends.shm";
+    case Pvar::SendEagain: return "sends.eagain";
+    case Pvar::PacketsInjected: return "mu.packets_injected";
+    case Pvar::PacketsReceived: return "mu.packets_received";
+    case Pvar::AdvanceCalls: return "advance.calls";
+    case Pvar::AdvanceEvents: return "advance.events";
+    case Pvar::WorkPosts: return "work.posts";
+    case Pvar::WorkOverflowPosts: return "work.overflow_posts";
+    case Pvar::WorkItemsDrained: return "work.items_drained";
+    case Pvar::MessagesDispatched: return "messages.dispatched";
+    case Pvar::RdzvRtsSent: return "rdzv.rts_sent";
+    case Pvar::RdzvRtsReceived: return "rdzv.rts_received";
+    case Pvar::RdzvPullsStarted: return "rdzv.pulls_started";
+    case Pvar::RdzvDone: return "rdzv.done";
+    case Pvar::ShmZeroCopyHits: return "shm.zero_copy_hits";
+    case Pvar::CommWakeups: return "commthread.wakeups";
+    case Pvar::CommSleeps: return "commthread.sleeps";
+    case Pvar::CollRoundsContributed: return "collnet.rounds_contributed";
+    case Pvar::CollRoundsCompleted: return "collnet.rounds_completed";
+    case Pvar::MpiIsends: return "mpi.isends";
+    case Pvar::MpiIrecvs: return "mpi.irecvs";
+    case Pvar::Count: break;
+  }
+  return "?";
+}
+
+const char* trace_ev_name(TraceEv ev) {
+  switch (ev) {
+    case TraceEv::SendEagerBegin: return "send.eager";
+    case TraceEv::SendRdzvBegin: return "send.rdzv";
+    case TraceEv::SendShmBegin: return "send.shm";
+    case TraceEv::SendComplete: return "send.complete";
+    case TraceEv::RdzvRts: return "rdzv.rts";
+    case TraceEv::RdzvPull: return "rdzv.pull";
+    case TraceEv::RdzvDone: return "rdzv.done";
+    case TraceEv::AdvanceBatch: return "advance";
+    case TraceEv::WorkDrain: return "work.drain";
+    case TraceEv::CommSleep: return "commthread.sleep";
+    case TraceEv::CommWake: return "commthread.wake";
+    case TraceEv::CollPhase: return "collective.round";
+    case TraceEv::Count: break;
+  }
+  return "?";
+}
+
+TraceCat trace_ev_cat(TraceEv ev) {
+  switch (ev) {
+    case TraceEv::SendEagerBegin:
+    case TraceEv::SendRdzvBegin:
+    case TraceEv::SendShmBegin:
+    case TraceEv::SendComplete:
+      return kCatSend;
+    case TraceEv::RdzvRts:
+    case TraceEv::RdzvPull:
+    case TraceEv::RdzvDone:
+      return kCatRdzv;
+    case TraceEv::AdvanceBatch:
+      return kCatAdvance;
+    case TraceEv::WorkDrain:
+      return kCatWork;
+    case TraceEv::CommSleep:
+    case TraceEv::CommWake:
+      return kCatCommthread;
+    case TraceEv::CollPhase:
+    case TraceEv::Count:
+      break;
+  }
+  return kCatCollective;
+}
+
+namespace {
+
+bool env_truthy(const char* v) {
+  if (v == nullptr) return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "off") != 0 &&
+         std::strcmp(v, "OFF") != 0 && std::strcmp(v, "false") != 0 && v[0] != '\0';
+}
+
+std::uint32_t parse_event_mask(const char* v) {
+  if (v == nullptr || v[0] == '\0') return ~0u;
+  std::uint32_t mask = 0;
+  std::string s(v);
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string tok = s.substr(pos, comma - pos);
+    if (tok == "send") mask |= kCatSend;
+    else if (tok == "rdzv") mask |= kCatRdzv;
+    else if (tok == "advance") mask |= kCatAdvance;
+    else if (tok == "work") mask |= kCatWork;
+    else if (tok == "commthread") mask |= kCatCommthread;
+    else if (tok == "collective") mask |= kCatCollective;
+    else if (tok == "all") mask = ~0u;
+    pos = comma + 1;
+  }
+  return mask == 0 ? ~0u : mask;
+}
+
+}  // namespace
+
+const ObsConfig& ObsConfig::get() {
+  static const ObsConfig cfg = [] {
+    ObsConfig c;
+    c.trace_enabled = env_truthy(std::getenv("PAMIX_OBS"));
+    if (const char* f = std::getenv("PAMIX_TRACE_FILE")) c.trace_file = f;
+    c.event_mask = parse_event_mask(std::getenv("PAMIX_TRACE_EVENTS"));
+    if (const char* cap = std::getenv("PAMIX_TRACE_CAPACITY")) {
+      const long n = std::strtol(cap, nullptr, 10);
+      if (n > 0) c.ring_capacity = static_cast<std::size_t>(n);
+    }
+    return c;
+  }();
+  return cfg;
+}
+
+Registry& Registry::instance() {
+  // Leaked on purpose: domains must outlive every static-destruction-order
+  // hazard (contexts may be torn down after main returns in tests).
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Domain& Registry::create(std::string name, int pid, int tid, bool want_ring) {
+  auto d = std::make_unique<Domain>(std::move(name), pid, tid);
+  const ObsConfig& cfg = ObsConfig::get();
+  if (want_ring && cfg.trace_enabled) {
+    d->trace.enable(cfg.ring_capacity, cfg.event_mask);
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  domains_.push_back(std::move(d));
+  return *domains_.back();
+}
+
+void Registry::for_each(const std::function<void(const Domain&)>& fn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& d : domains_) fn(*d);
+}
+
+PvarSnapshot Registry::totals() const {
+  PvarSnapshot total;
+  for_each([&](const Domain& d) { total += d.pvars.snapshot(); });
+  return total;
+}
+
+std::size_t Registry::domain_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return domains_.size();
+}
+
+}  // namespace pamix::obs

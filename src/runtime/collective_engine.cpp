@@ -72,6 +72,7 @@ CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute(
     std::uint64_t round, bool broadcast, bool provides_data, const void* data, std::size_t bytes,
     hw::CombineOp op, hw::CombineType type, void* result_dest) {
   std::lock_guard<std::mutex> g(mu_);
+  obs_.pvars.add(obs::Pvar::CollRoundsContributed);
   Round& r = rounds_[round];
   assert(!r.complete && "contribution to an already-completed round");
   r.is_broadcast = broadcast;
@@ -105,6 +106,8 @@ CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute(
       if (d != r.acc.data() && !r.acc.empty()) std::memcpy(d, r.acc.data(), r.bytes);
     }
     r.complete = true;
+    obs_.pvars.add(obs::Pvar::CollRoundsCompleted);
+    obs_.trace.record(obs::TraceEv::CollPhase, static_cast<std::uint32_t>(round));
     if (round + 1 > completed_upto_) completed_upto_ = round + 1;
     // Prune long-completed rounds.
     while (!rounds_.empty() && rounds_.begin()->first + 64 < completed_upto_ &&

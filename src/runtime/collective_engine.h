@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "hw/classroute.h"
+#include "obs/pvar.h"
 
 namespace pamix::runtime {
 
@@ -37,7 +38,11 @@ class CollectiveNetworkEngine {
  public:
   /// Program the engine for `participants` nodes (one master contribution
   /// per node). Mirrors writing the classroute DCRs.
-  explicit CollectiveNetworkEngine(int participants) : participants_(participants) {}
+  explicit CollectiveNetworkEngine(int participants)
+      : participants_(participants),
+        // The ring is written under mu_, so the serialized contributors
+        // satisfy the single-writer contract.
+        obs_(obs::Registry::instance().create("collnet", /*pid=*/-1, /*tid=*/0)) {}
 
   struct Ticket {
     std::uint64_t round = 0;
@@ -80,6 +85,7 @@ class CollectiveNetworkEngine {
                     void* result_dest);
 
   const int participants_;
+  obs::Domain& obs_;
   mutable std::mutex mu_;
   std::map<std::uint64_t, Round> rounds_;
   std::uint64_t completed_upto_ = 0;  // rounds below this are complete & erased

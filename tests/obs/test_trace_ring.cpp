@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "obs/trace_ring.h"
+
+namespace pamix::obs {
+namespace {
+
+#if PAMIX_OBS_ENABLED
+
+TEST(TraceRing, EveryEventHasANameAndCategory) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(TraceEv::Count); ++i) {
+    const TraceEv ev = static_cast<TraceEv>(i);
+    const char* n = trace_ev_name(ev);
+    ASSERT_NE(n, nullptr);
+    EXPECT_TRUE(names.insert(n).second) << "duplicate trace event name: " << n;
+    EXPECT_NE(static_cast<std::uint32_t>(trace_ev_cat(ev)), 0u);
+  }
+}
+
+TEST(TraceRing, DisabledRingRecordsNothing) {
+  TraceRing r;  // never enabled
+  EXPECT_FALSE(r.enabled());
+  r.record(TraceEv::SendEagerBegin, 1);
+  r.record_span(TraceEv::AdvanceBatch, now_ns(), 2);
+  EXPECT_EQ(r.recorded(), 0u);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_TRUE(r.drain_copy().empty());
+}
+
+TEST(TraceRing, RecordsInSingleWriterOrder) {
+  TraceRing r;
+  r.enable(16);
+  for (std::uint32_t i = 0; i < 5; ++i) r.record(TraceEv::SendEagerBegin, i);
+  const auto evs = r.drain_copy();
+  ASSERT_EQ(evs.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(evs[i].arg, i);  // append order preserved
+    EXPECT_EQ(evs[i].type, TraceEv::SendEagerBegin);
+    if (i > 0) {
+      EXPECT_GE(evs[i].ts_ns, evs[i - 1].ts_ns);  // monotonic stamps
+    }
+  }
+}
+
+TEST(TraceRing, WrapsKeepingTheMostRecentEvents) {
+  TraceRing r;
+  r.enable(4);
+  for (std::uint32_t i = 0; i < 6; ++i) r.record(TraceEv::WorkDrain, i);
+  EXPECT_EQ(r.recorded(), 6u);  // total ever written
+  EXPECT_EQ(r.size(), 4u);      // ring holds the newest window
+  const auto evs = r.drain_copy();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(evs[i].arg, i + 2);  // 2,3,4,5 oldest-first
+}
+
+TEST(TraceRing, CategoryMaskFiltersAtRecordTime) {
+  TraceRing r;
+  r.enable(16, kCatSend);  // only send events pass
+  r.record(TraceEv::SendEagerBegin, 1);
+  r.record(TraceEv::CommSleep, 2);   // commthread: masked out
+  r.record(TraceEv::CollPhase, 3);   // collective: masked out
+  r.record(TraceEv::SendComplete, 4);
+  const auto evs = r.drain_copy();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].type, TraceEv::SendEagerBegin);
+  EXPECT_EQ(evs[1].type, TraceEv::SendComplete);
+}
+
+TEST(TraceRing, SpansMeasureElapsedTimeAndClampToU32) {
+  TraceRing r;
+  r.enable(8);
+  const std::uint64_t t0 = now_ns();
+  r.record_span(TraceEv::AdvanceBatch, t0, 9);
+  // A start far in the "future" (end < start) must not underflow.
+  r.record_span(TraceEv::AdvanceBatch, t0 + (1ull << 62), 10);
+  // A start > 2^32 ns ago clamps rather than truncating.
+  r.record_span(TraceEv::AdvanceBatch, t0 - (10ull << 32), 11);
+  const auto evs = r.drain_copy();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].ts_ns, t0);
+  EXPECT_EQ(evs[1].dur_ns, 0u);
+  EXPECT_EQ(evs[2].dur_ns, UINT32_MAX);
+}
+
+#else  // PAMIX_OBS_ENABLED == 0
+
+TEST(TraceRing, CompiledOutTracerIsInertEvenWhenEnabled) {
+  TraceRing r;
+  r.enable(1024);  // no-op in this build
+  EXPECT_FALSE(r.enabled());
+  r.record(TraceEv::SendEagerBegin, 1);
+  r.record_span(TraceEv::AdvanceBatch, 0, 2);
+  r.record_at(TraceEv::WorkDrain, 0, 0, 3);
+  EXPECT_EQ(r.recorded(), 0u);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.capacity(), 0u);
+  EXPECT_TRUE(r.drain_copy().empty());
+}
+
+#endif
+
+}  // namespace
+}  // namespace pamix::obs
