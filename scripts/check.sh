@@ -1,23 +1,46 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + full test suite in the default configuration,
-# then prove the obs tracer compiles out cleanly with -DPAMIX_OBS=OFF
-# (build + tests again — the pvar-backed accessors must keep working).
+# Tier-1 verification: build + full test suite across the supported build
+# flavours:
+#   obs-on   — default configuration (PAMIX_OBS=ON)
+#   obs-off  — tracer compiled out (-DPAMIX_OBS=OFF); pvar-backed
+#              accessors must keep working
+#   sanitize — ASan + UBSan (-DPAMIX_SANITIZE=ON), catching lifetime and
+#              UB bugs the protocol/device layer could otherwise hide
 #
-# Usage: scripts/check.sh [build-dir-prefix]   (default: build)
+# Usage: scripts/check.sh [flavor...]          (default: all three)
+#        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-prefix="${1:-build}"
+prefix="${PREFIX:-build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "==> [1/2] default build (PAMIX_OBS=ON) + tests"
-cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "${prefix}" -j "${jobs}"
-ctest --test-dir "${prefix}" --output-on-failure -j "${jobs}"
+flavors=("$@")
+if [ ${#flavors[@]} -eq 0 ]; then
+  flavors=(obs-on obs-off sanitize)
+fi
 
-echo "==> [2/2] tracer compiled out (-DPAMIX_OBS=OFF) + tests"
-cmake -B "${prefix}-obs-off" -S . -DCMAKE_BUILD_TYPE=Release -DPAMIX_OBS=OFF
-cmake --build "${prefix}-obs-off" -j "${jobs}"
-ctest --test-dir "${prefix}-obs-off" --output-on-failure -j "${jobs}"
+run_flavor() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==> [${name}] configure + build + tests"
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" --output-on-failure -j "${jobs}"
+}
+
+for flavor in "${flavors[@]}"; do
+  case "${flavor}" in
+    obs-on)
+      run_flavor obs-on "${prefix}" ;;
+    obs-off)
+      run_flavor obs-off "${prefix}-obs-off" -DPAMIX_OBS=OFF ;;
+    sanitize)
+      run_flavor sanitize "${prefix}-sanitize" -DPAMIX_SANITIZE=ON ;;
+    *)
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize)" >&2
+      exit 2 ;;
+  esac
+done
 
 echo "==> all checks passed"

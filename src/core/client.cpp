@@ -1,10 +1,49 @@
 #include "core/client.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/collectives.h"
 #include "core/context.h"
 #include "core/geometry.h"
 
 namespace pamix::pami {
+
+namespace {
+
+/// Parse "<n>", "<n>K", or "<n>M" (case-insensitive suffix) from `env`.
+/// Invalid or out-of-range input keeps `fallback` and warns once to stderr:
+/// a typo in a tuning knob must never silently change protocol selection.
+std::size_t env_size_or(const char* env, std::size_t fallback) {
+  const char* s = std::getenv(env);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  std::size_t scale = 1;
+  if (end != s && *end != '\0') {
+    if ((*end == 'K' || *end == 'k') && end[1] == '\0') scale = 1024;
+    else if ((*end == 'M' || *end == 'm') && end[1] == '\0') scale = 1024 * 1024;
+    else end = const_cast<char*>(s);  // unknown suffix → reject below
+  }
+  // Cap at 256 MiB: larger values are certainly typos, and the eager path
+  // stages a full copy of every message under the limit.
+  constexpr unsigned long long kMax = 256ull << 20;
+  if (end == s || errno == ERANGE || v > kMax / scale) {
+    std::fprintf(stderr, "pamix: ignoring invalid %s=\"%s\" (keeping %zu)\n", env, s, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(v) * scale;
+}
+
+ClientConfig apply_env_overrides(ClientConfig cfg) {
+  cfg.eager_limit = env_size_or("PAMIX_EAGER_LIMIT", cfg.eager_limit);
+  cfg.shm_eager_limit = env_size_or("PAMIX_SHM_EAGER_LIMIT", cfg.shm_eager_limit);
+  return cfg;
+}
+
+}  // namespace
 
 Client::Client(ClientWorld& world, int task)
     : world_(world), task_(task), local_proc_(world.machine().local_index_of_task(task)) {
@@ -34,7 +73,9 @@ std::size_t Client::advance_all(int iterations) {
 }
 
 ClientWorld::ClientWorld(runtime::Machine& machine, ClientConfig config)
-    : machine_(machine), config_(std::move(config)), plan_(config_, machine.ppn()) {
+    : machine_(machine),
+      config_(apply_env_overrides(std::move(config))),
+      plan_(config_, machine.ppn()) {
   clients_.reserve(static_cast<std::size_t>(machine_.task_count()));
   for (int t = 0; t < machine_.task_count(); ++t) {
     clients_.push_back(std::make_unique<Client>(*this, t));

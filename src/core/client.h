@@ -35,10 +35,14 @@ struct ClientConfig {
   /// deterministic resource planning).
   int contexts_per_task = 1;
   /// MU path: messages up to this size go eager (memory FIFO); larger ones
-  /// use rendezvous (remote get / RDMA read).
+  /// use rendezvous (remote get / RDMA read). Overridable at runtime with
+  /// PAMIX_EAGER_LIMIT (bytes, optional K/M suffix), applied when the
+  /// ClientWorld is constructed; the effective value is exported as the
+  /// config.eager_limit pvar on each context's ".eager" protocol domain.
   std::size_t eager_limit = 4096;
   /// Shared-memory path: inline-copy limit; larger intra-node messages ride
-  /// zero-copy through the global VA.
+  /// zero-copy through the global VA. Overridable with PAMIX_SHM_EAGER_LIMIT
+  /// (same syntax); exported as config.shm_eager_limit on ".shm" domains.
   std::size_t shm_eager_limit = 4096;
   /// PAMI_Send_immediate limit (header + payload in one packet).
   std::size_t immediate_limit = 128;

@@ -1,38 +1,21 @@
 #include "core/context.h"
 
-#include <cassert>
-#include <cstring>
+#include <string>
+#include <utility>
 
 namespace pamix::pami {
-
-namespace {
-
-constexpr std::uint16_t kFlagWantAck = 0x8;
-
-std::uint64_t pack_key(int task, int context, std::uint64_t seq) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(task)) << 40) |
-         (static_cast<std::uint64_t>(context & 0xFF) << 32) | (seq & 0xFFFFFFFFull);
-}
-
-}  // namespace
 
 Context::Context(Client& client, int offset)
     : client_(client),
       offset_(offset),
-      machine_(client.machine()),
-      mu_(client.node().mu()),
       work_queue_(client.world().config().work_queue_capacity, &client.node().wakeup()),
       dispatch_(1 << 12),
       obs_(obs::Registry::instance().create(
           "task" + std::to_string(client.task()) + ".ctx" + std::to_string(offset),
           client.task(), offset)) {
-  const FifoPlan& plan = client_.world().plan();
-  inj_fifos_.reserve(static_cast<std::size_t>(plan.sends_per_context()));
-  for (int j = 0; j < plan.sends_per_context(); ++j) {
-    inj_fifos_.push_back(plan.inj_fifo(client_.local_proc(), offset_, j));
-  }
-  rec_fifo_ = plan.rec_fifo(client_.local_proc(), offset_);
   work_queue_.bind_pvars(&obs_.pvars);
+  engine_ = std::make_unique<proto::ProgressEngine>(*this, client_, offset_, work_queue_,
+                                                    dispatch_, obs_);
 }
 
 Context::~Context() = default;
@@ -42,70 +25,6 @@ Result Context::set_dispatch(DispatchId id, DispatchFn fn) {
   dispatch_[id] = std::move(fn);
   return Result::Success;
 }
-
-int Context::inj_fifo_for(int dest_node) const {
-  // Static pinning per destination: all traffic to one node uses one FIFO,
-  // which with deterministic routing preserves MPI ordering (paper §III-E).
-  return inj_fifos_[static_cast<std::size_t>(dest_node) % inj_fifos_.size()];
-}
-
-bool Context::push_descriptor(int fifo, hw::MuDescriptor desc) {
-  hw::InjFifo& f = mu_.inj_fifo(fifo);
-  if (f.push(desc)) {
-    // Kick the MU engine so the descriptor starts moving now; remaining
-    // work continues on later advances.
-    mu_.advance_injection({fifo});
-    return true;
-  }
-  // FIFO full: let the engine drain it once, then retry.
-  mu_.advance_injection({fifo});
-  if (f.push(std::move(desc))) {
-    mu_.advance_injection({fifo});
-    return true;
-  }
-  return false;
-}
-
-std::uint32_t Context::alloc_send_state(EventFn local, EventFn remote) {
-  for (std::size_t i = 0; i < send_states_.size(); ++i) {
-    if (!send_states_[i].in_use) {
-      send_states_[i] = SendState{std::move(local), std::move(remote), true};
-      return static_cast<std::uint32_t>(i);
-    }
-  }
-  send_states_.push_back(SendState{std::move(local), std::move(remote), true});
-  return static_cast<std::uint32_t>(send_states_.size() - 1);
-}
-
-void Context::complete_send_state(std::uint32_t handle, bool remote_done) {
-  assert(handle < send_states_.size() && send_states_[handle].in_use);
-  SendState st = std::move(send_states_[handle]);
-  send_states_[handle] = SendState{};
-  obs_.trace.record(obs::TraceEv::SendComplete, handle);
-  if (st.on_local_done) st.on_local_done();
-  if (remote_done && st.on_remote_done) st.on_remote_done();
-}
-
-void Context::watch_counter(std::unique_ptr<hw::MuReceptionCounter> counter, EventFn on_done) {
-  pending_counters_.push_back(PendingCounter{std::move(counter), std::move(on_done)});
-}
-
-std::size_t Context::poll_counters() {
-  std::size_t fired = 0;
-  for (std::size_t i = 0; i < pending_counters_.size();) {
-    if (pending_counters_[i].counter->complete()) {
-      EventFn fn = std::move(pending_counters_[i].on_done);
-      pending_counters_.erase(pending_counters_.begin() + static_cast<std::ptrdiff_t>(i));
-      if (fn) fn();
-      ++fired;
-    } else {
-      ++i;
-    }
-  }
-  return fired;
-}
-
-// ------------------------------------------------------------------ sends --
 
 Result Context::send_immediate(DispatchId dispatch, Endpoint dest, const void* header,
                                std::size_t header_bytes, const void* data,
@@ -120,535 +39,7 @@ Result Context::send_immediate(DispatchId dispatch, Endpoint dest, const void* h
   p.header_bytes = header_bytes;
   p.data = data;
   p.data_bytes = data_bytes;
-  return send(std::move(p));
-}
-
-Result Context::send(SendParams params) {
-  const int dest_node = machine_.node_of_task(params.dest.task);
-  const Result r = dest_node == machine_.node_of_task(client_.task()) ? send_shm(params)
-                                                                      : send_mu(params);
-  if (r == Result::Eagain) obs_.pvars.add(obs::Pvar::SendEagain);
-  return r;
-}
-
-Result Context::send_mu(SendParams& params) {
-  const ClientConfig& cfg = client_.world().config();
-  const int dest_node = machine_.node_of_task(params.dest.task);
-  const int dest_proc = machine_.local_index_of_task(params.dest.task);
-  const int fifo = inj_fifo_for(dest_node);
-
-  hw::MuDescriptor desc;
-  desc.type = hw::MuPacketType::MemoryFifo;
-  desc.routing = hw::MuRouting::Deterministic;
-  desc.dest_node = dest_node;
-  desc.rec_fifo = client_.world().plan().rec_fifo(dest_proc, params.dest.context);
-  desc.sw.dispatch_id = params.dispatch;
-  desc.sw.dest_context = static_cast<std::uint16_t>(params.dest.context);
-  desc.sw.origin_task = static_cast<std::uint32_t>(client_.task());
-  desc.sw.origin_context = static_cast<std::uint16_t>(offset_);
-  desc.sw.header_bytes = static_cast<std::uint16_t>(params.header_bytes);
-  desc.sw.msg_seq = next_msg_seq_++;
-
-  if (params.data_bytes <= cfg.eager_limit) {
-    // Eager: stage header+payload into one stream; the staging copy makes
-    // the source buffer immediately reusable (and is exactly the copy cost
-    // the eager protocol pays on BG/Q).
-    auto stream = std::make_shared<std::vector<std::byte>>();
-    stream->resize(params.header_bytes + params.data_bytes);
-    if (params.header_bytes > 0) {
-      std::memcpy(stream->data(), params.header, params.header_bytes);
-    }
-    if (params.data_bytes > 0) {
-      std::memcpy(stream->data() + params.header_bytes, params.data, params.data_bytes);
-    }
-    desc.sw.flags = kFlagEager;
-    desc.sw.msg_bytes = static_cast<std::uint32_t>(stream->size());
-    bool want_ack = false;
-    std::uint32_t ack_handle = 0;
-    if (params.on_remote_done) {
-      want_ack = true;
-      ack_handle = alloc_send_state(nullptr, std::move(params.on_remote_done));
-      desc.sw.flags |= kFlagWantAck;
-      desc.sw.metadata = ack_handle;
-    }
-    desc.payload = stream->data();
-    desc.payload_bytes = stream->size();
-    desc.owned_payload = std::move(stream);
-    if (!push_descriptor(fifo, std::move(desc))) {
-      if (want_ack) send_states_[ack_handle] = SendState{};  // roll back
-      --next_msg_seq_;
-      return Result::Eagain;
-    }
-    obs_.pvars.add(obs::Pvar::SendsEager);
-    obs_.trace.record(obs::TraceEv::SendEagerBegin,
-                      static_cast<std::uint32_t>(params.data_bytes));
-    if (params.on_local_done) params.on_local_done();
-    return Result::Success;
-  }
-
-  // Rendezvous: a single RTS control packet carries the source buffer
-  // address; the receiver pulls the data with an MU remote get (RDMA read)
-  // and acknowledges with a DONE packet that completes the origin state.
-  RtsInfo rts;
-  rts.src_addr = reinterpret_cast<std::uint64_t>(params.data);
-  rts.bytes = params.data_bytes;
-  rts.handle = alloc_send_state(std::move(params.on_local_done), std::move(params.on_remote_done));
-
-  auto stream = std::make_shared<std::vector<std::byte>>();
-  stream->resize(params.header_bytes + sizeof(RtsInfo));
-  if (params.header_bytes > 0) {
-    std::memcpy(stream->data(), params.header, params.header_bytes);
-  }
-  std::memcpy(stream->data() + params.header_bytes, &rts, sizeof(RtsInfo));
-  assert(stream->size() <= hw::kMaxPacketPayload && "RTS header too large for one packet");
-
-  desc.sw.flags = kFlagRts;
-  desc.sw.msg_bytes = static_cast<std::uint32_t>(stream->size());
-  desc.payload = stream->data();
-  desc.payload_bytes = stream->size();
-  desc.owned_payload = std::move(stream);
-  if (!push_descriptor(fifo, std::move(desc))) {
-    send_states_[rts.handle] = SendState{};  // roll back
-    --next_msg_seq_;
-    return Result::Eagain;
-  }
-  obs_.pvars.add(obs::Pvar::SendsRdzv);
-  obs_.pvars.add(obs::Pvar::RdzvRtsSent);
-  obs_.trace.record(obs::TraceEv::SendRdzvBegin,
-                    static_cast<std::uint32_t>(params.data_bytes));
-  return Result::Success;
-}
-
-Result Context::send_shm(SendParams& params) {
-  const ClientConfig& cfg = client_.world().config();
-  ShmPacket pkt;
-  pkt.dispatch = params.dispatch;
-  pkt.dest_context = static_cast<std::int16_t>(params.dest.context);
-  pkt.origin = endpoint();
-  pkt.header_bytes = static_cast<std::uint16_t>(params.header_bytes);
-  if (params.header_bytes > 0) {
-    pkt.header.assign(static_cast<const std::byte*>(params.header),
-                      static_cast<const std::byte*>(params.header) + params.header_bytes);
-  }
-  pkt.total_bytes = params.data_bytes;
-
-  std::unique_ptr<hw::MuReceptionCounter> counter;
-  if (params.data_bytes <= cfg.shm_eager_limit) {
-    if (params.data_bytes > 0) {
-      pkt.inline_payload.assign(static_cast<const std::byte*>(params.data),
-                                static_cast<const std::byte*>(params.data) + params.data_bytes);
-    }
-    if (params.on_remote_done) {
-      counter = std::make_unique<hw::MuReceptionCounter>();
-      counter->prime(1);  // token semantics: receiver decrements once
-      pkt.sender_complete = counter.get();
-    }
-  } else {
-    // Zero-copy: the receiver reads straight out of our buffer through the
-    // global VA; the buffer stays busy until the counter drains.
-    pkt.zero_copy_src = static_cast<const std::byte*>(params.data);
-    counter = std::make_unique<hw::MuReceptionCounter>();
-    counter->prime(static_cast<std::int64_t>(params.data_bytes));
-    pkt.sender_complete = counter.get();
-  }
-
-  const bool zero_copy = pkt.zero_copy_src != nullptr;
-  client_.world().shm_device(params.dest.task).queue().push(std::move(pkt));
-  obs_.pvars.add(obs::Pvar::SendsShm);
-  if (zero_copy) obs_.pvars.add(obs::Pvar::ShmZeroCopyHits);
-  obs_.trace.record(obs::TraceEv::SendShmBegin, static_cast<std::uint32_t>(params.data_bytes));
-
-  if (zero_copy) {
-    EventFn local = std::move(params.on_local_done);
-    EventFn remote = std::move(params.on_remote_done);
-    watch_counter(std::move(counter), [local = std::move(local), remote = std::move(remote)] {
-      if (local) local();
-      if (remote) remote();
-    });
-  } else {
-    if (params.on_local_done) params.on_local_done();
-    if (counter) {
-      EventFn remote = std::move(params.on_remote_done);
-      watch_counter(std::move(counter), std::move(remote));
-    }
-  }
-  return Result::Success;
-}
-
-// -------------------------------------------------------------- one-sided --
-
-Result Context::put(PutParams params) {
-  const int dest_node = machine_.node_of_task(params.dest.task);
-  if (dest_node == machine_.node_of_task(client_.task())) {
-    // Intra-node: global-VA copy, as PAMI's shared-address path does.
-    std::byte* dst = client_.node().global_va().translate(
-        machine_.local_index_of_task(params.dest.task), params.remote_addr, params.bytes);
-    if (dst == nullptr) return Result::Invalid;
-    std::memcpy(dst, params.local_addr, params.bytes);
-    if (params.on_local_done) params.on_local_done();
-    if (params.on_remote_done) params.on_remote_done();
-    return Result::Success;
-  }
-  hw::MuDescriptor desc;
-  desc.type = hw::MuPacketType::DirectPut;
-  desc.routing = hw::MuRouting::Dynamic;
-  desc.dest_node = dest_node;
-  desc.payload = static_cast<const std::byte*>(params.local_addr);
-  desc.payload_bytes = params.bytes;
-  desc.put_dest = static_cast<std::byte*>(params.remote_addr);
-  auto counter = std::make_unique<hw::MuReceptionCounter>();
-  counter->prime(static_cast<std::int64_t>(params.bytes));
-  desc.rec_counter = counter.get();
-  EventFn local = std::move(params.on_local_done);
-  desc.on_injected = [local = std::move(local)] {
-    if (local) local();
-  };
-  if (!push_descriptor(inj_fifo_for(dest_node), std::move(desc))) return Result::Eagain;
-  watch_counter(std::move(counter), std::move(params.on_remote_done));
-  return Result::Success;
-}
-
-Result Context::get(GetParams params) {
-  const int dest_node = machine_.node_of_task(params.dest.task);
-  if (dest_node == machine_.node_of_task(client_.task())) {
-    const std::byte* src = client_.node().global_va().translate(
-        machine_.local_index_of_task(params.dest.task), params.remote_addr, params.bytes);
-    if (src == nullptr) return Result::Invalid;
-    std::memcpy(params.local_addr, src, params.bytes);
-    if (params.on_done) params.on_done();
-    return Result::Success;
-  }
-  auto counter = std::make_unique<hw::MuReceptionCounter>();
-  counter->prime(static_cast<std::int64_t>(params.bytes));
-
-  auto payload_desc = std::make_shared<hw::MuDescriptor>();
-  payload_desc->type = hw::MuPacketType::DirectPut;
-  payload_desc->routing = hw::MuRouting::Dynamic;
-  payload_desc->dest_node = machine_.node_of_task(client_.task());
-  payload_desc->payload = static_cast<const std::byte*>(params.remote_addr);
-  payload_desc->payload_bytes = params.bytes;
-  payload_desc->put_dest = static_cast<std::byte*>(params.local_addr);
-  payload_desc->rec_counter = counter.get();
-
-  hw::MuDescriptor desc;
-  desc.type = hw::MuPacketType::RemoteGet;
-  desc.routing = hw::MuRouting::Deterministic;
-  desc.dest_node = dest_node;
-  desc.remote_payload = std::move(payload_desc);
-  if (!push_descriptor(inj_fifo_for(dest_node), std::move(desc))) return Result::Eagain;
-  watch_counter(std::move(counter), std::move(params.on_done));
-  return Result::Success;
-}
-
-// ---------------------------------------------------------------- advance --
-
-void Context::post(WorkFn fn) { work_queue_.post(std::move(fn)); }
-
-std::size_t Context::advance(int iterations) {
-  obs_.pvars.add(obs::Pvar::AdvanceCalls);
-  const bool tracing = obs_.trace.enabled();
-  const std::uint64_t t0 = tracing ? obs::now_ns() : 0;
-  std::size_t events = 0;
-  for (int it = 0; it < iterations; ++it) {
-    const std::size_t drained = work_queue_.advance();
-    if (drained > 0) {
-      obs_.pvars.add(obs::Pvar::WorkItemsDrained, drained);
-      obs_.trace.record(obs::TraceEv::WorkDrain, static_cast<std::uint32_t>(drained));
-    }
-    events += drained;
-    events += flush_control();
-    events += static_cast<std::size_t>(mu_.advance_injection(inj_fifos_));
-    hw::MuPacket pkt;
-    int budget = 64;
-    std::size_t rx = 0;
-    while (budget-- > 0 && mu_.rec_fifo(rec_fifo_).poll(pkt)) {
-      process_mu_packet(std::move(pkt));
-      ++rx;
-    }
-    if (rx > 0) obs_.pvars.add(obs::Pvar::PacketsReceived, rx);
-    events += rx;
-    events += client_.shm_device().advance(
-        static_cast<std::int16_t>(offset_), [this](ShmPacket&& p) { process_shm_packet(std::move(p)); });
-    events += poll_counters();
-  }
-  if (events > 0) {
-    obs_.pvars.add(obs::Pvar::AdvanceEvents, events);
-    if (tracing) {
-      obs_.trace.record_span(obs::TraceEv::AdvanceBatch, t0, static_cast<std::uint32_t>(events));
-    }
-  }
-  return events;
-}
-
-std::vector<const void*> Context::wakeup_addresses() const {
-  return {work_queue_.wakeup_address(), &mu_.rec_fifo(rec_fifo_).delivered_count(),
-          client_.shm_device().wakeup_address()};
-}
-
-// ---------------------------------------------------------------- receive --
-
-void Context::deliver_first_packet(Endpoint origin, DispatchId dispatch, const std::byte* stream,
-                                   std::size_t stream_bytes, std::size_t header_bytes,
-                                   std::size_t total_stream_bytes, std::uint64_t key) {
-  const DispatchFn& fn = dispatch_[dispatch];
-  assert(fn && "no dispatch registered for incoming message");
-  const std::size_t total_data = total_stream_bytes - header_bytes;
-  obs_.pvars.add(obs::Pvar::MessagesDispatched);
-
-  if (stream_bytes == total_stream_bytes) {
-    // Whole message in one packet: immediate delivery.
-    fn(*this, stream, header_bytes, stream + header_bytes, total_data, total_data, origin,
-       nullptr);
-    return;
-  }
-  // Multi-packet: ask the handler for a landing buffer.
-  RecvDescriptor rd;
-  fn(*this, stream, header_bytes, nullptr, 0, total_data, origin, &rd);
-  RecvState st;
-  st.buffer = static_cast<std::byte*>(rd.buffer);
-  st.accept_bytes = rd.buffer != nullptr ? std::min(rd.bytes, total_data) : 0;
-  st.total_data_bytes = total_data;
-  st.header_bytes = header_bytes;
-  st.on_complete = std::move(rd.on_complete);
-  // Consume this packet's data portion.
-  const std::size_t data_in_packet = stream_bytes - header_bytes;
-  if (st.buffer != nullptr && data_in_packet > 0) {
-    const std::size_t n = std::min(data_in_packet, st.accept_bytes);
-    std::memcpy(st.buffer, stream + header_bytes, n);
-  }
-  st.received = stream_bytes;
-  recv_states_.emplace(key, std::move(st));
-}
-
-void Context::process_mu_packet(hw::MuPacket&& pkt) {
-  assert(pkt.type == hw::MuPacketType::MemoryFifo);
-  const hw::MuSoftwareHeader& sw = pkt.sw;
-  const Endpoint origin{static_cast<std::int32_t>(sw.origin_task),
-                        static_cast<std::int16_t>(sw.origin_context)};
-
-  if (sw.flags & kFlagRdzvDone) {
-    obs_.pvars.add(obs::Pvar::RdzvDone);
-    obs_.trace.record(obs::TraceEv::RdzvDone, static_cast<std::uint32_t>(sw.metadata));
-    complete_send_state(static_cast<std::uint32_t>(sw.metadata), true);
-    return;
-  }
-  if (sw.flags & kFlagRts) {
-    handle_rts(origin, pkt.payload.data(), pkt.payload.size(), sw);
-    return;
-  }
-  assert(sw.flags & kFlagEager);
-  const std::uint64_t key = pack_key(origin.task, origin.context, sw.msg_seq);
-
-  if (sw.packet_offset == 0) {
-    deliver_first_packet(origin, sw.dispatch_id, pkt.payload.data(), pkt.payload.size(),
-                         sw.header_bytes, sw.msg_bytes, key);
-    // Single-packet eager with ack request completes right here.
-    if (pkt.payload.size() == sw.msg_bytes && (sw.flags & kFlagWantAck)) {
-      send_rdzv_done(origin, static_cast<std::uint32_t>(sw.metadata));
-    }
-    return;
-  }
-
-  // Continuation packet of a multi-packet eager message.
-  auto it = recv_states_.find(key);
-  assert(it != recv_states_.end() && "continuation packet before first packet");
-  RecvState& st = it->second;
-  const std::size_t stream_off = sw.packet_offset;
-  const std::size_t data_off = stream_off - st.header_bytes;
-  if (st.buffer != nullptr && data_off < st.accept_bytes) {
-    const std::size_t n = std::min(pkt.payload.size(), st.accept_bytes - data_off);
-    std::memcpy(st.buffer + data_off, pkt.payload.data(), n);
-  }
-  st.received += pkt.payload.size();
-  if (st.received >= st.header_bytes + st.total_data_bytes) {
-    EventFn done = std::move(st.on_complete);
-    const bool want_ack = (sw.flags & kFlagWantAck) != 0;
-    const std::uint64_t ack_handle = sw.metadata;
-    recv_states_.erase(it);
-    if (done) done();
-    if (want_ack) send_rdzv_done(origin, static_cast<std::uint32_t>(ack_handle));
-  }
-}
-
-void Context::send_rdzv_done(Endpoint origin, std::uint32_t handle) {
-  if (machine_.node_of_task(origin.task) == machine_.node_of_task(client_.task())) {
-    // Intra-node DONE rides the shared-memory queue.
-    ShmPacket done;
-    done.dest_context = origin.context;
-    done.origin = endpoint();
-    done.flags = kFlagRdzvDone;
-    done.metadata = handle;
-    client_.world().shm_device(origin.task).queue().push(std::move(done));
-    return;
-  }
-  const int origin_node = machine_.node_of_task(origin.task);
-  hw::MuDescriptor done;
-  done.type = hw::MuPacketType::MemoryFifo;
-  done.dest_node = origin_node;
-  done.rec_fifo =
-      client_.world().plan().rec_fifo(machine_.local_index_of_task(origin.task), origin.context);
-  done.sw.flags = kFlagRdzvDone;
-  done.sw.metadata = handle;
-  done.sw.origin_task = static_cast<std::uint32_t>(client_.task());
-  done.sw.origin_context = static_cast<std::uint16_t>(offset_);
-  push_control(origin_node, std::move(done));
-}
-
-void Context::push_control(int dest_node, hw::MuDescriptor desc) {
-  // Control packets (DONE, eager acks, remote-get requests) must never be
-  // dropped: when the injection FIFO is saturated they park on the
-  // deferred-control queue, which advance() flushes once per pass (so a
-  // stalled peer cannot spin this context's advance forever).
-  if (pending_control_.empty() && push_descriptor(inj_fifo_for(dest_node), desc)) return;
-  pending_control_.emplace_back(dest_node, std::move(desc));
-}
-
-std::size_t Context::flush_control() {
-  std::size_t sent = 0;
-  while (!pending_control_.empty()) {
-    auto& [node, desc] = pending_control_.front();
-    if (!push_descriptor(inj_fifo_for(node), desc)) break;
-    pending_control_.pop_front();
-    ++sent;
-  }
-  return sent;
-}
-
-void Context::start_rdzv_pull(Endpoint origin, const RtsInfo& rts, void* buffer,
-                              std::size_t bytes, EventFn on_complete) {
-  const int origin_node = machine_.node_of_task(origin.task);
-  const std::size_t pull = buffer != nullptr ? std::min(bytes, std::size_t{rts.bytes}) : 0;
-
-  if (pull == 0) {
-    if (on_complete) on_complete();
-    send_rdzv_done(origin, rts.handle);
-    return;
-  }
-
-  // Pull the payload with an RDMA remote get straight into the user buffer.
-  obs_.pvars.add(obs::Pvar::RdzvPullsStarted);
-  obs_.trace.record(obs::TraceEv::RdzvPull, static_cast<std::uint32_t>(pull));
-  auto counter = std::make_unique<hw::MuReceptionCounter>();
-  counter->prime(static_cast<std::int64_t>(pull));
-
-  auto payload_desc = std::make_shared<hw::MuDescriptor>();
-  payload_desc->type = hw::MuPacketType::DirectPut;
-  payload_desc->routing = hw::MuRouting::Dynamic;
-  payload_desc->dest_node = machine_.node_of_task(client_.task());
-  payload_desc->payload = reinterpret_cast<const std::byte*>(rts.src_addr);
-  payload_desc->payload_bytes = pull;
-  payload_desc->put_dest = static_cast<std::byte*>(buffer);
-  payload_desc->rec_counter = counter.get();
-
-  hw::MuDescriptor desc;
-  desc.type = hw::MuPacketType::RemoteGet;
-  desc.routing = hw::MuRouting::Deterministic;
-  desc.dest_node = origin_node;
-  desc.remote_payload = std::move(payload_desc);
-
-  // The remote-get can be backpressured too; requeue until it goes out.
-  push_control(origin_node, std::move(desc));
-  watch_counter(std::move(counter),
-                [this, origin, handle = rts.handle, done = std::move(on_complete)] {
-                  if (done) done();
-                  send_rdzv_done(origin, handle);
-                });
-}
-
-void Context::handle_rts(Endpoint origin, const std::byte* stream, std::size_t stream_bytes,
-                         const hw::MuSoftwareHeader& sw) {
-  assert(stream_bytes == sw.header_bytes + sizeof(RtsInfo));
-  (void)stream_bytes;
-  RtsInfo rts;
-  std::memcpy(&rts, stream + sw.header_bytes, sizeof(RtsInfo));
-
-  const DispatchFn& fn = dispatch_[sw.dispatch_id];
-  assert(fn && "no dispatch registered for incoming RTS");
-  obs_.pvars.add(obs::Pvar::MessagesDispatched);
-  obs_.pvars.add(obs::Pvar::RdzvRtsReceived);
-  obs_.trace.record(obs::TraceEv::RdzvRts, static_cast<std::uint32_t>(rts.bytes));
-  RecvDescriptor rd;
-  rd.defer_handle = next_defer_handle_++;
-  fn(*this, stream, sw.header_bytes, nullptr, 0, rts.bytes, origin, &rd);
-
-  if (rd.defer) {
-    DeferredRdzv d;
-    d.shm = false;
-    d.origin = origin;
-    d.rts = rts;
-    deferred_.emplace(rd.defer_handle, d);
-    return;
-  }
-  start_rdzv_pull(origin, rts, rd.buffer, rd.buffer != nullptr ? rd.bytes : 0,
-                  std::move(rd.on_complete));
-}
-
-void Context::complete_deferred_rdzv(std::uint64_t handle, void* buffer, std::size_t bytes,
-                                     EventFn on_complete) {
-  auto it = deferred_.find(handle);
-  assert(it != deferred_.end() && "unknown deferred rendezvous handle");
-  DeferredRdzv d = it->second;
-  deferred_.erase(it);
-  if (!d.shm) {
-    start_rdzv_pull(d.origin, d.rts, buffer, bytes, std::move(on_complete));
-    return;
-  }
-  // Shared-memory zero-copy: copy straight out of the sender's buffer.
-  const std::size_t n = buffer != nullptr ? std::min(bytes, d.shm_bytes) : 0;
-  if (n > 0) {
-    const int origin_proc = machine_.local_index_of_task(d.origin.task);
-    const std::byte* src = client_.node().global_va().translate(origin_proc, d.shm_src, n);
-    assert(src != nullptr && "sender buffer not visible through global VA");
-    std::memcpy(buffer, src, n);
-  }
-  if (on_complete) on_complete();
-  d.shm_sender_complete->decrement(static_cast<std::int64_t>(d.shm_bytes));
-}
-
-void Context::process_shm_packet(ShmPacket&& pkt) {
-  if (pkt.flags & kFlagRdzvDone) {
-    obs_.pvars.add(obs::Pvar::RdzvDone);
-    obs_.trace.record(obs::TraceEv::RdzvDone, static_cast<std::uint32_t>(pkt.metadata));
-    complete_send_state(static_cast<std::uint32_t>(pkt.metadata), true);
-    return;
-  }
-  const DispatchFn& fn = dispatch_[pkt.dispatch];
-  assert(fn && "no dispatch registered for incoming shm message");
-  obs_.pvars.add(obs::Pvar::MessagesDispatched);
-
-  if (pkt.zero_copy_src == nullptr) {
-    // Inline message: complete on arrival.
-    fn(*this, pkt.header.data(), pkt.header_bytes, pkt.inline_payload.data(),
-       pkt.inline_payload.size(), pkt.total_bytes, pkt.origin, nullptr);
-    if (pkt.sender_complete != nullptr) pkt.sender_complete->decrement(1);
-    return;
-  }
-
-  // Zero-copy: the handler supplies the landing buffer; copy directly out
-  // of the sender's memory through the global VA.
-  RecvDescriptor rd;
-  rd.defer_handle = next_defer_handle_++;
-  fn(*this, pkt.header.data(), pkt.header_bytes, nullptr, 0, pkt.total_bytes, pkt.origin, &rd);
-  if (rd.defer) {
-    DeferredRdzv d;
-    d.shm = true;
-    d.origin = pkt.origin;
-    d.shm_src = pkt.zero_copy_src;
-    d.shm_bytes = pkt.total_bytes;
-    d.shm_sender_complete = pkt.sender_complete;
-    deferred_.emplace(rd.defer_handle, d);
-    return;
-  }
-  const std::size_t n = rd.buffer != nullptr ? std::min(rd.bytes, pkt.total_bytes) : 0;
-  if (n > 0) {
-    const int origin_proc = machine_.local_index_of_task(pkt.origin.task);
-    const std::byte* src =
-        client_.node().global_va().translate(origin_proc, pkt.zero_copy_src, n);
-    assert(src != nullptr && "sender buffer not visible through global VA");
-    std::memcpy(rd.buffer, src, n);
-  }
-  if (rd.on_complete) rd.on_complete();
-  pkt.sender_complete->decrement(static_cast<std::int64_t>(pkt.total_bytes));
+  return engine_->send(std::move(p));
 }
 
 }  // namespace pamix::pami

@@ -9,21 +9,23 @@
 // UNSAFE, and thread safety is the caller's job — either pin one thread
 // per context, take the context lock, or post work through the lockless
 // work queue and let a communication thread run it.
+//
+// The context itself is a thin composition layer: identity, the dispatch
+// table, the work queue, the context lock, and telemetry. Everything that
+// moves bytes — protocol selection, packet handling, device progress —
+// lives in the proto::ProgressEngine it owns (src/proto/).
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "core/client.h"
-#include "core/shmem_device.h"
 #include "core/types.h"
 #include "core/work_queue.h"
 #include "hw/l2_atomics.h"
-#include "hw/mu.h"
 #include "obs/pvar.h"
+#include "proto/progress_engine.h"
 
 namespace pamix::pami {
 
@@ -46,7 +48,7 @@ class Context {
   // --- Two-sided sends ------------------------------------------------------
   /// Full active-message send: eager below the client's eager limit,
   /// rendezvous (RDMA remote get) above it. Caller owns thread safety.
-  Result send(SendParams params);
+  Result send(SendParams params) { return engine_->send(std::move(params)); }
 
   /// Short-message fast path: header+payload must fit one packet; the
   /// payload is staged immediately so the source buffer is reusable on
@@ -55,24 +57,26 @@ class Context {
                         std::size_t header_bytes, const void* data, std::size_t data_bytes);
 
   // --- One-sided ------------------------------------------------------------
-  Result put(PutParams params);
-  Result get(GetParams params);
+  Result put(PutParams params) { return engine_->put(std::move(params)); }
+  Result get(GetParams params) { return engine_->get(std::move(params)); }
 
   // --- Handoff & progress ---------------------------------------------------
   /// Lockless multi-producer handoff: the work runs on whichever thread
   /// next advances this context (typically a commthread).
-  void post(WorkFn fn);
+  void post(WorkFn fn) { work_queue_.post(std::move(fn)); }
 
   /// Make progress on every device. NOT thread safe. Returns the number of
   /// events processed (work items, packets, completions).
-  std::size_t advance(int iterations = 1);
+  std::size_t advance(int iterations = 1) { return engine_->advance(iterations); }
 
   /// Complete a rendezvous that a dispatch handler deferred: pull up to
   /// `bytes` into `buffer` (RDMA remote get) and run `on_complete` when the
   /// data has landed; the sender is acknowledged either way. Must be called
   /// on the thread advancing this context (route through post() otherwise).
   void complete_deferred_rdzv(std::uint64_t handle, void* buffer, std::size_t bytes,
-                              EventFn on_complete);
+                              EventFn on_complete) {
+    engine_->complete_deferred_rdzv(handle, buffer, bytes, std::move(on_complete));
+  }
 
   // --- Context lock (PAMI_Context_lock) --------------------------------------
   void lock() { mutex_.lock(); }
@@ -82,27 +86,20 @@ class Context {
   // --- Wakeup integration (used by commthreads) ------------------------------
   /// Addresses written when work arrives for this context: the work-queue
   /// tail, the reception FIFO's delivery counter, the shm queue tail.
-  std::vector<const void*> wakeup_addresses() const;
+  std::vector<const void*> wakeup_addresses() const { return engine_->wakeup_addresses(); }
 
   WorkQueue& work_queue() { return work_queue_; }
 
   /// Cheap "probably nothing to do" check used by commthreads to decide
   /// whether to sleep on the wakeup unit. May return false negatives under
   /// concurrency; the arm/recheck/wait discipline closes the race.
-  bool idle() const {
-    return work_queue_.empty() && mu_.rec_fifo(rec_fifo_).empty() &&
-           client_.shm_device().idle() && pending_counters_.empty() &&
-           pending_control_.empty();
-  }
+  bool idle() const { return !engine_->has_pollable_work(); }
 
   // --- Introspection / stats -------------------------------------------------
   // The historical counters are thin views over the obs pvar registry:
   // sends_initiated keeps its original semantics (one tick per send() call,
   // successful or Eagain-bounced).
-  std::uint64_t sends_initiated() const {
-    return obs_.pvars.get(obs::Pvar::SendsEager) + obs_.pvars.get(obs::Pvar::SendsRdzv) +
-           obs_.pvars.get(obs::Pvar::SendsShm) + obs_.pvars.get(obs::Pvar::SendEagain);
-  }
+  std::uint64_t sends_initiated() const { return engine_->sends_initiated(); }
   std::uint64_t messages_dispatched() const {
     return obs_.pvars.get(obs::Pvar::MessagesDispatched);
   }
@@ -110,102 +107,29 @@ class Context {
   /// This context's telemetry domain (pvar counters + trace ring).
   obs::Domain& obs() { return obs_; }
   const obs::Domain& obs() const { return obs_; }
-  bool has_pending_state() const {
-    return !recv_states_.empty() || !pending_counters_.empty() || !send_states_.empty() ||
-           !pending_control_.empty();
+
+  /// Telemetry domain of one protocol ("<ctx>.eager" / ".rdzv" / ".shm").
+  const obs::Domain& proto_obs(proto::ProtocolKind kind) const {
+    return engine_->protocol_obs(kind);
   }
+
+  /// Anything outstanding: pollable device work, origin-side send states,
+  /// reassembly and deferred-rendezvous tables. Superset of !idle(),
+  /// derived from the same engine predicates so the two cannot drift.
+  bool has_pending_state() const { return engine_->has_pending_state(); }
 
  private:
   friend class Client;
 
-  // Internal protocol flag bits carried in packet headers.
-  static constexpr std::uint16_t kFlagEager = 0x1;
-  static constexpr std::uint16_t kFlagRts = 0x2;
-  static constexpr std::uint16_t kFlagRdzvDone = 0x4;
-
-  struct RtsInfo {
-    std::uint64_t src_addr = 0;
-    std::uint64_t bytes = 0;
-    std::uint32_t handle = 0;
-  };
-
-  /// In-flight multi-packet incoming message.
-  struct RecvState {
-    std::byte* buffer = nullptr;
-    std::size_t accept_bytes = 0;  // truncation point
-    std::size_t total_data_bytes = 0;
-    std::size_t received = 0;      // stream bytes consumed (incl. header)
-    std::size_t header_bytes = 0;
-    EventFn on_complete;
-  };
-
-  /// Origin-side rendezvous bookkeeping, indexed by handle.
-  struct SendState {
-    EventFn on_local_done;
-    EventFn on_remote_done;
-    bool in_use = false;
-  };
-
-  struct PendingCounter {
-    std::unique_ptr<hw::MuReceptionCounter> counter;
-    EventFn on_done;
-  };
-
-  /// A rendezvous whose pull the dispatch handler deferred until matching.
-  struct DeferredRdzv {
-    bool shm = false;
-    Endpoint origin;
-    // MU path: the RTS info to pull against.
-    RtsInfo rts;
-    // Shm path: the zero-copy source and the sender's completion counter.
-    const std::byte* shm_src = nullptr;
-    std::size_t shm_bytes = 0;
-    hw::MuReceptionCounter* shm_sender_complete = nullptr;
-  };
-
-  int inj_fifo_for(int dest_node) const;
-  Result send_mu(SendParams& params);
-  Result send_shm(SendParams& params);
-  bool push_descriptor(int fifo, hw::MuDescriptor desc);
-  void process_mu_packet(hw::MuPacket&& pkt);
-  void process_shm_packet(ShmPacket&& pkt);
-  void handle_rts(Endpoint origin, const std::byte* stream, std::size_t stream_bytes,
-                  const hw::MuSoftwareHeader& sw);
-  void start_rdzv_pull(Endpoint origin, const RtsInfo& rts, void* buffer, std::size_t bytes,
-                       EventFn on_complete);
-  void send_rdzv_done(Endpoint origin, std::uint32_t handle);
-  void push_control(int dest_node, hw::MuDescriptor desc);
-  std::size_t flush_control();
-  void deliver_first_packet(Endpoint origin, DispatchId dispatch, const std::byte* stream,
-                            std::size_t stream_bytes, std::size_t header_bytes,
-                            std::size_t total_stream_bytes, std::uint64_t key);
-  std::uint32_t alloc_send_state(EventFn local, EventFn remote);
-  void complete_send_state(std::uint32_t handle, bool remote_done);
-  std::size_t poll_counters();
-  void watch_counter(std::unique_ptr<hw::MuReceptionCounter> counter, EventFn on_done);
-
   Client& client_;
   int offset_;
-  runtime::Machine& machine_;
-  hw::MessagingUnit& mu_;
   WorkQueue work_queue_;
   hw::L2AtomicMutex mutex_;
-
-  std::vector<int> inj_fifos_;
-  int rec_fifo_ = 0;
-
   std::vector<DispatchFn> dispatch_;
-  std::uint64_t next_msg_seq_ = 1;
-
-  // Reassembly keyed by (origin task, origin context, msg seq) packed.
-  std::map<std::uint64_t, RecvState> recv_states_;
-  std::vector<SendState> send_states_;
-  std::vector<PendingCounter> pending_counters_;
-  std::map<std::uint64_t, DeferredRdzv> deferred_;
-  std::uint64_t next_defer_handle_ = 1;
-  std::deque<std::pair<int, hw::MuDescriptor>> pending_control_;
-
   obs::Domain& obs_;  // registry-owned; outlives the context
+
+  // Engine last: it snapshots references to the members above.
+  std::unique_ptr<proto::ProgressEngine> engine_;
 };
 
 }  // namespace pamix::pami

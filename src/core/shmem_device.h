@@ -159,9 +159,19 @@ class ShmDevice {
 
   bool idle() const { return queue_.empty(); }
 
+  /// One context's view of the device: the process queue plus any packets
+  /// a sibling context's advance already routed into this context's
+  /// staging. The queue-only idle() misses staged packets, which would let
+  /// a commthread sleep on work that no wakeup write will ever announce.
+  bool idle(std::int16_t ctx) const {
+    if (!queue_.empty()) return false;
+    std::lock_guard<hw::L2AtomicMutex> g(router_mutex_);
+    return staging_[static_cast<std::size_t>(ctx)].empty();
+  }
+
  private:
   ShmQueue queue_;
-  hw::L2AtomicMutex router_mutex_;
+  mutable hw::L2AtomicMutex router_mutex_;
   std::vector<std::deque<ShmPacket>> staging_;
 };
 

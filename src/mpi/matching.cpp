@@ -12,7 +12,7 @@ namespace pamix::mpi {
 Request RequestPool::acquire(RequestImpl::Kind kind) {
   const std::size_t shard_idx =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
-  Shard& shard = shards_[shard_idx];
+  Shard& shard = state_->shards[shard_idx];
   RequestImpl* impl = nullptr;
   {
     std::lock_guard<hw::L2AtomicMutex> g(shard.mu);
@@ -24,11 +24,14 @@ Request RequestPool::acquire(RequestImpl::Kind kind) {
   if (impl == nullptr) impl = new RequestImpl();
   impl->reset();
   impl->kind = kind;
-  live_.fetch_add(1, std::memory_order_relaxed);
-  return Request(impl, [this, sh = &shard](RequestImpl* p) {
-    live_.fetch_sub(1, std::memory_order_relaxed);
-    std::lock_guard<hw::L2AtomicMutex> g(sh->mu);
-    sh->free.push_back(p);
+  state_->live.fetch_add(1, std::memory_order_relaxed);
+  // The deleter co-owns the shard state: a request parked in a matcher
+  // queue can be released after the pool object itself is gone.
+  return Request(impl, [st = state_, shard_idx](RequestImpl* p) {
+    st->live.fetch_sub(1, std::memory_order_relaxed);
+    Shard& sh = st->shards[shard_idx];
+    std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
+    sh.free.push_back(p);
   });
 }
 

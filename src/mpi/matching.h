@@ -60,20 +60,17 @@ struct RequestImpl {
 
 /// Thread-sharded request allocator (paper: "thread private pools to
 /// minimize locking overheads"). Shards are picked by thread id hash;
-/// requests recycle through the shard they came from.
+/// requests recycle through the shard they came from. The shards live in
+/// shared state co-owned by every outstanding request's deleter, so a
+/// Request parked in a matcher queue may safely outlive the pool object.
 class RequestPool {
  public:
-  RequestPool() = default;
-  ~RequestPool() {
-    for (Shard& s : shards_) {
-      for (RequestImpl* p : s.free) delete p;
-    }
-  }
+  RequestPool() : state_(std::make_shared<State>()) {}
   RequestPool(const RequestPool&) = delete;
   RequestPool& operator=(const RequestPool&) = delete;
 
   Request acquire(RequestImpl::Kind kind);
-  std::size_t outstanding() const { return live_.load(std::memory_order_relaxed); }
+  std::size_t outstanding() const { return state_->live.load(std::memory_order_relaxed); }
 
  private:
   static constexpr int kShards = 16;
@@ -81,8 +78,16 @@ class RequestPool {
     hw::L2AtomicMutex mu;
     std::vector<RequestImpl*> free;
   };
-  Shard shards_[kShards];
-  std::atomic<std::size_t> live_{0};
+  struct State {
+    ~State() {
+      for (Shard& s : shards) {
+        for (RequestImpl* p : s.free) delete p;
+      }
+    }
+    Shard shards[kShards];
+    std::atomic<std::size_t> live{0};
+  };
+  std::shared_ptr<State> state_;
 };
 
 /// Per-task communicator handle: shared geometry + task-local bookkeeping.

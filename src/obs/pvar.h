@@ -69,6 +69,11 @@ enum class Pvar : std::uint32_t {
   // MPI ("pamid") layer.
   MpiIsends,
   MpiIrecvs,
+  // Effective configuration, recorded once at context construction so a
+  // run's telemetry shows which limits (config or PAMIX_*_LIMIT env
+  // overrides) actually applied.
+  ConfigEagerLimit,
+  ConfigShmEagerLimit,
   Count,
 };
 

@@ -30,6 +30,8 @@ const char* pvar_name(Pvar p) {
     case Pvar::CollRoundsCompleted: return "collnet.rounds_completed";
     case Pvar::MpiIsends: return "mpi.isends";
     case Pvar::MpiIrecvs: return "mpi.irecvs";
+    case Pvar::ConfigEagerLimit: return "config.eager_limit";
+    case Pvar::ConfigShmEagerLimit: return "config.shm_eager_limit";
     case Pvar::Count: break;
   }
   return "?";

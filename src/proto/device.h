@@ -1,0 +1,50 @@
+// proto::Device — a pollable progress source (paper §III-B: a context is
+// "a collection of software communication devices").
+//
+// Each device wraps one source of asynchronous events a context must
+// drive: the lockless work queue, the MU injection/reception FIFOs, the
+// shared-memory queue, outstanding reception counters, and the deferred
+// control-packet queue. The progress engine registers devices at context
+// construction and `advance()` simply iterates them — adding a transport
+// means adding a device, not editing the hot loop.
+//
+// Threading contract: all methods except the const predicates are called
+// only by the single advancing thread (the lock-free single-advancer
+// discipline of Context::advance). `idle()` / `has_pending_state()` may be
+// called concurrently by commthreads deciding whether to sleep; they may
+// return false negatives under concurrency — the wakeup unit's
+// arm/recheck/wait ordering closes that race.
+#pragma once
+
+#include <cstddef>
+
+namespace pamix::proto {
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  /// Stable short name, used for diagnostics and telemetry labels.
+  virtual const char* name() const = 0;
+
+  /// Drive the device once; returns the number of events processed (work
+  /// items run, descriptors injected, packets handled, counters fired).
+  virtual std::size_t poll() = 0;
+
+  /// The producer-visible address written when new work arrives for this
+  /// device (placed under a wakeup-unit watch so sleeping commthreads
+  /// resume), or nullptr for poll-only devices with no external producer.
+  virtual const void* wakeup_address() const { return nullptr; }
+
+  /// Cheap "nothing for poll() to do right now" predicate. A device whose
+  /// completions arrive only via polling (no wakeup address) must report
+  /// !idle() while anything is outstanding, or commthreads could sleep
+  /// through its completions.
+  virtual bool idle() const = 0;
+
+  /// In-flight bookkeeping held by the device beyond what idle() covers
+  /// (e.g. completions that a future event will make deliverable).
+  virtual bool has_pending_state() const { return false; }
+};
+
+}  // namespace pamix::proto

@@ -1,0 +1,59 @@
+#include "proto/devices.h"
+
+#include "proto/progress_engine.h"
+
+namespace pamix::proto {
+
+std::size_t WorkQueueDevice::poll() {
+  const std::size_t drained = queue_.advance();
+  if (drained > 0) {
+    obs_.pvars.add(obs::Pvar::WorkItemsDrained, drained);
+    obs_.trace.record(obs::TraceEv::WorkDrain, static_cast<std::uint32_t>(drained));
+  }
+  return drained;
+}
+
+std::size_t ControlDevice::poll() {
+  std::size_t sent = 0;
+  while (!pending_.empty()) {
+    auto& [node, desc] = pending_.front();
+    if (!engine_.push_descriptor(engine_.inj_fifo_for(node), desc)) break;
+    pending_.pop_front();
+    ++sent;
+  }
+  return sent;
+}
+
+std::size_t MuDevice::poll() {
+  std::size_t events = static_cast<std::size_t>(mu_.advance_injection(inj_fifos_));
+  hw::MuPacket pkt;
+  int budget = kRxBudget;
+  std::size_t rx = 0;
+  while (budget-- > 0 && mu_.rec_fifo(rec_fifo_).poll(pkt)) {
+    engine_.on_mu_packet(std::move(pkt));
+    ++rx;
+  }
+  if (rx > 0) obs_.pvars.add(obs::Pvar::PacketsReceived, rx);
+  return events + rx;
+}
+
+std::size_t ShmQueueDevice::poll() {
+  return shm_.advance(ctx_, [this](pami::ShmPacket&& p) { engine_.on_shm_packet(std::move(p)); });
+}
+
+std::size_t CounterDevice::poll() {
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].counter->complete()) {
+      pami::EventFn fn = std::move(pending_[i].on_done);
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fn) fn();
+      ++fired;
+    } else {
+      ++i;
+    }
+  }
+  return fired;
+}
+
+}  // namespace pamix::proto

@@ -1,0 +1,141 @@
+// Concrete progress devices (paper §III-B/C).
+//
+// Five devices cover everything a context must drive:
+//   WorkQueueDevice — drains the lockless context-post queue
+//   ControlDevice   — re-injects must-not-drop control descriptors that
+//                     bounced off a saturated injection FIFO
+//   MuDevice        — runs the MU message engines over the context's
+//                     injection FIFOs and drains its reception FIFO,
+//                     routing packets back to the engine by flag bits
+//   ShmQueueDevice  — drains this context's slice of the process's
+//                     shared-memory reception queue
+//   CounterDevice   — polls outstanding MU reception counters (RDMA
+//                     completion): poll-only, so it reports !idle() while
+//                     counters are outstanding to keep commthreads awake
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/shmem_device.h"
+#include "core/types.h"
+#include "core/work_queue.h"
+#include "hw/mu.h"
+#include "obs/pvar.h"
+#include "proto/device.h"
+
+namespace pamix::proto {
+
+class ProgressEngine;
+
+/// Drains the context's lockless multi-producer work queue.
+class WorkQueueDevice final : public Device {
+ public:
+  WorkQueueDevice(pami::WorkQueue& queue, obs::Domain& obs) : queue_(queue), obs_(obs) {}
+
+  const char* name() const override { return "workqueue"; }
+  std::size_t poll() override;
+  const void* wakeup_address() const override { return queue_.wakeup_address(); }
+  bool idle() const override { return queue_.empty(); }
+
+ private:
+  pami::WorkQueue& queue_;
+  obs::Domain& obs_;
+};
+
+/// Deferred control-packet queue. Control packets (DONE, eager acks,
+/// remote-get requests) must never be dropped: when the injection FIFO is
+/// saturated they park here and poll() flushes once per advance pass (so a
+/// stalled peer cannot spin this context's advance forever). Poll-only:
+/// nothing external signals that the FIFO drained, so idle() is false
+/// while anything is parked.
+class ControlDevice final : public Device {
+ public:
+  explicit ControlDevice(ProgressEngine& engine) : engine_(engine) {}
+
+  const char* name() const override { return "control"; }
+  std::size_t poll() override;
+  bool idle() const override { return pending_.empty(); }
+  bool has_pending_state() const override { return !pending_.empty(); }
+
+  void park(int dest_node, hw::MuDescriptor desc) {
+    pending_.emplace_back(dest_node, std::move(desc));
+  }
+
+ private:
+  ProgressEngine& engine_;
+  std::deque<std::pair<int, hw::MuDescriptor>> pending_;
+};
+
+/// The MU device: advances the message engines over this context's
+/// injection FIFOs and drains its reception FIFO (budgeted per pass),
+/// handing each packet to the engine's protocol router.
+class MuDevice final : public Device {
+ public:
+  MuDevice(ProgressEngine& engine, hw::MessagingUnit& mu, std::vector<int> inj_fifos,
+           int rec_fifo, obs::Domain& obs)
+      : engine_(engine), mu_(mu), inj_fifos_(std::move(inj_fifos)), rec_fifo_(rec_fifo),
+        obs_(obs) {}
+
+  const char* name() const override { return "mu"; }
+  std::size_t poll() override;
+  const void* wakeup_address() const override {
+    return &mu_.rec_fifo(rec_fifo_).delivered_count();
+  }
+  bool idle() const override { return mu_.rec_fifo(rec_fifo_).empty(); }
+
+ private:
+  /// Reception drain budget per pass: bounds the time one advance spends
+  /// in dispatch handlers before other devices get a turn.
+  static constexpr int kRxBudget = 64;
+
+  ProgressEngine& engine_;
+  hw::MessagingUnit& mu_;
+  std::vector<int> inj_fifos_;
+  int rec_fifo_;
+  obs::Domain& obs_;
+};
+
+/// This context's slice of the process's shared-memory device.
+class ShmQueueDevice final : public Device {
+ public:
+  ShmQueueDevice(ProgressEngine& engine, pami::ShmDevice& shm, std::int16_t ctx)
+      : engine_(engine), shm_(shm), ctx_(ctx) {}
+
+  const char* name() const override { return "shm"; }
+  std::size_t poll() override;
+  const void* wakeup_address() const override { return shm_.wakeup_address(); }
+  bool idle() const override { return shm_.idle(ctx_); }
+
+ private:
+  ProgressEngine& engine_;
+  pami::ShmDevice& shm_;
+  std::int16_t ctx_;
+};
+
+/// Outstanding MU reception counters (direct-put / remote-get completion,
+/// shm zero-copy drain). Completion is observed only by polling — there is
+/// no wakeup write — so the device reports !idle() while counters are
+/// outstanding, keeping commthreads out of the wakeup sleep.
+class CounterDevice final : public Device {
+ public:
+  const char* name() const override { return "counters"; }
+  std::size_t poll() override;
+  bool idle() const override { return pending_.empty(); }
+  bool has_pending_state() const override { return !pending_.empty(); }
+
+  void watch(std::unique_ptr<hw::MuReceptionCounter> counter, pami::EventFn on_done) {
+    pending_.push_back(Pending{std::move(counter), std::move(on_done)});
+  }
+
+ private:
+  struct Pending {
+    std::unique_ptr<hw::MuReceptionCounter> counter;
+    pami::EventFn on_done;
+  };
+  std::vector<Pending> pending_;
+};
+
+}  // namespace pamix::proto

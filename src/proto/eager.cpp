@@ -1,0 +1,120 @@
+#include "proto/eager.h"
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "proto/progress_engine.h"
+#include "proto/wire.h"
+
+namespace pamix::proto {
+
+pami::Result EagerProtocol::send(pami::SendParams& params, hw::MuDescriptor desc, int fifo) {
+  // Stage header+payload into one stream; the staging copy makes the
+  // source buffer immediately reusable on return.
+  auto stream = std::make_shared<std::vector<std::byte>>();
+  stream->resize(params.header_bytes + params.data_bytes);
+  if (params.header_bytes > 0) {
+    std::memcpy(stream->data(), params.header, params.header_bytes);
+  }
+  if (params.data_bytes > 0) {
+    std::memcpy(stream->data() + params.header_bytes, params.data, params.data_bytes);
+  }
+  desc.sw.flags = kFlagEager;
+  desc.sw.msg_bytes = static_cast<std::uint32_t>(stream->size());
+  bool want_ack = false;
+  std::uint32_t ack_handle = 0;
+  if (params.on_remote_done) {
+    want_ack = true;
+    ack_handle = engine_.send_states().alloc(nullptr, std::move(params.on_remote_done));
+    desc.sw.flags |= kFlagWantAck;
+    desc.sw.metadata = ack_handle;
+  }
+  desc.payload = stream->data();
+  desc.payload_bytes = stream->size();
+  desc.owned_payload = std::move(stream);
+  if (!engine_.push_descriptor(fifo, std::move(desc))) {
+    if (want_ack) engine_.send_states().release(ack_handle);
+    return pami::Result::Eagain;
+  }
+  obs_.pvars.add(obs::Pvar::SendsEager);
+  engine_.ctx_obs().trace.record(obs::TraceEv::SendEagerBegin,
+                                 static_cast<std::uint32_t>(params.data_bytes));
+  if (params.on_local_done) params.on_local_done();
+  return pami::Result::Success;
+}
+
+void EagerProtocol::deliver_first_packet(pami::Endpoint origin, pami::DispatchId dispatch,
+                                         const std::byte* stream, std::size_t stream_bytes,
+                                         std::size_t header_bytes,
+                                         std::size_t total_stream_bytes, std::uint64_t key) {
+  const pami::DispatchFn& fn = engine_.dispatch(dispatch);
+  assert(fn && "no dispatch registered for incoming message");
+  const std::size_t total_data = total_stream_bytes - header_bytes;
+  engine_.ctx_obs().pvars.add(obs::Pvar::MessagesDispatched);
+
+  if (stream_bytes == total_stream_bytes) {
+    // Whole message in one packet: immediate delivery.
+    fn(engine_.context(), stream, header_bytes, stream + header_bytes, total_data, total_data,
+       origin, nullptr);
+    return;
+  }
+  // Multi-packet: ask the handler for a landing buffer.
+  pami::RecvDescriptor rd;
+  fn(engine_.context(), stream, header_bytes, nullptr, 0, total_data, origin, &rd);
+  RecvState st;
+  st.buffer = static_cast<std::byte*>(rd.buffer);
+  st.accept_bytes = rd.buffer != nullptr ? std::min(rd.bytes, total_data) : 0;
+  st.total_data_bytes = total_data;
+  st.header_bytes = header_bytes;
+  st.on_complete = std::move(rd.on_complete);
+  // Consume this packet's data portion.
+  const std::size_t data_in_packet = stream_bytes - header_bytes;
+  if (st.buffer != nullptr && data_in_packet > 0) {
+    const std::size_t n = std::min(data_in_packet, st.accept_bytes);
+    std::memcpy(st.buffer, stream + header_bytes, n);
+  }
+  st.received = stream_bytes;
+  recv_states_.emplace(key, std::move(st));
+}
+
+void EagerProtocol::handle_packet(hw::MuPacket&& pkt) {
+  const hw::MuSoftwareHeader& sw = pkt.sw;
+  assert(sw.flags & kFlagEager);
+  const pami::Endpoint origin{static_cast<std::int32_t>(sw.origin_task),
+                              static_cast<std::int16_t>(sw.origin_context)};
+  const std::uint64_t key = pack_key(origin.task, origin.context, sw.msg_seq);
+
+  if (sw.packet_offset == 0) {
+    deliver_first_packet(origin, sw.dispatch_id, pkt.payload.data(), pkt.payload.size(),
+                         sw.header_bytes, sw.msg_bytes, key);
+    // Single-packet eager with ack request completes right here.
+    if (pkt.payload.size() == sw.msg_bytes && (sw.flags & kFlagWantAck)) {
+      engine_.send_done(origin, static_cast<std::uint32_t>(sw.metadata));
+    }
+    return;
+  }
+
+  // Continuation packet of a multi-packet eager message.
+  auto it = recv_states_.find(key);
+  assert(it != recv_states_.end() && "continuation packet before first packet");
+  RecvState& st = it->second;
+  const std::size_t stream_off = sw.packet_offset;
+  const std::size_t data_off = stream_off - st.header_bytes;
+  if (st.buffer != nullptr && data_off < st.accept_bytes) {
+    const std::size_t n = std::min(pkt.payload.size(), st.accept_bytes - data_off);
+    std::memcpy(st.buffer + data_off, pkt.payload.data(), n);
+  }
+  st.received += pkt.payload.size();
+  if (st.received >= st.header_bytes + st.total_data_bytes) {
+    pami::EventFn done = std::move(st.on_complete);
+    const bool want_ack = (sw.flags & kFlagWantAck) != 0;
+    const std::uint64_t ack_handle = sw.metadata;
+    recv_states_.erase(it);
+    if (done) done();
+    if (want_ack) engine_.send_done(origin, static_cast<std::uint32_t>(ack_handle));
+  }
+}
+
+}  // namespace pamix::proto

@@ -1,0 +1,66 @@
+// MU eager protocol (paper §III-D).
+//
+// Origin: header + payload are staged into one contiguous stream and
+// injected as a memory-FIFO message — the staging copy is what makes the
+// source buffer immediately reusable (and is exactly the copy cost the
+// eager protocol pays on BG/Q). A sender wanting remote completion sets
+// the want-ack flag; the receiver answers with the shared DONE control
+// message once the full stream has landed.
+//
+// Target: single-packet messages dispatch immediately; multi-packet
+// streams reassemble through a RecvState table keyed by the packed
+// (task, context, seq) wire key, honouring the receiver's truncation
+// window (accept_bytes).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "core/types.h"
+#include "hw/mu.h"
+#include "proto/protocol.h"
+
+namespace pamix::proto {
+
+class ProgressEngine;
+
+class EagerProtocol final : public Protocol {
+ public:
+  EagerProtocol(ProgressEngine& engine, obs::Domain& obs) : engine_(engine), obs_(obs) {}
+
+  const char* name() const override { return "eager"; }
+  ProtocolKind kind() const override { return ProtocolKind::Eager; }
+  bool has_pending_state() const override { return !recv_states_.empty(); }
+  obs::Domain& obs() override { return obs_; }
+
+  /// Origin side. `desc` arrives with addressing and identity filled by
+  /// the engine; this protocol stages the stream and injects.
+  pami::Result send(pami::SendParams& params, hw::MuDescriptor desc, int fifo);
+
+  /// Target side: an eager-flagged memory-FIFO packet (first packet or
+  /// continuation of a multi-packet stream).
+  void handle_packet(hw::MuPacket&& pkt);
+
+ private:
+  /// In-flight multi-packet incoming message.
+  struct RecvState {
+    std::byte* buffer = nullptr;
+    std::size_t accept_bytes = 0;  // truncation point
+    std::size_t total_data_bytes = 0;
+    std::size_t received = 0;      // stream bytes consumed (incl. header)
+    std::size_t header_bytes = 0;
+    pami::EventFn on_complete;
+  };
+
+  void deliver_first_packet(pami::Endpoint origin, pami::DispatchId dispatch,
+                            const std::byte* stream, std::size_t stream_bytes,
+                            std::size_t header_bytes, std::size_t total_stream_bytes,
+                            std::uint64_t key);
+
+  ProgressEngine& engine_;
+  obs::Domain& obs_;
+  // Reassembly keyed by (origin task, origin context, msg seq) packed.
+  std::map<std::uint64_t, RecvState> recv_states_;
+};
+
+}  // namespace pamix::proto

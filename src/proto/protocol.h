@@ -1,0 +1,64 @@
+// proto::Protocol — one point-to-point message protocol, owning its own
+// send/recv/deferred state tables (paper §III-D/E/F).
+//
+// The engine routes each `send()` by destination locality and size to one
+// of three concrete protocols — MU eager (memory-FIFO streaming), MU
+// rendezvous (RTS / RDMA pull / DONE), shared-memory (inline copy or
+// zero-copy through the global VA) — and routes incoming packets back to
+// the protocol that owns them by flag bits. Protocols reach the context's
+// hardware resources only through ProgressEngine services (descriptor
+// injection, control-queue parking, counter watching), never directly, so
+// a protocol is a self-contained state machine that can be added or
+// replaced without touching the advance loop.
+//
+// Send entry points are *not* virtual: the engine holds the concrete
+// protocol objects and dispatches the hot send path with direct calls.
+// This base class is the engine-facing contract used generically: pending
+// state for the centralized idle/drain predicates, deferred-rendezvous
+// completion routing, and the protocol's pvar domain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+#include "obs/pvar.h"
+
+namespace pamix::proto {
+
+/// Identifies a context's protocol objects to telemetry consumers
+/// (Context::proto_obs) and tests.
+enum class ProtocolKind { Eager, Rdzv, Shm };
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual const char* name() const = 0;
+  virtual ProtocolKind kind() const = 0;
+
+  /// In-flight state this protocol holds: reassembly buffers, origin-side
+  /// rendezvous bookkeeping, deferred pulls. Feeds the engine's
+  /// centralized has_pending_state() so drain checks and the commthread
+  /// sleep decision can never diverge per-protocol.
+  virtual bool has_pending_state() const = 0;
+
+  /// Complete a rendezvous that a dispatch handler deferred, if `handle`
+  /// belongs to this protocol. Returns false when the handle is not ours
+  /// (the engine tries each protocol in turn; handles are allocated from
+  /// one engine-wide counter so they never collide across protocols).
+  virtual bool complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
+                                 pami::EventFn on_complete) {
+    (void)handle;
+    (void)buffer;
+    (void)bytes;
+    (void)on_complete;
+    return false;
+  }
+
+  /// This protocol's pvar domain ("<ctx>.eager" / ".rdzv" / ".shm") —
+  /// protocol-specific counters land here; traces stay on the context ring.
+  virtual obs::Domain& obs() = 0;
+};
+
+}  // namespace pamix::proto

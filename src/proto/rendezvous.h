@@ -1,0 +1,63 @@
+// MU rendezvous protocol — RTS / RDMA pull / DONE (paper §III-E).
+//
+// Origin: a single RTS control packet carries the source buffer address,
+// length, and an origin-side send-state handle; the source buffer stays
+// pinned until the DONE acknowledgement completes that handle.
+//
+// Target: the dispatch handler either supplies a landing buffer (the
+// protocol pulls the payload with an MU remote get — an RDMA read —
+// straight into it) or *defers*: the RTS parks in this protocol's
+// deferred table until the upper layer matches the message and calls back
+// through Context::complete_deferred_rdzv with the real landing buffer.
+// This is how MPI handles an RTS with no posted receive — the payload
+// stays on the sender until matched. Either way the target acknowledges
+// with DONE, truncating to the receiver's window.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "core/types.h"
+#include "hw/mu.h"
+#include "proto/protocol.h"
+#include "proto/wire.h"
+
+namespace pamix::proto {
+
+class ProgressEngine;
+
+class RdzvProtocol final : public Protocol {
+ public:
+  RdzvProtocol(ProgressEngine& engine, obs::Domain& obs) : engine_(engine), obs_(obs) {}
+
+  const char* name() const override { return "rdzv"; }
+  ProtocolKind kind() const override { return ProtocolKind::Rdzv; }
+  bool has_pending_state() const override { return !deferred_.empty(); }
+  bool complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
+                         pami::EventFn on_complete) override;
+  obs::Domain& obs() override { return obs_; }
+
+  /// Origin side: inject the RTS. `desc` arrives with addressing and
+  /// identity filled by the engine.
+  pami::Result send(pami::SendParams& params, hw::MuDescriptor desc, int fifo);
+
+  /// Target side: an RTS-flagged packet.
+  void handle_rts(hw::MuPacket&& pkt);
+
+ private:
+  /// An RTS whose pull the dispatch handler deferred until matching.
+  struct Deferred {
+    pami::Endpoint origin;
+    RtsInfo rts;
+  };
+
+  void start_pull(pami::Endpoint origin, const RtsInfo& rts, void* buffer, std::size_t bytes,
+                  pami::EventFn on_complete);
+
+  ProgressEngine& engine_;
+  obs::Domain& obs_;
+  std::map<std::uint64_t, Deferred> deferred_;
+};
+
+}  // namespace pamix::proto

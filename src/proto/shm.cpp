@@ -1,0 +1,123 @@
+#include "proto/shm.h"
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+
+#include "core/client.h"
+#include "proto/progress_engine.h"
+
+namespace pamix::proto {
+
+pami::Result ShmProtocol::send(pami::SendParams& params) {
+  const pami::ClientConfig& cfg = engine_.config();
+  pami::ShmPacket pkt;
+  pkt.dispatch = params.dispatch;
+  pkt.dest_context = static_cast<std::int16_t>(params.dest.context);
+  pkt.origin = engine_.endpoint();
+  pkt.header_bytes = static_cast<std::uint16_t>(params.header_bytes);
+  if (params.header_bytes > 0) {
+    pkt.header.assign(static_cast<const std::byte*>(params.header),
+                      static_cast<const std::byte*>(params.header) + params.header_bytes);
+  }
+  pkt.total_bytes = params.data_bytes;
+
+  std::unique_ptr<hw::MuReceptionCounter> counter;
+  if (params.data_bytes <= cfg.shm_eager_limit) {
+    if (params.data_bytes > 0) {
+      pkt.inline_payload.assign(static_cast<const std::byte*>(params.data),
+                                static_cast<const std::byte*>(params.data) + params.data_bytes);
+    }
+    if (params.on_remote_done) {
+      counter = std::make_unique<hw::MuReceptionCounter>();
+      counter->prime(1);  // token semantics: receiver decrements once
+      pkt.sender_complete = counter.get();
+    }
+  } else {
+    // Zero-copy: the receiver reads straight out of our buffer through the
+    // global VA; the buffer stays busy until the counter drains.
+    pkt.zero_copy_src = static_cast<const std::byte*>(params.data);
+    counter = std::make_unique<hw::MuReceptionCounter>();
+    counter->prime(static_cast<std::int64_t>(params.data_bytes));
+    pkt.sender_complete = counter.get();
+  }
+
+  const bool zero_copy = pkt.zero_copy_src != nullptr;
+  engine_.client().world().shm_device(params.dest.task).queue().push(std::move(pkt));
+  obs_.pvars.add(obs::Pvar::SendsShm);
+  if (zero_copy) obs_.pvars.add(obs::Pvar::ShmZeroCopyHits);
+  engine_.ctx_obs().trace.record(obs::TraceEv::SendShmBegin,
+                                 static_cast<std::uint32_t>(params.data_bytes));
+
+  if (zero_copy) {
+    pami::EventFn local = std::move(params.on_local_done);
+    pami::EventFn remote = std::move(params.on_remote_done);
+    engine_.watch_counter(std::move(counter),
+                          [local = std::move(local), remote = std::move(remote)] {
+                            if (local) local();
+                            if (remote) remote();
+                          });
+  } else {
+    if (params.on_local_done) params.on_local_done();
+    if (counter) {
+      pami::EventFn remote = std::move(params.on_remote_done);
+      engine_.watch_counter(std::move(counter), std::move(remote));
+    }
+  }
+  return pami::Result::Success;
+}
+
+void ShmProtocol::handle_packet(pami::ShmPacket&& pkt) {
+  const pami::DispatchFn& fn = engine_.dispatch(pkt.dispatch);
+  assert(fn && "no dispatch registered for incoming shm message");
+  engine_.ctx_obs().pvars.add(obs::Pvar::MessagesDispatched);
+
+  if (pkt.zero_copy_src == nullptr) {
+    // Inline message: complete on arrival.
+    fn(engine_.context(), pkt.header.data(), pkt.header_bytes, pkt.inline_payload.data(),
+       pkt.inline_payload.size(), pkt.total_bytes, pkt.origin, nullptr);
+    if (pkt.sender_complete != nullptr) pkt.sender_complete->decrement(1);
+    return;
+  }
+
+  // Zero-copy: the handler supplies the landing buffer; copy directly out
+  // of the sender's memory through the global VA.
+  pami::RecvDescriptor rd;
+  rd.defer_handle = engine_.alloc_defer_handle();
+  fn(engine_.context(), pkt.header.data(), pkt.header_bytes, nullptr, 0, pkt.total_bytes,
+     pkt.origin, &rd);
+  if (rd.defer) {
+    deferred_.emplace(rd.defer_handle,
+                      Deferred{pkt.origin, pkt.zero_copy_src, pkt.total_bytes,
+                               pkt.sender_complete});
+    return;
+  }
+  const std::size_t n = rd.buffer != nullptr ? std::min(rd.bytes, pkt.total_bytes) : 0;
+  if (n > 0) {
+    const std::byte* src = engine_.peer_va(pkt.origin.task, pkt.zero_copy_src, n);
+    assert(src != nullptr && "sender buffer not visible through global VA");
+    std::memcpy(rd.buffer, src, n);
+  }
+  if (rd.on_complete) rd.on_complete();
+  pkt.sender_complete->decrement(static_cast<std::int64_t>(pkt.total_bytes));
+}
+
+bool ShmProtocol::complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
+                                    pami::EventFn on_complete) {
+  auto it = deferred_.find(handle);
+  if (it == deferred_.end()) return false;
+  Deferred d = it->second;
+  deferred_.erase(it);
+  // Copy straight out of the sender's buffer through the global VA.
+  const std::size_t n = buffer != nullptr ? std::min(bytes, d.bytes) : 0;
+  if (n > 0) {
+    const std::byte* src = engine_.peer_va(d.origin.task, d.src, n);
+    assert(src != nullptr && "sender buffer not visible through global VA");
+    std::memcpy(buffer, src, n);
+  }
+  if (on_complete) on_complete();
+  d.sender_complete->decrement(static_cast<std::int64_t>(d.bytes));
+  return true;
+}
+
+}  // namespace pamix::proto

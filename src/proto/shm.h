@@ -1,0 +1,60 @@
+// Shared-memory protocol — intra-node messaging (paper §III-F).
+//
+// Origin: short messages copy their payload inline through the queue slot
+// (the L2 is the wire); larger messages ride zero-copy — the packet
+// carries the sender's buffer address, and the sender's buffer stays busy
+// until the receiver drains the completion counter.
+//
+// Target: inline messages dispatch on arrival. Zero-copy messages behave
+// like a node-local rendezvous: the handler supplies a landing buffer and
+// the protocol copies straight out of the sender's memory through the CNK
+// global VA — or defers, parking the arrival in this protocol's deferred
+// table until the upper layer matches it (the same deferral contract as
+// the MU rendezvous protocol, over a different transport).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "core/shmem_device.h"
+#include "core/types.h"
+#include "proto/protocol.h"
+
+namespace pamix::proto {
+
+class ProgressEngine;
+
+class ShmProtocol final : public Protocol {
+ public:
+  ShmProtocol(ProgressEngine& engine, obs::Domain& obs) : engine_(engine), obs_(obs) {}
+
+  const char* name() const override { return "shm"; }
+  ProtocolKind kind() const override { return ProtocolKind::Shm; }
+  bool has_pending_state() const override { return !deferred_.empty(); }
+  bool complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
+                         pami::EventFn on_complete) override;
+  obs::Domain& obs() override { return obs_; }
+
+  /// Origin side: push into the destination process's reception queue.
+  pami::Result send(pami::SendParams& params);
+
+  /// Target side: a data-bearing shm packet (DONE control packets are
+  /// routed to the engine's send-state table before reaching here).
+  void handle_packet(pami::ShmPacket&& pkt);
+
+ private:
+  /// A zero-copy arrival whose copy the dispatch handler deferred.
+  struct Deferred {
+    pami::Endpoint origin;
+    const std::byte* src = nullptr;
+    std::size_t bytes = 0;
+    hw::MuReceptionCounter* sender_complete = nullptr;
+  };
+
+  ProgressEngine& engine_;
+  obs::Domain& obs_;
+  std::map<std::uint64_t, Deferred> deferred_;
+};
+
+}  // namespace pamix::proto

@@ -1,0 +1,40 @@
+// Wire format shared by the point-to-point protocols (paper §III-D/E/F).
+//
+// These constants and layouts are the *contract between nodes*: the flag
+// bits ride in every memory-FIFO packet's software header, the RtsInfo
+// struct is the payload of a rendezvous RTS packet, and the packed
+// (task, context, seq) key identifies a message stream at the receiver.
+// They are deliberately separated from any protocol object so that
+// refactoring the state machines can never change what goes on the wire —
+// all seed tests and figure benches remain valid against this format.
+#pragma once
+
+#include <cstdint>
+
+namespace pamix::proto {
+
+// Packet flag bits carried in hw::MuSoftwareHeader::flags (and mirrored in
+// ShmPacket::flags for the intra-node control messages).
+inline constexpr std::uint16_t kFlagEager = 0x1;
+inline constexpr std::uint16_t kFlagRts = 0x2;
+inline constexpr std::uint16_t kFlagRdzvDone = 0x4;
+inline constexpr std::uint16_t kFlagWantAck = 0x8;
+
+/// Payload of a rendezvous RTS packet: where the receiver's RDMA pull
+/// reads from, how much, and the origin-side send-state handle the DONE
+/// acknowledgement completes.
+struct RtsInfo {
+  std::uint64_t src_addr = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t handle = 0;
+};
+
+/// Reassembly/stream key: (origin task, origin context, message sequence)
+/// packed into one word. 24 bits of task, 8 of context, 32 of sequence —
+/// the same packing both sides compute, so no handshake is needed.
+inline std::uint64_t pack_key(int task, int context, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(task)) << 40) |
+         (static_cast<std::uint64_t>(context & 0xFF) << 32) | (seq & 0xFFFFFFFFull);
+}
+
+}  // namespace pamix::proto

@@ -100,6 +100,9 @@ TEST(Pvar, ContextCountersAreIsolatedPerContext) {
 
   const PvarSnapshot s0 = c0.obs().pvars.snapshot();
   const PvarSnapshot s1 = c1.obs().pvars.snapshot();
+  // Protocol counters live on per-protocol child domains ("<ctx>.eager").
+  const PvarSnapshot e0 = c0.proto_obs(proto::ProtocolKind::Eager).pvars.snapshot();
+  const PvarSnapshot e1 = c1.proto_obs(proto::ProtocolKind::Eager).pvars.snapshot();
 
   const int kMsgs = 10;
   for (int i = 0; i < kMsgs; ++i) {
@@ -110,10 +113,12 @@ TEST(Pvar, ContextCountersAreIsolatedPerContext) {
 
   const PvarSnapshot d0 = c0.obs().pvars.snapshot() - s0;
   const PvarSnapshot d1 = c1.obs().pvars.snapshot() - s1;
+  const PvarSnapshot de0 = c0.proto_obs(proto::ProtocolKind::Eager).pvars.snapshot() - e0;
+  const PvarSnapshot de1 = c1.proto_obs(proto::ProtocolKind::Eager).pvars.snapshot() - e1;
 
   // Sender counts its sends; the receiver counts none.
-  EXPECT_EQ(d0[Pvar::SendsEager], static_cast<std::uint64_t>(kMsgs));
-  EXPECT_EQ(d1[Pvar::SendsEager], 0u);
+  EXPECT_EQ(de0[Pvar::SendsEager], static_cast<std::uint64_t>(kMsgs));
+  EXPECT_EQ(de1[Pvar::SendsEager], 0u);
   // Receiver dispatches; the sender dispatches none.
   EXPECT_EQ(d1[Pvar::MessagesDispatched], static_cast<std::uint64_t>(kMsgs));
   EXPECT_EQ(d0[Pvar::MessagesDispatched], 0u);

@@ -1,0 +1,235 @@
+// ProgressEngine composition: idle/pending-state coherence, per-protocol
+// telemetry domains, and the PAMIX_*_LIMIT runtime overrides.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/client.h"
+#include "core/context.h"
+#include "obs/pvar.h"
+#include "proto/protocol.h"
+#include "runtime/machine.h"
+
+namespace pamix::pami {
+namespace {
+
+/// Scoped setenv: tests in one process must not leak knobs into each other.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::vector<std::byte> pattern(std::size_t n) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i * 31);
+  return v;
+}
+
+TEST(ProgressEngine, IdleAndPendingStateAgreeWhenQuiescent) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  ClientConfig c;
+  c.contexts_per_task = 1;
+  ClientWorld world(machine, c);
+  Context& tx = world.client(0).context(0);
+  Context& rx = world.client(1).context(0);
+
+  EXPECT_TRUE(tx.idle());
+  EXPECT_FALSE(tx.has_pending_state());
+
+  int got = 0;
+  rx.set_dispatch(1, [&](Context&, const void*, std::size_t, const void*, std::size_t,
+                         std::size_t, Endpoint, RecvDescriptor*) { ++got; });
+  ASSERT_EQ(tx.send_immediate(1, Endpoint{1, 0}, nullptr, 0, nullptr, 0), Result::Success);
+  // In flight: the receiver has pollable work.
+  EXPECT_FALSE(rx.idle());
+  EXPECT_TRUE(rx.has_pending_state());
+  while (got < 1) {
+    tx.advance();
+    rx.advance();
+  }
+  // Quiescent again: both predicates return to false together — the old
+  // Context tracked them separately and they could (and did) drift.
+  EXPECT_TRUE(tx.idle());
+  EXPECT_TRUE(rx.idle());
+  EXPECT_FALSE(tx.has_pending_state());
+  EXPECT_FALSE(rx.has_pending_state());
+}
+
+TEST(ProgressEngine, PendingSendStateClearsOnRemoteCompletion) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  ClientConfig c;
+  c.contexts_per_task = 1;
+  c.eager_limit = 128;
+  ClientWorld world(machine, c);
+  Context& tx = world.client(0).context(0);
+  Context& rx = world.client(1).context(0);
+
+  const auto payload = pattern(4096);  // rendezvous
+  std::vector<std::byte> recv_buf(payload.size());
+  bool complete = false;
+  rx.set_dispatch(2, [&](Context&, const void*, std::size_t, const void*, std::size_t,
+                         std::size_t total, Endpoint, RecvDescriptor* recv) {
+    recv->buffer = recv_buf.data();
+    recv->bytes = total;
+    recv->on_complete = [&] { complete = true; };
+  });
+
+  SendParams p;
+  p.dispatch = 2;
+  p.dest = Endpoint{1, 0};
+  p.data = payload.data();
+  p.data_bytes = payload.size();
+  bool remote_done = false;
+  p.on_remote_done = [&] { remote_done = true; };
+  ASSERT_EQ(tx.send(p), Result::Success);
+  // The origin's send state (awaiting DONE) counts as pending state.
+  EXPECT_TRUE(tx.has_pending_state());
+  for (int i = 0; i < 300 && !remote_done; ++i) {
+    tx.advance();
+    rx.advance();
+  }
+  ASSERT_TRUE(complete);
+  ASSERT_TRUE(remote_done);
+  // Once the send state retires, nothing lingers: the old implementation
+  // held has_pending_state() true forever after the first MU send.
+  EXPECT_FALSE(tx.has_pending_state());
+  EXPECT_FALSE(rx.has_pending_state());
+}
+
+TEST(ProgressEngine, ProtocolCountersLandOnTheirOwnDomains) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  ClientConfig c;
+  c.contexts_per_task = 1;
+  c.eager_limit = 512;
+  ClientWorld world(machine, c);
+  Context& tx = world.client(0).context(0);
+  Context& rx = world.client(1).context(0);
+
+  int got = 0;
+  std::vector<std::byte> sink(8192);
+  rx.set_dispatch(3, [&](Context&, const void*, std::size_t, const void*, std::size_t,
+                         std::size_t total, Endpoint, RecvDescriptor* recv) {
+    if (recv != nullptr) {
+      recv->buffer = sink.data();
+      recv->bytes = total;
+      recv->on_complete = [&] { ++got; };
+    } else {
+      ++got;
+    }
+  });
+
+  const auto small = pattern(64);
+  const auto big = pattern(4096);
+  SendParams p;
+  p.dispatch = 3;
+  p.dest = Endpoint{1, 0};
+  p.data = small.data();
+  p.data_bytes = small.size();
+  ASSERT_EQ(tx.send(p), Result::Success);
+  p.data = big.data();
+  p.data_bytes = big.size();
+  ASSERT_EQ(tx.send(p), Result::Success);
+  for (int i = 0; i < 300 && got < 2; ++i) {
+    tx.advance();
+    rx.advance();
+  }
+  ASSERT_EQ(got, 2);
+
+  const obs::Domain& eager = tx.proto_obs(proto::ProtocolKind::Eager);
+  const obs::Domain& rdzv = tx.proto_obs(proto::ProtocolKind::Rdzv);
+  const obs::Domain& shm = tx.proto_obs(proto::ProtocolKind::Shm);
+  EXPECT_EQ(eager.pvars.get(obs::Pvar::SendsEager), 1u);
+  EXPECT_EQ(rdzv.pvars.get(obs::Pvar::SendsRdzv), 1u);
+  EXPECT_EQ(rdzv.pvars.get(obs::Pvar::RdzvRtsSent), 1u);
+  EXPECT_EQ(shm.pvars.get(obs::Pvar::SendsShm), 0u);
+  // Domain names are children of the context's domain.
+  EXPECT_EQ(eager.name, tx.obs().name + ".eager");
+  // The aggregate accessor still spans all protocols.
+  EXPECT_EQ(tx.sends_initiated(), 2u);
+}
+
+TEST(EagerLimitEnv, OverrideRoutesProtocolSelection) {
+  EnvGuard g("PAMIX_EAGER_LIMIT", "64");
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  ClientConfig c;
+  c.contexts_per_task = 1;
+  c.eager_limit = 4096;  // env must win over this
+  ClientWorld world(machine, c);
+  EXPECT_EQ(world.config().eager_limit, 64u);
+  Context& tx = world.client(0).context(0);
+  Context& rx = world.client(1).context(0);
+
+  std::vector<std::byte> sink(1024);
+  int got = 0;
+  rx.set_dispatch(4, [&](Context&, const void*, std::size_t, const void*, std::size_t,
+                         std::size_t total, Endpoint, RecvDescriptor* recv) {
+    if (recv != nullptr) {
+      recv->buffer = sink.data();
+      recv->bytes = total;
+      recv->on_complete = [&] { ++got; };
+    } else {
+      ++got;
+    }
+  });
+
+  // 256 bytes: eager under the configured 4096, rendezvous under env's 64.
+  const auto payload = pattern(256);
+  SendParams p;
+  p.dispatch = 4;
+  p.dest = Endpoint{1, 0};
+  p.data = payload.data();
+  p.data_bytes = payload.size();
+  ASSERT_EQ(tx.send(p), Result::Success);
+  for (int i = 0; i < 300 && got < 1; ++i) {
+    tx.advance();
+    rx.advance();
+  }
+  ASSERT_EQ(got, 1);
+  EXPECT_EQ(tx.proto_obs(proto::ProtocolKind::Rdzv).pvars.get(obs::Pvar::SendsRdzv), 1u);
+  EXPECT_EQ(tx.proto_obs(proto::ProtocolKind::Eager).pvars.get(obs::Pvar::SendsEager), 0u);
+  // The effective limit is pvar-visible on the eager domain.
+  EXPECT_EQ(tx.proto_obs(proto::ProtocolKind::Eager).pvars.get(obs::Pvar::ConfigEagerLimit),
+            64u);
+}
+
+TEST(EagerLimitEnv, SuffixesAndShmOverride) {
+  EnvGuard g1("PAMIX_EAGER_LIMIT", "8K");
+  EnvGuard g2("PAMIX_SHM_EAGER_LIMIT", "1M");
+  runtime::Machine machine(hw::TorusGeometry({1, 1, 1, 1, 1}), 1);
+  ClientWorld world(machine, ClientConfig{});
+  EXPECT_EQ(world.config().eager_limit, 8u * 1024);
+  EXPECT_EQ(world.config().shm_eager_limit, 1u << 20);
+  Context& ctx = world.client(0).context(0);
+  EXPECT_EQ(ctx.proto_obs(proto::ProtocolKind::Shm).pvars.get(obs::Pvar::ConfigShmEagerLimit),
+            1u << 20);
+}
+
+TEST(EagerLimitEnv, InvalidValuesKeepConfiguredLimit) {
+  runtime::Machine machine(hw::TorusGeometry({1, 1, 1, 1, 1}), 1);
+  ClientConfig c;
+  c.eager_limit = 2048;
+  c.shm_eager_limit = 512;
+  {
+    EnvGuard g1("PAMIX_EAGER_LIMIT", "banana");
+    EnvGuard g2("PAMIX_SHM_EAGER_LIMIT", "4G");  // unknown suffix
+    ClientWorld world(machine, c);
+    EXPECT_EQ(world.config().eager_limit, 2048u);
+    EXPECT_EQ(world.config().shm_eager_limit, 512u);
+  }
+  {
+    EnvGuard g("PAMIX_EAGER_LIMIT", "999999999999999");  // over the cap
+    ClientWorld world(machine, c);
+    EXPECT_EQ(world.config().eager_limit, 2048u);
+  }
+}
+
+}  // namespace
+}  // namespace pamix::pami
