@@ -5,13 +5,53 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "hw/torus.h"
 #include "obs/clock.h"
 #include "obs/export.h"
 
 namespace pamix::bench {
+
+/// Iteration-count override for smoke runs (CI runs the harnesses with
+/// tiny counts): reads `env` as a positive integer, else `fallback`.
+inline int env_iters(const char* env, int fallback) {
+  const char* s = std::getenv(env);
+  if (s == nullptr || *s == '\0') return fallback;
+  const long v = std::strtol(s, nullptr, 10);
+  return v > 0 ? static_cast<int>(v) : fallback;
+}
+
+/// Minimal machine-readable results sink: collects flat key/number pairs
+/// and writes them as one JSON object, so CI and scripts can consume bench
+/// output without scraping the human tables.
+class JsonResult {
+ public:
+  void add(const std::string& key, double value) { nums_.emplace_back(key, value); }
+  void add(const std::string& key, std::uint64_t value) {
+    nums_.emplace_back(key, static_cast<double>(value));
+  }
+
+  bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{");
+    for (std::size_t i = 0; i < nums_.size(); ++i) {
+      std::fprintf(f, "%s\n  \"%s\": %.6g", i == 0 ? "" : ",", nums_[i].first.c_str(),
+                   nums_[i].second);
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("  results written to %s\n", path);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> nums_;
+};
 
 /// The bench stopwatch IS the obs clock: every measurement here shares the
 /// timebase of the trace-ring events, so a bench number can be correlated

@@ -13,7 +13,9 @@
 //
 // With PAMIX_OBS=on each host phase also prints its pvar delta, and main
 // exports the merged trace rings to PAMIX_TRACE_FILE (chrome://tracing).
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "mpi/mpi.h"
@@ -84,6 +86,43 @@ double host_pami_rate_mmps(int msgs) {
   return msgs / sw.elapsed_us();
 }
 
+/// Pooled-payload phase: 64-byte eager sends, with a warm-up pass so the
+/// staging pools are primed before measurement. `measured_delta` receives
+/// the pvar delta of the measured pass only — in steady state its
+/// alloc.pool_misses must be zero (the strict-alloc CI gate checks this).
+double host_pami_rate_64b_mmps(int msgs, obs::PvarSnapshot* measured_delta) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  pami::ClientWorld world(machine, pami::ClientConfig{});
+  pami::Context& c0 = world.client(0).context(0);
+  pami::Context& c1 = world.client(1).context(0);
+  int received = 0;
+  c1.set_dispatch(1, [&](pami::Context&, const void*, std::size_t, const void*, std::size_t,
+                         std::size_t, pami::Endpoint, pami::RecvDescriptor*) { ++received; });
+  std::vector<std::byte> payload(64, std::byte{0x42});
+  auto run = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      pami::SendParams p;
+      p.dispatch = 1;
+      p.dest = pami::Endpoint{1, 0};
+      p.data = payload.data();
+      p.data_bytes = payload.size();
+      while (c0.send(p) == pami::Result::Eagain) c1.advance();
+      if ((i & 63) == 0) c1.advance();
+    }
+  };
+  const int warmup = std::min(msgs / 10 + 1, 1000);
+  run(warmup);
+  while (received < warmup) c1.advance();
+
+  bench::PvarPhase measured;
+  bench::Stopwatch sw;
+  run(msgs);
+  while (received < warmup + msgs) c1.advance();
+  const double mmps = msgs / sw.elapsed_us();
+  if (measured_delta != nullptr) *measured_delta = measured.delta();
+  return mmps;
+}
+
 }  // namespace
 
 int main() {
@@ -109,23 +148,28 @@ int main() {
               "2.4x commthread speedup @1ppn; best 18.7 MMPS @16ppn.\n");
 
   std::printf("\nFunctional host run (real stacks, host clock, 1 process pair):\n");
-  constexpr int kPamiMsgs = 200000;
+  const int kPamiMsgs = bench::env_iters("PAMIX_FIG5_MSGS", 200000);
+  const int kMpiMsgs = std::max(kPamiMsgs / 4, 1);
   bench::PvarPhase pami_phase;
   const double pami_host = host_pami_rate_mmps(kPamiMsgs);
   const auto pami_delta = pami_phase.delta();
   pami_phase.report("PAMI send_immediate phase");
 
+  obs::PvarSnapshot pooled_delta;
+  const double pami_host_64 = host_pami_rate_64b_mmps(kPamiMsgs, &pooled_delta);
+
   bench::PvarPhase mpi_phase;
-  const double mpi_host = host_mpi_rate_mmps(false, 50000);
+  const double mpi_host = host_mpi_rate_mmps(false, kMpiMsgs);
   mpi_phase.report("MPI isend/irecv phase");
 
-  const double mpi_host_wc = host_mpi_rate_mmps(true, 50000);
+  const double mpi_host_wc = host_mpi_rate_mmps(true, kMpiMsgs);
 
   bench::PvarPhase comm_phase;
-  const double mpi_host_ct = host_mpi_rate_mmps(false, 50000, /*commthreads=*/true);
+  const double mpi_host_ct = host_mpi_rate_mmps(false, kMpiMsgs, /*commthreads=*/true);
   comm_phase.report("MPI commthread-handoff phase");
 
   std::printf("  PAMI send_immediate rate : %8.2f Mmsg/s\n", pami_host);
+  std::printf("  PAMI 64B pooled eager    : %8.2f Mmsg/s\n", pami_host_64);
   std::printf("  MPI isend/irecv rate     : %8.2f Mmsg/s\n", mpi_host);
   std::printf("  MPI with ANY_SOURCE      : %8.2f Mmsg/s\n", mpi_host_wc);
   std::printf("  MPI with commthreads     : %8.2f Mmsg/s\n", mpi_host_ct);
@@ -142,6 +186,40 @@ int main() {
               static_cast<unsigned long long>(pami_sends), kPamiMsgs,
               pami_sends == static_cast<std::uint64_t>(kPamiMsgs) ? "OK" : "MISMATCH");
 
+  // Steady-state pool behaviour of the measured (post-warm-up) 64B phase.
+  const std::uint64_t pool_hits = pooled_delta[obs::Pvar::AllocPoolHits];
+  const std::uint64_t pool_misses = pooled_delta[obs::Pvar::AllocPoolMisses];
+  const std::uint64_t heap_fallbacks = pooled_delta[obs::Pvar::AllocHeapFallbacks];
+  std::printf("  pool accounting (64B measured phase): hits=%llu misses=%llu heap=%llu\n",
+              static_cast<unsigned long long>(pool_hits),
+              static_cast<unsigned long long>(pool_misses),
+              static_cast<unsigned long long>(heap_fallbacks));
+
+  bench::JsonResult json;
+  json.add("pami_immediate_mmps", pami_host);
+  json.add("pami_64b_pooled_mmps", pami_host_64);
+  json.add("mpi_mmps", mpi_host);
+  json.add("mpi_wildcard_mmps", mpi_host_wc);
+  json.add("mpi_commthread_mmps", mpi_host_ct);
+  json.add("messages", static_cast<std::uint64_t>(kPamiMsgs));
+  json.add("alloc.pool_hits", pool_hits);
+  json.add("alloc.pool_misses", pool_misses);
+  json.add("alloc.heap_fallbacks", heap_fallbacks);
+  json.add("work.posts", pooled_delta[obs::Pvar::WorkPosts]);
+  json.add("work.items_drained", pooled_delta[obs::Pvar::WorkItemsDrained]);
+  json.write("BENCH_fig5.json");
+
   bench::obs_finish();
+
+  // CI gate: with PAMIX_BENCH_STRICT_ALLOC set, a pool miss in the
+  // measured steady-state phase is a regression (something on the fast
+  // path stopped recycling), and the run fails loudly.
+  if (std::getenv("PAMIX_BENCH_STRICT_ALLOC") != nullptr && pool_misses > 0) {
+    std::fprintf(stderr,
+                 "fig5: PAMIX_BENCH_STRICT_ALLOC: %llu pool misses in the measured "
+                 "steady-state phase (expected 0)\n",
+                 static_cast<unsigned long long>(pool_misses));
+    return 1;
+  }
   return 0;
 }

@@ -4,14 +4,24 @@
 // primitives (whose per-event cost bounds the tracer's intrusiveness).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <mutex>
+#include <vector>
 
+#include "core/buffer_pool.h"
+#include "core/client.h"
+#include "core/context.h"
+#include "core/inline_fn.h"
 #include "core/topology.h"
+#include "core/work_queue.h"
 #include "hw/l2_atomics.h"
 #include "mpi/matching.h"
 #include "obs/clock.h"
 #include "obs/pvar.h"
 #include "obs/trace_ring.h"
+#include "runtime/machine.h"
 
 namespace {
 
@@ -201,6 +211,108 @@ void BM_Obs_TraceRecordDisabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Obs_TraceRecordDisabled);
+
+// ----------------------------------------------------- fast-path alloc ----
+// The zero-allocation fast path rests on three substitutions: InlineFn for
+// std::function, pooled Buf for heap buffers, and the fixed-slot work
+// queue. Each pair below measures the substitution directly; the pool
+// benchmarks also report the pvar counters so a recycling regression shows
+// up as a nonzero miss rate, not just a slower time.
+
+void BM_InlineFn_ConstructAndCall(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;  // 32-byte capture, well within budget
+  for (auto _ : state) {
+    core::SmallFn fn([&acc, a, b, c, d] { acc += a + b + c + d; });
+    fn();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InlineFn_ConstructAndCall);
+
+void BM_StdFunction_ConstructAndCall(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  for (auto _ : state) {
+    std::function<void()> fn([&acc, a, b, c, d] { acc += a + b + c + d; });
+    fn();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdFunction_ConstructAndCall);
+
+void BM_BufferPool_AcquireRelease(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  obs::PvarSet pvars;
+  core::BufferPool pool(&pvars);
+  { core::Buf warm = pool.acquire(bytes); }  // prime the freelist
+  for (auto _ : state) {
+    core::Buf b = pool.acquire(bytes);
+    benchmark::DoNotOptimize(b.data());
+  }
+  const obs::PvarSnapshot s = pvars.snapshot();
+  state.counters["pool_hits"] = static_cast<double>(s[obs::Pvar::AllocPoolHits]);
+  state.counters["pool_misses"] = static_cast<double>(s[obs::Pvar::AllocPoolMisses]);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferPool_AcquireRelease)->Arg(64)->Arg(512)->Arg(8192);
+
+void BM_HeapVector_AcquireRelease(benchmark::State& state) {
+  // What the staging path used to do: a fresh heap vector per packet.
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto v = std::make_unique<std::vector<std::byte>>(bytes);
+    benchmark::DoNotOptimize(v->data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapVector_AcquireRelease)->Arg(64)->Arg(512)->Arg(8192);
+
+void BM_WorkQueue_PostAdvance(benchmark::State& state) {
+  pami::WorkQueue q(256);
+  std::uint64_t ran = 0;
+  for (auto _ : state) {
+    q.post([&ran] { ++ran; });
+    q.advance();
+  }
+  benchmark::DoNotOptimize(ran);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkQueue_PostAdvance);
+
+void BM_EagerRoundTrip64B(benchmark::State& state) {
+  // End-to-end cost of one pooled 64-byte eager send, delivery included.
+  // Steady state must stay pool-hit-only; the counters prove it per run.
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  pami::ClientWorld world(machine, pami::ClientConfig{});
+  pami::Context& c0 = world.client(0).context(0);
+  pami::Context& c1 = world.client(1).context(0);
+  std::uint64_t delivered = 0;
+  c1.set_dispatch(1, [&](pami::Context&, const void*, std::size_t, const void*, std::size_t,
+                         std::size_t, pami::Endpoint, pami::RecvDescriptor*) { ++delivered; });
+  std::byte payload[64];
+  std::memset(payload, 0x42, sizeof(payload));
+  auto one = [&] {
+    pami::SendParams p;
+    p.dispatch = 1;
+    p.dest = pami::Endpoint{1, 0};
+    p.data = payload;
+    p.data_bytes = sizeof(payload);
+    while (c0.send(p) == pami::Result::Eagain) c1.advance();
+    c1.advance();
+  };
+  for (int i = 0; i < 64; ++i) one();  // warm-up: pools and tables settle
+  const obs::PvarSnapshot before = obs::Registry::instance().totals();
+  for (auto _ : state) one();
+  const obs::PvarSnapshot delta = obs::Registry::instance().totals() - before;
+  while (delivered < 64 + static_cast<std::uint64_t>(state.iterations())) c1.advance();
+  state.counters["pool_hits"] = static_cast<double>(delta[obs::Pvar::AllocPoolHits]);
+  state.counters["pool_misses"] = static_cast<double>(delta[obs::Pvar::AllocPoolMisses]);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EagerRoundTrip64B);
 
 }  // namespace
 

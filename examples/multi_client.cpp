@@ -77,7 +77,7 @@ int main() {
     put.remote_addr = shared_array.data() + (i * 4) % 1024;
     put.bytes = 4 * sizeof(std::uint64_t);
     put.on_remote_done = [&] { ++puts_done; };
-    while (u0.put(pami::PutParams(put)) == pami::Result::Eagain) {
+    while (u0.put(put) == pami::Result::Eagain) {
       u0.advance();
     }
     if ((i & 15) == 0) {

@@ -6,8 +6,11 @@
 #              accessors must keep working
 #   sanitize — ASan + UBSan (-DPAMIX_SANITIZE=ON), catching lifetime and
 #              UB bugs the protocol/device layer could otherwise hide
+#   bench-smoke — build the obs-on tree and run fig5 with a tiny message
+#              count under PAMIX_BENCH_STRICT_ALLOC: any steady-state pool
+#              miss (a zero-allocation fast-path regression) fails the run
 #
-# Usage: scripts/check.sh [flavor...]          (default: all three)
+# Usage: scripts/check.sh [flavor...]          (default: all four)
 #        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
@@ -17,7 +20,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 flavors=("$@")
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(obs-on obs-off sanitize)
+  flavors=(obs-on obs-off sanitize bench-smoke)
 fi
 
 run_flavor() {
@@ -37,8 +40,18 @@ for flavor in "${flavors[@]}"; do
       run_flavor obs-off "${prefix}-obs-off" -DPAMIX_OBS=OFF ;;
     sanitize)
       run_flavor sanitize "${prefix}-sanitize" -DPAMIX_SANITIZE=ON ;;
+    bench-smoke)
+      echo "==> [bench-smoke] fig5 strict-alloc gate + fast-path microbenches"
+      cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+      cmake --build "${prefix}" -j "${jobs}" --target fig5_message_rate gbench_primitives
+      ( cd "${prefix}" &&
+        PAMIX_FIG5_MSGS=2000 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/fig5_message_rate )
+      test -s "${prefix}/BENCH_fig5.json"
+      "${prefix}/bench/gbench_primitives" \
+        --benchmark_filter='InlineFn|BufferPool|WorkQueue_PostAdvance|EagerRoundTrip' \
+        --benchmark_min_time=0.05 ;;
     *)
-      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize)" >&2
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke)" >&2
       exit 2 ;;
   esac
 done

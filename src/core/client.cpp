@@ -37,9 +37,25 @@ std::size_t env_size_or(const char* env, std::size_t fallback) {
   return static_cast<std::size_t>(v) * scale;
 }
 
+/// Parse a plain integer in [lo, hi] from `env`. Same invalid-input
+/// discipline as env_size_or: warn and keep the fallback.
+int env_int_or(const char* env, int fallback, int lo, int hi) {
+  const char* s = std::getenv(env);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(stderr, "pamix: ignoring invalid %s=\"%s\" (keeping %d)\n", env, s, fallback);
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
 ClientConfig apply_env_overrides(ClientConfig cfg) {
   cfg.eager_limit = env_size_or("PAMIX_EAGER_LIMIT", cfg.eager_limit);
   cfg.shm_eager_limit = env_size_or("PAMIX_SHM_EAGER_LIMIT", cfg.shm_eager_limit);
+  cfg.mu_batch = env_int_or("PAMIX_MU_BATCH", cfg.mu_batch, 1, 4096);
   return cfg;
 }
 

@@ -46,6 +46,11 @@ struct ClientConfig {
   std::size_t shm_eager_limit = 4096;
   /// PAMI_Send_immediate limit (header + payload in one packet).
   std::size_t immediate_limit = 128;
+  /// Packets drained from a context's reception FIFO per MU-device poll —
+  /// one FIFO lock acquisition covers the whole batch. Overridable with
+  /// PAMIX_MU_BATCH (integer, clamped to [1, 4096]); the effective value
+  /// is exported as the config.mu_batch pvar on each context domain.
+  int mu_batch = 64;
   /// Injection FIFOs owned per context; sends are pinned to fifo
   /// (dest_node % count) to preserve per-destination ordering.
   int send_fifos_per_context = 8;

@@ -48,7 +48,10 @@ class Context {
   // --- Two-sided sends ------------------------------------------------------
   /// Full active-message send: eager below the client's eager limit,
   /// rendezvous (RDMA remote get) above it. Caller owns thread safety.
-  Result send(SendParams params) { return engine_->send(std::move(params)); }
+  /// The lvalue overloads consume `params` only on Success — an Eagain
+  /// leaves the (move-only) completion callbacks in place for retry.
+  Result send(SendParams& params) { return engine_->send(params); }
+  Result send(SendParams&& params) { return engine_->send(params); }
 
   /// Short-message fast path: header+payload must fit one packet; the
   /// payload is staged immediately so the source buffer is reusable on
@@ -57,8 +60,10 @@ class Context {
                         std::size_t header_bytes, const void* data, std::size_t data_bytes);
 
   // --- One-sided ------------------------------------------------------------
-  Result put(PutParams params) { return engine_->put(std::move(params)); }
-  Result get(GetParams params) { return engine_->get(std::move(params)); }
+  Result put(PutParams& params) { return engine_->put(params); }
+  Result put(PutParams&& params) { return engine_->put(params); }
+  Result get(GetParams& params) { return engine_->get(params); }
+  Result get(GetParams&& params) { return engine_->get(params); }
 
   // --- Handoff & progress ---------------------------------------------------
   /// Lockless multi-producer handoff: the work runs on whichever thread
@@ -77,6 +82,10 @@ class Context {
                               EventFn on_complete) {
     engine_->complete_deferred_rdzv(handle, buffer, bytes, std::move(on_complete));
   }
+
+  /// The per-context staging pool feeding eager/RTS streams and shm packet
+  /// buffers (telemetry + tests).
+  core::BufferPool& stage_pool() { return engine_->stage_pool(); }
 
   // --- Context lock (PAMI_Context_lock) --------------------------------------
   void lock() { mutex_.lock(); }

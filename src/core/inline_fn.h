@@ -1,0 +1,154 @@
+// InlineFn — fixed-capacity, non-allocating callable (the fast-path
+// replacement for std::function across the messaging stack).
+//
+// Every WorkFn/EventFn/DispatchFn on the hot path used to be a
+// std::function: one heap allocation per capture beyond ~2 words, plus a
+// copyable-callable requirement that forces captured completion state to
+// be copyable too. InlineFn stores the callable inline in a fixed byte
+// budget, rejects oversized captures at compile time (the static_assert
+// below names the offender), and is move-only, so protocol completion
+// objects move through queues and state tables without ever touching the
+// allocator.
+//
+// Layout: one pointer to a static vtable (invoke / relocate / destroy)
+// followed by the inline storage. Capacities are chosen so the common
+// aliases stay cache-line friendly: a SmallFn (EventFn) is exactly 64
+// bytes, a work-queue item 128.
+//
+// Threading: an InlineFn is a value, not a synchronization point — the
+// usual container/queue rules apply unchanged from std::function.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace pamix::core {
+
+template <typename Signature, std::size_t Bytes>
+class InlineFn;
+
+template <typename R, typename... Args, std::size_t Bytes>
+class InlineFn<R(Args...), Bytes> {
+ public:
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fd = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fd) <= Bytes,
+                  "InlineFn: capture too large for this callable's inline budget — "
+                  "shrink the capture (capture pointers, not objects) or raise the alias");
+    static_assert(alignof(Fd) <= kStorageAlign,
+                  "InlineFn: over-aligned capture not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fd>,
+                  "InlineFn: captures must be nothrow-move-constructible "
+                  "(queues relocate them)");
+    ::new (static_cast<void*>(storage_)) Fd(std::forward<F>(f));
+    vt_ = &kVTable<Fd>;
+  }
+
+  InlineFn(InlineFn&& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->relocate(storage_, other.storage_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.vt_ != nullptr) {
+        other.vt_->relocate(storage_, other.storage_);
+        vt_ = other.vt_;
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>>>
+  InlineFn& operator=(F&& f) {
+    *this = InlineFn(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Invoke. Calling an empty InlineFn is a programming error: it asserts
+  /// in debug builds and traps (rather than corrupting memory) in release.
+  R operator()(Args... args) const {
+    if (vt_ == nullptr) {
+      assert(false && "invoking empty InlineFn");
+      __builtin_trap();
+    }
+    return vt_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  friend bool operator==(const InlineFn& f, std::nullptr_t) { return f.vt_ == nullptr; }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage_);
+      vt_ = nullptr;
+    }
+  }
+
+  static constexpr std::size_t capacity() { return Bytes; }
+
+ private:
+  static constexpr std::size_t kStorageAlign = alignof(void*);
+
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fd>
+  static constexpr VTable kVTable{
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<Fd*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) Fd(std::move(*static_cast<Fd*>(src)));
+        static_cast<Fd*>(src)->~Fd();
+      },
+      [](void* p) { static_cast<Fd*>(p)->~Fd(); },
+  };
+
+  const VTable* vt_ = nullptr;
+  alignas(kStorageAlign) mutable std::byte storage_[Bytes];
+};
+
+/// Inline-capture budgets shared across layers. SmallFn is the completion-
+/// callback shape (EventFn and the MU's on_injected are the same type so
+/// callbacks move between them without re-wrapping): 56 bytes of capture +
+/// the vtable pointer = one cache line.
+inline constexpr std::size_t kSmallCallableBytes = 56;
+inline constexpr std::size_t kWorkCallableBytes = 120;
+
+using SmallFn = InlineFn<void(), kSmallCallableBytes>;
+
+static_assert(sizeof(SmallFn) == 64, "SmallFn must stay one cache line");
+
+}  // namespace pamix::core

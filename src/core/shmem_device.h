@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/types.h"
 #include "hw/l2_atomics.h"
 #include "hw/mu.h"
@@ -28,16 +30,18 @@
 
 namespace pamix::pami {
 
-/// A message traversing the shared-memory device.
+/// A message traversing the shared-memory device. Move-only: header and
+/// inline payload are pooled buffers staged by the sending context and
+/// recycled (cross-thread) once the receiver consumes the packet.
 struct ShmPacket {
   DispatchId dispatch = 0;
   std::int16_t dest_context = 0;
   Endpoint origin;
   std::uint16_t flags = 0;
   std::uint64_t metadata = 0;
-  std::vector<std::byte> header;
+  core::Buf header;
   // Eager: payload copied inline.
-  std::vector<std::byte> inline_payload;
+  core::Buf inline_payload;
   std::uint16_t header_bytes = 0;
   // Zero-copy: sender's buffer (readable via global VA) + completion
   // counter the receiver decrements once it has copied the data out
@@ -60,7 +64,7 @@ class ShmQueue {
   ShmQueue(const ShmQueue&) = delete;
   ShmQueue& operator=(const ShmQueue&) = delete;
 
-  void push(ShmPacket pkt) {
+  void push(ShmPacket&& pkt) {
     const std::uint64_t idx = hw::l2::load_increment_bounded(tail_, bound_);
     if (idx == hw::kL2BoundedFailure) {
       {
@@ -78,14 +82,16 @@ class ShmQueue {
 
   bool pop(ShmPacket& out) {
     const std::uint64_t tail = hw::l2::load(tail_);
-    if (head_ != tail) {
-      Slot& s = slots_[head_ % slots_.size()];
-      while (s.seq.load(std::memory_order_acquire) != head_ + 1) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head != tail) {
+      Slot& s = slots_[head % slots_.size()];
+      while (s.seq.load(std::memory_order_acquire) != head + 1) {
+        hw::cpu_relax();
       }
       out = std::move(s.pkt);
       s.pkt = ShmPacket{};
-      ++head_;
-      hw::l2::store(bound_, head_ + slots_.size());
+      head_.store(head + 1, std::memory_order_release);
+      hw::l2::store(bound_, head + 1 + slots_.size());
       return true;
     }
     if (overflow_count_.load(std::memory_order_acquire) > 0) {
@@ -101,7 +107,8 @@ class ShmQueue {
   }
 
   bool empty() const {
-    return head_ == hw::l2::load(tail_) && overflow_count_.load(std::memory_order_acquire) == 0;
+    return head_.load(std::memory_order_acquire) == hw::l2::load(tail_) &&
+           overflow_count_.load(std::memory_order_acquire) == 0;
   }
 
   const void* wakeup_address() const { return &tail_; }
@@ -114,7 +121,9 @@ class ShmQueue {
 
   hw::L2Word tail_;
   hw::L2Word bound_;
-  std::uint64_t head_ = 0;
+  // pop() runs under the device's router mutex, but empty() is a lockless
+  // sleep predicate on other threads — same discipline as WorkQueue.
+  std::atomic<std::uint64_t> head_{0};
   std::vector<Slot> slots_;
   hw::L2AtomicMutex overflow_mutex_;
   std::deque<ShmPacket> overflow_;
@@ -131,15 +140,23 @@ class ShmDevice {
  public:
   ShmDevice(int context_count, std::size_t queue_capacity, hw::WakeupUnit* wakeup)
       : queue_(queue_capacity, wakeup),
-        staging_(static_cast<std::size_t>(context_count)) {}
+        staging_(static_cast<std::size_t>(context_count)),
+        drain_(static_cast<std::size_t>(context_count)) {}
 
   ShmQueue& queue() { return queue_; }
   const void* wakeup_address() const { return queue_.wakeup_address(); }
 
   /// Drain packets for context `ctx`, invoking `handle` on each (outside
   /// all locks). Returns the number of packets handled.
-  std::size_t advance(std::int16_t ctx, const std::function<void(ShmPacket&&)>& handle) {
-    std::vector<ShmPacket> mine;
+  ///
+  /// Templated on the handler (no std::function) and double-buffered: the
+  /// context's staging vector is swapped out whole under the router lock
+  /// and swapped back (emptied, capacity retained) afterwards, so a
+  /// steady-state drain performs no allocation.
+  template <typename Handler>
+  std::size_t advance(std::int16_t ctx, Handler&& handle) {
+    std::vector<ShmPacket> mine = std::move(drain_[static_cast<std::size_t>(ctx)]);
+    mine.clear();
     {
       std::lock_guard<hw::L2AtomicMutex> g(router_mutex_);
       ShmPacket pkt;
@@ -147,14 +164,13 @@ class ShmDevice {
         const auto dest = static_cast<std::size_t>(pkt.dest_context);
         staging_[dest].push_back(std::move(pkt));
       }
-      auto& st = staging_[static_cast<std::size_t>(ctx)];
-      while (!st.empty()) {
-        mine.push_back(std::move(st.front()));
-        st.pop_front();
-      }
+      staging_[static_cast<std::size_t>(ctx)].swap(mine);
     }
     for (ShmPacket& p : mine) handle(std::move(p));
-    return mine.size();
+    const std::size_t n = mine.size();
+    mine.clear();
+    drain_[static_cast<std::size_t>(ctx)] = std::move(mine);
+    return n;
   }
 
   bool idle() const { return queue_.empty(); }
@@ -172,7 +188,9 @@ class ShmDevice {
  private:
   ShmQueue queue_;
   mutable hw::L2AtomicMutex router_mutex_;
-  std::vector<std::deque<ShmPacket>> staging_;
+  std::vector<std::vector<ShmPacket>> staging_;  // guarded by router_mutex_
+  // Per-context drain scratch, touched only by that context's advancer.
+  std::vector<std::vector<ShmPacket>> drain_;
 };
 
 }  // namespace pamix::pami

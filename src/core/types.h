@@ -8,7 +8,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
+
+#include "core/inline_fn.h"
 
 namespace pamix::pami {
 
@@ -45,11 +46,16 @@ struct Endpoint {
 };
 
 /// Completion callback. PAMI's C API passes (context, cookie, result);
-/// captures replace the cookie in this C++ rendering.
-using EventFn = std::function<void()>;
+/// captures replace the cookie in this C++ rendering. Inline-only storage
+/// (core::SmallFn): captures beyond 56 bytes are a compile error, keeping
+/// completion objects allocation-free as they move through state tables
+/// and queues.
+using EventFn = core::SmallFn;
 
-/// Work item posted to a context's lockless work queue.
-using WorkFn = std::function<void()>;
+/// Work item posted to a context's lockless work queue. Wider capture
+/// budget than EventFn (a work item often carries a small message's worth
+/// of state), still fixed: two cache lines per queue slot.
+using WorkFn = core::InlineFn<void(), core::kWorkCallableBytes>;
 
 /// Dispatch identifiers are user-chosen small integers, as in PAMI.
 using DispatchId = std::uint16_t;
@@ -82,10 +88,11 @@ struct RecvDescriptor {
 /// payload arrived with the first packet ("immediate" delivery); the
 /// handler must consume it before returning. Otherwise the handler fills
 /// `recv` to receive `total_bytes` asynchronously.
-using DispatchFn = std::function<void(Context& ctx, const void* header,
-                                      std::size_t header_bytes, const void* pipe_data,
-                                      std::size_t pipe_bytes, std::size_t total_bytes,
-                                      Endpoint origin, RecvDescriptor* recv)>;
+using DispatchFn =
+    core::InlineFn<void(Context& ctx, const void* header, std::size_t header_bytes,
+                        const void* pipe_data, std::size_t pipe_bytes,
+                        std::size_t total_bytes, Endpoint origin, RecvDescriptor* recv),
+                   core::kSmallCallableBytes>;
 
 /// Parameters of a two-sided active-message send.
 struct SendParams {

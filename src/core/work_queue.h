@@ -67,20 +67,32 @@ class WorkQueue {
   /// Single-consumer drain: run up to `max` items; returns how many ran.
   std::size_t advance(std::size_t max = SIZE_MAX) {
     std::size_t ran = 0;
+    // Only this (consumer) thread writes head_, so a relaxed load sees its
+    // own latest value; the release store below pairs with the acquire
+    // load in empty() on other threads.
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
     while (ran < max) {
       const std::uint64_t tail = hw::l2::load(tail_);
-      if (head_ == tail) break;
-      Slot& s = slots_[head_ % slots_.size()];
+      if (head == tail) break;
+      Slot& s = slots_[head % slots_.size()];
       // Wait for the producer that allocated this slot to publish it.
-      while (s.seq.load(std::memory_order_acquire) != head_ + 1) {
+      while (s.seq.load(std::memory_order_acquire) != head + 1) {
+        hw::cpu_relax();
       }
       WorkFn fn = std::move(s.fn);
       s.fn = nullptr;
-      ++head_;
+      ++head;
+      head_.store(head, std::memory_order_release);
       // Open the slot for reuse before running the item: bound = head+cap.
-      hw::l2::store(bound_, head_ + slots_.size());
+      hw::l2::store(bound_, head + slots_.size());
       fn();
       ++ran;
+      // A work item may advance the context re-entrantly (e.g. a posted
+      // send retrying an Eagain); the nested advance consumed slots and
+      // moved head_ on this same thread, so reload it — continuing with
+      // the stale local copy would re-consume a drained slot and invoke
+      // its moved-from callable.
+      head = head_.load(std::memory_order_relaxed);
     }
     // Overflow items run after the array drains (they were posted when the
     // queue was at least a full array deep, so this preserves approximate
@@ -100,8 +112,12 @@ class WorkQueue {
     return ran;
   }
 
+  /// Cross-thread readable (the commthread sleep predicate polls this
+  /// while the owner drains): acquire on head_ pairs with the consumer's
+  /// release store in advance().
   bool empty() const {
-    return head_ == hw::l2::load(tail_) && overflow_count_.load(std::memory_order_acquire) == 0;
+    return head_.load(std::memory_order_acquire) == hw::l2::load(tail_) &&
+           overflow_count_.load(std::memory_order_acquire) == 0;
   }
 
   /// Address producers store to — place this under a wakeup-unit watch.
@@ -112,6 +128,19 @@ class WorkQueue {
     return overflow_total_.load(std::memory_order_relaxed);
   }
 
+  /// Test hook: restart the queue's indices at `start`, as if `start`
+  /// items had already flowed through. Requires an empty, quiescent queue.
+  /// Used to exercise index wraparound near UINT64_MAX without posting
+  /// 2^64 items. Slot seq words are seeded to `start` so the publication
+  /// sentinel (idx + 1) stays distinct from a never-written slot even when
+  /// an index wraps past zero.
+  void debug_seed(std::uint64_t start) {
+    hw::l2::store(tail_, start);
+    head_.store(start, std::memory_order_release);
+    hw::l2::store(bound_, start + slots_.size());
+    for (auto& s : slots_) s.seq.store(start, std::memory_order_relaxed);
+  }
+
  private:
   struct alignas(64) Slot {
     std::atomic<std::uint64_t> seq{0};
@@ -120,7 +149,7 @@ class WorkQueue {
 
   hw::L2Word tail_;   // producer allocation index (wakeup region)
   hw::L2Word bound_;  // head + capacity, maintained by the consumer
-  std::uint64_t head_ = 0;
+  std::atomic<std::uint64_t> head_{0};  // written by the consumer only
   std::vector<Slot> slots_;
   hw::L2AtomicMutex overflow_mutex_;
   std::deque<WorkFn> overflow_;

@@ -24,6 +24,19 @@
 
 namespace pamix::hw {
 
+/// Pause hint for busy-wait loops (publication spins, ticket-lock waits,
+/// pool-reclaim spins). On x86 this is the PAUSE instruction, which
+/// de-prioritizes the spinning hyperthread and avoids the memory-order
+/// mis-speculation penalty on loop exit; elsewhere it degrades to a
+/// compiler barrier so the spin still re-reads memory.
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 /// Result returned by bounded ops when the bound would be violated.
 /// (Matches the BG/Q encoding: the top bit is set on failure.)
 inline constexpr std::uint64_t kL2BoundedFailure = 0x8000000000000000ull;
@@ -161,14 +174,6 @@ class L2AtomicMutex {
   void unlock() { l2::store_add(now_serving_, 1); }
 
  private:
-  static void cpu_relax() {
-#if defined(__x86_64__)
-    __builtin_ia32_pause();
-#else
-    std::atomic_signal_fence(std::memory_order_seq_cst);
-#endif
-  }
-
   L2Word next_ticket_;
   L2Word now_serving_;
 };

@@ -7,13 +7,36 @@
 
 namespace pamix::hw {
 
+namespace {
+
+/// Copy a descriptor's header fields into a packet for the slice at `off`.
+void frame_packet(MuPacket& pkt, const MuDescriptor& desc, int src_node, std::size_t off) {
+  pkt.type = desc.type;
+  pkt.routing = desc.routing;
+  pkt.deposit = desc.deposit;
+  pkt.src_node = src_node;
+  pkt.dest_node = desc.dest_node;
+  pkt.rec_fifo = desc.rec_fifo;
+  pkt.sw = desc.sw;
+  pkt.sw.packet_offset = static_cast<std::uint32_t>(off);
+  pkt.remote_payload = desc.remote_payload;
+  pkt.remote_inj_fifo = desc.remote_inj_fifo;
+  if (desc.type == MuPacketType::DirectPut) {
+    pkt.put_dest = desc.put_dest + off;
+    pkt.rec_counter = desc.rec_counter;
+  }
+}
+
+}  // namespace
+
 MessagingUnit::MessagingUnit(int node_id, NetworkPort* port, WakeupUnit* wakeup,
                              std::size_t inj_capacity, std::size_t rec_capacity)
     : node_id_(node_id),
       port_(port),
       wakeup_(wakeup),
       obs_(obs::Registry::instance().create("node" + std::to_string(node_id) + ".mu",
-                                            /*pid=*/node_id, /*tid=*/0, /*want_ring=*/false)) {
+                                            /*pid=*/node_id, /*tid=*/0, /*want_ring=*/false)),
+      svc_pool_(&obs_.pvars) {
   inj_.reserve(kInjFifoCount);
   rec_.reserve(kRecFifoCount);
   for (int i = 0; i < kInjFifoCount; ++i) {
@@ -23,6 +46,7 @@ MessagingUnit::MessagingUnit(int node_id, NetworkPort* port, WakeupUnit* wakeup,
     rec_.push_back(std::make_unique<RecFifo>(rec_capacity));
   }
   pending_.resize(kInjFifoCount);
+  inj_pools_.resize(kInjFifoCount);
 }
 
 std::vector<int> MessagingUnit::allocate_inj_fifos(int count) {
@@ -48,21 +72,34 @@ std::vector<int> MessagingUnit::allocate_rec_fifos(int count) {
 int MessagingUnit::inj_fifos_available() const { return kInjFifoCount - next_inj_; }
 int MessagingUnit::rec_fifos_available() const { return kRecFifoCount - next_rec_; }
 
+core::BufferPool& MessagingUnit::inj_pool(int fifo_idx) {
+  // Created on first use by the FIFO's single owning context; no lock
+  // needed (distinct indices are written by distinct owners, and the
+  // vector itself never resizes after construction).
+  auto& p = inj_pools_[static_cast<std::size_t>(fifo_idx)];
+  if (p == nullptr) p = std::make_unique<core::BufferPool>(&obs_.pvars);
+  return *p;
+}
+
 int MessagingUnit::advance_injection(const std::vector<int>& fifo_indices) {
   int injected = 0;
-  for (int idx : fifo_indices) {
-    auto& slot = pending_[static_cast<std::size_t>(idx)];
-    if (slot.has_value()) {
-      // Resume a descriptor that was backpressured mid-message.
-      if (!inject_resumable(idx)) continue;
-      ++injected;
-    }
-    MuDescriptor desc;
-    while (inj_fifo(idx).pop(desc)) {
-      slot.emplace(std::move(desc), 0);
-      if (!inject_resumable(idx)) break;  // backpressure: stop this FIFO
-      ++injected;
-    }
+  for (int idx : fifo_indices) injected += advance_injection(idx);
+  return injected;
+}
+
+int MessagingUnit::advance_injection(int idx) {
+  int injected = 0;
+  auto& slot = pending_[static_cast<std::size_t>(idx)];
+  if (slot.has_value()) {
+    // Resume a descriptor that was backpressured mid-message.
+    if (!inject_resumable(idx)) return injected;
+    ++injected;
+  }
+  MuDescriptor desc;
+  while (inj_fifo(idx).pop(desc)) {
+    slot.emplace(std::move(desc), 0);
+    if (!inject_resumable(idx)) break;  // backpressure: stop this FIFO
+    ++injected;
   }
   return injected;
 }
@@ -97,36 +134,24 @@ bool MessagingUnit::receive(MuPacket&& pkt) {
       // the contained descriptor immediately (DMA-read the requested
       // buffer and direct-put it back to the requester).
       assert(pkt.remote_payload != nullptr);
-      MuDescriptor desc = *pkt.remote_payload;
-      return inject_one(desc);
+      return inject_one(*pkt.remote_payload);
     }
   }
   return false;
 }
 
 bool MessagingUnit::inject_one(MuDescriptor& desc) {
-  // Legacy single-shot path retained for unit tests: inject a descriptor
-  // assuming no backpressure. Packets are cut at kMaxPacketPayload.
+  // Single-shot injection, bypassing the FIFOs: remote-get servicing and
+  // unit tests. May run on any thread, so payload staging comes from the
+  // shared service pool under its mutex. Assumes no backpressure.
   std::size_t off = 0;
   do {
     const std::size_t chunk = std::min(kMaxPacketPayload, desc.payload_bytes - off);
     MuPacket pkt;
-    pkt.type = desc.type;
-    pkt.routing = desc.routing;
-    pkt.deposit = desc.deposit;
-    pkt.src_node = node_id_;
-    pkt.dest_node = desc.dest_node;
-    pkt.rec_fifo = desc.rec_fifo;
-    pkt.sw = desc.sw;
-    pkt.sw.packet_offset = static_cast<std::uint32_t>(off);
-    pkt.remote_payload = desc.remote_payload;
-    pkt.remote_inj_fifo = desc.remote_inj_fifo;
+    frame_packet(pkt, desc, node_id_, off);
     if (desc.payload != nullptr && chunk > 0) {
-      pkt.payload.assign(desc.payload + off, desc.payload + off + chunk);
-    }
-    if (desc.type == MuPacketType::DirectPut) {
-      pkt.put_dest = desc.put_dest + off;
-      pkt.rec_counter = desc.rec_counter;
+      std::lock_guard<L2AtomicMutex> g(svc_mu_);
+      pkt.payload = svc_pool_.acquire_copy(desc.payload + off, chunk);
     }
     if (!port_->transmit(std::move(pkt))) return false;
     obs_.pvars.add(obs::Pvar::PacketsInjected);
@@ -140,25 +165,13 @@ bool MessagingUnit::inject_resumable(int fifo_idx) {
   auto& slot = pending_[static_cast<std::size_t>(fifo_idx)];
   MuDescriptor& desc = slot->first;
   std::size_t& off = slot->second;
+  core::BufferPool& pool = inj_pool(fifo_idx);
   do {
     const std::size_t chunk = std::min(kMaxPacketPayload, desc.payload_bytes - off);
     MuPacket pkt;
-    pkt.type = desc.type;
-    pkt.routing = desc.routing;
-    pkt.deposit = desc.deposit;
-    pkt.src_node = node_id_;
-    pkt.dest_node = desc.dest_node;
-    pkt.rec_fifo = desc.rec_fifo;
-    pkt.sw = desc.sw;
-    pkt.sw.packet_offset = static_cast<std::uint32_t>(off);
-    pkt.remote_payload = desc.remote_payload;
-    pkt.remote_inj_fifo = desc.remote_inj_fifo;
+    frame_packet(pkt, desc, node_id_, off);
     if (desc.payload != nullptr && chunk > 0) {
-      pkt.payload.assign(desc.payload + off, desc.payload + off + chunk);
-    }
-    if (desc.type == MuPacketType::DirectPut) {
-      pkt.put_dest = desc.put_dest + off;
-      pkt.rec_counter = desc.rec_counter;
+      pkt.payload = pool.acquire_copy(desc.payload + off, chunk);
     }
     if (!port_->transmit(std::move(pkt))) return false;  // keep slot, resume later
     obs_.pvars.add(obs::Pvar::PacketsInjected);

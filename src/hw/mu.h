@@ -28,13 +28,14 @@
 #include <cstdint>
 #include <cstring>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/buffer_pool.h"
+#include "core/inline_fn.h"
 #include "hw/l2_atomics.h"
 #include "hw/torus.h"
 #include "obs/pvar.h"
@@ -110,8 +111,8 @@ struct MuDescriptor {
   const std::byte* payload = nullptr;
   std::size_t payload_bytes = 0;
   // Staged payload owned by the descriptor (eager protocol stages header +
-  // user payload into one stream; the MU frees it after injection).
-  std::shared_ptr<std::vector<std::byte>> owned_payload;
+  // user payload into one pooled buffer; recycled after injection).
+  core::Buf staged;
 
   // MemoryFifo: target reception FIFO and software header.
   int rec_fifo = 0;
@@ -127,11 +128,16 @@ struct MuDescriptor {
   int remote_inj_fifo = 0;
 
   // Local injection completion callback (optional): fires when the MU has
-  // fully consumed this descriptor's payload from local memory.
-  std::function<void()> on_injected;
+  // fully consumed this descriptor's payload from local memory. Same
+  // inline-callable type as pami::EventFn, so completion callbacks move in
+  // without re-wrapping (and without allocating).
+  core::SmallFn on_injected;
 };
 
 /// A packet in flight: header fields + a copy of its payload slice.
+/// Move-only: the payload is a pooled buffer recycled when the packet is
+/// consumed. Paths that genuinely duplicate a packet (the deposit-bit line
+/// broadcast) use clone().
 struct MuPacket {
   MuPacketType type = MuPacketType::MemoryFifo;
   MuRouting routing = MuRouting::Deterministic;
@@ -144,7 +150,26 @@ struct MuPacket {
   MuReceptionCounter* rec_counter = nullptr;
   std::shared_ptr<MuDescriptor> remote_payload;
   int remote_inj_fifo = 0;
-  std::vector<std::byte> payload;
+  core::Buf payload;
+
+  /// Deep copy (payload lands in a pool-independent heap block: the copy's
+  /// lifetime is unbounded by any pool).
+  MuPacket clone() const {
+    MuPacket c;
+    c.type = type;
+    c.routing = routing;
+    c.deposit = deposit;
+    c.src_node = src_node;
+    c.dest_node = dest_node;
+    c.rec_fifo = rec_fifo;
+    c.sw = sw;
+    c.put_dest = put_dest;
+    c.rec_counter = rec_counter;
+    c.remote_payload = remote_payload;
+    c.remote_inj_fifo = remote_inj_fifo;
+    c.payload = payload.clone();
+    return c;
+  }
 };
 
 /// An injection FIFO: a bounded ring of descriptors. The owning context is
@@ -154,7 +179,10 @@ class InjFifo {
  public:
   explicit InjFifo(std::size_t capacity = 128) : ring_(capacity) {}
 
-  bool push(MuDescriptor desc) {
+  /// Push a descriptor. On failure (FIFO full) the descriptor is left
+  /// intact in the caller's hands for the retry; it is consumed only on
+  /// success.
+  bool push(MuDescriptor&& desc) {
     const std::uint64_t head = head_.value.load(std::memory_order_acquire);
     const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
     if (tail - head >= ring_.size()) return false;  // FIFO full -> caller retries
@@ -189,32 +217,59 @@ class InjFifo {
 /// A reception FIFO: packets delivered by the network, polled by the owning
 /// context. The network side may be fed by many remote nodes concurrently;
 /// the hardware serializes those appends, modelled by a short mutex.
+///
+/// Storage is a fixed ring (allocated lazily on first delivery — most of a
+/// node's 272 FIFOs are never used) with a deque spillover beyond the ring,
+/// so steady-state delivery/poll recycles ring slots without allocating.
+/// FIFO order is preserved by routing every delivery to the spillover while
+/// it is non-empty. `poll_batch` drains up to `max` packets under a single
+/// lock acquisition — the batched-drain half of the MU fast path.
 class RecFifo {
  public:
   explicit RecFifo(std::size_t capacity_packets = 4096) : capacity_(capacity_packets) {}
 
   /// Network-side append. Returns false when the FIFO is full, which on the
   /// real machine backpressures the torus; callers must retry.
-  bool deliver(MuPacket pkt) {
+  bool deliver(MuPacket&& pkt) {
     std::lock_guard<std::mutex> g(mu_);
-    if (packets_.size() >= capacity_) return false;
-    packets_.push_back(std::move(pkt));
+    if (size_locked() >= capacity_) return false;
+    if (ring_.empty()) ring_.resize(std::min(capacity_, kRingSlots));
+    if (!overflow_.empty() || tail_ - head_ == ring_.size()) {
+      overflow_.push_back(std::move(pkt));
+    } else {
+      ring_[tail_ % ring_.size()] = std::move(pkt);
+      ++tail_;
+    }
     delivered_.fetch_add(1, std::memory_order_release);
     return true;
   }
 
-  /// Consumer-side poll.
-  bool poll(MuPacket& out) {
+  /// Consumer-side batched poll: move up to `max` packets into `out`.
+  /// One lock acquisition per batch.
+  std::size_t poll_batch(MuPacket* out, std::size_t max) {
+    if (max == 0 || empty()) return 0;
     std::lock_guard<std::mutex> g(mu_);
-    if (packets_.empty()) return false;
-    out = std::move(packets_.front());
-    packets_.pop_front();
-    return true;
+    std::size_t n = 0;
+    while (n < max && head_ != tail_) {
+      out[n++] = std::move(ring_[head_ % ring_.size()]);
+      ++head_;
+    }
+    while (n < max && !overflow_.empty()) {
+      out[n++] = std::move(overflow_.front());
+      overflow_.pop_front();
+    }
+    consumed_.fetch_add(n, std::memory_order_release);
+    return n;
   }
 
+  /// Consumer-side single poll.
+  bool poll(MuPacket& out) { return poll_batch(&out, 1) == 1; }
+
+  /// Lock-free: delivered/consumed are monotonic, so equality is a stable
+  /// "nothing pending" signal for sleep predicates and idle checks.
   bool empty() const {
-    std::lock_guard<std::mutex> g(mu_);
-    return packets_.empty();
+    return consumed_.load(std::memory_order_acquire) ==
+           delivered_.load(std::memory_order_acquire);
   }
 
   /// Monotonic delivery count; its address can be placed under a wakeup
@@ -222,10 +277,18 @@ class RecFifo {
   const std::atomic<std::uint64_t>& delivered_count() const { return delivered_; }
 
  private:
+  static constexpr std::size_t kRingSlots = 256;
+
+  std::size_t size_locked() const { return (tail_ - head_) + overflow_.size(); }
+
   mutable std::mutex mu_;
   std::size_t capacity_;
-  std::deque<MuPacket> packets_;
+  std::vector<MuPacket> ring_;  // lazily sized min(capacity_, kRingSlots)
+  std::uint64_t head_ = 0;      // ring consume index (guarded by mu_)
+  std::uint64_t tail_ = 0;      // ring produce index (guarded by mu_)
+  std::deque<MuPacket> overflow_;
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> consumed_{0};
 };
 
 /// Where the MU hands packets for transport. Implemented by the functional
@@ -262,6 +325,8 @@ class MessagingUnit {
   /// fully injected. The caller (context advance or MU engine thread)
   /// supplies only the FIFOs it owns.
   int advance_injection(const std::vector<int>& fifo_indices);
+  /// Single-FIFO variant for the send fast path (no container built).
+  int advance_injection(int fifo_idx);
 
   /// Network-side delivery entry point: dispatch a packet by type.
   /// Returns false on backpressure (memory FIFO full).
@@ -282,6 +347,7 @@ class MessagingUnit {
 
  private:
   bool inject_resumable(int fifo_idx);
+  core::BufferPool& inj_pool(int fifo_idx);
 
   int node_id_;
   NetworkPort* port_;
@@ -297,6 +363,14 @@ class MessagingUnit {
   // next advance. One slot per injection FIFO (hardware keeps the partially
   // processed descriptor at the FIFO head likewise).
   std::vector<std::optional<std::pair<MuDescriptor, std::size_t>>> pending_;
+  // Packet-payload staging pools. Each injection FIFO is owned by exactly
+  // one context, so its pool is single-consumer and allocated lazily on
+  // first use (most of the 544 FIFOs are never touched). Remote-get
+  // servicing runs on arbitrary sender threads, so it stages from a
+  // shared pool serialized by an L2-atomic mutex.
+  std::vector<std::unique_ptr<core::BufferPool>> inj_pools_;
+  core::BufferPool svc_pool_;
+  L2AtomicMutex svc_mu_;
 };
 
 }  // namespace pamix::hw

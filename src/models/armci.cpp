@@ -84,7 +84,7 @@ Armci::NbHandle Armci::nb_put(int dest_task, void* remote, const void* local,
     pending->fetch_sub(1, std::memory_order_acq_rel);
     outstanding->fetch_sub(1, std::memory_order_acq_rel);
   };
-  while (ctx_.put(pami::PutParams(p)) == pami::Result::Eagain) {
+  while (ctx_.put(p) == pami::Result::Eagain) {
     ctx_.advance();
   }
   return h;
@@ -110,7 +110,7 @@ void Armci::get(int src_task, const void* remote, void* local, std::size_t bytes
   p.remote_addr = remote;
   p.bytes = bytes;
   p.on_done = [&done] { done = true; };
-  while (ctx_.get(std::move(p)) == pami::Result::Eagain) {
+  while (ctx_.get(p) == pami::Result::Eagain) {
     ctx_.advance();
   }
   while (!done) {

@@ -183,28 +183,38 @@ void Mpi::complete_isend(const CommImpl& c, int dest_rank, Request req, const vo
   env.tag = tag;
   env.seq = impl_->matcher.next_send_seq(c.id(), dest_rank);
 
-  pami::SendParams p;
-  p.dispatch = kMpiDispatchId;
-  p.dest = pami::Endpoint{c.geometry->task_of(static_cast<std::size_t>(dest_rank)),
-                          static_cast<std::int16_t>((c.my_rank + c.id()) % n)};
-  p.header = &env;  // copied below into the work closure when handed off
-  p.header_bytes = sizeof(env);
-  p.data = buf;
-  p.data_bytes = bytes;
-  p.on_local_done = [req] { req->finish(); };
+  const pami::Endpoint dest{c.geometry->task_of(static_cast<std::size_t>(dest_rank)),
+                            static_cast<std::int16_t>((c.my_rank + c.id()) % n)};
 
   const bool handoff = commthreads_ != nullptr && impl_->library == Library::ThreadOptimized;
   if (handoff) {
     // Message-rate path (paper §IV-A): hand descriptor construction and
-    // injection to the commthread owning the hashed context.
-    ctx.post([&ctx, env, p]() mutable {
+    // injection to the commthread owning the hashed context. The envelope
+    // lives in the closure's inline storage; SendParams are rebuilt on the
+    // advancing thread so nothing move-only crosses the queue.
+    ctx.post([&ctx, env, dest, buf, bytes, req] {
+      pami::SendParams p;
+      p.dispatch = kMpiDispatchId;
+      p.dest = dest;
       p.header = &env;
+      p.header_bytes = sizeof(env);
+      p.data = buf;
+      p.data_bytes = bytes;
+      p.on_local_done = [req] { req->finish(); };
       while (ctx.send(p) == pami::Result::Eagain) {
         ctx.advance();
       }
     });
     return;
   }
+  pami::SendParams p;
+  p.dispatch = kMpiDispatchId;
+  p.dest = dest;
+  p.header = &env;
+  p.header_bytes = sizeof(env);
+  p.data = buf;
+  p.data_bytes = bytes;
+  p.on_local_done = [req] { req->finish(); };
   const bool need_ctx_lock = commthreads_ != nullptr || level_ == ThreadLevel::Multiple;
   for (;;) {
     pami::Result r;

@@ -69,11 +69,18 @@ enum class Pvar : std::uint32_t {
   // MPI ("pamid") layer.
   MpiIsends,
   MpiIrecvs,
+  // Fast-path buffer pools (core/buffer_pool.h): recycled acquisitions,
+  // freelist misses that fell through to the allocator, and oversize
+  // requests served straight from the heap.
+  AllocPoolHits,
+  AllocPoolMisses,
+  AllocHeapFallbacks,
   // Effective configuration, recorded once at context construction so a
   // run's telemetry shows which limits (config or PAMIX_*_LIMIT env
   // overrides) actually applied.
   ConfigEagerLimit,
   ConfigShmEagerLimit,
+  ConfigMuBatch,
   Count,
 };
 

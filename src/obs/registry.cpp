@@ -30,8 +30,12 @@ const char* pvar_name(Pvar p) {
     case Pvar::CollRoundsCompleted: return "collnet.rounds_completed";
     case Pvar::MpiIsends: return "mpi.isends";
     case Pvar::MpiIrecvs: return "mpi.irecvs";
+    case Pvar::AllocPoolHits: return "alloc.pool_hits";
+    case Pvar::AllocPoolMisses: return "alloc.pool_misses";
+    case Pvar::AllocHeapFallbacks: return "alloc.heap_fallbacks";
     case Pvar::ConfigEagerLimit: return "config.eager_limit";
     case Pvar::ConfigShmEagerLimit: return "config.shm_eager_limit";
+    case Pvar::ConfigMuBatch: return "config.mu_batch";
     case Pvar::Count: break;
   }
   return "?";

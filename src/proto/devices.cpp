@@ -17,7 +17,9 @@ std::size_t ControlDevice::poll() {
   std::size_t sent = 0;
   while (!pending_.empty()) {
     auto& [node, desc] = pending_.front();
-    if (!engine_.push_descriptor(engine_.inj_fifo_for(node), desc)) break;
+    // push_descriptor consumes the descriptor only on success; on failure
+    // it stays parked at the front for the next pass.
+    if (!engine_.push_descriptor(engine_.inj_fifo_for(node), std::move(desc))) break;
     pending_.pop_front();
     ++sent;
   }
@@ -26,13 +28,19 @@ std::size_t ControlDevice::poll() {
 
 std::size_t MuDevice::poll() {
   std::size_t events = static_cast<std::size_t>(mu_.advance_injection(inj_fifos_));
-  hw::MuPacket pkt;
-  int budget = kRxBudget;
-  std::size_t rx = 0;
-  while (budget-- > 0 && mu_.rec_fifo(rec_fifo_).poll(pkt)) {
-    engine_.on_mu_packet(std::move(pkt));
-    ++rx;
+  // A dispatched handler may advance the context re-entrantly, and batch_
+  // is live in the outer frame then: the nested poll skips reception and
+  // leaves the packets to the still-running outer drain.
+  if (polling_) return events;
+  polling_ = true;
+  // Batched reception: one FIFO lock acquisition pulls up to batch_.size()
+  // packets into the reusable scratch array, then dispatch runs outside
+  // the FIFO structures.
+  const std::size_t rx = mu_.rec_fifo(rec_fifo_).poll_batch(batch_.data(), batch_.size());
+  for (std::size_t i = 0; i < rx; ++i) {
+    engine_.on_mu_packet(std::move(batch_[i]));
   }
+  polling_ = false;
   if (rx > 0) obs_.pvars.add(obs::Pvar::PacketsReceived, rx);
   return events + rx;
 }
@@ -46,8 +54,10 @@ std::size_t CounterDevice::poll() {
   for (std::size_t i = 0; i < pending_.size();) {
     if (pending_[i].counter->complete()) {
       pami::EventFn fn = std::move(pending_[i].on_done);
+      pami::EventFn then = std::move(pending_[i].then);
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       if (fn) fn();
+      if (then) then();
       ++fired;
     } else {
       ++i;

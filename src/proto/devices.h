@@ -75,9 +75,9 @@ class ControlDevice final : public Device {
 class MuDevice final : public Device {
  public:
   MuDevice(ProgressEngine& engine, hw::MessagingUnit& mu, std::vector<int> inj_fifos,
-           int rec_fifo, obs::Domain& obs)
+           int rec_fifo, obs::Domain& obs, int batch)
       : engine_(engine), mu_(mu), inj_fifos_(std::move(inj_fifos)), rec_fifo_(rec_fifo),
-        obs_(obs) {}
+        obs_(obs), batch_(static_cast<std::size_t>(batch < 1 ? 1 : batch)) {}
 
   const char* name() const override { return "mu"; }
   std::size_t poll() override;
@@ -87,15 +87,20 @@ class MuDevice final : public Device {
   bool idle() const override { return mu_.rec_fifo(rec_fifo_).empty(); }
 
  private:
-  /// Reception drain budget per pass: bounds the time one advance spends
-  /// in dispatch handlers before other devices get a turn.
-  static constexpr int kRxBudget = 64;
-
   ProgressEngine& engine_;
   hw::MessagingUnit& mu_;
   std::vector<int> inj_fifos_;
   int rec_fifo_;
   obs::Domain& obs_;
+  /// Reusable reception scratch: poll() drains up to batch_.size() packets
+  /// from the rec FIFO in one lock acquisition (config.mu_batch), then
+  /// dispatches them outside the FIFO structures. The vector is sized once
+  /// and never reallocates, so steady-state reception performs no
+  /// allocation. Doubles as the per-pass drain budget that bounds time
+  /// spent in dispatch handlers before other devices get a turn.
+  std::vector<hw::MuPacket> batch_;
+  // True while poll() iterates batch_; a re-entrant poll must not reuse it.
+  bool polling_ = false;
 };
 
 /// This context's slice of the process's shared-memory device.
@@ -126,14 +131,19 @@ class CounterDevice final : public Device {
   bool idle() const override { return pending_.empty(); }
   bool has_pending_state() const override { return !pending_.empty(); }
 
-  void watch(std::unique_ptr<hw::MuReceptionCounter> counter, pami::EventFn on_done) {
-    pending_.push_back(Pending{std::move(counter), std::move(on_done)});
+  /// Fire `on_done`, then `then`, when the counter drains. Two slots so
+  /// callers can chain a user callback and a protocol completion step
+  /// without nesting one inline callable inside another's capture.
+  void watch(std::unique_ptr<hw::MuReceptionCounter> counter, pami::EventFn on_done,
+             pami::EventFn then = pami::EventFn{}) {
+    pending_.push_back(Pending{std::move(counter), std::move(on_done), std::move(then)});
   }
 
  private:
   struct Pending {
     std::unique_ptr<hw::MuReceptionCounter> counter;
     pami::EventFn on_done;
+    pami::EventFn then;
   };
   std::vector<Pending> pending_;
 };

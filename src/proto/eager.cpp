@@ -11,18 +11,18 @@
 namespace pamix::proto {
 
 pami::Result EagerProtocol::send(pami::SendParams& params, hw::MuDescriptor desc, int fifo) {
-  // Stage header+payload into one stream; the staging copy makes the
-  // source buffer immediately reusable on return.
-  auto stream = std::make_shared<std::vector<std::byte>>();
-  stream->resize(params.header_bytes + params.data_bytes);
+  // Stage header+payload into one pooled stream; the staging copy makes
+  // the source buffer immediately reusable on return, and the pool makes
+  // the steady-state send allocation-free.
+  core::Buf stream = engine_.stage_pool().acquire(params.header_bytes + params.data_bytes);
   if (params.header_bytes > 0) {
-    std::memcpy(stream->data(), params.header, params.header_bytes);
+    std::memcpy(stream.data(), params.header, params.header_bytes);
   }
   if (params.data_bytes > 0) {
-    std::memcpy(stream->data() + params.header_bytes, params.data, params.data_bytes);
+    std::memcpy(stream.data() + params.header_bytes, params.data, params.data_bytes);
   }
   desc.sw.flags = kFlagEager;
-  desc.sw.msg_bytes = static_cast<std::uint32_t>(stream->size());
+  desc.sw.msg_bytes = static_cast<std::uint32_t>(stream.size());
   bool want_ack = false;
   std::uint32_t ack_handle = 0;
   if (params.on_remote_done) {
@@ -31,11 +31,16 @@ pami::Result EagerProtocol::send(pami::SendParams& params, hw::MuDescriptor desc
     desc.sw.flags |= kFlagWantAck;
     desc.sw.metadata = ack_handle;
   }
-  desc.payload = stream->data();
-  desc.payload_bytes = stream->size();
-  desc.owned_payload = std::move(stream);
+  desc.payload = stream.data();
+  desc.payload_bytes = stream.size();
+  desc.staged = std::move(stream);
   if (!engine_.push_descriptor(fifo, std::move(desc))) {
-    if (want_ack) engine_.send_states().release(ack_handle);
+    if (want_ack) {
+      // Roll back and hand the callback back so the caller can retry with
+      // the same SendParams.
+      SendStateTable::Entry e = engine_.send_states().release(ack_handle);
+      params.on_remote_done = std::move(e.on_remote_done);
+    }
     return pami::Result::Eagain;
   }
   obs_.pvars.add(obs::Pvar::SendsEager);

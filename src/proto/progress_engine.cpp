@@ -30,10 +30,12 @@ std::uint32_t SendStateTable::alloc(pami::EventFn on_local_done, pami::EventFn o
   return static_cast<std::uint32_t>(entries_.size() - 1);
 }
 
-void SendStateTable::release(std::uint32_t handle) {
+SendStateTable::Entry SendStateTable::release(std::uint32_t handle) {
   assert(handle < entries_.size() && entries_[handle].in_use);
+  Entry e = std::move(entries_[handle]);
   entries_[handle] = Entry{};
   --live_;
+  return e;
 }
 
 void SendStateTable::complete(std::uint32_t handle, bool remote_done, obs::Domain& trace_obs) {
@@ -56,7 +58,8 @@ ProgressEngine::ProgressEngine(pami::Context& ctx, pami::Client& client, int off
       machine_(client.machine()),
       offset_(offset),
       dispatch_(dispatch),
-      obs_(ctx_obs) {
+      obs_(ctx_obs),
+      stage_pool_(&ctx_obs.pvars) {
   // Claim this context's exclusive slice of the client's FIFO plan.
   const pami::FifoPlan& plan = client_.world().plan();
   inj_fifos_.reserve(static_cast<std::size_t>(plan.sends_per_context()));
@@ -79,6 +82,7 @@ ProgressEngine::ProgressEngine(pami::Context& ctx, pami::Client& client, int off
   // telemetry records which limits (config or PAMIX_*_LIMIT env) applied.
   eager_obs.pvars.add(obs::Pvar::ConfigEagerLimit, cfg.eager_limit);
   shm_obs.pvars.add(obs::Pvar::ConfigShmEagerLimit, cfg.shm_eager_limit);
+  obs_.pvars.add(obs::Pvar::ConfigMuBatch, static_cast<std::uint64_t>(cfg.mu_batch));
 
   eager_ = std::make_unique<EagerProtocol>(*this, eager_obs);
   rdzv_ = std::make_unique<RdzvProtocol>(*this, rdzv_obs);
@@ -88,7 +92,7 @@ ProgressEngine::ProgressEngine(pami::Context& ctx, pami::Client& client, int off
   hw::MessagingUnit& mu = client_.node().mu();
   work_dev_ = std::make_unique<WorkQueueDevice>(work_queue, obs_);
   control_dev_ = std::make_unique<ControlDevice>(*this);
-  mu_dev_ = std::make_unique<MuDevice>(*this, mu, inj_fifos_, rec_fifo_, obs_);
+  mu_dev_ = std::make_unique<MuDevice>(*this, mu, inj_fifos_, rec_fifo_, obs_, cfg.mu_batch);
   shm_dev_ = std::make_unique<ShmQueueDevice>(*this, client_.shm_device(),
                                               static_cast<std::int16_t>(offset_));
   counter_dev_ = std::make_unique<CounterDevice>();
@@ -111,32 +115,34 @@ int ProgressEngine::inj_fifo_for(int dest_node) const {
   return inj_fifos_[static_cast<std::size_t>(dest_node) % inj_fifos_.size()];
 }
 
-bool ProgressEngine::push_descriptor(int fifo, hw::MuDescriptor desc) {
+bool ProgressEngine::push_descriptor(int fifo, hw::MuDescriptor&& desc) {
   hw::MessagingUnit& mu = client_.node().mu();
   hw::InjFifo& f = mu.inj_fifo(fifo);
-  if (f.push(desc)) {
+  if (f.push(std::move(desc))) {
     // Kick the MU engine so the descriptor starts moving now; remaining
     // work continues on later advances.
-    mu.advance_injection({fifo});
+    mu.advance_injection(fifo);
     return true;
   }
-  // FIFO full: let the engine drain it once, then retry.
-  mu.advance_injection({fifo});
+  // FIFO full: let the engine drain it once, then retry. (push leaves the
+  // descriptor intact on failure, so the second attempt — and the caller's
+  // own retry after Eagain — see it unchanged.)
+  mu.advance_injection(fifo);
   if (f.push(std::move(desc))) {
-    mu.advance_injection({fifo});
+    mu.advance_injection(fifo);
     return true;
   }
   return false;
 }
 
-void ProgressEngine::push_control(int dest_node, hw::MuDescriptor desc) {
-  if (control_dev_->idle() && push_descriptor(inj_fifo_for(dest_node), desc)) return;
+void ProgressEngine::push_control(int dest_node, hw::MuDescriptor&& desc) {
+  if (control_dev_->idle() && push_descriptor(inj_fifo_for(dest_node), std::move(desc))) return;
   control_dev_->park(dest_node, std::move(desc));
 }
 
 void ProgressEngine::watch_counter(std::unique_ptr<hw::MuReceptionCounter> counter,
-                                   pami::EventFn on_done) {
-  counter_dev_->watch(std::move(counter), std::move(on_done));
+                                   pami::EventFn on_done, pami::EventFn then) {
+  counter_dev_->watch(std::move(counter), std::move(on_done), std::move(then));
 }
 
 const std::byte* ProgressEngine::peer_va(int task, const void* addr, std::size_t bytes) const {
@@ -145,7 +151,7 @@ const std::byte* ProgressEngine::peer_va(int task, const void* addr, std::size_t
 
 // ------------------------------------------------------------------ sends --
 
-pami::Result ProgressEngine::send(pami::SendParams params) {
+pami::Result ProgressEngine::send(pami::SendParams& params) {
   const int dest_node = machine_.node_of_task(params.dest.task);
   pami::Result r;
   if (dest_node == machine_.node_of_task(client_.task())) {
@@ -176,7 +182,7 @@ pami::Result ProgressEngine::send(pami::SendParams params) {
 
 // -------------------------------------------------------------- one-sided --
 
-pami::Result ProgressEngine::put(pami::PutParams params) {
+pami::Result ProgressEngine::put(pami::PutParams& params) {
   const int dest_node = machine_.node_of_task(params.dest.task);
   if (dest_node == machine_.node_of_task(client_.task())) {
     // Intra-node: global-VA copy, as PAMI's shared-address path does.
@@ -197,16 +203,17 @@ pami::Result ProgressEngine::put(pami::PutParams params) {
   auto counter = std::make_unique<hw::MuReceptionCounter>();
   counter->prime(static_cast<std::int64_t>(params.bytes));
   desc.rec_counter = counter.get();
-  pami::EventFn local = std::move(params.on_local_done);
-  desc.on_injected = [local = std::move(local)] {
-    if (local) local();
-  };
-  if (!push_descriptor(inj_fifo_for(dest_node), std::move(desc))) return pami::Result::Eagain;
+  desc.on_injected = std::move(params.on_local_done);
+  if (!push_descriptor(inj_fifo_for(dest_node), std::move(desc))) {
+    // Restore the callback so the caller's PutParams stay retryable.
+    params.on_local_done = std::move(desc.on_injected);
+    return pami::Result::Eagain;
+  }
   watch_counter(std::move(counter), std::move(params.on_remote_done));
   return pami::Result::Success;
 }
 
-pami::Result ProgressEngine::get(pami::GetParams params) {
+pami::Result ProgressEngine::get(pami::GetParams& params) {
   const int dest_node = machine_.node_of_task(params.dest.task);
   if (dest_node == machine_.node_of_task(client_.task())) {
     const std::byte* src = peer_va(params.dest.task, params.remote_addr, params.bytes);
@@ -350,7 +357,7 @@ void ProgressEngine::on_shm_packet(pami::ShmPacket&& pkt) {
 }
 
 void ProgressEngine::complete_deferred_rdzv(std::uint64_t handle, void* buffer,
-                                            std::size_t bytes, pami::EventFn on_complete) {
+                                            std::size_t bytes, pami::EventFn&& on_complete) {
   for (Protocol* p : protocols_) {
     if (p->complete_deferred(handle, buffer, bytes, on_complete)) return;
   }

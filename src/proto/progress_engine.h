@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/buffer_pool.h"
 #include "core/types.h"
 #include "hw/mu.h"
 #include "obs/pvar.h"
@@ -60,19 +61,22 @@ class WorkQueueDevice;
 /// never shrinks — slots recycle).
 class SendStateTable {
  public:
-  std::uint32_t alloc(pami::EventFn on_local_done, pami::EventFn on_remote_done);
-  /// Roll back an allocation whose send bounced with Eagain.
-  void release(std::uint32_t handle);
-  /// Fire the callbacks and recycle the slot.
-  void complete(std::uint32_t handle, bool remote_done, obs::Domain& trace_obs);
-  bool empty() const { return live_ == 0; }
-
- private:
   struct Entry {
     pami::EventFn on_local_done;
     pami::EventFn on_remote_done;
     bool in_use = false;
   };
+
+  std::uint32_t alloc(pami::EventFn on_local_done, pami::EventFn on_remote_done);
+  /// Roll back an allocation whose send bounced with Eagain. Returns the
+  /// entry so the caller can restore the (move-only) callbacks into its
+  /// retryable SendParams.
+  Entry release(std::uint32_t handle);
+  /// Fire the callbacks and recycle the slot.
+  void complete(std::uint32_t handle, bool remote_done, obs::Domain& trace_obs);
+  bool empty() const { return live_ == 0; }
+
+ private:
   std::vector<Entry> entries_;
   std::size_t live_ = 0;
 };
@@ -88,12 +92,19 @@ class ProgressEngine {
   ProgressEngine& operator=(const ProgressEngine&) = delete;
 
   // --- Context-facing API ---------------------------------------------------
-  pami::Result send(pami::SendParams params);
-  pami::Result put(pami::PutParams params);
-  pami::Result get(pami::GetParams params);
+  // Params are taken by lvalue reference and consumed only on Success: an
+  // Eagain leaves the (move-only) completion callbacks in place so the
+  // caller's retry loop can re-submit the same SendParams. The rvalue
+  // overloads serve one-shot callers.
+  pami::Result send(pami::SendParams& params);
+  pami::Result put(pami::PutParams& params);
+  pami::Result get(pami::GetParams& params);
+  pami::Result send(pami::SendParams&& params) { return send(params); }
+  pami::Result put(pami::PutParams&& params) { return put(params); }
+  pami::Result get(pami::GetParams&& params) { return get(params); }
   std::size_t advance(int iterations);
   void complete_deferred_rdzv(std::uint64_t handle, void* buffer, std::size_t bytes,
-                              pami::EventFn on_complete);
+                              pami::EventFn&& on_complete);
 
   /// Producer-visible addresses of every wakeup-backed device, for the
   /// commthread wakeup watch.
@@ -135,11 +146,22 @@ class ProgressEngine {
   /// Static per-destination FIFO pinning: all traffic to one node uses one
   /// FIFO, which with deterministic routing preserves ordering (§III-E).
   int inj_fifo_for(int dest_node) const;
-  bool push_descriptor(int fifo, hw::MuDescriptor desc);
+  /// Consumes `desc` only on success (returns false with the caller's
+  /// descriptor intact when the FIFO stays saturated).
+  bool push_descriptor(int fifo, hw::MuDescriptor&& desc);
   /// Park a must-not-drop control descriptor (DONE, ack, remote get) on
   /// the control device when the injection FIFO is saturated.
-  void push_control(int dest_node, hw::MuDescriptor desc);
-  void watch_counter(std::unique_ptr<hw::MuReceptionCounter> counter, pami::EventFn on_done);
+  void push_control(int dest_node, hw::MuDescriptor&& desc);
+  /// Fire `on_done`, then `then`, when the counter drains. Two slots so
+  /// protocols can chain a user callback and their own completion step
+  /// without nesting one inline callable inside another's capture.
+  void watch_counter(std::unique_ptr<hw::MuReceptionCounter> counter, pami::EventFn on_done,
+                     pami::EventFn then = pami::EventFn{});
+
+  /// Per-context staging pool for eager/RTS streams and shm packet
+  /// buffers. Single-consumer: acquire only on this context's advancing
+  /// thread (buffers release from anywhere).
+  core::BufferPool& stage_pool() { return stage_pool_; }
 
   std::uint64_t next_msg_seq() { return next_msg_seq_++; }
   void unwind_msg_seq() { --next_msg_seq_; }
@@ -172,6 +194,7 @@ class ProgressEngine {
   std::uint64_t next_msg_seq_ = 1;
   std::uint64_t next_defer_handle_ = 1;
   SendStateTable send_states_;
+  core::BufferPool stage_pool_;
 
   std::unique_ptr<EagerProtocol> eager_;
   std::unique_ptr<RdzvProtocol> rdzv_;

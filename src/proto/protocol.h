@@ -47,8 +47,10 @@ class Protocol {
   /// belongs to this protocol. Returns false when the handle is not ours
   /// (the engine tries each protocol in turn; handles are allocated from
   /// one engine-wide counter so they never collide across protocols).
+  /// `on_complete` is a mutable reference — the owning protocol moves from
+  /// it; non-owners must leave it intact for the next protocol in line.
   virtual bool complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
-                                 pami::EventFn on_complete) {
+                                 pami::EventFn& on_complete) {
     (void)handle;
     (void)buffer;
     (void)bytes;

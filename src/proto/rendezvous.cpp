@@ -17,21 +17,24 @@ pami::Result RdzvProtocol::send(pami::SendParams& params, hw::MuDescriptor desc,
   rts.handle =
       engine_.send_states().alloc(std::move(params.on_local_done), std::move(params.on_remote_done));
 
-  auto stream = std::make_shared<std::vector<std::byte>>();
-  stream->resize(params.header_bytes + sizeof(RtsInfo));
+  core::Buf stream = engine_.stage_pool().acquire(params.header_bytes + sizeof(RtsInfo));
   if (params.header_bytes > 0) {
-    std::memcpy(stream->data(), params.header, params.header_bytes);
+    std::memcpy(stream.data(), params.header, params.header_bytes);
   }
-  std::memcpy(stream->data() + params.header_bytes, &rts, sizeof(RtsInfo));
-  assert(stream->size() <= hw::kMaxPacketPayload && "RTS header too large for one packet");
+  std::memcpy(stream.data() + params.header_bytes, &rts, sizeof(RtsInfo));
+  assert(stream.size() <= hw::kMaxPacketPayload && "RTS header too large for one packet");
 
   desc.sw.flags = kFlagRts;
-  desc.sw.msg_bytes = static_cast<std::uint32_t>(stream->size());
-  desc.payload = stream->data();
-  desc.payload_bytes = stream->size();
-  desc.owned_payload = std::move(stream);
+  desc.sw.msg_bytes = static_cast<std::uint32_t>(stream.size());
+  desc.payload = stream.data();
+  desc.payload_bytes = stream.size();
+  desc.staged = std::move(stream);
   if (!engine_.push_descriptor(fifo, std::move(desc))) {
-    engine_.send_states().release(rts.handle);
+    // Roll back and restore both callbacks so the caller's SendParams stay
+    // retryable.
+    SendStateTable::Entry e = engine_.send_states().release(rts.handle);
+    params.on_local_done = std::move(e.on_local_done);
+    params.on_remote_done = std::move(e.on_remote_done);
     return pami::Result::Eagain;
   }
   obs_.pvars.add(obs::Pvar::SendsRdzv);
@@ -75,11 +78,10 @@ void RdzvProtocol::start_pull(pami::Endpoint origin, const RtsInfo& rts, void* b
 
   // The remote-get can be backpressured too; requeue until it goes out.
   engine_.push_control(origin_node, std::move(desc));
-  engine_.watch_counter(std::move(counter),
-                        [this, origin, handle = rts.handle, done = std::move(on_complete)] {
-                          if (done) done();
-                          engine_.send_done(origin, handle);
-                        });
+  // Two-slot watch: the user callback fires first, then the protocol's
+  // DONE step — without nesting one inline callable in another's capture.
+  engine_.watch_counter(std::move(counter), std::move(on_complete),
+                        [this, origin, handle = rts.handle] { engine_.send_done(origin, handle); });
 }
 
 void RdzvProtocol::handle_rts(hw::MuPacket&& pkt) {
@@ -109,7 +111,7 @@ void RdzvProtocol::handle_rts(hw::MuPacket&& pkt) {
 }
 
 bool RdzvProtocol::complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
-                                     pami::EventFn on_complete) {
+                                     pami::EventFn& on_complete) {
   auto it = deferred_.find(handle);
   if (it == deferred_.end()) return false;
   Deferred d = it->second;

@@ -35,7 +35,7 @@ class RdzvProtocol final : public Protocol {
   ProtocolKind kind() const override { return ProtocolKind::Rdzv; }
   bool has_pending_state() const override { return !deferred_.empty(); }
   bool complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
-                         pami::EventFn on_complete) override;
+                         pami::EventFn& on_complete) override;
   obs::Domain& obs() override { return obs_; }
 
   /// Origin side: inject the RTS. `desc` arrives with addressing and

@@ -17,16 +17,16 @@ pami::Result ShmProtocol::send(pami::SendParams& params) {
   pkt.origin = engine_.endpoint();
   pkt.header_bytes = static_cast<std::uint16_t>(params.header_bytes);
   if (params.header_bytes > 0) {
-    pkt.header.assign(static_cast<const std::byte*>(params.header),
-                      static_cast<const std::byte*>(params.header) + params.header_bytes);
+    pkt.header = engine_.stage_pool().acquire_copy(
+        static_cast<const std::byte*>(params.header), params.header_bytes);
   }
   pkt.total_bytes = params.data_bytes;
 
   std::unique_ptr<hw::MuReceptionCounter> counter;
   if (params.data_bytes <= cfg.shm_eager_limit) {
     if (params.data_bytes > 0) {
-      pkt.inline_payload.assign(static_cast<const std::byte*>(params.data),
-                                static_cast<const std::byte*>(params.data) + params.data_bytes);
+      pkt.inline_payload = engine_.stage_pool().acquire_copy(
+          static_cast<const std::byte*>(params.data), params.data_bytes);
     }
     if (params.on_remote_done) {
       counter = std::make_unique<hw::MuReceptionCounter>();
@@ -50,18 +50,14 @@ pami::Result ShmProtocol::send(pami::SendParams& params) {
                                  static_cast<std::uint32_t>(params.data_bytes));
 
   if (zero_copy) {
-    pami::EventFn local = std::move(params.on_local_done);
-    pami::EventFn remote = std::move(params.on_remote_done);
-    engine_.watch_counter(std::move(counter),
-                          [local = std::move(local), remote = std::move(remote)] {
-                            if (local) local();
-                            if (remote) remote();
-                          });
+    // Two-slot watch: local completion fires first, then remote — no
+    // nesting of one inline callable inside another's capture.
+    engine_.watch_counter(std::move(counter), std::move(params.on_local_done),
+                          std::move(params.on_remote_done));
   } else {
     if (params.on_local_done) params.on_local_done();
     if (counter) {
-      pami::EventFn remote = std::move(params.on_remote_done);
-      engine_.watch_counter(std::move(counter), std::move(remote));
+      engine_.watch_counter(std::move(counter), std::move(params.on_remote_done));
     }
   }
   return pami::Result::Success;
@@ -103,7 +99,7 @@ void ShmProtocol::handle_packet(pami::ShmPacket&& pkt) {
 }
 
 bool ShmProtocol::complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
-                                    pami::EventFn on_complete) {
+                                    pami::EventFn& on_complete) {
   auto it = deferred_.find(handle);
   if (it == deferred_.end()) return false;
   Deferred d = it->second;

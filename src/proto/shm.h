@@ -33,7 +33,7 @@ class ShmProtocol final : public Protocol {
   ProtocolKind kind() const override { return ProtocolKind::Shm; }
   bool has_pending_state() const override { return !deferred_.empty(); }
   bool complete_deferred(std::uint64_t handle, void* buffer, std::size_t bytes,
-                         pami::EventFn on_complete) override;
+                         pami::EventFn& on_complete) override;
   obs::Domain& obs() override { return obs_; }
 
   /// Origin side: push into the destination process's reception queue.

@@ -20,7 +20,7 @@ bool FunctionalNetwork::transmit(hw::MuPacket&& pkt) {
         });
     bool ok = true;
     for (int node : hops) {
-      hw::MuPacket copy = pkt;
+      hw::MuPacket copy = pkt.clone();
       // A deposited direct-put writes the same offset in each node's
       // (process-local) destination; our single-address-space model keeps
       // one target, so deposit is only meaningful for memory-FIFO packets.

@@ -1,0 +1,179 @@
+// Zero-allocation steady-state invariant: after warm-up, single-packet
+// eager send/receive round trips and work-queue post/advance cycles must
+// perform NO global-allocator calls. A counting replacement of the global
+// operator new enforces it — if a hidden allocation sneaks back onto the
+// fast path (a std::function capture, a per-send vector, an unpooled
+// staging buffer), these tests fail by count, not by profile.
+//
+// This file must be its own test binary: replacing ::operator new is
+// program-wide.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "core/client.h"
+#include "core/context.h"
+#include "runtime/machine.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Counting global allocator. Counts every operator-new entry point;
+// deallocation is left untouched (free is not the invariant under test).
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (n + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new[](std::size_t n, std::align_val_t align) { return ::operator new(n, align); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace pamix::pami {
+namespace {
+
+std::uint64_t allocations() { return g_news.load(std::memory_order_relaxed); }
+
+/// Two-node, single-context world driven single-threaded, so every
+/// measured allocation is attributable to the messaging path itself.
+class AllocSteadyState : public ::testing::Test {
+ protected:
+  AllocSteadyState()
+      : machine_(hw::TorusGeometry({2, 1, 1, 1, 1}), 1), world_(machine_, make_config()) {}
+
+  static ClientConfig make_config() {
+    ClientConfig c;
+    c.contexts_per_task = 1;
+    c.eager_limit = 1024;
+    return c;
+  }
+
+  Context& ctx(int task) { return world_.client(task).context(0); }
+  void advance_both() {
+    ctx(0).advance();
+    ctx(1).advance();
+  }
+
+  runtime::Machine machine_;
+  ClientWorld world_;
+};
+
+TEST_F(AllocSteadyState, EagerRoundTripIsAllocationFree) {
+  std::vector<std::byte> payload(64, std::byte{0x5A});
+  std::vector<std::byte> got(64);
+  int delivered = 0;
+  ctx(1).set_dispatch(4, [&](Context&, const void*, std::size_t, const void* data,
+                             std::size_t bytes, std::size_t, Endpoint, RecvDescriptor*) {
+    std::memcpy(got.data(), data, std::min(bytes, got.size()));
+    ++delivered;
+  });
+
+  int local_done = 0;
+  auto round_trip = [&](int times) {
+    for (int i = 0; i < times; ++i) {
+      SendParams p;
+      p.dispatch = 4;
+      p.dest = Endpoint{1, 0};
+      p.data = payload.data();
+      p.data_bytes = payload.size();
+      p.on_local_done = [&local_done] { ++local_done; };
+      while (ctx(0).send(p) == Result::Eagain) advance_both();
+      advance_both();
+      advance_both();
+    }
+  };
+
+  round_trip(16);  // warm-up: pools fill, tables size themselves
+  ASSERT_EQ(delivered, 16);
+
+  const std::uint64_t before = allocations();
+  round_trip(256);
+  const std::uint64_t after = allocations();
+
+  EXPECT_EQ(delivered, 16 + 256);
+  EXPECT_EQ(local_done, 16 + 256);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state eager send/recv performed " << (after - before)
+      << " global allocations over 256 round trips";
+}
+
+TEST_F(AllocSteadyState, EagerWithAckRoundTripIsAllocationFree) {
+  std::vector<std::byte> payload(64, std::byte{0x11});
+  int delivered = 0;
+  ctx(1).set_dispatch(5, [&](Context&, const void*, std::size_t, const void*, std::size_t,
+                             std::size_t, Endpoint, RecvDescriptor*) { ++delivered; });
+
+  int remote_done = 0;
+  auto round_trip = [&](int times) {
+    for (int i = 0; i < times; ++i) {
+      SendParams p;
+      p.dispatch = 5;
+      p.dest = Endpoint{1, 0};
+      p.data = payload.data();
+      p.data_bytes = payload.size();
+      p.on_remote_done = [&remote_done] { ++remote_done; };
+      while (ctx(0).send(p) == Result::Eagain) advance_both();
+      for (int k = 0; k < 4; ++k) advance_both();  // deliver + DONE return
+    }
+  };
+
+  round_trip(16);
+  ASSERT_EQ(remote_done, 16);
+
+  const std::uint64_t before = allocations();
+  round_trip(256);
+  const std::uint64_t after = allocations();
+
+  EXPECT_EQ(remote_done, 16 + 256);
+  EXPECT_EQ(delivered, 16 + 256);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state eager-with-ack performed " << (after - before) << " global allocations";
+}
+
+TEST_F(AllocSteadyState, WorkQueuePostAdvanceIsAllocationFree) {
+  WorkQueue& q = ctx(0).work_queue();
+  int ran = 0;
+  for (int i = 0; i < 16; ++i) {  // warm-up
+    q.post([&ran] { ++ran; });
+    q.advance();
+  }
+  const std::uint64_t before = allocations();
+  for (int i = 0; i < 1024; ++i) {
+    q.post([&ran] { ++ran; });
+    q.advance();
+  }
+  const std::uint64_t after = allocations();
+  EXPECT_EQ(ran, 16 + 1024);
+  EXPECT_EQ(after - before, 0u)
+      << "work-queue post/advance performed " << (after - before) << " global allocations";
+}
+
+}  // namespace
+}  // namespace pamix::pami

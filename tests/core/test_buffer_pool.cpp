@@ -1,0 +1,122 @@
+#include "core/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/pvar.h"
+
+namespace pamix::core {
+namespace {
+
+TEST(BufferPool, AcquireRoundsUpToClassCapacity) {
+  BufferPool pool;
+  Buf b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.capacity(), 128u);
+  Buf c = pool.acquire(129);
+  EXPECT_EQ(c.capacity(), 512u);
+  Buf d = pool.acquire(32768);
+  EXPECT_EQ(d.capacity(), 32768u);
+}
+
+TEST(BufferPool, ZeroSizeAcquireIsEmpty) {
+  BufferPool pool;
+  Buf b = pool.acquire(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(BufferPool, ReleaseThenAcquireRecyclesTheBlock) {
+  obs::PvarSet pvars;
+  BufferPool pool(&pvars);
+  std::byte* first;
+  {
+    Buf b = pool.acquire(200);
+    first = b.data();
+  }  // released on the owner thread → reclaim list
+  Buf c = pool.acquire(300);  // same 512 class
+  EXPECT_EQ(c.data(), first);
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocPoolMisses), 1u);
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocPoolHits), 1u);
+}
+
+TEST(BufferPool, OversizeFallsBackToHeap) {
+  obs::PvarSet pvars;
+  BufferPool pool(&pvars);
+  Buf b = pool.acquire(kBufMaxPooledBytes + 1);
+  EXPECT_EQ(b.size(), kBufMaxPooledBytes + 1);
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocHeapFallbacks), 1u);
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocPoolMisses), 0u);
+}
+
+TEST(BufferPool, AcquireCopyCarriesBytes) {
+  BufferPool pool;
+  const char msg[] = "pooled payload";
+  Buf b = pool.acquire_copy(msg, sizeof(msg));
+  ASSERT_EQ(b.size(), sizeof(msg));
+  EXPECT_EQ(std::memcmp(b.data(), msg, sizeof(msg)), 0);
+}
+
+TEST(BufferPool, CloneIsAnIndependentDeepCopy) {
+  BufferPool pool;
+  Buf b = pool.acquire_copy("abc", 3);
+  Buf c = b.clone();
+  b.data()[0] = std::byte{'z'};
+  EXPECT_EQ(c.data()[0], std::byte{'a'});
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(BufferPool, CrossThreadReleaseIsReclaimedByOwner) {
+  obs::PvarSet pvars;
+  BufferPool pool(&pvars);
+  Buf b = pool.acquire(64);
+  std::byte* block = b.data();
+  std::thread t([moved = std::move(b)]() mutable { moved.reset(); });
+  t.join();
+  // The owner's next acquire steals the reclaim list and reuses the block.
+  Buf c = pool.acquire(64);
+  EXPECT_EQ(c.data(), block);
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocPoolHits), 1u);
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocPoolMisses), 1u);
+}
+
+TEST(BufferPool, BufOutlivesItsPool) {
+  Buf survivor;
+  {
+    BufferPool pool;
+    survivor = pool.acquire_copy("still here", 10);
+  }  // pool destroyed with the block in flight
+  EXPECT_EQ(std::memcmp(survivor.data(), "still here", 10), 0);
+  survivor.reset();  // releases to heap — must not touch the dead pool
+}
+
+TEST(BufferPool, SteadyStateLoopNeverMisses) {
+  obs::PvarSet pvars;
+  BufferPool pool(&pvars);
+  { Buf warm = pool.acquire(500); }
+  const std::uint64_t misses = pvars.get(obs::Pvar::AllocPoolMisses);
+  for (int i = 0; i < 1000; ++i) {
+    Buf b = pool.acquire(500);
+    b.data()[0] = std::byte{1};
+  }
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocPoolMisses), misses);
+  EXPECT_EQ(pvars.get(obs::Pvar::AllocPoolHits), 1000u);
+}
+
+TEST(BufferPool, DistinctLiveBuffersGetDistinctBlocks) {
+  BufferPool pool;
+  std::vector<Buf> live;
+  for (int i = 0; i < 8; ++i) live.push_back(pool.acquire(100));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    for (std::size_t j = i + 1; j < live.size(); ++j) {
+      EXPECT_NE(live[i].data(), live[j].data());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pamix::core

@@ -1,0 +1,111 @@
+#include "core/inline_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace pamix::core {
+namespace {
+
+TEST(InlineFn, DefaultIsEmpty) {
+  SmallFn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  SmallFn g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFn, InvokesStoredCallable) {
+  int calls = 0;
+  SmallFn f = [&calls] { ++calls; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFn, ForwardsArgumentsAndReturnsValue) {
+  InlineFn<int(int, int), 16> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+
+  // Move-only argument forwarding.
+  InlineFn<int(std::unique_ptr<int>), 16> take = [](std::unique_ptr<int> p) { return *p; };
+  EXPECT_EQ(take(std::make_unique<int>(7)), 7);
+}
+
+TEST(InlineFn, MoveTransfersStateAndEmptiesSource) {
+  int calls = 0;
+  SmallFn a = [&calls] { ++calls; };
+  SmallFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+
+  SmallFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFn, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(41);
+  InlineFn<int(), 16> f = [p = std::move(p)] { return *p + 1; };
+  InlineFn<int(), 16> g = std::move(f);
+  EXPECT_EQ(g(), 42);
+}
+
+TEST(InlineFn, DestroysCaptureExactlyOnce) {
+  struct Tracker {
+    int* destroyed;
+    explicit Tracker(int* d) : destroyed(d) {}
+    Tracker(Tracker&& o) noexcept : destroyed(o.destroyed) { o.destroyed = nullptr; }
+    ~Tracker() {
+      if (destroyed != nullptr) ++*destroyed;
+    }
+    void operator()() const {}
+  };
+  int destroyed = 0;
+  {
+    InlineFn<void(), 16> f = Tracker(&destroyed);
+    InlineFn<void(), 16> g = std::move(f);  // relocation must not double-destroy
+    g();
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFn, ResetAndNullAssignmentDestroyCapture) {
+  auto token = std::make_shared<int>(0);
+  std::weak_ptr<int> watch = token;
+  SmallFn f = [token] { (void)token; };
+  token.reset();
+  EXPECT_FALSE(watch.expired());  // capture keeps it alive
+  f = nullptr;
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFn, ReassignmentReplacesCallable) {
+  int which = 0;
+  SmallFn f = [&which] { which = 1; };
+  f = [&which] { which = 2; };
+  f();
+  EXPECT_EQ(which, 2);
+}
+
+TEST(InlineFn, SmallFnIsOneCacheLine) {
+  static_assert(sizeof(SmallFn) == 64);
+  static_assert(SmallFn::capacity() == kSmallCallableBytes);
+  // A capture that exactly fills the budget still fits.
+  struct Full {
+    std::byte pad[kSmallCallableBytes];
+    void operator()() const {}
+  };
+  SmallFn f = Full{};
+  EXPECT_TRUE(static_cast<bool>(f));
+}
+
+}  // namespace
+}  // namespace pamix::core

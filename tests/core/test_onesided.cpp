@@ -116,7 +116,7 @@ TEST_F(OneSided, ManyConcurrentPutsAllComplete) {
     p.bytes = 777;
     p.on_remote_done = [&] { ++completed; };
     Result r;
-    while ((r = ctx(0).put(PutParams(p))) == Result::Eagain) advance_all();
+    while ((r = ctx(0).put(p)) == Result::Eagain) advance_all();
     ASSERT_EQ(r, Result::Success);
   }
   for (int i = 0; i < 500 && completed < kOps; ++i) advance_all();

@@ -113,5 +113,82 @@ TEST_P(WorkQueueOrderSweep, PerProducerOrderWithinArray) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, WorkQueueOrderSweep, ::testing::Values(1, 2, 4, 8));
 
+TEST(WorkQueue, ReentrantAdvanceFromWorkItem) {
+  // A posted item may advance the queue re-entrantly (the MPI commthread
+  // handoff retries Eagain sends with ctx.advance() inside a work item).
+  // The outer drain must notice the slots the nested advance consumed —
+  // re-running one would invoke a moved-from callable.
+  WorkQueue q(8);
+  int ran = 0;
+  q.post([&] {
+    ++ran;
+    q.advance();  // consumes the items below while the outer drain is live
+  });
+  q.post([&ran] { ++ran; });
+  q.post([&ran] { ++ran; });
+  while (!q.empty()) q.advance();
+  EXPECT_EQ(ran, 3);
+
+  // Same shape through the overflow path: nested advance drains overflow.
+  WorkQueue small(2);
+  int deep = 0;
+  small.post([&] {
+    ++deep;
+    small.advance();
+  });
+  for (int i = 0; i < 6; ++i) small.post([&deep] { ++deep; });
+  while (!small.empty()) small.advance();
+  EXPECT_EQ(deep, 7);
+}
+
+TEST(WorkQueue, IndexWraparoundNearUint64Max) {
+  // Seed the indices a little below 2^64 and run enough items through that
+  // tail, head, bound, and every slot's publication sentinel wrap past
+  // zero mid-stream. FIFO order and exactly-once execution must survive.
+  WorkQueue q(64);
+  const std::uint64_t start = UINT64_MAX - 100000;
+  q.debug_seed(start);
+  constexpr int kItems = 200001;  // crosses the wrap with margin either side
+  int next = 0;
+  int posted = 0;
+  while (posted < kItems) {
+    // Post in bursts larger than the array so the overflow path wraps too.
+    const int burst = std::min(100, kItems - posted);
+    for (int i = 0; i < burst; ++i) {
+      q.post([&next, expect = posted + i] { EXPECT_EQ(next++, expect); });
+    }
+    posted += burst;
+    while (!q.empty()) q.advance();
+  }
+  EXPECT_EQ(next, kItems);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(WorkQueue, WraparoundMultiProducer) {
+  WorkQueue q(128);
+  q.debug_seed(UINT64_MAX - 500);
+  constexpr int kProducers = 4;
+  constexpr int kEach = 500;  // 2000 posts total: wrap happens mid-run
+  std::atomic<int> ran{0};
+  std::atomic<bool> stop{false};
+  std::thread consumer([&] {
+    while (!stop.load(std::memory_order_acquire)) q.advance();
+    while (!q.empty()) q.advance();
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kEach; ++i) {
+        q.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true, std::memory_order_release);
+  consumer.join();
+  EXPECT_EQ(ran.load(), kProducers * kEach);
+  EXPECT_TRUE(q.empty());
+}
+
 }  // namespace
 }  // namespace pamix::pami

@@ -62,13 +62,32 @@ TEST(RecFifo, DeliverPollAndBackpressure) {
   RecFifo f(2);
   MuPacket p;
   p.sw.msg_seq = 1;
-  EXPECT_TRUE(f.deliver(MuPacket{p}));
-  EXPECT_TRUE(f.deliver(MuPacket{p}));
-  EXPECT_FALSE(f.deliver(MuPacket{p}));  // full: network must retry
+  EXPECT_TRUE(f.deliver(p.clone()));
+  EXPECT_TRUE(f.deliver(p.clone()));
+  EXPECT_FALSE(f.deliver(p.clone()));  // full: network must retry
   MuPacket out;
   EXPECT_TRUE(f.poll(out));
-  EXPECT_TRUE(f.deliver(MuPacket{p}));  // space reopened
+  EXPECT_TRUE(f.deliver(p.clone()));  // space reopened
   EXPECT_EQ(f.delivered_count().load(), 3u);
+}
+
+TEST(RecFifo, BatchedPollDrainsInFifoOrder) {
+  RecFifo f(64);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    MuPacket p;
+    p.sw.msg_seq = i;
+    ASSERT_TRUE(f.deliver(std::move(p)));
+  }
+  MuPacket batch[4];
+  std::uint64_t expect = 0;
+  std::size_t n;
+  while ((n = f.poll_batch(batch, 4)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batch[i].sw.msg_seq, expect++);
+    }
+  }
+  EXPECT_EQ(expect, 10u);
+  EXPECT_TRUE(f.empty());
 }
 
 TEST(MessagingUnit, FifoCountsMatchBgq) {
