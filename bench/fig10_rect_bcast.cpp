@@ -44,12 +44,14 @@ int main() {
 
   // Functional leg: run the real slice-relay algorithm over a small
   // machine (MPIX_Rectangle_bcast) and verify it delivers.
-  std::printf("\nFunctional host run (real tree relay, 8 nodes, 1MB, host clock):\n");
+  const int kIters = bench::env_iters("PAMIX_FIG10_ITERS", 5);
+  std::printf("\nFunctional host run (real tree relay, 8 nodes, 1MB, host clock, %d iters):\n",
+              kIters);
+  double host_mbps = 0;
   {
     runtime::Machine machine(hw::TorusGeometry({2, 2, 2, 1, 1}), 1);
     mpi::MpiWorld world(machine, mpi::MpiConfig{});
     const std::size_t bytes = 1u << 20;
-    double mbps = 0;
     machine.run_spmd([&](int task) {
       mpi::Mpi& mp = world.at(task);
       mp.init(mpi::ThreadLevel::Single);
@@ -57,14 +59,24 @@ int main() {
       std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 0 ? 0xAB : 0x00);
       mp.barrier(w);
       bench::Stopwatch sw;
-      constexpr int kIters = 5;
       for (int i = 0; i < kIters; ++i) mp.mpix_rectangle_bcast(buf.data(), bytes, 0, w);
-      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / sw.elapsed_us();
+      if (mp.rank(w) == 0) host_mbps = kIters * static_cast<double>(bytes) / sw.elapsed_us();
       if (buf[bytes - 1] != 0xAB) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
       mp.finalize();
     });
     std::printf("  delivered and verified at every rank; %.0f MB/s broadcast rate on host\n",
-                mbps);
+                host_mbps);
   }
+
+  bench::JsonResult json;
+  json.add("iters", static_cast<std::uint64_t>(kIters));
+  json.add("colors", static_cast<std::uint64_t>(trees.colors()));
+  json.add("max_contention", static_cast<std::uint64_t>(trees.max_contention()));
+  json.add("max_depth", static_cast<std::uint64_t>(trees.max_depth()));
+  json.add("valid", static_cast<std::uint64_t>(trees.validate() ? 1 : 0));
+  json.add("model_speedup_vs_single_tree", rect / single_tree);
+  json.add("rect_1mb_host_mb_s", host_mbps);
+  json.write("BENCH_fig10.json");
+  bench::obs_finish();
   return 0;
 }

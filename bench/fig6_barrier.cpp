@@ -49,9 +49,18 @@ int main() {
   }
   std::printf("\nPaper anchors @2048 nodes: 2.7 / 4.0 / 4.2 us for ppn 1 / 4 / 16.\n");
 
+  bench::JsonResult json;
+  const int kIters = bench::env_iters("PAMIX_FIG6_ITERS", 2000);
+  json.add("iters", static_cast<std::uint64_t>(kIters));
   std::printf("\nFunctional host run (real GI + L2 local barrier, 4 nodes, host clock):\n");
   for (int ppn : {1, 2, 4}) {
-    std::printf("  ppn=%d : %8.2f us/barrier\n", ppn, host_barrier_us(ppn, 2000));
+    const double us = host_barrier_us(ppn, kIters);
+    std::printf("  ppn=%d : %8.2f us/barrier\n", ppn, us);
+    char key[32];
+    std::snprintf(key, sizeof(key), "barrier_us_ppn%d", ppn);
+    json.add(key, us);
   }
+  json.write("BENCH_fig6.json");
+  bench::obs_finish();
   return 0;
 }

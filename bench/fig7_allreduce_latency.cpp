@@ -6,12 +6,22 @@
 //   node peers take over the result copy-out, shortening the master's
 //   critical path, while larger ppn grows the local combine again.
 //
+// Host phases beyond the latency sweep:
+//   * a 2MB pipelined allreduce run twice — overlap pipeline OFF (the
+//     pre-pipeline schedule: master blocks on every network round) then
+//     ON (Figure 4: network round k concurrent with local math of k+1) —
+//     so the JSON carries its own before/after;
+//   * a software-path (non-optimized geometry) steady-state phase whose
+//     pool-miss delta must be zero under PAMIX_BENCH_STRICT_ALLOC.
+//
 // With PAMIX_OBS=on each host run also prints its pvar delta (collective
 // rounds, sends, advance calls) and main exports trace rings to
-// PAMIX_TRACE_FILE.
+// PAMIX_TRACE_FILE. Results land in BENCH_fig7.json.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
+#include "core/collectives.h"
 #include "mpi/mpi.h"
 #include "sim/collective_model.h"
 
@@ -41,6 +51,87 @@ double host_allreduce_us(int ppn, int iters) {
   return us;
 }
 
+/// 2MB allreduce on 4 nodes x 2 ppn with the slice pipeline's overlap
+/// forced on or off; returns MB/s and (optionally) the measured-phase
+/// pvar delta so the caller can report slice/round/occupancy counters.
+double host_allreduce_2mb_mb_s(bool overlap, int iters, obs::PvarSnapshot* measured_delta) {
+  const bool saved = pami::coll::tuning().overlap;
+  pami::coll::tuning().overlap = overlap;
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 2);
+  mpi::MpiWorld world(machine, mpi::MpiConfig{});
+  const std::size_t count = 1u << 18;  // 2MB of doubles: many pipeline slices
+  double mbps = 0;
+  obs::PvarSnapshot delta;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Single);
+    const mpi::Comm w = mp.world();
+    std::vector<double> in(count, 1.0), out(count);
+    for (int i = 0; i < 2; ++i) {
+      mp.allreduce(in.data(), out.data(), count, mpi::Type::Double, mpi::Op::Add, w);
+    }
+    mp.barrier(w);
+    bench::PvarPhase phase;
+    bench::Stopwatch sw;
+    for (int i = 0; i < iters; ++i) {
+      mp.allreduce(in.data(), out.data(), count, mpi::Type::Double, mpi::Op::Add, w);
+    }
+    mp.barrier(w);
+    if (mp.rank(w) == 0) {
+      mbps = iters * count * sizeof(double) / sw.elapsed_us();
+      delta = phase.delta();
+    }
+    if (out[count / 2] != 8.0) std::printf("  VERIFICATION FAILED\n");
+    mp.finalize();
+  });
+  if (measured_delta != nullptr) *measured_delta = delta;
+  pami::coll::tuning().overlap = saved;
+  return mbps;
+}
+
+/// Software-path steady state: collectives on a 3-rank split communicator
+/// (k-nomial trees over active messages — no classroute). Two warm-up
+/// passes fill the payload pools and flat match slots; the measured pass
+/// must then run without a single pool miss.
+double host_software_allreduce_us(int iters, obs::PvarSnapshot* measured_delta) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 1);
+  mpi::MpiWorld world(machine, mpi::MpiConfig{});
+  double us = 0;
+  obs::PvarSnapshot delta;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Single);
+    const mpi::Comm w = mp.world();
+    const mpi::Comm c = mp.split(w, mp.rank(w) < 3 ? 0 : 1, mp.rank(w));
+    if (mp.rank(w) < 3) {
+      std::vector<double> in(8, 1.0), out(8);
+      std::vector<std::byte> payload(64, std::byte{0x42});
+      auto pass = [&](int n) {
+        mp.barrier(c);
+        for (int i = 0; i < n; ++i) {
+          mp.bcast(payload.data(), payload.size(), 0, c);
+          mp.allreduce(in.data(), out.data(), 8, mpi::Type::Double, mpi::Op::Add, c);
+        }
+        mp.barrier(c);
+      };
+      pass(iters);  // warm-up: pools and slot tables fill
+      pass(iters);  // covers the pass->pass transition pattern too
+      bench::PvarPhase phase;
+      bench::Stopwatch sw;
+      pass(iters);
+      if (mp.rank(c) == 0) {
+        us = sw.elapsed_us() / iters;
+        delta = phase.delta();
+      }
+      if (out[0] != 3.0) std::printf("  VERIFICATION FAILED\n");
+    }
+    mp.barrier(w);
+    mp.finalize();
+  });
+  if (measured_delta != nullptr) *measured_delta = delta;
+  return us;
+}
+
 }  // namespace
 
 int main() {
@@ -56,15 +147,75 @@ int main() {
   std::printf("\nPaper anchors @2048 nodes: 5.5 / 5.0 / 5.3 us for ppn 1 / 4 / 16\n"
               "(the ppn=4 dip comes from the shared-address copy-out offload).\n");
 
+  bench::JsonResult json;
+  const int kIters = bench::env_iters("PAMIX_FIG7_ITERS", 2000);
+  json.add("iters", static_cast<std::uint64_t>(kIters));
+
   std::printf("\nFunctional host run (real collective-network engine, 4 nodes):\n");
   for (int ppn : {1, 2, 4}) {
     bench::PvarPhase phase;
-    std::printf("  ppn=%d : %8.2f us/allreduce\n", ppn, host_allreduce_us(ppn, 2000));
-    char title[32];
-    std::snprintf(title, sizeof(title), "allreduce ppn=%d", ppn);
-    phase.report(title);
+    const double us = host_allreduce_us(ppn, kIters);
+    std::printf("  ppn=%d : %8.2f us/allreduce\n", ppn, us);
+    char key[48];
+    std::snprintf(key, sizeof(key), "latency_us_ppn%d", ppn);
+    json.add(key, us);
+    std::snprintf(key, sizeof(key), "allreduce ppn=%d", ppn);
+    phase.report(key);
   }
 
+  // Pipelined 2MB allreduce: overlap OFF is the pre-pipeline schedule
+  // (network round k fully drains before slice k+1's local math starts);
+  // overlap ON is the Figure-4 schedule. Same binary, same machine — the
+  // delta is purely the pipeline.
+  const int kBwIters = bench::env_iters("PAMIX_FIG7_BW_ITERS", 3);
+  std::printf("\nPipelined 2MB allreduce (4 nodes x 2 ppn, %d iters):\n", kBwIters);
+  const double off = host_allreduce_2mb_mb_s(false, kBwIters, nullptr);
+  obs::PvarSnapshot on_delta;
+  const double on = host_allreduce_2mb_mb_s(true, kBwIters, &on_delta);
+  std::printf("  overlap OFF (blocking rounds) : %8.0f MB/s\n", off);
+  std::printf("  overlap ON  (Figure-4 pipeline): %7.0f MB/s  (%.2fx)\n", on, on / off);
+  const std::uint64_t occupancy = on_delta[obs::Pvar::CollOverlapBytes];
+  std::printf("  coll pvars (ON arm): slices=%llu net_rounds=%llu overlap_occupancy=%llu "
+              "local_reduce=%llu : %s\n",
+              static_cast<unsigned long long>(on_delta[obs::Pvar::CollSlices]),
+              static_cast<unsigned long long>(on_delta[obs::Pvar::CollNetRounds]),
+              static_cast<unsigned long long>(occupancy),
+              static_cast<unsigned long long>(on_delta[obs::Pvar::CollLocalReduceBytes]),
+              occupancy > 0 ? "OK" : "NO OVERLAP (unexpected)");
+  json.add("allreduce_2mb_overlap_off_mb_s", off);
+  json.add("allreduce_2mb_overlap_on_mb_s", on);
+  json.add("overlap_speedup", on / off);
+  json.add("coll.slices", on_delta[obs::Pvar::CollSlices]);
+  json.add("coll.net_rounds", on_delta[obs::Pvar::CollNetRounds]);
+  json.add("coll.overlap_occupancy", occupancy);
+  json.add("coll.local_reduce_bytes", on_delta[obs::Pvar::CollLocalReduceBytes]);
+
+  // Software path (non-optimized 3-rank communicator): latency plus the
+  // steady-state allocation discipline of the k-nomial engine.
+  const int kSwIters = bench::env_iters("PAMIX_FIG7_SW_ITERS", 256);
+  obs::PvarSnapshot sw_delta;
+  const double sw_us = host_software_allreduce_us(kSwIters, &sw_delta);
+  const std::uint64_t sw_misses = sw_delta[obs::Pvar::AllocPoolMisses];
+  std::printf("\nSoftware path (3-rank split comm, k-nomial over active messages):\n");
+  std::printf("  %8.2f us/iteration (bcast + allreduce); sw_deposits=%llu "
+              "pool_misses=%llu\n",
+              sw_us, static_cast<unsigned long long>(sw_delta[obs::Pvar::CollSwDeposits]),
+              static_cast<unsigned long long>(sw_misses));
+  json.add("software_iter_us", sw_us);
+  json.add("coll.sw_deposits", sw_delta[obs::Pvar::CollSwDeposits]);
+  json.add("sw.pool_misses", sw_misses);
+  json.write("BENCH_fig7.json");
+
   bench::obs_finish();
+
+  // CI gate: a pool miss in the measured software-collective steady state
+  // means something on the collective fast path stopped recycling.
+  if (std::getenv("PAMIX_BENCH_STRICT_ALLOC") != nullptr && sw_misses > 0) {
+    std::fprintf(stderr,
+                 "fig7: PAMIX_BENCH_STRICT_ALLOC: %llu pool misses in the measured "
+                 "software-collective phase (expected 0)\n",
+                 static_cast<unsigned long long>(sw_misses));
+    return 1;
+  }
   return 0;
 }

@@ -5,14 +5,60 @@
 //   ppn=4 / 4MB; 1701 MB/s at ppn=16 / 1MB; saturation/rolloff at large
 //   sizes where the broadcast data spills the L2 and peer copy-out runs
 //   at DDR rates.
+//
+// The functional 4MB host leg runs twice — slice-overlap pipeline OFF
+// (master blocks on every collective-network round) then ON (round k in
+// flight while peers copy out slice k-1) — so BENCH_fig9.json carries its
+// own before/after alongside the coll.* pvar deltas.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
+#include "core/collectives.h"
 #include "mpi/mpi.h"
 #include "sim/collective_model.h"
 
+namespace {
+
+using namespace pamix;
+
+/// 4MB broadcast from a non-node-0 root on 4 nodes x 2 ppn, slice
+/// pipeline overlap forced on or off. Returns MB/s; `measured_delta`
+/// receives the measured-phase pvar delta.
+double host_bcast_4mb_mb_s(bool overlap, int iters, obs::PvarSnapshot* measured_delta) {
+  const bool saved = pami::coll::tuning().overlap;
+  pami::coll::tuning().overlap = overlap;
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 2);
+  mpi::MpiWorld world(machine, mpi::MpiConfig{});
+  const std::size_t bytes = 4u << 20;
+  double mbps = 0;
+  obs::PvarSnapshot delta;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Single);
+    const mpi::Comm w = mp.world();
+    std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 3 ? 0x42 : 0x00);
+    mp.bcast(buf.data(), bytes, 3, w);  // warm-up: staging slices settle
+    mp.barrier(w);
+    bench::PvarPhase phase;
+    bench::Stopwatch sw;
+    for (int i = 0; i < iters; ++i) mp.bcast(buf.data(), bytes, 3, w);
+    mp.barrier(w);
+    if (mp.rank(w) == 0) {
+      mbps = iters * static_cast<double>(bytes) / sw.elapsed_us();
+      delta = phase.delta();
+    }
+    if (buf[bytes - 1] != 0x42) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
+    mp.finalize();
+  });
+  if (measured_delta != nullptr) *measured_delta = delta;
+  pami::coll::tuning().overlap = saved;
+  return mbps;
+}
+
+}  // namespace
+
 int main() {
-  using namespace pamix;
   bench::header("FIGURE 9 — Broadcast throughput via collective network, 2048 nodes (MB/s)");
 
   const sim::CollectiveModel m(bench::paper_2048(), sim::BgqCostModel{});
@@ -40,27 +86,33 @@ int main() {
   }
 
   // Functional leg: real collective-network broadcast with shared-address
-  // peer copy-out on a 4-node x 2-ppn machine.
-  std::printf("\nFunctional host run (real cnet bcast + shared-address copy, 4x2):\n");
-  {
-    runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 2);
-    mpi::MpiWorld world(machine, mpi::MpiConfig{});
-    const std::size_t bytes = 4u << 20;
-    double mbps = 0;
-    machine.run_spmd([&](int task) {
-      mpi::Mpi& mp = world.at(task);
-      mp.init(mpi::ThreadLevel::Single);
-      const mpi::Comm w = mp.world();
-      std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 3 ? 0x42 : 0x00);
-      mp.barrier(w);
-      bench::Stopwatch sw;
-      constexpr int kIters = 3;
-      for (int i = 0; i < kIters; ++i) mp.bcast(buf.data(), bytes, 3, w);
-      if (mp.rank(w) == 0) mbps = kIters * static_cast<double>(bytes) / sw.elapsed_us();
-      if (buf[bytes - 1] != 0x42) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
-      mp.finalize();
-    });
-    std::printf("  4MB broadcast verified on all ranks; %.0f MB/s on host\n", mbps);
-  }
+  // peer copy-out on a 4-node x 2-ppn machine, overlap OFF then ON.
+  const int kIters = bench::env_iters("PAMIX_FIG9_ITERS", 3);
+  std::printf("\nFunctional host run (real cnet bcast + shared-address copy, 4x2, %d iters):\n",
+              kIters);
+  const double off = host_bcast_4mb_mb_s(false, kIters, nullptr);
+  obs::PvarSnapshot on_delta;
+  const double on = host_bcast_4mb_mb_s(true, kIters, &on_delta);
+  const std::uint64_t occupancy = on_delta[obs::Pvar::CollOverlapBytes];
+  std::printf("  overlap OFF (blocking rounds) : %8.0f MB/s\n", off);
+  std::printf("  overlap ON  (slice pipeline)  : %8.0f MB/s  (%.2fx)\n", on, on / off);
+  std::printf("  coll pvars (ON arm): slices=%llu net_rounds=%llu overlap_occupancy=%llu : %s\n",
+              static_cast<unsigned long long>(on_delta[obs::Pvar::CollSlices]),
+              static_cast<unsigned long long>(on_delta[obs::Pvar::CollNetRounds]),
+              static_cast<unsigned long long>(occupancy),
+              occupancy > 0 ? "OK" : "NO OVERLAP (unexpected)");
+
+  bench::JsonResult json;
+  json.add("iters", static_cast<std::uint64_t>(kIters));
+  json.add("bcast_4mb_overlap_off_mb_s", off);
+  json.add("bcast_4mb_overlap_on_mb_s", on);
+  json.add("overlap_speedup", on / off);
+  json.add("coll.slices", on_delta[obs::Pvar::CollSlices]);
+  json.add("coll.net_rounds", on_delta[obs::Pvar::CollNetRounds]);
+  json.add("coll.overlap_occupancy", occupancy);
+  json.add("model_peak_ppn1_mb_s", m.bcast_throughput_mb_s(1, 32u << 20));
+  json.write("BENCH_fig9.json");
+
+  bench::obs_finish();
   return 0;
 }

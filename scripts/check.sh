@@ -9,8 +9,12 @@
 #   bench-smoke — build the obs-on tree and run fig5 with a tiny message
 #              count under PAMIX_BENCH_STRICT_ALLOC: any steady-state pool
 #              miss (a zero-allocation fast-path regression) fails the run
+#   coll-smoke — run the collective harnesses (fig7 allreduce, fig9 bcast)
+#              with tiny iteration counts under PAMIX_BENCH_STRICT_ALLOC:
+#              verifies data, the software-path zero-alloc steady state,
+#              and that both emit their BENCH_fig{7,9}.json results
 #
-# Usage: scripts/check.sh [flavor...]          (default: all four)
+# Usage: scripts/check.sh [flavor...]          (default: all five)
 #        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
@@ -20,7 +24,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 flavors=("$@")
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(obs-on obs-off sanitize bench-smoke)
+  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke)
 fi
 
 run_flavor() {
@@ -50,8 +54,19 @@ for flavor in "${flavors[@]}"; do
       "${prefix}/bench/gbench_primitives" \
         --benchmark_filter='InlineFn|BufferPool|WorkQueue_PostAdvance|EagerRoundTrip' \
         --benchmark_min_time=0.05 ;;
+    coll-smoke)
+      echo "==> [coll-smoke] fig7/fig9 collective pipeline + strict-alloc gate"
+      cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+      cmake --build "${prefix}" -j "${jobs}" --target fig7_allreduce_latency fig9_bcast_bw
+      ( cd "${prefix}" &&
+        PAMIX_FIG7_ITERS=50 PAMIX_FIG7_BW_ITERS=2 PAMIX_FIG7_SW_ITERS=64 \
+        PAMIX_BENCH_STRICT_ALLOC=1 ./bench/fig7_allreduce_latency )
+      test -s "${prefix}/BENCH_fig7.json"
+      ( cd "${prefix}" &&
+        PAMIX_FIG9_ITERS=2 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/fig9_bcast_bw )
+      test -s "${prefix}/BENCH_fig9.json" ;;
     *)
-      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke)" >&2
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke)" >&2
       exit 2 ;;
   esac
 done

@@ -1,61 +1,21 @@
 #include "core/client.h"
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/collectives.h"
 #include "core/context.h"
+#include "core/env.h"
 #include "core/geometry.h"
 
 namespace pamix::pami {
 
 namespace {
 
-/// Parse "<n>", "<n>K", or "<n>M" (case-insensitive suffix) from `env`.
-/// Invalid or out-of-range input keeps `fallback` and warns once to stderr:
-/// a typo in a tuning knob must never silently change protocol selection.
-std::size_t env_size_or(const char* env, std::size_t fallback) {
-  const char* s = std::getenv(env);
-  if (s == nullptr || *s == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  unsigned long long v = std::strtoull(s, &end, 10);
-  std::size_t scale = 1;
-  if (end != s && *end != '\0') {
-    if ((*end == 'K' || *end == 'k') && end[1] == '\0') scale = 1024;
-    else if ((*end == 'M' || *end == 'm') && end[1] == '\0') scale = 1024 * 1024;
-    else end = const_cast<char*>(s);  // unknown suffix → reject below
-  }
-  // Cap at 256 MiB: larger values are certainly typos, and the eager path
-  // stages a full copy of every message under the limit.
-  constexpr unsigned long long kMax = 256ull << 20;
-  if (end == s || errno == ERANGE || v > kMax / scale) {
-    std::fprintf(stderr, "pamix: ignoring invalid %s=\"%s\" (keeping %zu)\n", env, s, fallback);
-    return fallback;
-  }
-  return static_cast<std::size_t>(v) * scale;
-}
-
-/// Parse a plain integer in [lo, hi] from `env`. Same invalid-input
-/// discipline as env_size_or: warn and keep the fallback.
-int env_int_or(const char* env, int fallback, int lo, int hi) {
-  const char* s = std::getenv(env);
-  if (s == nullptr || *s == '\0') return fallback;
-  char* end = nullptr;
-  errno = 0;
-  long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
-    std::fprintf(stderr, "pamix: ignoring invalid %s=\"%s\" (keeping %d)\n", env, s, fallback);
-    return fallback;
-  }
-  return static_cast<int>(v);
-}
-
 ClientConfig apply_env_overrides(ClientConfig cfg) {
-  cfg.eager_limit = env_size_or("PAMIX_EAGER_LIMIT", cfg.eager_limit);
-  cfg.shm_eager_limit = env_size_or("PAMIX_SHM_EAGER_LIMIT", cfg.shm_eager_limit);
-  cfg.mu_batch = env_int_or("PAMIX_MU_BATCH", cfg.mu_batch, 1, 4096);
+  cfg.eager_limit = core::env_size_or("PAMIX_EAGER_LIMIT", cfg.eager_limit);
+  cfg.shm_eager_limit = core::env_size_or("PAMIX_SHM_EAGER_LIMIT", cfg.shm_eager_limit);
+  cfg.mu_batch = core::env_int_or("PAMIX_MU_BATCH", cfg.mu_batch, 1, 4096);
   return cfg;
 }
 

@@ -4,13 +4,32 @@
 #include <cstring>
 #include <map>
 #include <thread>
-#include <tuple>
 #include <vector>
 
+#include "core/buffer_pool.h"
+#include "core/env.h"
 #include "runtime/collective_engine.h"
 #include "sim/rect_bcast.h"
 
 namespace pamix::pami::coll {
+
+CollTuning& tuning() {
+  static CollTuning t = [] {
+    CollTuning v;
+    v.slice_bytes = core::env_size_or("PAMIX_COLL_SLICE", kPipelineSliceBytes);
+    if (v.slice_bytes == 0 || v.slice_bytes % 64 != 0) {
+      std::fprintf(stderr,
+                   "pamix: ignoring invalid PAMIX_COLL_SLICE=%zu (not a positive multiple "
+                   "of 64; keeping %zu)\n",
+                   v.slice_bytes, kPipelineSliceBytes);
+      v.slice_bytes = kPipelineSliceBytes;
+    }
+    v.radix = core::env_int_or("PAMIX_COLL_RADIX", v.radix, 2, 64);
+    v.overlap = core::env_flag_or("PAMIX_COLL_OVERLAP", true);
+    return v;
+  }();
+  return t;
+}
 
 namespace {
 
@@ -22,33 +41,98 @@ struct CollHeader {
   std::int32_t phase = 0;
 };
 
-using MsgKey = std::tuple<std::int32_t, std::uint64_t, std::int32_t, std::int32_t>;
-
-/// Per-client matching state for the software collectives.
+/// Per-client matching state for the software collectives, plus the
+/// client's "coll" telemetry domain and its pooled payload storage.
+///
+/// Matching is a flat slot table scanned linearly: a software collective
+/// has at most a handful of messages outstanding per rank (tree fan-in
+/// plus a dissemination round), so a scan over a few cache lines beats the
+/// std::map node churn this replaced — and slot reuse means zero
+/// steady-state allocation. Deposits may run on any thread advancing a
+/// context, so the pool's owner-thread acquire is serialized under `mu`
+/// along with the table itself.
 struct CollState {
   hw::L2AtomicMutex mu;
-  std::map<MsgKey, std::vector<std::vector<std::byte>>> arrived;
-  std::map<int, std::uint64_t> seq;  // per-geometry operation counter
+  obs::Domain& obs;
+  core::BufferPool pool;  // guarded by mu (acquire side)
 
-  void deposit(const CollHeader& h, int src, std::vector<std::byte> data) {
-    std::lock_guard<hw::L2AtomicMutex> g(mu);
-    arrived[MsgKey{h.geom, h.seq, h.phase, src}].push_back(std::move(data));
+  struct Slot {
+    std::int32_t src = -1;  // -1 = empty
+    std::int32_t geom = 0;
+    std::int32_t phase = 0;
+    std::uint64_t seq = 0;
+    core::Buf data;
+  };
+  std::vector<Slot> slots;               // grows to peak concurrency, then stable
+  std::map<int, std::uint64_t> seq;      // per-geometry operation counter
+
+  explicit CollState(int task)
+      : obs(obs::Registry::instance().create("coll", task, 0, /*want_ring=*/false)),
+        pool(&obs.pvars) {
+    obs.pvars.add(obs::Pvar::ConfigCollSlice, tuning().slice_bytes);
+    obs.pvars.add(obs::Pvar::ConfigCollRadix, static_cast<std::uint64_t>(tuning().radix));
   }
 
-  bool take(const MsgKey& key, std::vector<std::byte>& out) {
+  core::Buf acquire(std::size_t n) {
     std::lock_guard<hw::L2AtomicMutex> g(mu);
-    auto it = arrived.find(key);
-    if (it == arrived.end() || it->second.empty()) return false;
-    out = std::move(it->second.front());
-    it->second.erase(it->second.begin());
-    if (it->second.empty()) arrived.erase(it);
-    return true;
+    return pool.acquire(n);
+  }
+  core::Buf acquire_copy(const void* src, std::size_t n) {
+    std::lock_guard<hw::L2AtomicMutex> g(mu);
+    return pool.acquire_copy(src, n);
+  }
+
+  void deposit(const CollHeader& h, int src, core::Buf data) {
+    std::lock_guard<hw::L2AtomicMutex> g(mu);
+    insert_locked(h, src, std::move(data));
+  }
+
+  /// Inline-delivery deposit: one lock acquisition covers both the pooled
+  /// copy and the table insert.
+  void deposit_copy(const CollHeader& h, int src, const void* bytes, std::size_t n) {
+    std::lock_guard<hw::L2AtomicMutex> g(mu);
+    insert_locked(h, src, pool.acquire_copy(bytes, n));
+  }
+
+  bool take(std::int32_t geom, std::uint64_t sq, std::int32_t phase, std::int32_t src,
+            core::Buf& out) {
+    std::lock_guard<hw::L2AtomicMutex> g(mu);
+    for (Slot& s : slots) {
+      if (s.src == src && s.seq == sq && s.geom == geom && s.phase == phase) {
+        out = std::move(s.data);
+        s.src = -1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  void insert_locked(const CollHeader& h, int src, core::Buf data) {
+    obs.pvars.add(obs::Pvar::CollSwDeposits);
+    for (Slot& s : slots) {
+      if (s.src < 0) {
+        s.src = src;
+        s.geom = h.geom;
+        s.phase = h.phase;
+        s.seq = h.seq;
+        s.data = std::move(data);
+        return;
+      }
+    }
+    Slot s;
+    s.src = src;
+    s.geom = h.geom;
+    s.phase = h.phase;
+    s.seq = h.seq;
+    s.data = std::move(data);
+    slots.push_back(std::move(s));
   }
 };
 
 CollState& state_of(Client& client) {
   auto& cookie = client.collective_cookie();
-  if (!cookie) cookie = std::make_shared<CollState>();
+  if (!cookie) cookie = std::make_shared<CollState>(client.task());
   return *std::static_pointer_cast<CollState>(cookie);
 }
 
@@ -61,14 +145,40 @@ std::uint64_t next_seq(Client& client, Geometry& g) {
 
 void progress(Context& ctx);
 
+/// The wait discipline for every blocking loop in this file: advance the
+/// owning client's contexts (real work), then cpu_relax — a BG/Q waiter
+/// owns its hardware thread and never enters the scheduler. The yield is
+/// an escape hatch for oversubscribed build/test hosts, same as
+/// L2AtomicMutex's slow path: when the machine runs more task threads
+/// than the host has hardware threads, the waited-for task is frequently
+/// not running, so burning the rest of a scheduler quantum on cpu_relax
+/// only delays it — hw::spin_yield_interval() drops to 1 there.
+class ProgressSpin {
+ public:
+  explicit ProgressSpin(Context& ctx)
+      : ctx_(ctx), yield_interval_(hw::spin_yield_interval()) {}
+  void spin() {
+    progress(ctx_);
+    hw::cpu_relax();
+    if (++spins_ >= yield_interval_) {
+      spins_ = 0;
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  Context& ctx_;
+  const int yield_interval_;
+  int spins_ = 0;
+};
+
 /// Send one software-collective message. Small messages are copied by the
 /// eager/inline protocols, so the caller's buffer is immediately free;
 /// rendezvous-sized ones are pulled from the caller's buffer later, so the
-/// caller passes `pending` and must drain it (drain_sends) before its
-/// buffers go out of scope.
+/// caller passes `pending` (on its stack) and must drain it (drain_sends)
+/// before its buffers go out of scope.
 void send_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase, std::size_t dest_rank,
-               const void* data, std::size_t bytes,
-               const std::shared_ptr<std::atomic<int>>& pending) {
+               const void* data, std::size_t bytes, std::atomic<int>& pending) {
   CollHeader h;
   h.geom = g.id();
   h.seq = seq;
@@ -82,32 +192,30 @@ void send_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase, std::siz
   p.data_bytes = bytes;
   const ClientConfig& cfg = ctx.client().world().config();
   if (bytes > std::min(cfg.eager_limit, cfg.shm_eager_limit)) {
-    pending->fetch_add(1, std::memory_order_acq_rel);
-    p.on_remote_done = [pending] { pending->fetch_sub(1, std::memory_order_acq_rel); };
+    pending.fetch_add(1, std::memory_order_acq_rel);
+    std::atomic<int>* counter = &pending;
+    p.on_remote_done = [counter] { counter->fetch_sub(1, std::memory_order_acq_rel); };
   }
   while (ctx.send(p) == Result::Eagain) {
     progress(ctx);
+    hw::cpu_relax();
   }
 }
 
 /// Wait until every rendezvous-sized send of this collective has been
 /// pulled by its receiver (sender buffers may then be reused/freed).
-void drain_sends(Context& ctx, const std::shared_ptr<std::atomic<int>>& pending) {
-  while (pending->load(std::memory_order_acquire) > 0) {
-    progress(ctx);
-    std::this_thread::yield();
-  }
+void drain_sends(Context& ctx, std::atomic<int>& pending) {
+  ProgressSpin spin(ctx);
+  while (pending.load(std::memory_order_acquire) > 0) spin.spin();
 }
 
-std::vector<std::byte> wait_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase,
-                                 std::size_t src_rank) {
+core::Buf wait_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase,
+                    std::size_t src_rank) {
   CollState& st = state_of(ctx.client());
-  const MsgKey key{g.id(), seq, phase, g.task_of(src_rank)};
-  std::vector<std::byte> out;
-  while (!st.take(key, out)) {
-    progress(ctx);
-    std::this_thread::yield();
-  }
+  const std::int32_t src = g.task_of(src_rank);
+  core::Buf out;
+  ProgressSpin spin(ctx);
+  while (!st.take(g.id(), seq, phase, src, out)) spin.spin();
   return out;
 }
 
@@ -164,78 +272,135 @@ const std::byte* peer_read(Context& ctx, int peer_task, const void* addr, std::s
 
 // --------------------------------------------------- optimized algorithms --
 
+/// Engine completion hook: a network round of this node group landed.
+/// Runs on whichever master's contribution fired the round (possibly a
+/// different node's thread), under no engine locks. Rounds of one group
+/// complete in order — round k needs every master's arm of k, and each
+/// master arms k only after arming k-1 — so a bare increment is a correct
+/// completion count.
+void round_complete_hook(void* arg) {
+  static_cast<Geometry::NodeGroup*>(arg)->net_done.fetch_add(1, std::memory_order_acq_rel);
+}
+
 void barrier_optimized(Context& ctx, Geometry& g) {
   LocalInfo li = local_info(ctx, g);
   local_barrier(ctx, li);  // phase 1: everyone local arrived
   if (li.is_master) {
     hw::GiBarrier* gi = ctx.client().machine().gi_network().barrier(g.classroute());
     const std::uint64_t token = gi->arrive();
-    while (!gi->done(token)) {
-      progress(ctx);
-      std::this_thread::yield();
-    }
+    ProgressSpin spin(ctx);
+    while (!gi->done(token)) spin.spin();
   }
   local_barrier(ctx, li);  // phase 2: release after the GI round
 }
 
-void broadcast_optimized(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
-                         std::size_t bytes) {
-  LocalInfo li = local_info(ctx, g);
-  runtime::Machine& m = ctx.client().machine();
-  const int root_task = g.task_of(root_rank);
-  const int root_node = m.node_of_task(root_task);
-  const int my_task = ctx.client().task();
-  const bool on_root_node = m.node_of_task(my_task) == root_node;
-
-  if (my_task == root_task) li.group->root_slot.publish(buffer);
-  local_barrier(ctx, li);
-
-  if (li.is_master) {
-    runtime::CollectiveNetworkEngine& eng = m.collective_engine(g.classroute());
-    const std::uint64_t round = li.group->round.fetch_add(1, std::memory_order_acq_rel);
-    const void* src = nullptr;
-    if (on_root_node) {
-      src = li.group->root_slot.ptr.load(std::memory_order_acquire);
-      if (my_task != root_task) src = peer_read(ctx, root_task, src, bytes);
-    }
-    const auto ticket =
-        eng.contribute_broadcast(round, on_root_node, src, bytes, buffer);
-    while (!eng.done(ticket)) {
-      progress(ctx);
-      std::this_thread::yield();
-    }
-    li.group->master_slot.publish(buffer);
-  }
-  local_barrier(ctx, li);  // master result is ready
-
-  if (!li.is_master && my_task != root_task) {
-    const void* mbuf = li.group->master_slot.ptr.load(std::memory_order_acquire);
-    const std::byte* src = peer_read(ctx, li.group->master_task, mbuf, bytes);
-    std::memcpy(buffer, src, bytes);
-  }
-  local_barrier(ctx, li);  // master buffer may be reused
-}
+// The slice pipeline (Figure 4), shared by broadcast and allreduce.
+//
+// Per-slice barriers are gone: the schedule runs on three monotone
+// counters in the NodeGroup (armed / net_done / math_done — the
+// sense-reversing phase counter generalized to a pipeline). Each op
+// captures their values at entry (`*0` bases); one entry barrier
+// publishes buffers and one exit barrier retires the op. In between:
+//
+//   rank p, slice k:  wait armed >= k-1      (staging half k%2 consumed)
+//                     reduce sub-range  -> staging[k%2]   (math_done += 1)
+//   master, slice k:  wait math_done >= (k+1)*local_count
+//                     arm round k            (armed += 1)  — NO done() poll:
+//                     completion arrives via round_complete_hook (net_done)
+//                     while the master is already doing slice k+1's math
+//   peers:            copy slice j out of the master's recvbuf as soon as
+//                     net_done > j, overlapping rounds still in flight
+/// Cap on network rounds a master may have in flight beyond the last
+/// completed one — the model's stand-in for the finite injection FIFO:
+/// each live round holds a slice-sized accumulator in the engine, so an
+/// unthrottled master pipelining a 32MB message would pin hundreds of
+/// slices of engine state.
+constexpr std::uint64_t kMaxInflightRounds = 8;
 
 void allreduce_optimized(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
                          std::size_t bytes, hw::CombineOp op, hw::CombineType type) {
   LocalInfo li = local_info(ctx, g);
+  Geometry::NodeGroup& grp = *li.group;
   runtime::Machine& m = ctx.client().machine();
   runtime::CollectiveNetworkEngine& eng = m.collective_engine(g.classroute());
+  CollState& st = state_of(ctx.client());
   const std::size_t elem = hw::combine_type_size(type);
 
-  // Publish contribution buffers; size the staging slice (master).
-  li.group->contrib[static_cast<std::size_t>(li.local_index)].publish(sendbuf);
-  if (li.is_master && li.group->staging.size() < kPipelineSliceBytes) {
-    li.group->staging.resize(kPipelineSliceBytes);
-  }
-  if (li.is_master) li.group->master_slot.publish(recvbuf);
-  local_barrier(ctx, li);
+  // Slice size: runtime-tunable; align down to the element width so no
+  // element straddles a slice boundary (tuning() guarantees a multiple of
+  // 64, which covers every CombineType, but stay defensive).
+  std::size_t S = tuning().slice_bytes;
+  S -= S % elem;
+  if (S == 0) S = elem;
+  const std::size_t nslices = (bytes + S - 1) / S;
+  const bool overlap = tuning().overlap;
 
-  for (std::size_t off = 0; off < bytes; off += kPipelineSliceBytes) {
-    const std::size_t slice = std::min(kPipelineSliceBytes, bytes - off);
+  // Counter bases, captured before the entry barrier: the previous op's
+  // exit barrier quiesced the counters, and every increment of this op
+  // happens after all local ranks pass the entry barrier.
+  const std::uint64_t armed0 = grp.armed.load(std::memory_order_acquire);
+  const std::uint64_t done0 = grp.net_done.load(std::memory_order_acquire);
+  const std::uint64_t math0 = grp.math_done.load(std::memory_order_acquire);
+
+  grp.contrib[static_cast<std::size_t>(li.local_index)].publish(sendbuf);
+  if (li.is_master) {
+    if (grp.staging.size() < 2 * S) grp.staging.resize(2 * S);  // double buffer
+    grp.master_slot.publish(recvbuf);
+  }
+  local_barrier(ctx, li);  // entry: buffers published, staging sized
+
+  const auto lc = static_cast<std::uint64_t>(li.local_count);
+  ProgressSpin spin(ctx);
+  auto wait_for = [&](std::atomic<std::uint64_t>& c, std::uint64_t target) {
+    while (c.load(std::memory_order_acquire) < target) spin.spin();
+  };
+  auto in_flight = [&] {
+    return grp.armed.load(std::memory_order_acquire) >
+           grp.net_done.load(std::memory_order_acquire);
+  };
+
+  // Peers retire completed slices out of the master's recvbuf; lazily
+  // (after each slice's math) and finally blocking for the tail.
+  std::size_t next_copy = 0;
+  auto copy_ready = [&](bool block) {
+    const void* mbuf = grp.master_slot.ptr.load(std::memory_order_acquire);
+    for (;;) {
+      std::uint64_t ready = grp.net_done.load(std::memory_order_acquire) - done0;
+      if (ready > nslices) ready = nslices;
+      while (next_copy < ready) {
+        const std::size_t off = next_copy * S;
+        const std::size_t slice = std::min(S, bytes - off);
+        const bool overlapped = in_flight();
+        const std::uint64_t t0 = obs::now_ns();
+        const std::byte* src = peer_read(ctx, grp.master_task,
+                                         static_cast<const std::byte*>(mbuf) + off, slice);
+        std::memcpy(static_cast<std::byte*>(recvbuf) + off, src, slice);
+        ctx.obs().trace.record_span(obs::TraceEv::CollCopyOut, t0,
+                                    static_cast<std::uint32_t>(slice));
+        if (overlapped) st.obs.pvars.add(obs::Pvar::CollOverlapBytes, slice);
+        ++next_copy;
+      }
+      if (!block || next_copy >= nslices) return;
+      spin.spin();
+    }
+  };
+
+  for (std::size_t k = 0; k < nslices; ++k) {
+    const std::size_t off = k * S;
+    const std::size_t slice = std::min(S, bytes - off);
+    std::byte* stage = grp.staging.data() + (k % 2) * S;
+
+    // Staging half (k % 2) was last consumed when round k-2 was armed
+    // (the engine copies/combines at arm time); wait for that arm before
+    // overwriting it. The first two slices start on fresh halves.
+    if (k >= 2) wait_for(grp.armed, armed0 + (k - 1));
+
     // Parallel local math (Figure 3): each local process reduces its
-    // sub-range of the slice across all local contribution buffers.
-    std::byte* staging = li.group->staging.data();
+    // sub-range of the slice across all local contribution buffers —
+    // concurrently with the previous slice's network round (Figure 4).
+    const bool overlapped = in_flight();
+    const std::uint64_t t0 = obs::now_ns();
+    std::size_t sub_bytes = 0;
     {
       const std::size_t elems = slice / elem;
       const std::size_t per = (elems + static_cast<std::size_t>(li.local_count) - 1) /
@@ -244,54 +409,154 @@ void allreduce_optimized(Context& ctx, Geometry& g, const void* sendbuf, void* r
       const std::size_t hi = std::min(lo + per, elems);
       if (hi > lo) {
         const std::size_t sub_off = lo * elem;
-        const std::size_t sub_bytes = (hi - lo) * elem;
+        sub_bytes = (hi - lo) * elem;
         bool first = true;
         for (int i = 0; i < li.local_count; ++i) {
           const void* contrib_base =
-              li.group->contrib[static_cast<std::size_t>(i)].ptr.load(std::memory_order_acquire);
-          const std::byte* src = peer_read(ctx, li.group->local_tasks[static_cast<std::size_t>(i)],
-                                           static_cast<const std::byte*>(contrib_base) + off +
-                                               sub_off,
-                                           sub_bytes);
+              grp.contrib[static_cast<std::size_t>(i)].ptr.load(std::memory_order_acquire);
+          const std::byte* src =
+              peer_read(ctx, grp.local_tasks[static_cast<std::size_t>(i)],
+                        static_cast<const std::byte*>(contrib_base) + off + sub_off, sub_bytes);
           if (first) {
-            std::memcpy(staging + sub_off, src, sub_bytes);
+            std::memcpy(stage + sub_off, src, sub_bytes);
             first = false;
           } else {
-            runtime::combine_buffers(op, type, staging + sub_off, src, sub_bytes);
+            runtime::combine_buffers(op, type, stage + sub_off, src, sub_bytes);
           }
         }
       }
     }
-    local_barrier(ctx, li);  // local math done
+    if (sub_bytes > 0) {
+      ctx.obs().trace.record_span(obs::TraceEv::CollSliceMath, t0,
+                                  static_cast<std::uint32_t>(sub_bytes));
+      st.obs.pvars.add(obs::Pvar::CollLocalReduceBytes, sub_bytes);
+      if (overlapped) st.obs.pvars.add(obs::Pvar::CollOverlapBytes, sub_bytes);
+    }
+    grp.math_done.fetch_add(1, std::memory_order_acq_rel);
 
     if (li.is_master) {
-      const std::uint64_t round = li.group->round.fetch_add(1, std::memory_order_acq_rel);
-      const auto ticket = eng.contribute_reduce(round, staging, slice, op, type,
-                                                static_cast<std::byte*>(recvbuf) + off);
-      while (!eng.done(ticket)) {
-        progress(ctx);
-        std::this_thread::yield();
-      }
+      st.obs.pvars.add(obs::Pvar::CollSlices);
+      // Arm round k once every local rank finished this slice's math,
+      // then move straight on to slice k+1 — no done() polling. The
+      // in-flight cap bounds the engine's live-round state (each pending
+      // round holds a slice-sized accumulator), like a finite injection
+      // FIFO would on the real network.
+      if (k > kMaxInflightRounds) wait_for(grp.net_done, done0 + k - kMaxInflightRounds);
+      wait_for(grp.math_done, math0 + (k + 1) * lc);
+      const std::uint64_t round = grp.round.fetch_add(1, std::memory_order_acq_rel);
+      eng.contribute_reduce(round, stage, slice, op, type,
+                            static_cast<std::byte*>(recvbuf) + off, round_complete_hook,
+                            &grp);
+      grp.armed.fetch_add(1, std::memory_order_acq_rel);
+      st.obs.pvars.add(obs::Pvar::CollNetRounds);
+      ctx.obs().trace.record(obs::TraceEv::CollArm, static_cast<std::uint32_t>(round));
+      if (!overlap) wait_for(grp.net_done, done0 + k + 1);
+    } else {
+      copy_ready(/*block=*/false);
     }
-    local_barrier(ctx, li);  // network result in master's recvbuf
-
-    if (!li.is_master) {
-      const void* mbuf = li.group->master_slot.ptr.load(std::memory_order_acquire);
-      const std::byte* src = peer_read(
-          ctx, li.group->master_task, static_cast<const std::byte*>(mbuf) + off, slice);
-      std::memcpy(static_cast<std::byte*>(recvbuf) + off, src, slice);
-    }
-    local_barrier(ctx, li);  // slice consumed; staging reusable
   }
+
+  // Drain: the master waits for the final round's hook; peers block for
+  // the remaining copy-outs.
+  if (li.is_master) {
+    wait_for(grp.net_done, done0 + nslices);
+  } else {
+    copy_ready(/*block=*/true);
+  }
+  local_barrier(ctx, li);  // exit: results copied, counters quiescent
+}
+
+void broadcast_optimized(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
+                         std::size_t bytes) {
+  LocalInfo li = local_info(ctx, g);
+  Geometry::NodeGroup& grp = *li.group;
+  runtime::Machine& m = ctx.client().machine();
+  runtime::CollectiveNetworkEngine& eng = m.collective_engine(g.classroute());
+  CollState& st = state_of(ctx.client());
+  const int root_task = g.task_of(root_rank);
+  const int root_node = m.node_of_task(root_task);
+  const int my_task = ctx.client().task();
+  const bool on_root_node = m.node_of_task(my_task) == root_node;
+
+  // Long broadcasts slice exactly like reductions: the network pushes
+  // slice k down the classroute while peers copy slice k-1 out of their
+  // master's buffer.
+  const std::size_t S = tuning().slice_bytes;
+  const std::size_t nslices = (bytes + S - 1) / S;  // 0 when bytes == 0
+  const bool overlap = tuning().overlap;
+  const std::uint64_t done0 = grp.net_done.load(std::memory_order_acquire);
+
+  if (my_task == root_task) grp.root_slot.publish(buffer);
+  if (li.is_master) grp.master_slot.publish(buffer);
+  local_barrier(ctx, li);  // entry
+
+  ProgressSpin spin(ctx);
+  auto wait_net = [&](std::uint64_t target) {
+    while (grp.net_done.load(std::memory_order_acquire) < target) spin.spin();
+  };
+
+  if (li.is_master) {
+    const std::byte* src = nullptr;
+    if (on_root_node && nslices > 0) {
+      const void* r = grp.root_slot.ptr.load(std::memory_order_acquire);
+      src = my_task == root_task ? static_cast<const std::byte*>(r)
+                                 : peer_read(ctx, root_task, r, bytes);
+    }
+    for (std::size_t k = 0; k < nslices; ++k) {
+      const std::size_t off = k * S;
+      const std::size_t slice = std::min(S, bytes - off);
+      // Finite-FIFO throttle: bound the engine's live rounds (each holds
+      // a slice-sized accumulator) instead of arming the whole message.
+      if (k > kMaxInflightRounds) wait_net(done0 + k - kMaxInflightRounds);
+      const std::uint64_t round = grp.round.fetch_add(1, std::memory_order_acq_rel);
+      eng.contribute_broadcast(round, on_root_node, on_root_node ? src + off : nullptr, slice,
+                               static_cast<std::byte*>(buffer) + off, round_complete_hook,
+                               &grp);
+      grp.armed.fetch_add(1, std::memory_order_acq_rel);
+      st.obs.pvars.add(obs::Pvar::CollNetRounds);
+      st.obs.pvars.add(obs::Pvar::CollSlices);
+      ctx.obs().trace.record(obs::TraceEv::CollArm, static_cast<std::uint32_t>(round));
+      if (!overlap) wait_net(done0 + k + 1);
+    }
+    wait_net(done0 + nslices);  // every slice landed in our buffer
+  } else if (my_task != root_task) {
+    // Peers pipeline the copy-out against rounds still in flight.
+    const void* mbuf = grp.master_slot.ptr.load(std::memory_order_acquire);
+    for (std::size_t k = 0; k < nslices; ++k) {
+      wait_net(done0 + k + 1);
+      const std::size_t off = k * S;
+      const std::size_t slice = std::min(S, bytes - off);
+      const bool overlapped = grp.armed.load(std::memory_order_acquire) >
+                              grp.net_done.load(std::memory_order_acquire);
+      const std::uint64_t t0 = obs::now_ns();
+      const std::byte* psrc =
+          peer_read(ctx, grp.master_task, static_cast<const std::byte*>(mbuf) + off, slice);
+      std::memcpy(static_cast<std::byte*>(buffer) + off, psrc, slice);
+      ctx.obs().trace.record_span(obs::TraceEv::CollCopyOut, t0,
+                                  static_cast<std::uint32_t>(slice));
+      if (overlapped) st.obs.pvars.add(obs::Pvar::CollOverlapBytes, slice);
+    }
+  }
+  local_barrier(ctx, li);  // exit: master buffer stable until every peer copied
 }
 
 // ---------------------------------------------------- software algorithms --
+
+/// k-nomial tree support: the "scale" of a relative rank is r^d where d is
+/// the position of its lowest nonzero base-r digit — the round in which it
+/// receives from its parent. The root's scale is the first power of r
+/// >= n. With r == 2 this is exactly the classic binomial tree.
+std::size_t knomial_scale(std::size_t rel, std::size_t n, std::size_t r) {
+  std::size_t scale = 1;
+  while (scale < n && rel % (scale * r) == 0) scale *= r;
+  return scale;
+}
 
 void barrier_software(Context& ctx, Geometry& g) {
   const std::size_t n = g.size();
   const std::size_t me = *g.rank_of(ctx.client().task());
   const std::uint64_t seq = next_seq(ctx.client(), g);
-  auto pending = std::make_shared<std::atomic<int>>(0);
+  std::atomic<int> pending{0};
   // Dissemination barrier: log2(n) rounds of token exchange.
   for (std::size_t dist = 1, phase = 0; dist < n; dist *= 2, ++phase) {
     const std::size_t to = (me + dist) % n;
@@ -307,25 +572,25 @@ void broadcast_software(Context& ctx, Geometry& g, std::size_t root_rank, void* 
   const std::size_t me = *g.rank_of(ctx.client().task());
   const std::size_t rel = (me + n - root_rank) % n;
   const std::uint64_t seq = next_seq(ctx.client(), g);
-  auto pending = std::make_shared<std::atomic<int>>(0);
+  const auto radix = static_cast<std::size_t>(tuning().radix);
+  std::atomic<int> pending{0};
 
-  // Binomial tree on relative ranks.
+  const std::size_t scale = knomial_scale(rel, n, radix);
   if (rel != 0) {
-    // Receive from parent: clear lowest set bit.
-    const std::size_t parent_rel = rel & (rel - 1);
-    const std::size_t parent = (parent_rel + root_rank) % n;
-    std::vector<std::byte> data = wait_coll(ctx, g, seq, 0, parent);
+    // Receive from the parent: zero our lowest nonzero base-r digit.
+    const std::size_t parent_rel = rel - ((rel / scale) % radix) * scale;
+    core::Buf data = wait_coll(ctx, g, seq, 0, (parent_rel + root_rank) % n);
     assert(data.size() == bytes);
-    std::memcpy(buffer, data.data(), bytes);
+    if (bytes > 0) std::memcpy(buffer, data.data(), bytes);
   }
-  // Forward to children: set bits above the lowest set bit of rel.
-  for (std::size_t bit = 1; bit < n; bit *= 2) {
-    if (rel & (bit - 1)) continue;  // not aligned: no child at this bit
-    if (rel & bit) break;           // past our own lowest set bit
-    const std::size_t child_rel = rel | bit;
-    if (child_rel >= n) break;
-    const std::size_t child = (child_rel + root_rank) % n;
-    send_coll(ctx, g, seq, 0, child, buffer, bytes, pending);
+  // Forward to children — rel + j*s for every scale below ours, largest
+  // subtrees first so the deepest subtree starts earliest.
+  for (std::size_t s = scale / radix; s > 0; s /= radix) {
+    for (std::size_t j = 1; j < radix; ++j) {
+      const std::size_t child_rel = rel + j * s;
+      if (child_rel >= n) break;
+      send_coll(ctx, g, seq, 0, (child_rel + root_rank) % n, buffer, bytes, pending);
+    }
   }
   drain_sends(ctx, pending);
 }
@@ -336,26 +601,30 @@ void reduce_software(Context& ctx, Geometry& g, std::size_t root_rank, const voi
   const std::size_t me = *g.rank_of(ctx.client().task());
   const std::size_t rel = (me + n - root_rank) % n;
   const std::uint64_t seq = next_seq(ctx.client(), g);
-  auto pending = std::make_shared<std::atomic<int>>(0);
+  const auto radix = static_cast<std::size_t>(tuning().radix);
+  CollState& st = state_of(ctx.client());
+  std::atomic<int> pending{0};
 
-  std::vector<std::byte> acc(static_cast<const std::byte*>(sendbuf),
-                             static_cast<const std::byte*>(sendbuf) + bytes);
-  // Binomial reduce: receive from children (low bits first), then send to
-  // parent.
-  for (std::size_t bit = 1; bit < n; bit *= 2) {
-    if (rel & bit) {
-      const std::size_t parent = ((rel & ~bit) + root_rank) % n;
-      send_coll(ctx, g, seq, 1, parent, acc.data(), bytes, pending);
-      break;
+  core::Buf acc = st.acquire_copy(sendbuf, bytes);
+  // Mirror of the broadcast tree: combine children (smallest scale first —
+  // they finish their subtrees first), then send the partial up.
+  const std::size_t scale = knomial_scale(rel, n, radix);
+  for (std::size_t s = 1; s < scale; s *= radix) {
+    for (std::size_t j = 1; j < radix; ++j) {
+      const std::size_t child_rel = rel + j * s;
+      if (child_rel >= n) break;
+      core::Buf data = wait_coll(ctx, g, seq, 1, (child_rel + root_rank) % n);
+      assert(data.size() == bytes);
+      if (bytes > 0) runtime::combine_buffers(op, type, acc.data(), data.data(), bytes);
     }
-    const std::size_t child_rel = rel | bit;
-    if (child_rel >= n) continue;
-    const std::size_t child = (child_rel + root_rank) % n;
-    std::vector<std::byte> data = wait_coll(ctx, g, seq, 1, child);
-    runtime::combine_buffers(op, type, acc.data(), data.data(), bytes);
   }
-  drain_sends(ctx, pending);  // `acc` is pulled from by the parent
-  if (rel == 0 && recvbuf != nullptr) std::memcpy(recvbuf, acc.data(), bytes);
+  if (rel != 0) {
+    const std::size_t parent_rel = rel - ((rel / scale) % radix) * scale;
+    send_coll(ctx, g, seq, 1, (parent_rel + root_rank) % n, acc.data(), bytes, pending);
+    drain_sends(ctx, pending);  // the parent pulls from `acc`
+  } else if (recvbuf != nullptr && bytes > 0) {
+    std::memcpy(recvbuf, acc.data(), bytes);
+  }
 }
 
 }  // namespace
@@ -363,6 +632,7 @@ void reduce_software(Context& ctx, Geometry& g, std::size_t root_rank, const voi
 // ------------------------------------------------------------- public API --
 
 void register_collective_dispatch(Client& client) {
+  state_of(client);  // create the matching state while construction is single-threaded
   for (int c = 0; c < client.context_count(); ++c) {
     client.context(c).set_dispatch(
         kCollDispatchId,
@@ -373,18 +643,20 @@ void register_collective_dispatch(Client& client) {
           assert(header_bytes == sizeof(h));
           (void)header_bytes;
           std::memcpy(&h, header, sizeof(h));
+          CollState& st = state_of(client);
           if (recv == nullptr) {
-            // Whole message arrived inline.
-            std::vector<std::byte> data(static_cast<const std::byte*>(pipe),
-                                        static_cast<const std::byte*>(pipe) + pipe_bytes);
-            state_of(client).deposit(h, origin.task, std::move(data));
+            // Whole message arrived inline: pooled copy + insert in one
+            // lock acquisition.
+            st.deposit_copy(h, origin.task, pipe, pipe_bytes);
             return;
           }
-          auto buf = std::make_shared<std::vector<std::byte>>(total);
-          recv->buffer = buf->data();
+          // Rendezvous: pull straight into a pooled block, then move it
+          // into the match table on completion.
+          core::Buf buf = st.acquire(total);
+          recv->buffer = buf.data();
           recv->bytes = total;
-          recv->on_complete = [&client, h, origin, buf] {
-            state_of(client).deposit(h, origin.task, std::move(*buf));
+          recv->on_complete = [&st, h, src = origin.task, b = std::move(buf)]() mutable {
+            st.deposit(h, src, std::move(b));
           };
         });
   }
@@ -423,11 +695,12 @@ void reduce(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbu
             std::size_t bytes, hw::CombineOp op, hw::CombineType type) {
   if (g.optimized()) {
     // Collective-network reduce delivers everywhere; non-roots discard
-    // into scratch (the hardware writes every node's master regardless).
+    // into pooled scratch (the hardware writes every node's master
+    // regardless).
     if (*g.rank_of(ctx.client().task()) == root_rank) {
       allreduce_optimized(ctx, g, sendbuf, recvbuf, bytes, op, type);
     } else {
-      std::vector<std::byte> scratch(bytes);
+      core::Buf scratch = state_of(ctx.client()).acquire(bytes);
       allreduce_optimized(ctx, g, sendbuf, scratch.data(), bytes, op, type);
     }
   } else {
@@ -442,7 +715,7 @@ void alltoall(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
   const std::uint64_t seq = next_seq(ctx.client(), g);
   const auto* send = static_cast<const std::byte*>(sendbuf);
   auto* recv = static_cast<std::byte*>(recvbuf);
-  auto pending = std::make_shared<std::atomic<int>>(0);
+  std::atomic<int> pending{0};
 
   // Own block.
   std::memcpy(recv + me * bytes_per_rank, send + me * bytes_per_rank, bytes_per_rank);
@@ -452,7 +725,7 @@ void alltoall(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
     const std::size_t from = (me + n - i) % n;
     send_coll(ctx, g, seq, static_cast<int>(i), to, send + to * bytes_per_rank,
               bytes_per_rank, pending);
-    std::vector<std::byte> data = wait_coll(ctx, g, seq, static_cast<int>(i), from);
+    core::Buf data = wait_coll(ctx, g, seq, static_cast<int>(i), from);
     assert(data.size() == bytes_per_rank);
     std::memcpy(recv + from * bytes_per_rank, data.data(), bytes_per_rank);
   }
@@ -469,12 +742,12 @@ void gather(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendbu
     std::memcpy(recv + me * bytes_per_rank, sendbuf, bytes_per_rank);
     for (std::size_t r = 0; r < n; ++r) {
       if (r == root_rank) continue;
-      std::vector<std::byte> data = wait_coll(ctx, g, seq, 2, r);
+      core::Buf data = wait_coll(ctx, g, seq, 2, r);
       assert(data.size() == bytes_per_rank);
       std::memcpy(recv + r * bytes_per_rank, data.data(), bytes_per_rank);
     }
   } else {
-    auto pending = std::make_shared<std::atomic<int>>(0);
+    std::atomic<int> pending{0};
     send_coll(ctx, g, seq, 2, root_rank, sendbuf, bytes_per_rank, pending);
     drain_sends(ctx, pending);
   }
@@ -537,7 +810,7 @@ void rectangle_broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void*
   if (my_task == root_task) li.group->root_slot.publish(buffer);
   local_barrier(ctx, li);
 
-  auto pending = std::make_shared<std::atomic<int>>(0);
+  std::atomic<int> pending{0};
   if (li.is_master) {
     auto* buf = static_cast<std::byte*>(buffer);
     if (my_node == root_node && my_task != root_task) {
@@ -556,8 +829,7 @@ void rectangle_broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void*
       if (my_node != root_node) {
         const int parent_node = rt->trees.parent(c, my_node);
         const int parent_master = g.node_group(parent_node).master_task;
-        std::vector<std::byte> slice =
-            wait_coll(ctx, g, seq, phase, *g.rank_of(parent_master));
+        core::Buf slice = wait_coll(ctx, g, seq, phase, *g.rank_of(parent_master));
         assert(slice.size() == len);
         if (len > 0) std::memcpy(buf + off, slice.data(), len);
       }
@@ -588,7 +860,7 @@ void reduce_scatter(Context& ctx, Geometry& g, const void* sendbuf, void* recvbu
   // block — the BG/Q collective network has no native scatter phase, so
   // pamid's reduce_scatter is exactly reduce + local selection.
   const std::size_t me = *g.rank_of(ctx.client().task());
-  std::vector<std::byte> full(bytes_per_rank * g.size());
+  core::Buf full = state_of(ctx.client()).acquire(bytes_per_rank * g.size());
   allreduce(ctx, g, sendbuf, full.data(), full.size(), op, type);
   std::memcpy(recvbuf, full.data() + me * bytes_per_rank, bytes_per_rank);
 }
@@ -601,14 +873,14 @@ void scatter(Context& ctx, Geometry& g, std::size_t root_rank, const void* sendb
   if (me == root_rank) {
     const auto* send = static_cast<const std::byte*>(sendbuf);
     std::memcpy(recvbuf, send + me * bytes_per_rank, bytes_per_rank);
-    auto pending = std::make_shared<std::atomic<int>>(0);
+    std::atomic<int> pending{0};
     for (std::size_t r = 0; r < n; ++r) {
       if (r == root_rank) continue;
       send_coll(ctx, g, seq, 3, r, send + r * bytes_per_rank, bytes_per_rank, pending);
     }
     drain_sends(ctx, pending);
   } else {
-    std::vector<std::byte> data = wait_coll(ctx, g, seq, 3, root_rank);
+    core::Buf data = wait_coll(ctx, g, seq, 3, root_rank);
     assert(data.size() == bytes_per_rank);
     std::memcpy(recvbuf, data.data(), bytes_per_rank);
   }

@@ -28,11 +28,31 @@
 
 namespace pamix::pami::coll {
 
-/// Pipeline slice for long reductions (Figure 4).
+/// Default pipeline slice for long reductions (Figure 4).
 inline constexpr std::size_t kPipelineSliceBytes = 64 * 1024;
 
 /// Dispatch id reserved for the software-collective engine.
 inline constexpr DispatchId kCollDispatchId = 0xF01;
+
+/// Runtime-tunable collective parameters. Initialized once per process
+/// from the environment (PAMIX_COLL_SLICE, PAMIX_COLL_RADIX,
+/// PAMIX_COLL_OVERLAP) with warn-and-keep validation, then freely mutable:
+/// benches A/B the overlap pipeline and tests sweep the radix in-process.
+/// Every task of a job must see the same values while a collective is in
+/// flight (they shape the shared round schedule).
+struct CollTuning {
+  /// Pipeline slice in bytes. Must be a multiple of 64 so no combine
+  /// element ever straddles a slice boundary.
+  std::size_t slice_bytes = kPipelineSliceBytes;
+  /// Fan-out of the k-nomial software broadcast/reduce trees (>= 2).
+  int radix = 2;
+  /// When false, the master blocks on each network round before starting
+  /// the next slice (the pre-pipeline schedule; benches use it as the
+  /// "before" arm of the overlap A/B).
+  bool overlap = true;
+};
+
+CollTuning& tuning();
 
 /// Register the software-collective dispatch on every context of a client.
 /// Called from Client construction; callable again idempotently.

@@ -1,0 +1,62 @@
+// Environment-variable tuning-knob parsers, shared by every PAMIX_* knob.
+//
+// One discipline for all of them: invalid or out-of-range input keeps the
+// compiled-in fallback and warns once to stderr — a typo in a tuning knob
+// must never silently change protocol selection or algorithm shape.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pamix::core {
+
+/// Parse "<n>", "<n>K", or "<n>M" (case-insensitive suffix) from `env`.
+/// Capped at 256 MiB: larger values are certainly typos, and the paths
+/// these knobs size stage full copies under the limit.
+inline std::size_t env_size_or(const char* env, std::size_t fallback) {
+  const char* s = std::getenv(env);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  std::size_t scale = 1;
+  if (end != s && *end != '\0') {
+    if ((*end == 'K' || *end == 'k') && end[1] == '\0') scale = 1024;
+    else if ((*end == 'M' || *end == 'm') && end[1] == '\0') scale = 1024 * 1024;
+    else end = const_cast<char*>(s);  // unknown suffix → reject below
+  }
+  constexpr unsigned long long kMax = 256ull << 20;
+  if (end == s || errno == ERANGE || v > kMax / scale) {
+    std::fprintf(stderr, "pamix: ignoring invalid %s=\"%s\" (keeping %zu)\n", env, s, fallback);
+    return fallback;
+  }
+  return static_cast<std::size_t>(v) * scale;
+}
+
+/// Parse a plain integer in [lo, hi] from `env`.
+inline int env_int_or(const char* env, int fallback, int lo, int hi) {
+  const char* s = std::getenv(env);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  errno = 0;
+  long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+    std::fprintf(stderr, "pamix: ignoring invalid %s=\"%s\" (keeping %d)\n", env, s, fallback);
+    return fallback;
+  }
+  return static_cast<int>(v);
+}
+
+/// Parse an on/off flag from `env`; unset keeps `fallback`. "0", "off",
+/// "OFF", "false" and the empty string mean off, anything else on.
+inline bool env_flag_or(const char* env, bool fallback) {
+  const char* s = std::getenv(env);
+  if (s == nullptr) return fallback;
+  if (*s == '\0') return false;
+  return !(s[0] == '0' && s[1] == '\0') && std::strcmp(s, "off") != 0 &&
+         std::strcmp(s, "OFF") != 0 && std::strcmp(s, "false") != 0;
+}
+
+}  // namespace pamix::core

@@ -22,6 +22,7 @@
 #include "core/topology.h"
 #include "hw/classroute.h"
 #include "hw/global_interrupt.h"
+#include "hw/l2_atomics.h"
 
 namespace pamix::pami {
 
@@ -42,9 +43,18 @@ class LocalBarrier {
       generation_.fetch_add(1, std::memory_order_acq_rel);
       return;
     }
+    // Wait discipline: make progress, then cpu_relax — a BG/Q waiter owns
+    // its hardware thread. The scheduler yield is an escape hatch for
+    // oversubscribed hosts (more tasks than cores), same as L2AtomicMutex.
+    const int interval = hw::spin_yield_interval();
+    int spins = 0;
     while (generation_.load(std::memory_order_acquire) == gen) {
       if (progress) progress();
-      std::this_thread::yield();
+      hw::cpu_relax();
+      if (++spins >= interval) {
+        spins = 0;
+        std::this_thread::yield();
+      }
     }
   }
 
@@ -68,9 +78,15 @@ struct SharedSlot {
   }
   const void* wait_for(std::uint64_t expected_gen,
                        const std::function<void()>& progress = {}) const {
+    const int interval = hw::spin_yield_interval();
+    int spins = 0;
     while (gen.load(std::memory_order_acquire) < expected_gen) {
       if (progress) progress();
-      std::this_thread::yield();
+      hw::cpu_relax();
+      if (++spins >= interval) {
+        spins = 0;
+        std::this_thread::yield();
+      }
     }
     return ptr.load(std::memory_order_acquire);
   }
@@ -98,9 +114,16 @@ class Geometry {
     SharedSlot root_slot;    // root/source buffer publication
     SharedSlot master_slot;  // master result buffer publication
     std::vector<SharedSlot> contrib;      // per-local-rank send buffers
-    std::vector<std::byte> staging;       // local-reduce staging buffer
+    std::vector<std::byte> staging;       // local-reduce staging (2 slices)
     std::atomic<std::uint64_t> round{0};  // collective round counter
     std::uint64_t slot_gen = 0;           // expected publication generation
+    // Slice-pipeline phase counters (the sense-reversing replacement for
+    // per-slice barriers): all monotone across operations; an op captures
+    // their values at entry and waits on per-op offsets. The previous
+    // op's exit barrier guarantees they are quiescent at capture time.
+    std::atomic<std::uint64_t> armed{0};      // network rounds armed by the master
+    std::atomic<std::uint64_t> net_done{0};   // network rounds completed (engine hook)
+    std::atomic<std::uint64_t> math_done{0};  // per-rank slice-math arrivals (summed)
   };
 
   bool node_participates(int node) const {

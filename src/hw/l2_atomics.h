@@ -37,6 +37,23 @@ inline void cpu_relax() {
 #endif
 }
 
+/// Process-global oversubscription hint, set by runtime::Machine when it
+/// knows how many task threads it will run versus how many hardware
+/// threads the host has. On BG/Q a waiter owns its hardware thread and
+/// spins with cpu_relax; on an oversubscribed host the thread being
+/// waited for is frequently NOT running, so burning out the rest of a
+/// scheduler quantum only delays it — spin loops should yield every
+/// iteration instead. spin_yield_interval() folds the hint into the
+/// "yield after N spins" constant used by every blocking loop.
+inline std::atomic<bool>& oversubscribed_hint() {
+  static std::atomic<bool> hint{false};
+  return hint;
+}
+
+inline int spin_yield_interval() {
+  return oversubscribed_hint().load(std::memory_order_relaxed) ? 1 : 256;
+}
+
 /// Result returned by bounded ops when the bound would be violated.
 /// (Matches the BG/Q encoding: the top bit is set on failure.)
 inline constexpr std::uint64_t kL2BoundedFailure = 0x8000000000000000ull;
@@ -150,12 +167,13 @@ class L2AtomicMutex {
  public:
   void lock() {
     const std::uint64_t my = l2::load_increment(next_ticket_);
+    const int interval = spin_yield_interval();
     int spins = 0;
     while (l2::load(now_serving_) != my) {
       cpu_relax();
       // On BG/Q a waiter owns its hardware thread and spins; on an
       // oversubscribed host the holder may need our timeslice to run.
-      if (++spins >= 256) {
+      if (++spins >= interval) {
         spins = 0;
         std::this_thread::yield();
       }

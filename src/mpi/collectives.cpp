@@ -230,4 +230,18 @@ void Mpi::mpix_deoptimize(const Comm& c) {
 
 bool Mpi::comm_is_optimized(const Comm& c) const { return c->geometry->optimized(); }
 
+std::size_t Mpi::mpix_coll_slice() { return pami::coll::tuning().slice_bytes; }
+
+void Mpi::mpix_coll_slice(std::size_t bytes) {
+  assert(bytes > 0 && bytes % 64 == 0 && "slice must be a positive multiple of 64");
+  pami::coll::tuning().slice_bytes = bytes;
+}
+
+int Mpi::mpix_coll_radix() { return pami::coll::tuning().radix; }
+
+void Mpi::mpix_coll_radix(int radix) {
+  assert(radix >= 2 && "k-nomial radix must be >= 2");
+  pami::coll::tuning().radix = radix;
+}
+
 }  // namespace pamix::mpi

@@ -116,6 +116,14 @@ class Mpi {
   void mpix_rectangle_bcast(void* buf, std::size_t bytes, int root, const Comm& c);
   void mpix_deoptimize(const Comm& c);
   bool comm_is_optimized(const Comm& c) const;
+  /// MPIX collective tuning knobs (process-global, mirroring
+  /// PAMIX_COLL_SLICE / PAMIX_COLL_RADIX). Setters must not race an
+  /// in-flight collective — every task must observe the same values while
+  /// one runs, since they shape the shared round schedule.
+  static std::size_t mpix_coll_slice();
+  static void mpix_coll_slice(std::size_t bytes);
+  static int mpix_coll_radix();
+  static void mpix_coll_radix(int radix);
 
   // --- Point-to-point ---------------------------------------------------------
   Request isend(const void* buf, std::size_t bytes, int dest, int tag, const Comm& c);

@@ -66,6 +66,15 @@ enum class Pvar : std::uint32_t {
   // Collective-network engine.
   CollRoundsContributed,
   CollRoundsCompleted,
+  // Engine lock acquisitions that found the L2 mutex held (masters of
+  // different nodes contributing concurrently).
+  CollnetLockContended,
+  // Collective data path (the per-client "coll" domain).
+  CollSlices,            // pipeline slices processed (counted at the master)
+  CollNetRounds,         // network rounds armed by this task
+  CollOverlapBytes,      // local math/copy bytes done while a round was in flight
+  CollLocalReduceBytes,  // bytes this task reduced in the shared-address phase
+  CollSwDeposits,        // software-collective messages matched/deposited
   // MPI ("pamid") layer.
   MpiIsends,
   MpiIrecvs,
@@ -81,6 +90,8 @@ enum class Pvar : std::uint32_t {
   ConfigEagerLimit,
   ConfigShmEagerLimit,
   ConfigMuBatch,
+  ConfigCollSlice,
+  ConfigCollRadix,
   Count,
 };
 

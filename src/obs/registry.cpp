@@ -28,6 +28,12 @@ const char* pvar_name(Pvar p) {
     case Pvar::CommSleeps: return "commthread.sleeps";
     case Pvar::CollRoundsContributed: return "collnet.rounds_contributed";
     case Pvar::CollRoundsCompleted: return "collnet.rounds_completed";
+    case Pvar::CollnetLockContended: return "collnet.lock_contended";
+    case Pvar::CollSlices: return "coll.slices";
+    case Pvar::CollNetRounds: return "coll.net_rounds";
+    case Pvar::CollOverlapBytes: return "coll.overlap_occupancy";
+    case Pvar::CollLocalReduceBytes: return "coll.local_reduce_bytes";
+    case Pvar::CollSwDeposits: return "coll.sw_deposits";
     case Pvar::MpiIsends: return "mpi.isends";
     case Pvar::MpiIrecvs: return "mpi.irecvs";
     case Pvar::AllocPoolHits: return "alloc.pool_hits";
@@ -36,6 +42,8 @@ const char* pvar_name(Pvar p) {
     case Pvar::ConfigEagerLimit: return "config.eager_limit";
     case Pvar::ConfigShmEagerLimit: return "config.shm_eager_limit";
     case Pvar::ConfigMuBatch: return "config.mu_batch";
+    case Pvar::ConfigCollSlice: return "config.coll_slice";
+    case Pvar::ConfigCollRadix: return "config.coll_radix";
     case Pvar::Count: break;
   }
   return "?";
@@ -55,6 +63,9 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::CommSleep: return "commthread.sleep";
     case TraceEv::CommWake: return "commthread.wake";
     case TraceEv::CollPhase: return "collective.round";
+    case TraceEv::CollSliceMath: return "collective.slice_math";
+    case TraceEv::CollArm: return "collective.arm";
+    case TraceEv::CollCopyOut: return "collective.copy_out";
     case TraceEv::Count: break;
   }
   return "?";
@@ -79,6 +90,9 @@ TraceCat trace_ev_cat(TraceEv ev) {
     case TraceEv::CommWake:
       return kCatCommthread;
     case TraceEv::CollPhase:
+    case TraceEv::CollSliceMath:
+    case TraceEv::CollArm:
+    case TraceEv::CollCopyOut:
     case TraceEv::Count:
       break;
   }

@@ -45,6 +45,9 @@ enum class TraceEv : std::uint8_t {
   CommSleep,     // span: a commthread's wakeup-unit sleep
   CommWake,      // instant: the store that ended the sleep arrived
   CollPhase,     // instant: a collective-network round fired; arg = round
+  CollSliceMath, // span: parallel local reduce of one pipeline slice; arg = bytes
+  CollArm,       // instant: master armed a network round; arg = round
+  CollCopyOut,   // span: peer copy-out of a completed slice; arg = bytes
   Count,
 };
 

@@ -55,6 +55,7 @@ std::size_t CounterDevice::poll() {
     if (pending_[i].counter->complete()) {
       pami::EventFn fn = std::move(pending_[i].on_done);
       pami::EventFn then = std::move(pending_[i].then);
+      free_.push_back(std::move(pending_[i].counter));  // recycle, don't free
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
       if (fn) fn();
       if (then) then();

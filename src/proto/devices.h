@@ -139,6 +139,20 @@ class CounterDevice final : public Device {
     pending_.push_back(Pending{std::move(counter), std::move(on_done), std::move(then)});
   }
 
+  /// Pooled counter acquire: drained counters recycle through this device
+  /// (the completion point), so steady-state RDMA pulls never allocate.
+  /// Callers re-prime before use.
+  std::unique_ptr<hw::MuReceptionCounter> acquire() {
+    if (free_.empty()) return std::make_unique<hw::MuReceptionCounter>();
+    auto c = std::move(free_.back());
+    free_.pop_back();
+    return c;
+  }
+  /// Return an acquired-but-unused counter (a send that bounced Eagain).
+  void release(std::unique_ptr<hw::MuReceptionCounter> counter) {
+    free_.push_back(std::move(counter));
+  }
+
  private:
   struct Pending {
     std::unique_ptr<hw::MuReceptionCounter> counter;
@@ -146,6 +160,7 @@ class CounterDevice final : public Device {
     pami::EventFn then;
   };
   std::vector<Pending> pending_;
+  std::vector<std::unique_ptr<hw::MuReceptionCounter>> free_;
 };
 
 }  // namespace pamix::proto

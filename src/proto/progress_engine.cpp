@@ -145,6 +145,25 @@ void ProgressEngine::watch_counter(std::unique_ptr<hw::MuReceptionCounter> count
   counter_dev_->watch(std::move(counter), std::move(on_done), std::move(then));
 }
 
+std::unique_ptr<hw::MuReceptionCounter> ProgressEngine::acquire_counter() {
+  return counter_dev_->acquire();
+}
+
+void ProgressEngine::release_counter(std::unique_ptr<hw::MuReceptionCounter> counter) {
+  counter_dev_->release(std::move(counter));
+}
+
+std::shared_ptr<hw::MuDescriptor> ProgressEngine::acquire_remote_desc() {
+  for (auto& d : remote_desc_cache_) {
+    if (d.use_count() == 1) {
+      *d = hw::MuDescriptor{};  // clear stale fields before reuse
+      return d;
+    }
+  }
+  remote_desc_cache_.push_back(std::make_shared<hw::MuDescriptor>());
+  return remote_desc_cache_.back();
+}
+
 const std::byte* ProgressEngine::peer_va(int task, const void* addr, std::size_t bytes) const {
   return client_.node().global_va().translate(machine_.local_index_of_task(task), addr, bytes);
 }
@@ -200,13 +219,14 @@ pami::Result ProgressEngine::put(pami::PutParams& params) {
   desc.payload = static_cast<const std::byte*>(params.local_addr);
   desc.payload_bytes = params.bytes;
   desc.put_dest = static_cast<std::byte*>(params.remote_addr);
-  auto counter = std::make_unique<hw::MuReceptionCounter>();
+  auto counter = acquire_counter();
   counter->prime(static_cast<std::int64_t>(params.bytes));
   desc.rec_counter = counter.get();
   desc.on_injected = std::move(params.on_local_done);
   if (!push_descriptor(inj_fifo_for(dest_node), std::move(desc))) {
     // Restore the callback so the caller's PutParams stay retryable.
     params.on_local_done = std::move(desc.on_injected);
+    release_counter(std::move(counter));
     return pami::Result::Eagain;
   }
   watch_counter(std::move(counter), std::move(params.on_remote_done));
@@ -222,10 +242,10 @@ pami::Result ProgressEngine::get(pami::GetParams& params) {
     if (params.on_done) params.on_done();
     return pami::Result::Success;
   }
-  auto counter = std::make_unique<hw::MuReceptionCounter>();
+  auto counter = acquire_counter();
   counter->prime(static_cast<std::int64_t>(params.bytes));
 
-  auto payload_desc = std::make_shared<hw::MuDescriptor>();
+  auto payload_desc = acquire_remote_desc();
   payload_desc->type = hw::MuPacketType::DirectPut;
   payload_desc->routing = hw::MuRouting::Dynamic;
   payload_desc->dest_node = machine_.node_of_task(client_.task());
@@ -239,7 +259,10 @@ pami::Result ProgressEngine::get(pami::GetParams& params) {
   desc.routing = hw::MuRouting::Deterministic;
   desc.dest_node = dest_node;
   desc.remote_payload = std::move(payload_desc);
-  if (!push_descriptor(inj_fifo_for(dest_node), std::move(desc))) return pami::Result::Eagain;
+  if (!push_descriptor(inj_fifo_for(dest_node), std::move(desc))) {
+    release_counter(std::move(counter));
+    return pami::Result::Eagain;
+  }
   watch_counter(std::move(counter), std::move(params.on_done));
   return pami::Result::Success;
 }

@@ -158,6 +158,16 @@ class ProgressEngine {
   void watch_counter(std::unique_ptr<hw::MuReceptionCounter> counter, pami::EventFn on_done,
                      pami::EventFn then = pami::EventFn{});
 
+  /// Pooled MU completion primitives, so steady-state rendezvous pulls and
+  /// one-sided RDMA never touch the heap: reception counters recycle
+  /// through the counter device (their completion point); remote-get
+  /// payload descriptors through a use_count-gated cache — the MU drops
+  /// its reference when the remote get retires, so a cached entry with
+  /// use_count() == 1 is free for reuse.
+  std::unique_ptr<hw::MuReceptionCounter> acquire_counter();
+  void release_counter(std::unique_ptr<hw::MuReceptionCounter> counter);
+  std::shared_ptr<hw::MuDescriptor> acquire_remote_desc();
+
   /// Per-context staging pool for eager/RTS streams and shm packet
   /// buffers. Single-consumer: acquire only on this context's advancing
   /// thread (buffers release from anywhere).
@@ -195,6 +205,7 @@ class ProgressEngine {
   std::uint64_t next_defer_handle_ = 1;
   SendStateTable send_states_;
   core::BufferPool stage_pool_;
+  std::vector<std::shared_ptr<hw::MuDescriptor>> remote_desc_cache_;
 
   std::unique_ptr<EagerProtocol> eager_;
   std::unique_ptr<RdzvProtocol> rdzv_;

@@ -58,10 +58,10 @@ void RdzvProtocol::start_pull(pami::Endpoint origin, const RtsInfo& rts, void* b
   // Pull the payload with an RDMA remote get straight into the user buffer.
   obs_.pvars.add(obs::Pvar::RdzvPullsStarted);
   engine_.ctx_obs().trace.record(obs::TraceEv::RdzvPull, static_cast<std::uint32_t>(pull));
-  auto counter = std::make_unique<hw::MuReceptionCounter>();
+  auto counter = engine_.acquire_counter();
   counter->prime(static_cast<std::int64_t>(pull));
 
-  auto payload_desc = std::make_shared<hw::MuDescriptor>();
+  auto payload_desc = engine_.acquire_remote_desc();
   payload_desc->type = hw::MuPacketType::DirectPut;
   payload_desc->routing = hw::MuRouting::Dynamic;
   payload_desc->dest_node = engine_.machine().node_of_task(engine_.endpoint().task);

@@ -68,12 +68,53 @@ void combine_buffers(hw::CombineOp op, hw::CombineType type, void* acc, const vo
   }
 }
 
+CollectiveNetworkEngine::Round& CollectiveNetworkEngine::round_slot(std::uint64_t round) {
+  Round* free_slot = nullptr;
+  for (Round& r : slots_) {
+    if (r.live && r.id == round) return r;
+    if (!r.live && free_slot == nullptr) free_slot = &r;
+  }
+  if (free_slot == nullptr) {
+    slots_.emplace_back();  // new in-flight high-water mark
+    free_slot = &slots_.back();
+  }
+  Round& r = *free_slot;
+  r.id = round;
+  r.live = true;
+  r.arrived = 0;
+  r.is_broadcast = false;
+  r.have_op = false;
+  r.bytes = 0;
+  r.acc.clear();    // capacity retained: steady state reuses the storage
+  r.dests.clear();
+  r.hooks.clear();
+  r.complete = false;
+  return r;
+}
+
+void CollectiveNetworkEngine::mark_completed(std::uint64_t round) {
+  // Slide the window forward over already-completed rounds until `round`
+  // fits. Pipelining keeps the in-flight skew to a handful of rounds, so
+  // an incomplete round can never be 64 behind the one completing now.
+  while (round >= win_base_ + 64 && (win_bits_ & 1)) {
+    win_bits_ >>= 1;
+    ++win_base_;
+  }
+  assert(round >= win_base_ && round < win_base_ + 64 && "collective round window overflow");
+  win_bits_ |= 1ull << (round - win_base_);
+  while (win_bits_ & 1) {  // advance past the completed prefix
+    win_bits_ >>= 1;
+    ++win_base_;
+  }
+}
+
 CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute(
     std::uint64_t round, bool broadcast, bool provides_data, const void* data, std::size_t bytes,
-    hw::CombineOp op, hw::CombineType type, void* result_dest) {
-  std::lock_guard<std::mutex> g(mu_);
+    hw::CombineOp op, hw::CombineType type, void* result_dest, CompletionHook hook,
+    void* hook_arg) {
+  lock();
   obs_.pvars.add(obs::Pvar::CollRoundsContributed);
-  Round& r = rounds_[round];
+  Round& r = round_slot(round);
   assert(!r.complete && "contribution to an already-completed round");
   r.is_broadcast = broadcast;
   if (provides_data) {
@@ -98,7 +139,9 @@ CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute(
     }
   }
   if (result_dest != nullptr) r.dests.push_back(result_dest);
+  if (hook != nullptr) r.hooks.emplace_back(hook, hook_arg);
   ++r.arrived;
+  Round* fire = nullptr;
   if (r.arrived == participants_) {
     // Round fires: RDMA-write the result into every registered buffer.
     assert((!broadcast || !r.acc.empty()) && "broadcast round had no root");
@@ -106,39 +149,52 @@ CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute(
       if (d != r.acc.data() && !r.acc.empty()) std::memcpy(d, r.acc.data(), r.bytes);
     }
     r.complete = true;
+    mark_completed(round);
     obs_.pvars.add(obs::Pvar::CollRoundsCompleted);
     obs_.trace.record(obs::TraceEv::CollPhase, static_cast<std::uint32_t>(round));
-    if (round + 1 > completed_upto_) completed_upto_ = round + 1;
-    // Prune long-completed rounds.
-    while (!rounds_.empty() && rounds_.begin()->first + 64 < completed_upto_ &&
-           rounds_.begin()->second.complete) {
-      rounds_.erase(rounds_.begin());
-    }
+    fire = &r;
+  }
+  unlock();
+  if (fire != nullptr) {
+    // Hooks run from the still-live slot, under no engine locks: a hook
+    // may immediately re-enter the engine (arm the next pipeline round) —
+    // that claims a different slot, and deque references are stable under
+    // growth. Nobody contributes to a fully-arrived round again, so the
+    // hook list cannot change underneath us; the slot is reclaimed after.
+    for (auto& [fn, arg] : fire->hooks) fn(arg);
+    lock();
+    fire->live = false;
+    unlock();
   }
   return Ticket{round};
 }
 
 CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute_reduce(
     std::uint64_t round, const void* data, std::size_t bytes, hw::CombineOp op,
-    hw::CombineType type, void* result_dest) {
+    hw::CombineType type, void* result_dest, CompletionHook hook, void* hook_arg) {
   return contribute(round, /*broadcast=*/false, /*provides_data=*/true, data, bytes, op, type,
-                    result_dest);
+                    result_dest, hook, hook_arg);
 }
 
 CollectiveNetworkEngine::Ticket CollectiveNetworkEngine::contribute_broadcast(
-    std::uint64_t round, bool is_root, const void* data, std::size_t bytes, void* result_dest) {
+    std::uint64_t round, bool is_root, const void* data, std::size_t bytes, void* result_dest,
+    CompletionHook hook, void* hook_arg) {
   return contribute(round, /*broadcast=*/true, is_root, data, bytes, hw::CombineOp::Add,
-                    hw::CombineType::Double, result_dest);
+                    hw::CombineType::Double, result_dest, hook, hook_arg);
 }
 
 bool CollectiveNetworkEngine::done(const Ticket& t) const {
-  std::lock_guard<std::mutex> g(mu_);
-  if (t.round < completed_upto_) {
-    auto it = rounds_.find(t.round);
-    return it == rounds_.end() || it->second.complete;
+  lock();
+  bool complete;
+  if (t.round < win_base_) {
+    complete = true;
+  } else if (t.round < win_base_ + 64) {
+    complete = (win_bits_ >> (t.round - win_base_)) & 1;
+  } else {
+    complete = false;  // not even in the completion window yet
   }
-  auto it = rounds_.find(t.round);
-  return it != rounds_.end() && it->second.complete;
+  unlock();
+  return complete;
 }
 
 }  // namespace pamix::runtime

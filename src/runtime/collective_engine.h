@@ -20,12 +20,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <deque>
 #include <functional>
-#include <map>
-#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "hw/classroute.h"
+#include "hw/l2_atomics.h"
 #include "obs/pvar.h"
 
 namespace pamix::runtime {
@@ -48,18 +49,29 @@ class CollectiveNetworkEngine {
     std::uint64_t round = 0;
   };
 
+  /// Non-blocking completion hook: fires once, after the round's result
+  /// has been RDMA-written to every destination, on the thread whose
+  /// contribution completed the round, under no engine locks. A plain
+  /// function pointer + argument (not a std::function / InlineFn) so the
+  /// runtime layer stays free of core's callable types and the engine
+  /// never allocates to store it.
+  using CompletionHook = void (*)(void*);
+
   /// Contribute this node's data for reduction round `round`.
   /// `result_dest` is where the network RDMA-writes this node's copy of
   /// the combined result (the master's receive buffer).
-  /// `on_complete` (optional) runs under no locks after the result lands.
+  /// `hook` (optional) runs under no locks after the result lands — the
+  /// caller's alternative to busy-polling done().
   Ticket contribute_reduce(std::uint64_t round, const void* data, std::size_t bytes,
-                           hw::CombineOp op, hw::CombineType type, void* result_dest);
+                           hw::CombineOp op, hw::CombineType type, void* result_dest,
+                           CompletionHook hook = nullptr, void* hook_arg = nullptr);
 
   /// Broadcast round: exactly one contributor (the root's master) supplies
   /// data; every participant still calls in to register its destination
   /// buffer and advance the round.
   Ticket contribute_broadcast(std::uint64_t round, bool is_root, const void* data,
-                              std::size_t bytes, void* result_dest);
+                              std::size_t bytes, void* result_dest,
+                              CompletionHook hook = nullptr, void* hook_arg = nullptr);
 
   /// True once the round of `t` has completed and this node's result has
   /// been written.
@@ -68,7 +80,14 @@ class CollectiveNetworkEngine {
   int participants() const { return participants_; }
 
  private:
+  /// Per-round state, recycled: slots live in a deque (stable references
+  /// across growth) and are reclaimed after the round's hooks run, with
+  /// their vectors keeping capacity — steady-state collectives touch the
+  /// heap only while a new high-water mark of in-flight rounds or payload
+  /// size is being established.
   struct Round {
+    std::uint64_t id = 0;
+    bool live = false;
     int arrived = 0;
     bool is_broadcast = false;
     bool have_op = false;
@@ -77,18 +96,40 @@ class CollectiveNetworkEngine {
     std::size_t bytes = 0;
     std::vector<std::byte> acc;
     std::vector<void*> dests;
+    std::vector<std::pair<CompletionHook, void*>> hooks;
     bool complete = false;
   };
 
   Ticket contribute(std::uint64_t round, bool broadcast, bool provides_data, const void* data,
                     std::size_t bytes, hw::CombineOp op, hw::CombineType type,
-                    void* result_dest);
+                    void* result_dest, CompletionHook hook, void* hook_arg);
+
+  /// Find (or claim and reset) the slot for `round`. Called under mu_.
+  Round& round_slot(std::uint64_t round);
+  /// Record `round` in the sliding completion window. Called under mu_.
+  void mark_completed(std::uint64_t round);
+
+  /// Acquire mu_, counting acquisitions that found it held (contention
+  /// between node masters is a real hardware effect worth seeing).
+  void lock() const {
+    if (!mu_.try_lock()) {
+      obs_.pvars.add(obs::Pvar::CollnetLockContended);
+      mu_.lock();
+    }
+  }
+  void unlock() const { mu_.unlock(); }
 
   const int participants_;
   obs::Domain& obs_;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, Round> rounds_;
-  std::uint64_t completed_upto_ = 0;  // rounds below this are complete & erased
+  // The only mutex on the collective hot path: the BG/Q L2-atomic ticket
+  // lock, not a std::mutex (no futex syscall when masters collide).
+  mutable hw::L2AtomicMutex mu_;
+  std::deque<Round> slots_;
+  // Sliding completion window: rounds below win_base_ are complete;
+  // win_bits_ bit i records completion of round win_base_ + i. Pipelining
+  // bounds in-flight skew to a handful of rounds, far below 64.
+  std::uint64_t win_base_ = 0;
+  std::uint64_t win_bits_ = 0;
 };
 
 }  // namespace pamix::runtime

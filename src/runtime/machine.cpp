@@ -46,6 +46,12 @@ Machine::Machine(hw::TorusGeometry geometry, int ppn, MachineOptions options)
       routes_(hw::kClassRoutesPerNode),
       engines_(hw::kClassRoutesPerNode) {
   assert(ppn_ >= 1 && ppn_ <= 64);
+  // Tell the spin loops whether the task threads will oversubscribe the
+  // host: more tasks than hardware threads means a waited-for peer is
+  // often not running, and waiters must yield instead of burning quanta.
+  const auto hc = std::thread::hardware_concurrency();
+  hw::oversubscribed_hint().store(hc == 0 || task_count() > static_cast<int>(hc),
+                                  std::memory_order_relaxed);
   nodes_.reserve(static_cast<std::size_t>(geom_.node_count()));
   for (int n = 0; n < geom_.node_count(); ++n) {
     nodes_.push_back(std::make_unique<Node>(n, &network_, options_));

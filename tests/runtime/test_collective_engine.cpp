@@ -98,6 +98,74 @@ TEST(CollectiveEngine, ManyRoundsPruneState) {
   SUCCEED();  // no unbounded growth assertion needed — pruning is internal
 }
 
+TEST(CollectiveEngine, CompletionHookFiresOnceWhenRoundLands) {
+  CollectiveNetworkEngine eng(3);
+  double in = 1.0;
+  double outs[3] = {0, 0, 0};
+  int fired = 0;
+  auto hook = [](void* arg) { ++*static_cast<int*>(arg); };
+  eng.contribute_reduce(0, &in, sizeof(double), hw::CombineOp::Add, hw::CombineType::Double,
+                        &outs[0], hook, &fired);
+  EXPECT_EQ(fired, 0);  // round not complete: hook must not fire early
+  eng.contribute_reduce(0, &in, sizeof(double), hw::CombineOp::Add, hw::CombineType::Double,
+                        &outs[1]);
+  EXPECT_EQ(fired, 0);
+  eng.contribute_reduce(0, &in, sizeof(double), hw::CombineOp::Add, hw::CombineType::Double,
+                        &outs[2]);
+  EXPECT_EQ(fired, 1);
+  // The hook observes the RDMA-written result: fires after the copies.
+  EXPECT_DOUBLE_EQ(outs[0], 3.0);
+}
+
+TEST(CollectiveEngine, EveryContributorHookFires) {
+  CollectiveNetworkEngine eng(2);
+  int a = 0, b = 0;
+  auto hook = [](void* arg) { ++*static_cast<int*>(arg); };
+  double in = 1.0, out0 = 0, out1 = 0;
+  eng.contribute_reduce(0, &in, sizeof(double), hw::CombineOp::Add, hw::CombineType::Double,
+                        &out0, hook, &a);
+  eng.contribute_reduce(0, &in, sizeof(double), hw::CombineOp::Add, hw::CombineType::Double,
+                        &out1, hook, &b);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(CollectiveEngine, HookMayReenterTheEngine) {
+  // A completion hook arming the next round is exactly the pipeline's
+  // shape; the engine must run hooks outside its lock to allow it.
+  CollectiveNetworkEngine eng(1);
+  struct Chain {
+    CollectiveNetworkEngine* eng;
+    double in = 1.0;
+    double out = 0.0;
+    int rounds = 0;
+  } chain{&eng};
+  auto hook = [](void* arg) {
+    auto* c = static_cast<Chain*>(arg);
+    if (++c->rounds < 5) {
+      c->eng->contribute_reduce(static_cast<std::uint64_t>(c->rounds), &c->in, sizeof(double),
+                                hw::CombineOp::Add, hw::CombineType::Double, &c->out,
+                                [](void* a) { ++static_cast<Chain*>(a)->rounds; }, arg);
+    }
+  };
+  eng.contribute_reduce(0, &chain.in, sizeof(double), hw::CombineOp::Add,
+                        hw::CombineType::Double, &chain.out, hook, &chain);
+  EXPECT_GE(chain.rounds, 2);  // round 0's hook armed round 1, whose hook ran
+}
+
+TEST(CollectiveEngine, BroadcastHookFires) {
+  CollectiveNetworkEngine eng(2);
+  const std::vector<int> root_data{7, 8};
+  std::vector<int> out(2);
+  int fired = 0;
+  auto hook = [](void* arg) { ++*static_cast<int*>(arg); };
+  eng.contribute_broadcast(0, true, root_data.data(), 2 * sizeof(int), nullptr, hook, &fired);
+  EXPECT_EQ(fired, 0);
+  eng.contribute_broadcast(0, false, nullptr, 2 * sizeof(int), out.data(), hook, &fired);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(out, root_data);
+}
+
 TEST(CollectiveEngine, ConcurrentContributorsFromThreads) {
   CollectiveNetworkEngine eng(8);
   std::vector<std::thread> ts;
