@@ -20,12 +20,18 @@ namespace {
 
 using namespace pamix;
 
-double run_us(int contexts, int sender_threads, int msgs_per_thread) {
+/// `match_mode` selects the matcher structure (PAMIX_MPI_MATCH, read at
+/// world construction): "bins" is the sharded hashed engine whose shard
+/// hash refines this ablation's context hash, "list" the single serialized
+/// queue the paper describes.
+double run_us(int contexts, const char* match_mode, int sender_threads, int msgs_per_thread) {
+  setenv("PAMIX_MPI_MATCH", match_mode, 1);
   runtime::Machine machine(hw::TorusGeometry({5, 1, 1, 1, 1}), 1);
   mpi::MpiConfig cfg;
   cfg.contexts_per_task = contexts;
   cfg.commthreads = mpi::MpiConfig::Commthreads::ForceOff;
   mpi::MpiWorld world(machine, cfg);
+  unsetenv("PAMIX_MPI_MATCH");
   double us = 0;
   machine.run_spmd([&](int task) {
     mpi::Mpi& mp = world.at(task);
@@ -67,15 +73,39 @@ double run_us(int contexts, int sender_threads, int msgs_per_thread) {
 
 int main() {
   using namespace pamix;
-  bench::header("ABLATION — context hashing: 1 context vs 4 (THREAD_MULTIPLE)");
+  bench::header("ABLATION — context hashing x matching engine (THREAD_MULTIPLE)");
   constexpr int kThreads = 4;
-  constexpr int kMsgs = 2000;
-  const double one = run_us(1, kThreads, kMsgs);
-  const double four = run_us(4, kThreads, kMsgs);
+  const int kMsgs = bench::env_iters("PAMIX_CTXHASH_MSGS", 2000);
+  bench::PvarPhase phase;
+  const double one_list = run_us(1, "list", kThreads, kMsgs);
+  const double one_bins = run_us(1, "bins", kThreads, kMsgs);
+  const double four_list = run_us(4, "list", kThreads, kMsgs);
+  const double four_bins = run_us(4, "bins", kThreads, kMsgs);
   std::printf("%d sender threads x %d msgs to distinct peers:\n", kThreads, kMsgs);
-  std::printf("  1 context  : %10.0f us (every send funnels one channel)\n", one);
-  std::printf("  4 contexts : %10.0f us (hashing spreads peers over channels)\n", four);
-  std::printf("  ratio      : %10.2fx\n", one / four);
+  std::printf("  1 context  / list : %10.0f us (one channel, serialized queue)\n", one_list);
+  std::printf("  1 context  / bins : %10.0f us (one channel, sharded matcher)\n", one_bins);
+  std::printf("  4 contexts / list : %10.0f us (hashed channels, serialized queue)\n",
+              four_list);
+  std::printf("  4 contexts / bins : %10.0f us (hashed channels, sharded matcher)\n",
+              four_bins);
+  std::printf("  context ratio (bins): %7.2fx   matcher ratio (4 ctx): %7.2fx\n",
+              one_bins / four_bins, four_list / four_bins);
   std::printf("(Expect >1 on multi-core hosts; near 1 when the host has a single CPU.)\n");
+
+  const auto delta = phase.delta();
+  bench::JsonResult json;
+  json.add("us_1ctx_list", one_list);
+  json.add("us_1ctx_bins", one_bins);
+  json.add("us_4ctx_list", four_list);
+  json.add("us_4ctx_bins", four_bins);
+  json.add("context_ratio_bins", one_bins / four_bins);
+  json.add("matcher_ratio_4ctx", four_list / four_bins);
+  json.add("msgs_per_thread", static_cast<std::uint64_t>(kMsgs));
+  json.add("mpi.match.bin_hits", delta[obs::Pvar::MpiMatchBinHits]);
+  json.add("mpi.match.list_scans", delta[obs::Pvar::MpiMatchListScans]);
+  json.add("mpi.match.parked", delta[obs::Pvar::MpiMatchParked]);
+  json.add("mpi.match.pool_misses", delta[obs::Pvar::MpiMatchPoolMisses]);
+  json.write("BENCH_ctxhash.json");
+  bench::obs_finish();
   return 0;
 }

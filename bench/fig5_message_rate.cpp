@@ -66,6 +66,63 @@ double host_mpi_rate_mmps(bool wildcard, int msgs, bool commthreads = false) {
   return mmps;
 }
 
+/// Matching-engine A/B at 4 contexts: the receiver pre-posts a deep queue
+/// of `depth` receives with distinct tags, and the sender sends them in
+/// *reverse* tag order, so every arrival under PAMIX_MPI_MATCH=list walks
+/// O(depth) posted nodes while the hashed-bin matcher resolves each in
+/// O(1). The knob is read at matcher construction, so it is set before the
+/// world is built and the two arms run in one process.
+/// `measured_delta` receives the pvar delta of the measured rounds only —
+/// in steady state the bins arm's mpi.match.pool_misses must be zero (the
+/// strict-alloc CI gate checks this).
+double host_mpi_match_rate_mmps(const char* match_mode, int depth, int rounds,
+                                obs::PvarSnapshot* measured_delta) {
+  setenv("PAMIX_MPI_MATCH", match_mode, 1);
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  mpi::MpiConfig cfg;
+  cfg.contexts_per_task = 4;
+  cfg.commthreads = mpi::MpiConfig::Commthreads::ForceOff;
+  mpi::MpiWorld world(machine, cfg);
+  unsetenv("PAMIX_MPI_MATCH");
+  double mmps = 0;
+  machine.run_spmd([&](int task) {
+    mpi::Mpi& mp = world.at(task);
+    mp.init(mpi::ThreadLevel::Multiple);
+    const mpi::Comm w = mp.world();
+    auto round = [&] {
+      // Leading barrier: no rank starts a round until both finished the
+      // previous statement, so the receiver cannot post into the measured
+      // window before the sender's PvarPhase baseline is taken.
+      mp.barrier(w);
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(static_cast<std::size_t>(depth));
+      if (mp.rank(w) == 1) {
+        for (int t = 0; t < depth; ++t) {
+          reqs.push_back(mp.irecv(nullptr, 0, 0, t, w));
+        }
+        mp.barrier(w);
+      } else {
+        mp.barrier(w);  // the whole queue is posted before the first send
+        for (int t = depth - 1; t >= 0; --t) {
+          reqs.push_back(mp.isend(nullptr, 0, 1, t, w));
+        }
+      }
+      mp.waitall(reqs);
+      mp.barrier(w);
+    };
+    round();  // warm-up: node freelists and peer tables fill
+    bench::PvarPhase measured;
+    bench::Stopwatch sw;
+    for (int r = 0; r < rounds; ++r) round();
+    if (mp.rank(w) == 0) {
+      mmps = static_cast<double>(depth) * rounds / sw.elapsed_us();
+      if (measured_delta != nullptr) *measured_delta = measured.delta();
+    }
+    mp.finalize();
+  });
+  return mmps;
+}
+
 double host_pami_rate_mmps(int msgs) {
   runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
   pami::ClientWorld world(machine, pami::ClientConfig{});
@@ -168,6 +225,16 @@ int main() {
   const double mpi_host_ct = host_mpi_rate_mmps(false, kMpiMsgs, /*commthreads=*/true);
   comm_phase.report("MPI commthread-handoff phase");
 
+  // Matching-engine A/B: same deep-posted-queue workload, 4 contexts,
+  // list (the paper's serialized queue) vs hashed bins.
+  const int kDepth = std::min(kMpiMsgs, 1024);
+  const int kRounds = std::max(kMpiMsgs / kDepth / 4, 1);
+  obs::PvarSnapshot list_delta, bins_delta;
+  const double match_list =
+      host_mpi_match_rate_mmps("list", kDepth, kRounds, &list_delta);
+  const double match_bins =
+      host_mpi_match_rate_mmps("bins", kDepth, kRounds, &bins_delta);
+
   std::printf("  PAMI send_immediate rate : %8.2f Mmsg/s\n", pami_host);
   std::printf("  PAMI 64B pooled eager    : %8.2f Mmsg/s\n", pami_host_64);
   std::printf("  MPI isend/irecv rate     : %8.2f Mmsg/s\n", mpi_host);
@@ -176,6 +243,20 @@ int main() {
   std::printf("  shape: PAMI > MPI: %s; wildcard <= source-ranked: %s\n",
               pami_host > mpi_host ? "OK" : "UNEXPECTED",
               mpi_host_wc <= mpi_host * 1.10 ? "OK" : "UNEXPECTED");
+
+  std::printf("\nMatching engine A/B (4 contexts, %d-deep posted queue x %d rounds):\n",
+              kDepth, kRounds);
+  std::printf("  PAMIX_MPI_MATCH=list     : %8.2f Mmsg/s (%llu nodes walked)\n", match_list,
+              static_cast<unsigned long long>(list_delta[obs::Pvar::MpiMatchListScans]));
+  std::printf("  PAMIX_MPI_MATCH=bins     : %8.2f Mmsg/s (%llu bin hits)\n", match_bins,
+              static_cast<unsigned long long>(bins_delta[obs::Pvar::MpiMatchBinHits]));
+  std::printf("  speedup                  : %8.2fx  bins > list: %s\n",
+              match_bins / match_list, match_bins > match_list ? "OK" : "UNEXPECTED");
+  std::printf("  bins arm: pool hits=%llu misses=%llu wildcard fallbacks=%llu\n",
+              static_cast<unsigned long long>(bins_delta[obs::Pvar::MpiMatchPoolHits]),
+              static_cast<unsigned long long>(bins_delta[obs::Pvar::MpiMatchPoolMisses]),
+              static_cast<unsigned long long>(
+                  bins_delta[obs::Pvar::MpiMatchWildcardFallbacks]));
 
   // Accounting check: every message of the PAMI phase must appear in the
   // send pvars exactly once (eager, rendezvous, or shm).
@@ -201,6 +282,16 @@ int main() {
   json.add("mpi_mmps", mpi_host);
   json.add("mpi_wildcard_mmps", mpi_host_wc);
   json.add("mpi_commthread_mmps", mpi_host_ct);
+  json.add("mpi_match_list_mmps", match_list);
+  json.add("mpi_match_bins_mmps", match_bins);
+  json.add("mpi_match_speedup", match_bins / match_list);
+  json.add("mpi_match_depth", static_cast<std::uint64_t>(kDepth));
+  json.add("mpi.match.bin_hits", bins_delta[obs::Pvar::MpiMatchBinHits]);
+  json.add("mpi.match.list_scans", list_delta[obs::Pvar::MpiMatchListScans]);
+  json.add("mpi.match.wildcard_fallbacks", bins_delta[obs::Pvar::MpiMatchWildcardFallbacks]);
+  json.add("mpi.match.parked", bins_delta[obs::Pvar::MpiMatchParked]);
+  json.add("mpi.match.pool_hits", bins_delta[obs::Pvar::MpiMatchPoolHits]);
+  json.add("mpi.match.pool_misses", bins_delta[obs::Pvar::MpiMatchPoolMisses]);
   json.add("messages", static_cast<std::uint64_t>(kPamiMsgs));
   json.add("alloc.pool_hits", pool_hits);
   json.add("alloc.pool_misses", pool_misses);
@@ -219,6 +310,16 @@ int main() {
                  "fig5: PAMIX_BENCH_STRICT_ALLOC: %llu pool misses in the measured "
                  "steady-state phase (expected 0)\n",
                  static_cast<unsigned long long>(pool_misses));
+    return 1;
+  }
+  // Same gate for the matching engine: a steady-state match-node pool miss
+  // means a node stopped recycling through its shard freelist.
+  const std::uint64_t match_misses = bins_delta[obs::Pvar::MpiMatchPoolMisses];
+  if (std::getenv("PAMIX_BENCH_STRICT_ALLOC") != nullptr && match_misses > 0) {
+    std::fprintf(stderr,
+                 "fig5: PAMIX_BENCH_STRICT_ALLOC: %llu mpi.match.pool_misses in the "
+                 "measured matching phase (expected 0)\n",
+                 static_cast<unsigned long long>(match_misses));
     return 1;
   }
   return 0;

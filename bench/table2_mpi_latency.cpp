@@ -94,7 +94,8 @@ int main() {
   }
 
   std::printf("\nFunctional host run (real pamid ping-pong, host clock):\n");
-  constexpr int kIters = 3000;
+  const int kIters = bench::env_iters("PAMIX_TABLE2_ITERS", 3000);
+  bench::PvarPhase host_phase;
   const double c_single =
       host_mpi_pingpong_us(mpi::Library::Classic, mpi::ThreadLevel::Single, false, kIters);
   const double c_multi =
@@ -120,5 +121,26 @@ int main() {
   std::printf("\nShape checks: classic SINGLE fastest: %s; MULTIPLE adds lock cost: %s\n",
               (c_single <= t_single * 1.25) ? "OK" : "differs on host",
               (c_multi >= c_single * 0.9) ? "OK" : "differs on host");
+
+  // Machine-readable results: host latencies plus what the matching engine
+  // did across all six ping-pong phases (every recv here is an exact match,
+  // so bins should carry the load and the wildcard path should stay cold).
+  const auto delta = host_phase.delta();
+  bench::JsonResult json;
+  json.add("classic_single_us", c_single);
+  json.add("classic_multiple_us", c_multi);
+  json.add("classic_commthread_us", c_comm);
+  json.add("threadopt_single_us", t_single);
+  json.add("threadopt_multiple_us", t_multi);
+  json.add("threadopt_commthread_us", t_comm);
+  json.add("iters", static_cast<std::uint64_t>(kIters));
+  json.add("mpi.match.bin_hits", delta[obs::Pvar::MpiMatchBinHits]);
+  json.add("mpi.match.list_scans", delta[obs::Pvar::MpiMatchListScans]);
+  json.add("mpi.match.wildcard_fallbacks", delta[obs::Pvar::MpiMatchWildcardFallbacks]);
+  json.add("mpi.match.parked", delta[obs::Pvar::MpiMatchParked]);
+  json.add("mpi.match.pool_hits", delta[obs::Pvar::MpiMatchPoolHits]);
+  json.add("mpi.match.pool_misses", delta[obs::Pvar::MpiMatchPoolMisses]);
+  json.write("BENCH_table2.json");
+  bench::obs_finish();
   return 0;
 }

@@ -86,17 +86,36 @@ int main() {
                 model.rendezvous_neighbor_throughput_mb_s(r.k, mb));
   }
 
-  std::printf("\nFunctional host exchange (256KB, real protocols, host clock):\n");
-  const std::size_t hb = 256u << 10;
+  // PAMIX_TABLE3_KB shrinks the message size for smoke runs.
+  const std::size_t hkb = static_cast<std::size_t>(bench::env_iters("PAMIX_TABLE3_KB", 256));
+  const std::size_t hb = hkb << 10;
+  std::printf("\nFunctional host exchange (%zuKB, real protocols, host clock):\n", hkb);
   std::printf("%-10s %14s %14s %10s\n", "peers", "eager MB/s", "rdzv MB/s", "shape");
+  bench::PvarPhase host_phase;
+  bench::JsonResult json;
+  json.add("bytes", static_cast<std::uint64_t>(hb));
   for (int k : {1, 2, 4}) {
     const double eager = host_exchange_mb_s(/*threshold=*/hb * 2, hb, k);  // all eager
     const double rdzv = host_exchange_mb_s(/*threshold=*/4096, hb, k);     // all rdzv
     std::printf("%-10d %14.0f %14.0f %10s\n", k, eager, rdzv,
                 rdzv > 0.7 * eager ? "OK" : "check");
+    json.add("eager_mb_s_" + std::to_string(k), eager);
+    json.add("rdzv_mb_s_" + std::to_string(k), rdzv);
   }
   std::printf("(On BG/Q rendezvous wins by avoiding the receive-side FIFO copy; the host\n"
               " run verifies both protocols move the data and stay within the same order\n"
               " of magnitude — absolute host ratios depend on host memcpy costs.)\n");
+
+  // Exact-match traffic only: bins carry every posted/unexpected match and
+  // the wildcard fallback path stays cold.
+  const auto delta = host_phase.delta();
+  json.add("mpi.match.bin_hits", delta[obs::Pvar::MpiMatchBinHits]);
+  json.add("mpi.match.list_scans", delta[obs::Pvar::MpiMatchListScans]);
+  json.add("mpi.match.wildcard_fallbacks", delta[obs::Pvar::MpiMatchWildcardFallbacks]);
+  json.add("mpi.match.parked", delta[obs::Pvar::MpiMatchParked]);
+  json.add("mpi.match.pool_hits", delta[obs::Pvar::MpiMatchPoolHits]);
+  json.add("mpi.match.pool_misses", delta[obs::Pvar::MpiMatchPoolMisses]);
+  json.write("BENCH_table3.json");
+  bench::obs_finish();
   return 0;
 }

@@ -13,8 +13,13 @@
 #              with tiny iteration counts under PAMIX_BENCH_STRICT_ALLOC:
 #              verifies data, the software-path zero-alloc steady state,
 #              and that both emit their BENCH_fig{7,9}.json results
+#   mpi-rate-smoke — run the MPI message-rate harnesses (fig5 incl. the
+#              PAMIX_MPI_MATCH list/bins A/B, table3 neighbor throughput)
+#              at reduced scale under PAMIX_BENCH_STRICT_ALLOC: any pool
+#              miss on the matching engine's steady-state path fails the
+#              run, and both must emit their BENCH_*.json results
 #
-# Usage: scripts/check.sh [flavor...]          (default: all five)
+# Usage: scripts/check.sh [flavor...]          (default: all six)
 #        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
@@ -24,7 +29,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 flavors=("$@")
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke)
+  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke mpi-rate-smoke)
 fi
 
 run_flavor() {
@@ -65,8 +70,18 @@ for flavor in "${flavors[@]}"; do
       ( cd "${prefix}" &&
         PAMIX_FIG9_ITERS=2 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/fig9_bcast_bw )
       test -s "${prefix}/BENCH_fig9.json" ;;
+    mpi-rate-smoke)
+      echo "==> [mpi-rate-smoke] fig5 matching A/B + table3 throughput, strict-alloc gate"
+      cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+      cmake --build "${prefix}" -j "${jobs}" --target fig5_message_rate table3_neighbor_throughput
+      ( cd "${prefix}" &&
+        PAMIX_FIG5_MSGS=2000 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/fig5_message_rate )
+      test -s "${prefix}/BENCH_fig5.json"
+      ( cd "${prefix}" &&
+        PAMIX_TABLE3_KB=64 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/table3_neighbor_throughput )
+      test -s "${prefix}/BENCH_table3.json" ;;
     *)
-      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke)" >&2
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke, mpi-rate-smoke)" >&2
       exit 2 ;;
   esac
 done

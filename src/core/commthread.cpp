@@ -64,15 +64,25 @@ void CommThreadPool::run(Worker& w) {
     // Arm before checking for work: the lost-wakeup-free ordering.
     const std::uint64_t armed = w.contexts.empty() ? 0 : wakeup.arm(w.watch);
     std::size_t events = 0;
+    // One raise/lower per sweep, not two priority syscalls per context:
+    // raise lazily at the first context we actually win, restore after
+    // the sweep.
+    bool raised = false;
     for (Context* ctx : w.contexts) {
       // A context is advanced under its lock: the commthread competes with
       // application threads exactly as the thread-optimized MPI does.
-      if (!ctx->trylock()) continue;
-      hwmap.set_priority(w.hw_thread, hw::ThreadPriority::CommHighest);
+      if (!ctx->trylock()) {
+        w.obs->pvars.add(obs::Pvar::CommLockMisses);
+        continue;
+      }
+      if (!raised) {
+        hwmap.set_priority(w.hw_thread, hw::ThreadPriority::CommHighest);
+        raised = true;
+      }
       events += ctx->advance();
-      hwmap.set_priority(w.hw_thread, hw::ThreadPriority::CommLowest);
       ctx->unlock();
     }
+    if (raised) hwmap.set_priority(w.hw_thread, hw::ThreadPriority::CommLowest);
     events_.fetch_add(events, std::memory_order_relaxed);
     if (events > 0 || w.contexts.empty()) {
       if (w.contexts.empty()) std::this_thread::yield();

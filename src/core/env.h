@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 
 namespace pamix::core {
 
@@ -47,6 +48,22 @@ inline int env_int_or(const char* env, int fallback, int lo, int hi) {
     return fallback;
   }
   return static_cast<int>(v);
+}
+
+/// Parse a named-choice knob: returns the index of the value within
+/// `choices` (case-sensitive), or `fallback` when the variable is unset or
+/// names no choice (with the usual warning in the latter case).
+inline int env_choice_or(const char* env, int fallback,
+                         std::initializer_list<const char*> choices) {
+  const char* s = std::getenv(env);
+  if (s == nullptr || *s == '\0') return fallback;
+  int i = 0;
+  for (const char* c : choices) {
+    if (std::strcmp(s, c) == 0) return i;
+    ++i;
+  }
+  std::fprintf(stderr, "pamix: ignoring invalid %s=\"%s\"\n", env, s);
+  return fallback;
 }
 
 /// Parse an on/off flag from `env`; unset keeps `fallback`. "0", "off",

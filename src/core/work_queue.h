@@ -120,6 +120,19 @@ class WorkQueue {
            overflow_count_.load(std::memory_order_acquire) == 0;
   }
 
+  /// Snapshot of how many items are queued right now (array + overflow).
+  /// Consumers use it to bound one drain pass to the items already present
+  /// at entry: an item that re-posts itself while running (e.g. a handoff
+  /// send retrying an Eagain) then waits for the *next* pass instead of
+  /// spinning inside this one while the other devices starve.
+  std::size_t pending() const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::uint64_t tail = hw::l2::load(tail_);
+    const std::int64_t overflow = overflow_count_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head) +
+           static_cast<std::size_t>(overflow > 0 ? overflow : 0);
+  }
+
   /// Address producers store to — place this under a wakeup-unit watch.
   const void* wakeup_address() const { return &tail_; }
 

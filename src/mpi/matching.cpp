@@ -1,9 +1,12 @@
 #include "mpi/matching.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <mutex>
 #include <thread>
+
+#include "core/env.h"
 
 namespace pamix::mpi {
 
@@ -26,20 +29,238 @@ Request RequestPool::acquire(RequestImpl::Kind kind) {
   impl->kind = kind;
   state_->live.fetch_add(1, std::memory_order_relaxed);
   // The deleter co-owns the shard state: a request parked in a matcher
-  // queue can be released after the pool object itself is gone.
-  return Request(impl, [st = state_, shard_idx](RequestImpl* p) {
+  // queue can be released after the pool object itself is gone. The shard
+  // is hashed from the *releasing* thread (owner/reclaim split, like
+  // buffer_pool): when a commthread completes and drops the last
+  // reference, the request lands in that thread's shard instead of
+  // contending on the acquirer's.
+  return Request(impl, [st = state_](RequestImpl* p) {
     st->live.fetch_sub(1, std::memory_order_relaxed);
-    Shard& sh = st->shards[shard_idx];
+    const std::size_t idx =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+    Shard& sh = st->shards[idx];
     std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
     sh.free.push_back(p);
   });
 }
 
+// -------------------------------------------------------------- MatchNode --
+
+/// One pooled queue entry: a posted receive, an unexpected message, or a
+/// parked (overtaken) arrival. Two independent intrusive link pairs let a
+/// node sit in a hash bin (or wildcard list) and the shard-wide order list
+/// at once; the freelist reuses bin_next. The payload vector keeps its
+/// capacity across recycles, so a shard that has warmed up stores
+/// unexpected inline payloads without touching the allocator.
+struct Matcher::MatchNode {
+  MatchNode* bin_next = nullptr;
+  MatchNode* bin_prev = nullptr;
+  MatchNode* ord_next = nullptr;
+  MatchNode* ord_prev = nullptr;
+  std::uint64_t epoch = 0;  // post epoch (posted) / arrival stamp (unexpected)
+  std::uint64_t gen = 0;    // bumped on recycle; validates two-phase wildcard claims
+  bool in_list = false;     // global wildcard node still queued
+  std::int32_t comm = 0;
+  std::int32_t src = 0;  // kAnySource allowed (posted)
+  std::int32_t tag = 0;  // kAnyTag allowed (posted)
+  Request req;           // posted receive
+  // Unexpected / parked payload.
+  Arrival::Kind kind = Arrival::Kind::Inline;
+  Envelope env;
+  pami::Endpoint origin;
+  std::size_t total = 0;
+  std::vector<std::byte> data;
+  std::shared_ptr<Arrival::TempState> temp;
+  pami::Context* ctx = nullptr;
+  std::uint64_t defer_handle = 0;
+};
+
+// ---------------------------------------------------------------- helpers --
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::uint64_t Matcher::peer_key(int comm, int rank) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)) << 32) |
+         static_cast<std::uint32_t>(rank);
+}
+
+std::size_t Matcher::bin_of(int comm, int src, int tag) {
+  const std::uint64_t h =
+      mix64(peer_key(comm, src) ^
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) *
+             0x9e3779b97f4a7c15ull));
+  return static_cast<std::size_t>(h & (kBins - 1));
+}
+
+bool Matcher::node_matches(const MatchNode& p, const Envelope& env) {
+  return p.comm == env.comm && (p.src == kAnySource || p.src == env.src_rank) &&
+         (p.tag == kAnyTag || p.tag == env.tag);
+}
+
+std::size_t Matcher::shard_index(int comm, int rank) const {
+  return (static_cast<std::uint32_t>(rank) + static_cast<std::uint32_t>(comm)) %
+         static_cast<std::uint32_t>(shard_count_);
+}
+
+Matcher::Shard& Matcher::shard_of(int comm, int rank) {
+  return shards_[shard_index(comm, rank)];
+}
+
+void Matcher::push_ord(NodeList& l, MatchNode* n) {
+  n->ord_next = nullptr;
+  n->ord_prev = l.tail;
+  if (l.tail != nullptr) {
+    l.tail->ord_next = n;
+  } else {
+    l.head = n;
+  }
+  l.tail = n;
+}
+
+void Matcher::unlink_ord(NodeList& l, MatchNode* n) {
+  if (n->ord_prev != nullptr) {
+    n->ord_prev->ord_next = n->ord_next;
+  } else {
+    l.head = n->ord_next;
+  }
+  if (n->ord_next != nullptr) {
+    n->ord_next->ord_prev = n->ord_prev;
+  } else {
+    l.tail = n->ord_prev;
+  }
+  n->ord_next = n->ord_prev = nullptr;
+}
+
+void Matcher::push_bin(NodeList& l, MatchNode* n) {
+  n->bin_next = nullptr;
+  n->bin_prev = l.tail;
+  if (l.tail != nullptr) {
+    l.tail->bin_next = n;
+  } else {
+    l.head = n;
+  }
+  l.tail = n;
+}
+
+void Matcher::unlink_bin(NodeList& l, MatchNode* n) {
+  if (n->bin_prev != nullptr) {
+    n->bin_prev->bin_next = n->bin_next;
+  } else {
+    l.head = n->bin_next;
+  }
+  if (n->bin_next != nullptr) {
+    n->bin_next->bin_prev = n->bin_prev;
+  } else {
+    l.tail = n->bin_prev;
+  }
+  n->bin_next = n->bin_prev = nullptr;
+}
+
+Matcher::MatchNode* Matcher::alloc_node(MatchNode*& free_head) {
+  MatchNode* n = free_head;
+  if (n != nullptr) {
+    free_head = n->bin_next;
+    count(obs::Pvar::MpiMatchPoolHits);
+  } else {
+    n = new MatchNode();
+    count(obs::Pvar::MpiMatchPoolMisses);
+  }
+  n->bin_next = n->bin_prev = nullptr;
+  n->ord_next = n->ord_prev = nullptr;
+  n->in_list = false;
+  return n;
+}
+
+void Matcher::recycle_node(MatchNode*& free_head, MatchNode* n) {
+  ++n->gen;
+  n->req.reset();
+  n->temp.reset();
+  n->data.clear();  // keeps capacity for the next unexpected payload
+  n->ctx = nullptr;
+  n->defer_handle = 0;
+  n->in_list = false;
+  n->bin_next = free_head;
+  free_head = n;
+}
+
 // ---------------------------------------------------------------- Matcher --
 
+Matcher::Matcher(Library library, int context_hint, obs::PvarSet* pvars)
+    : Matcher(library,
+              core::env_choice_or("PAMIX_MPI_MATCH", 1, {"list", "bins"}) == 0
+                  ? Mode::List
+                  : Mode::Bins,
+              context_hint, pvars) {}
+
+Matcher::Matcher(Library library, Mode mode, int context_hint, obs::PvarSet* pvars)
+    : library_(library), mode_(mode), pvars_(pvars) {
+  if (mode_ == Mode::List) {
+    shard_count_ = 1;
+  } else {
+    const int n = std::max(1, context_hint);
+    int s = n;
+    while (s < kMinShards) s += n;
+    shard_count_ = s;
+  }
+  shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(shard_count_));
+  send_shards_ = std::make_unique<SendShard[]>(static_cast<std::size_t>(shard_count_));
+}
+
+Matcher::~Matcher() {
+  for (int i = 0; i < shard_count_; ++i) {
+    Shard& sh = shards_[i];
+    // wild_local and the bins alias posted_all / unexp_all, so the order
+    // lists are the single ownership walk.
+    for (MatchNode* n = sh.posted_all.head; n != nullptr;) {
+      MatchNode* next = n->ord_next;
+      delete n;
+      n = next;
+    }
+    for (MatchNode* n = sh.unexp_all.head; n != nullptr;) {
+      MatchNode* next = n->ord_next;
+      delete n;
+      n = next;
+    }
+    sh.peers.for_each([](PeerTable::Entry& e) {
+      for (MatchNode* n = e.parked; n != nullptr;) {
+        MatchNode* next = n->ord_next;
+        delete n;
+        n = next;
+      }
+    });
+    for (MatchNode* n = sh.free_head; n != nullptr;) {
+      MatchNode* next = n->bin_next;
+      delete n;
+      n = next;
+    }
+  }
+  for (MatchNode* n = gw_.list.head; n != nullptr;) {
+    MatchNode* next = n->ord_next;
+    delete n;
+    n = next;
+  }
+  for (MatchNode* n = gw_.free_head; n != nullptr;) {
+    MatchNode* next = n->bin_next;
+    delete n;
+    n = next;
+  }
+}
+
 std::uint32_t Matcher::next_send_seq(int comm, int dest_rank) {
-  std::lock_guard<hw::L2AtomicMutex> g(send_seq_mu_);
-  return send_seq_[{comm, dest_rank}]++;
+  SendShard& ss = send_shards_[shard_index(comm, dest_rank)];
+  std::lock_guard<hw::L2AtomicMutex> g(ss.mu);
+  return ss.peers.find_or_insert(peer_key(comm, dest_rank)).seq++;
 }
 
 void Matcher::complete_recv(const Request& req, const Envelope& env, std::size_t bytes) {
@@ -50,70 +271,192 @@ void Matcher::complete_recv(const Request& req, const Envelope& env, std::size_t
 }
 
 void Matcher::on_arrival(Arrival&& a) {
-  std::lock_guard<hw::L2AtomicMutex> g(mu_);
-  const std::pair<std::int32_t, std::int32_t> key{a.env.comm, a.env.src_rank};
-  std::uint32_t& expected = expected_seq_[key];
-  if (a.env.seq != expected) {
-    // Overtaken arrival: park it. Streaming payload must land somewhere
-    // now, so it goes to a temp buffer; rendezvous defers (no data moved).
-    assert(a.env.seq > expected && "duplicate sequence number");
-    parked_total_.fetch_add(1, std::memory_order_relaxed);
-    if (a.kind == Arrival::Kind::Inline && a.pipe != nullptr) {
-      a.owned.assign(a.pipe, a.pipe + a.pipe_bytes);
-      a.pipe = nullptr;
-    } else if (a.kind == Arrival::Kind::Streaming && a.live_recv != nullptr) {
-      auto temp = std::make_shared<Arrival::TempState>();
-      temp->data.resize(a.total);
-      a.live_recv->buffer = temp->data.data();
-      a.live_recv->bytes = a.total;
-      a.live_recv->on_complete = [this, temp] {
-        std::lock_guard<hw::L2AtomicMutex> g2(mu_);
-        temp->arrived = true;
-        if (temp->claimer) {
-          const std::size_t n = std::min(temp->claimer_cap, temp->data.size());
-          std::memcpy(temp->claimer_buf, temp->data.data(), n);
-          temp->claimer->finish();
-        }
-      };
-      a.temp = std::move(temp);
-      a.live_recv = nullptr;
-    } else if (a.kind == Arrival::Kind::Rdzv && a.live_recv != nullptr) {
-      a.live_recv->defer = true;
-      a.defer_handle = a.live_recv->defer_handle;
-      a.live_recv = nullptr;
-    }
-    parked_.emplace(std::make_tuple(a.env.comm, a.env.src_rank, a.env.seq), std::move(a));
+  Shard& sh = shard_of(a.env.comm, a.env.src_rank);
+  std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
+  PeerTable::Entry& e = sh.peers.find_or_insert(peer_key(a.env.comm, a.env.src_rank));
+  if (a.env.seq != e.seq) {
+    assert(a.env.seq > e.seq && "duplicate sequence number");
+    park(sh, e, std::move(a));
     return;
   }
-  ++expected;
-  deliver(std::move(a));
-  // Drain any parked successors that are now in order.
-  for (;;) {
-    auto it = parked_.find(std::make_tuple(key.first, key.second, expected));
-    if (it == parked_.end()) break;
-    Arrival parked = std::move(it->second);
-    parked_.erase(it);
-    ++expected;
-    deliver(std::move(parked));
+  ++e.seq;
+  deliver(sh, e, std::move(a));
+  // Drain any parked successors that are now in order. No find_or_insert
+  // happens inside deliver, so `e` stays stable across the loop.
+  while (e.parked != nullptr && e.parked->env.seq == e.seq) {
+    MatchNode* p = e.parked;
+    e.parked = p->ord_next;
+    p->ord_next = nullptr;
+    ++e.seq;
+    Arrival pa;
+    pa.kind = p->kind;
+    pa.env = p->env;
+    pa.origin = p->origin;
+    pa.total = p->total;
+    pa.owned = std::move(p->data);
+    pa.temp = std::move(p->temp);
+    pa.ctx = p->ctx;
+    pa.defer_handle = p->defer_handle;
+    recycle_node(sh.free_head, p);
+    deliver(sh, e, std::move(pa));
   }
 }
 
-void Matcher::deliver(Arrival&& a) {
-  for (auto it = posted_.begin(); it != posted_.end(); ++it) {
-    if (matches(*it, a.env)) {
-      PostedRecv p = std::move(*it);
-      posted_.erase(it);
-      posted_matched_.fetch_add(1, std::memory_order_relaxed);
-      bind_posted(std::move(p), std::move(a));
-      return;
+void Matcher::park(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
+  // Overtaken arrival: park it. Streaming payload must land somewhere
+  // now, so it goes to a temp buffer; rendezvous defers (no data moved).
+  parked_total_.fetch_add(1, std::memory_order_relaxed);
+  count(obs::Pvar::MpiMatchParked);
+  if (a.kind == Arrival::Kind::Inline && a.pipe != nullptr) {
+    a.owned.assign(a.pipe, a.pipe + a.pipe_bytes);
+    a.pipe = nullptr;
+  } else if (a.kind == Arrival::Kind::Streaming && a.live_recv != nullptr) {
+    auto temp = std::make_shared<Arrival::TempState>();
+    temp->data.resize(a.total);
+    a.live_recv->buffer = temp->data.data();
+    a.live_recv->bytes = a.total;
+    a.live_recv->on_complete = [sp = &sh, temp] {
+      std::lock_guard<hw::L2AtomicMutex> g2(sp->mu);
+      temp->arrived = true;
+      if (temp->claimer) {
+        const std::size_t n = std::min(temp->claimer_cap, temp->data.size());
+        std::memcpy(temp->claimer_buf, temp->data.data(), n);
+        temp->claimer->finish();
+      }
+    };
+    a.temp = std::move(temp);
+    a.live_recv = nullptr;
+  } else if (a.kind == Arrival::Kind::Rdzv && a.live_recv != nullptr) {
+    a.live_recv->defer = true;
+    a.defer_handle = a.live_recv->defer_handle;
+    a.live_recv = nullptr;
+  }
+  MatchNode* n = alloc_node(sh.free_head);
+  n->kind = a.kind;
+  n->env = a.env;
+  n->origin = a.origin;
+  n->total = a.total;
+  n->data = std::move(a.owned);
+  n->temp = std::move(a.temp);
+  n->ctx = a.ctx;
+  n->defer_handle = a.defer_handle;
+  // Seq-sorted insert into the peer's parked chain (singly linked; parks
+  // are rare and chains short).
+  MatchNode** link = &e.parked;
+  while (*link != nullptr && (*link)->env.seq < n->env.seq) link = &(*link)->ord_next;
+  n->ord_next = *link;
+  *link = n;
+}
+
+bool Matcher::wildcard_blocked(Shard& sh, const PeerTable::Entry& e, const MatchNode& w,
+                               const Envelope& env) {
+  // An ANY_SOURCE receive may only bind this arrival if no *older* message
+  // from the same (comm, src) that the receive would also match is still
+  // unexpected — otherwise the newer arrival would overtake it. (Such a
+  // state is transient: it exists only between the receive's publication
+  // and its shard scan; the scan will claim the older message.)
+  if (w.tag == kAnyTag) return e.unexp > 0;
+  const NodeList& bl = sh.unexp_bins[bin_of(env.comm, env.src_rank, w.tag)];
+  for (const MatchNode* u = bl.head; u != nullptr; u = u->bin_next) {
+    if (u->comm == env.comm && u->src == env.src_rank && u->tag == w.tag) return true;
+  }
+  return false;
+}
+
+void Matcher::deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
+  MatchNode* best = nullptr;
+  MatchNode* bin_candidate = nullptr;
+  std::uint64_t best_epoch = ~0ull;
+
+  if (mode_ == Mode::List) {
+    std::uint64_t walked = 0;
+    for (MatchNode* n = sh.posted_all.head; n != nullptr; n = n->ord_next) {
+      ++walked;
+      if (node_matches(*n, a.env)) {
+        best = n;
+        break;
+      }
+    }
+    count(obs::Pvar::MpiMatchListScans, walked);
+  } else {
+    // Fast path: the exact (comm, src, tag) bin. FIFO within the bin, so
+    // the first key match is the earliest-posted exact receive.
+    NodeList& bl = sh.posted_bins[bin_of(a.env.comm, a.env.src_rank, a.env.tag)];
+    for (MatchNode* n = bl.head; n != nullptr; n = n->bin_next) {
+      if (n->comm == a.env.comm && n->src == a.env.src_rank && n->tag == a.env.tag) {
+        best = bin_candidate = n;
+        best_epoch = n->epoch;
+        break;
+      }
+    }
+    // Wildcard fallback, entered only while wildcards are outstanding.
+    // Both wildcard lists are post-ordered, so an earlier-epoch wildcard
+    // beats the bin candidate and the walks stop at best_epoch.
+    if (sh.wild_count > 0) {
+      count(obs::Pvar::MpiMatchWildcardFallbacks);
+      std::uint64_t walked = 0;
+      for (MatchNode* n = sh.wild_local.head; n != nullptr; n = n->bin_next) {
+        if (n->epoch >= best_epoch) break;
+        ++walked;
+        if (node_matches(*n, a.env)) {
+          best = n;
+          best_epoch = n->epoch;
+          break;
+        }
+      }
+      count(obs::Pvar::MpiMatchListScans, walked);
+    }
+    if (gw_.count.load(std::memory_order_acquire) > 0) {
+      count(obs::Pvar::MpiMatchWildcardFallbacks);
+      Request wreq;
+      bool claimed = false;
+      {
+        std::lock_guard<hw::L2AtomicMutex> g(gw_.mu);
+        std::uint64_t walked = 0;
+        for (MatchNode* n = gw_.list.head; n != nullptr; n = n->ord_next) {
+          if (n->epoch >= best_epoch) break;
+          ++walked;
+          if (!node_matches(*n, a.env)) continue;
+          if (wildcard_blocked(sh, e, *n, a.env)) continue;
+          unlink_ord(gw_.list, n);
+          n->in_list = false;
+          gw_.count.fetch_sub(1, std::memory_order_acq_rel);
+          wreq = std::move(n->req);
+          recycle_node(gw_.free_head, n);
+          claimed = true;
+          break;
+        }
+        count(obs::Pvar::MpiMatchListScans, walked);
+      }
+      if (claimed) {
+        posted_matched_.fetch_add(1, std::memory_order_relaxed);
+        bind_posted(wreq, std::move(a));
+        return;
+      }
     }
   }
-  unexpected_total_.fetch_add(1, std::memory_order_relaxed);
-  store_unexpected(std::move(a));
+
+  if (best != nullptr) {
+    unlink_ord(sh.posted_all, best);
+    if (mode_ == Mode::Bins) {
+      if (best->tag == kAnyTag) {
+        unlink_bin(sh.wild_local, best);
+        --sh.wild_count;
+      } else {
+        unlink_bin(sh.posted_bins[bin_of(best->comm, best->src, best->tag)], best);
+        if (best == bin_candidate) count(obs::Pvar::MpiMatchBinHits);
+      }
+    }
+    posted_matched_.fetch_add(1, std::memory_order_relaxed);
+    Request req = std::move(best->req);
+    recycle_node(sh.free_head, best);
+    bind_posted(req, std::move(a));
+    return;
+  }
+  store_unexpected(sh, e, std::move(a));
 }
 
-void Matcher::bind_posted(PostedRecv&& p, Arrival&& a) {
-  Request& req = p.req;
+void Matcher::bind_posted(const Request& req, Arrival&& a) {
   switch (a.kind) {
     case Arrival::Kind::Inline: {
       const std::byte* src = a.pipe != nullptr ? a.pipe : a.owned.data();
@@ -164,18 +507,23 @@ void Matcher::bind_posted(PostedRecv&& p, Arrival&& a) {
   }
 }
 
-void Matcher::store_unexpected(Arrival&& a) {
-  UnexpectedMsg u;
-  u.kind = a.kind;
-  u.env = a.env;
-  u.origin = a.origin;
-  u.total = a.total;
+void Matcher::store_unexpected(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
+  unexpected_total_.fetch_add(1, std::memory_order_relaxed);
+  MatchNode* u = alloc_node(sh.free_head);
+  u->comm = a.env.comm;
+  u->src = a.env.src_rank;
+  u->tag = a.env.tag;
+  u->kind = a.kind;
+  u->env = a.env;
+  u->origin = a.origin;
+  u->total = a.total;
+  u->epoch = stamp_.fetch_add(1, std::memory_order_relaxed);
   switch (a.kind) {
     case Arrival::Kind::Inline:
       if (a.pipe != nullptr) {
-        u.data.assign(a.pipe, a.pipe + a.pipe_bytes);
+        u->data.assign(a.pipe, a.pipe + a.pipe_bytes);
       } else {
-        u.data = std::move(a.owned);
+        u->data = std::move(a.owned);
       }
       break;
     case Arrival::Kind::Streaming:
@@ -184,8 +532,8 @@ void Matcher::store_unexpected(Arrival&& a) {
         temp->data.resize(a.total);
         a.live_recv->buffer = temp->data.data();
         a.live_recv->bytes = a.total;
-        a.live_recv->on_complete = [this, temp] {
-          std::lock_guard<hw::L2AtomicMutex> g2(mu_);
+        a.live_recv->on_complete = [sp = &sh, temp] {
+          std::lock_guard<hw::L2AtomicMutex> g2(sp->mu);
           temp->arrived = true;
           if (temp->claimer) {
             const std::size_t n = std::min(temp->claimer_cap, temp->data.size());
@@ -193,94 +541,206 @@ void Matcher::store_unexpected(Arrival&& a) {
             temp->claimer->finish();
           }
         };
-        u.temp = std::move(temp);
+        u->temp = std::move(temp);
       } else {
-        u.temp = std::move(a.temp);
+        u->temp = std::move(a.temp);
       }
       break;
     case Arrival::Kind::Rdzv:
       if (a.live_recv != nullptr) {
         a.live_recv->defer = true;
-        u.defer_handle = a.live_recv->defer_handle;
-        u.ctx = a.ctx;
+        u->defer_handle = a.live_recv->defer_handle;
+        u->ctx = a.ctx;
       } else {
-        u.defer_handle = a.defer_handle;
-        u.ctx = a.ctx;
+        u->defer_handle = a.defer_handle;
+        u->ctx = a.ctx;
       }
       break;
   }
-  unexpected_.push_back(std::move(u));
+  push_ord(sh.unexp_all, u);
+  if (mode_ == Mode::Bins) push_bin(sh.unexp_bins[bin_of(u->comm, u->src, u->tag)], u);
+  ++e.unexp;
 }
 
-void Matcher::bind_unexpected(const Request& req, UnexpectedMsg&& u) {
-  switch (u.kind) {
+Matcher::MatchNode* Matcher::find_unexpected(Shard& sh, int comm, int src, int tag) {
+  if (mode_ == Mode::Bins && src != kAnySource && tag != kAnyTag) {
+    NodeList& bl = sh.unexp_bins[bin_of(comm, src, tag)];
+    for (MatchNode* u = bl.head; u != nullptr; u = u->bin_next) {
+      if (u->comm == comm && u->src == src && u->tag == tag) {
+        count(obs::Pvar::MpiMatchBinHits);
+        return u;
+      }
+    }
+    return nullptr;
+  }
+  std::uint64_t walked = 0;
+  MatchNode* u = sh.unexp_all.head;
+  for (; u != nullptr; u = u->ord_next) {
+    ++walked;
+    if (u->comm == comm && (src == kAnySource || u->src == src) &&
+        (tag == kAnyTag || u->tag == tag)) {
+      break;
+    }
+  }
+  count(obs::Pvar::MpiMatchListScans, walked);
+  return u;
+}
+
+void Matcher::take_unexpected(Shard& sh, MatchNode* u) {
+  unlink_ord(sh.unexp_all, u);
+  if (mode_ == Mode::Bins) unlink_bin(sh.unexp_bins[bin_of(u->comm, u->src, u->tag)], u);
+  PeerTable::Entry* pe = sh.peers.find(peer_key(u->comm, u->src));
+  assert(pe != nullptr && pe->unexp > 0);
+  --pe->unexp;
+}
+
+void Matcher::bind_unexpected(Shard& sh, const Request& req, MatchNode* u) {
+  switch (u->kind) {
     case Arrival::Kind::Inline: {
-      const std::size_t n = std::min(req->capacity, u.data.size());
-      if (n > 0) std::memcpy(req->buffer, u.data.data(), n);
-      complete_recv(req, u.env, n);
-      return;
+      const std::size_t n = std::min(req->capacity, u->data.size());
+      if (n > 0) std::memcpy(req->buffer, u->data.data(), n);
+      complete_recv(req, u->env, n);
+      break;
     }
     case Arrival::Kind::Streaming: {
-      if (u.temp->arrived) {
-        const std::size_t n = std::min(req->capacity, u.temp->data.size());
-        if (n > 0) std::memcpy(req->buffer, u.temp->data.data(), n);
-        complete_recv(req, u.env, n);
+      if (u->temp->arrived) {
+        const std::size_t n = std::min(req->capacity, u->temp->data.size());
+        if (n > 0) std::memcpy(req->buffer, u->temp->data.data(), n);
+        complete_recv(req, u->env, n);
       } else {
-        u.temp->claimer = req;
-        u.temp->claimer_buf = req->buffer;
-        u.temp->claimer_cap = req->capacity;
-        req->status.source = u.env.src_rank;
-        req->status.tag = u.env.tag;
-        req->status.bytes = std::min(req->capacity, u.total);
+        u->temp->claimer = req;
+        u->temp->claimer_buf = req->buffer;
+        u->temp->claimer_cap = req->capacity;
+        req->status.source = u->env.src_rank;
+        req->status.tag = u->env.tag;
+        req->status.bytes = std::min(req->capacity, u->total);
       }
-      return;
+      break;
     }
     case Arrival::Kind::Rdzv: {
-      const std::size_t n = std::min(req->capacity, u.total);
+      const std::size_t n = std::min(req->capacity, u->total);
       // We may be on an application thread: route the pull to the owning
       // context through its lockless work queue.
-      pami::Context* ctx = u.ctx;
-      const std::uint64_t handle = u.defer_handle;
+      pami::Context* ctx = u->ctx;
+      const std::uint64_t handle = u->defer_handle;
       void* buf = req->buffer;
       const std::size_t cap = req->capacity;
       Request r = req;
-      Envelope env = u.env;
+      Envelope env = u->env;
       ctx->post([ctx, handle, buf, cap, r, env, n] {
         ctx->complete_deferred_rdzv(handle, buf, cap,
                                     [r, env, n] { complete_recv(r, env, n); });
       });
-      return;
+      break;
     }
   }
+  recycle_node(sh.free_head, u);
 }
 
 bool Matcher::probe(int comm, int src_rank, int tag, Status* status) {
-  std::lock_guard<hw::L2AtomicMutex> g(mu_);
-  for (const UnexpectedMsg& u : unexpected_) {
-    const PostedRecv probe_key{nullptr, comm, src_rank, tag};
-    if (!matches(probe_key, u.env)) continue;
+  const auto fill = [status](const MatchNode& u) {
     if (status != nullptr) {
       status->source = u.env.src_rank;
       status->tag = u.env.tag;
       status->bytes = u.kind == Arrival::Kind::Inline ? u.data.size() : u.total;
     }
+  };
+  if (mode_ == Mode::List || src_rank != kAnySource) {
+    Shard& sh = shard_of(comm, src_rank);
+    std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
+    MatchNode* u = find_unexpected(sh, comm, src_rank, tag);
+    if (u == nullptr) return false;
+    fill(*u);
     return true;
   }
-  return false;
+  // ANY_SOURCE: report the oldest matching arrival across all shards
+  // (each shard's order list yields its own oldest; compare stamps).
+  const MatchNode* oldest = nullptr;
+  Status st;
+  for (int i = 0; i < shard_count_; ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
+    MatchNode* u = find_unexpected(sh, comm, kAnySource, tag);
+    if (u != nullptr && (oldest == nullptr || u->epoch < oldest->epoch)) {
+      oldest = u;
+      st.source = u->env.src_rank;
+      st.tag = u->env.tag;
+      st.bytes = u->kind == Arrival::Kind::Inline ? u->data.size() : u->total;
+    }
+  }
+  if (oldest == nullptr) return false;
+  if (status != nullptr) *status = st;
+  return true;
 }
 
 void Matcher::post_recv(Request req, int comm, int src_rank, int tag) {
-  std::lock_guard<hw::L2AtomicMutex> g(mu_);
-  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
-    const PostedRecv probe{req, comm, src_rank, tag};
-    if (matches(probe, it->env)) {
-      UnexpectedMsg u = std::move(*it);
-      unexpected_.erase(it);
-      bind_unexpected(req, std::move(u));
+  if (mode_ == Mode::List || src_rank != kAnySource) {
+    Shard& sh = shard_of(comm, src_rank);
+    std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
+    if (MatchNode* u = find_unexpected(sh, comm, src_rank, tag)) {
+      take_unexpected(sh, u);
+      bind_unexpected(sh, req, u);
       return;
     }
+    MatchNode* n = alloc_node(sh.free_head);
+    n->comm = comm;
+    n->src = src_rank;
+    n->tag = tag;
+    n->req = std::move(req);
+    n->epoch = epoch_.fetch_add(1, std::memory_order_relaxed);
+    push_ord(sh.posted_all, n);
+    if (mode_ == Mode::Bins) {
+      if (tag == kAnyTag) {
+        push_bin(sh.wild_local, n);
+        ++sh.wild_count;
+      } else {
+        push_bin(sh.posted_bins[bin_of(comm, src_rank, tag)], n);
+      }
+    }
+    return;
   }
-  posted_.push_back(PostedRecv{std::move(req), comm, src_rank, tag});
+
+  // ANY_SOURCE in bins mode: two-phase. Phase one *publishes* the receive
+  // on the global list; phase two scans every shard's unexpected queue.
+  // An arrival from any source either stored its message before our scan
+  // reaches its shard (the scan finds it) or runs after our publication
+  // (its slow path finds us) — the shard mutex serializes the two, so no
+  // message slips between. Lock order is always shard → global.
+  MatchNode* node = nullptr;
+  std::uint64_t my_gen = 0;
+  {
+    std::lock_guard<hw::L2AtomicMutex> g(gw_.mu);
+    node = alloc_node(gw_.free_head);
+    node->comm = comm;
+    node->src = kAnySource;
+    node->tag = tag;
+    node->req = req;  // the scan below keeps its own handle
+    node->epoch = epoch_.fetch_add(1, std::memory_order_relaxed);
+    node->in_list = true;
+    my_gen = node->gen;
+    push_ord(gw_.list, node);
+    gw_.count.fetch_add(1, std::memory_order_release);
+  }
+  for (int i = 0; i < shard_count_; ++i) {
+    Shard& sh = shards_[i];
+    std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
+    MatchNode* u = find_unexpected(sh, comm, kAnySource, tag);
+    if (u == nullptr) continue;
+    {
+      // Reclaim our published node before claiming the message. The
+      // (pointer, generation) check detects a concurrent arrival having
+      // already matched (and recycled) it — then the receive is complete
+      // and the unexpected message stays for a later receive.
+      std::lock_guard<hw::L2AtomicMutex> g2(gw_.mu);
+      if (node->gen != my_gen || !node->in_list) return;
+      unlink_ord(gw_.list, node);
+      gw_.count.fetch_sub(1, std::memory_order_acq_rel);
+      recycle_node(gw_.free_head, node);
+    }
+    take_unexpected(sh, u);
+    bind_unexpected(sh, req, u);
+    return;
+  }
 }
 
 }  // namespace pamix::mpi

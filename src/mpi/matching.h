@@ -1,24 +1,36 @@
 // MPI matching engine — posted-receive and unexpected-message queues.
 //
-// The paper's design decision (§IV-A): wildcard receives are pervasive in
-// Blue Gene applications and wildcard-correct parallel receive queues are
-// complex and slow, so pamid keeps the serial MPICH2 receive queue guarded
-// by one *low-overhead L2-atomic mutex*, and parallelizes everything else
-// (packet processing, payload copies) on commthreads.  This matcher is
-// that structure: one mutex, posted queue in post order, unexpected queue
-// in arrival order, wildcard matching on MPI_ANY_SOURCE / MPI_ANY_TAG.
+// The paper's design decision (§IV-A) keeps the receive queue serial under
+// one low-overhead L2-atomic mutex because wildcard-correct parallel
+// matching is complex.  That single lock is exactly what flattens the
+// multi-context message-rate curve, so this engine shards it: matching
+// state is split over per-(comm, src) shards whose hash is aligned with
+// the context hash of §V.B — (src + comm) mod N — so every arrival-side
+// shard is only ever touched from the one context that receives that
+// peer's traffic, and contexts stop funnelling through a global mutex.
+//
+// Within a shard, exact receives and unexpected messages live in O(1)
+// hashed bins keyed by (comm, src, tag) plus an intrusive post/arrival
+// -order list; nodes come from a per-shard freelist so the steady-state
+// match path performs no allocations (mpi.match.pool_hits/misses count
+// it).  Wildcards keep the paper's "serialized but cheap" discipline as a
+// *fallback*: (src, ANY_TAG) receives ride a per-shard ordered list, and
+// ANY_SOURCE receives a single global ordered list that arrivals consult
+// only while its outstanding count is nonzero — the bin fast path
+// re-enables itself the moment the last wildcard is matched.
+// PAMIX_MPI_MATCH=list restores the old single-queue behaviour (one
+// shard, pure linear scans) so benches can A/B both in one process.
 //
 // Ordering: each (communicator, source, destination) pair carries a
 // sequence number; arrivals that overtake (possible when Isend handoff
 // work items drain out of order under commthread contention) are parked
 // until their predecessors arrive, so matching order is exactly MPI's
-// non-overtaking order.
+// non-overtaking order.  Sequence state lives in flat open-addressed
+// per-peer tables, one per shard, not std::maps.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -27,6 +39,7 @@
 #include "core/types.h"
 #include "hw/l2_atomics.h"
 #include "mpi/mpi.h"
+#include "obs/pvar.h"
 
 namespace pamix::mpi {
 
@@ -59,10 +72,13 @@ struct RequestImpl {
 };
 
 /// Thread-sharded request allocator (paper: "thread private pools to
-/// minimize locking overheads"). Shards are picked by thread id hash;
-/// requests recycle through the shard they came from. The shards live in
-/// shared state co-owned by every outstanding request's deleter, so a
-/// Request parked in a matcher queue may safely outlive the pool object.
+/// minimize locking overheads"). Shards are picked by thread id hash on
+/// both acquire and release, so a request completed (and released) on a
+/// commthread recycles through that thread's shard instead of piling every
+/// cross-thread completion onto the acquirer's lock — the same
+/// owner/reclaim split core/buffer_pool.h uses. The shards live in shared
+/// state co-owned by every outstanding request's deleter, so a Request
+/// parked in a matcher queue may safely outlive the pool object.
 class RequestPool {
  public:
   RequestPool() : state_(std::make_shared<State>()) {}
@@ -102,7 +118,21 @@ struct CommImpl {
 
 class Matcher {
  public:
-  explicit Matcher(Library library) : library_(library) {}
+  /// Matching structure. `Bins` is the sharded hashed fast path; `List`
+  /// is the paper's single serialized ordered queue (one shard, linear
+  /// scans), kept runtime-selectable via PAMIX_MPI_MATCH=list|bins so
+  /// benches can A/B both paths in-process.
+  enum class Mode { List, Bins };
+
+  /// `context_hint` is the owning client's context count. The shard count
+  /// is the smallest multiple of it that is >= kMinShards, so the
+  /// (src + comm) shard hash refines the (src + comm) context hash and a
+  /// shard's arrival side is only touched from one context.
+  explicit Matcher(Library library, int context_hint = 1, obs::PvarSet* pvars = nullptr);
+  Matcher(Library library, Mode mode, int context_hint = 1, obs::PvarSet* pvars = nullptr);
+  ~Matcher();
+  Matcher(const Matcher&) = delete;
+  Matcher& operator=(const Matcher&) = delete;
 
   /// An incoming message, abstracted over eager-inline / eager-streaming /
   /// rendezvous and over live vs parked delivery.
@@ -146,6 +176,15 @@ class Matcher {
 
   std::uint32_t next_send_seq(int comm, int dest_rank);
 
+  Mode mode() const { return mode_; }
+  int shard_count() const { return shard_count_; }
+
+  /// ANY_SOURCE receives currently outstanding. While zero, arrivals never
+  /// touch the serialized wildcard list — the bin fast path is "re-enabled".
+  std::uint32_t outstanding_any_source() const {
+    return gw_.count.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t unexpected_count() const {
     return unexpected_total_.load(std::memory_order_relaxed);
   }
@@ -155,44 +194,158 @@ class Matcher {
   std::uint64_t parked_count() const { return parked_total_.load(std::memory_order_relaxed); }
 
  private:
-  struct PostedRecv {
-    Request req;
-    int comm;
-    int src;  // kAnySource allowed
-    int tag;  // kAnyTag allowed
+  struct MatchNode;  // defined in matching.cpp
+
+  /// Intrusive doubly-linked list head. A node carries two independent
+  /// link pairs: `bin` links chain it into a hash bin (or wildcard list),
+  /// `ord` links into the shard-wide post/arrival-order list, so one node
+  /// sits in both without allocation.
+  struct NodeList {
+    MatchNode* head = nullptr;
+    MatchNode* tail = nullptr;
   };
 
-  struct UnexpectedMsg {
-    Arrival::Kind kind;
-    Envelope env;
-    pami::Endpoint origin;
-    std::size_t total = 0;
-    std::vector<std::byte> data;  // inline payload
-    std::shared_ptr<Arrival::TempState> temp;
-    pami::Context* ctx = nullptr;
-    std::uint64_t defer_handle = 0;
+  /// Flat open-addressed per-peer table keyed by pack(comm, rank) —
+  /// replaces the std::maps that backed expected/send sequence numbers.
+  /// Linear probing over a power-of-two slot array; grows at 70% load
+  /// (growth is warm-up, not steady state). Entries are never erased:
+  /// peers a task has spoken to stay resident, exactly like the maps did.
+  class PeerTable {
+   public:
+    struct Entry {
+      std::uint64_t key = kEmptyKey;
+      std::uint32_t seq = 0;        // expected (recv side) / next (send side)
+      std::uint32_t unexp = 0;      // unexpected messages queued from this peer
+      MatchNode* parked = nullptr;  // overtaken arrivals, seq-sorted via ord_next
+    };
+    static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+    Entry& find_or_insert(std::uint64_t key) {
+      if (slots_.empty()) {
+        grow(64);
+      } else if ((used_ + 1) * 10 >= slots_.size() * 7) {
+        grow(slots_.size() * 2);
+      }
+      for (std::size_t i = index(key);; i = (i + 1) & (slots_.size() - 1)) {
+        if (slots_[i].key == key) return slots_[i];
+        if (slots_[i].key == kEmptyKey) {
+          slots_[i].key = key;
+          ++used_;
+          return slots_[i];
+        }
+      }
+    }
+
+    Entry* find(std::uint64_t key) {
+      if (slots_.empty()) return nullptr;
+      for (std::size_t i = index(key);; i = (i + 1) & (slots_.size() - 1)) {
+        if (slots_[i].key == key) return &slots_[i];
+        if (slots_[i].key == kEmptyKey) return nullptr;
+      }
+    }
+
+    template <typename F>
+    void for_each(F&& f) {
+      for (Entry& e : slots_) {
+        if (e.key != kEmptyKey) f(e);
+      }
+    }
+
+   private:
+    static std::uint64_t mix(std::uint64_t x) {
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdull;
+      x ^= x >> 33;
+      x *= 0xc4ceb9fe1a85ec53ull;
+      x ^= x >> 33;
+      return x;
+    }
+    std::size_t index(std::uint64_t key) const { return mix(key) & (slots_.size() - 1); }
+    void grow(std::size_t n) {
+      std::vector<Entry> old = std::move(slots_);
+      slots_.assign(n, Entry{});
+      used_ = 0;
+      for (Entry& e : old) {
+        if (e.key != kEmptyKey) find_or_insert(e.key) = e;
+      }
+    }
+    std::vector<Entry> slots_;
+    std::size_t used_ = 0;
   };
 
-  static bool matches(const PostedRecv& p, const Envelope& env) {
-    return p.comm == env.comm && (p.src == kAnySource || p.src == env.src_rank) &&
-           (p.tag == kAnyTag || p.tag == env.tag);
+  static constexpr int kBins = 64;      // hash bins per shard (power of two)
+  static constexpr int kMinShards = 16;
+
+  /// One matching shard: everything about the (comm, src) peers that hash
+  /// here, serialized by its own cheap mutex.
+  struct alignas(64) Shard {
+    hw::L2AtomicMutex mu;
+    NodeList posted_bins[kBins];  // exact (comm, src, tag) receives
+    NodeList posted_all;          // all posted nodes, post order (ord links)
+    NodeList wild_local;          // (src, ANY_TAG) receives, post order (bin links)
+    std::uint32_t wild_count = 0;
+    NodeList unexp_bins[kBins];   // unexpected messages by exact key
+    NodeList unexp_all;           // all unexpected nodes, arrival order (ord links)
+    PeerTable peers;              // expected seq / parked chain / unexp count
+    MatchNode* free_head = nullptr;  // node freelist (chained via bin_next)
+  };
+
+  struct alignas(64) SendShard {
+    hw::L2AtomicMutex mu;
+    PeerTable peers;  // only Entry::seq is used: the next send sequence
+  };
+
+  /// ANY_SOURCE receives — the paper's serialized-but-cheap ordered list,
+  /// shared by all shards. `count` is the gate: arrivals skip this list
+  /// entirely (no lock, one relaxed load) while it is zero.
+  struct GlobalWild {
+    hw::L2AtomicMutex mu;
+    NodeList list;  // post order (ord links)
+    MatchNode* free_head = nullptr;
+    std::atomic<std::uint32_t> count{0};
+  };
+
+  std::size_t shard_index(int comm, int rank) const;
+  Shard& shard_of(int comm, int rank);
+  static std::size_t bin_of(int comm, int src, int tag);
+  static std::uint64_t peer_key(int comm, int rank);
+  static bool node_matches(const MatchNode& p, const Envelope& env);
+
+  void park(Shard& sh, PeerTable::Entry& e, Arrival&& a);
+  void deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a);
+  void bind_posted(const Request& req, Arrival&& a);
+  void store_unexpected(Shard& sh, PeerTable::Entry& e, Arrival&& a);
+  void bind_unexpected(Shard& sh, const Request& req, MatchNode* u);
+  MatchNode* find_unexpected(Shard& sh, int comm, int src, int tag);
+  void take_unexpected(Shard& sh, MatchNode* u);
+  bool wildcard_blocked(Shard& sh, const PeerTable::Entry& e, const MatchNode& w,
+                        const Envelope& env);
+
+  MatchNode* alloc_node(MatchNode*& free_head);
+  void recycle_node(MatchNode*& free_head, MatchNode* n);
+  void count(obs::Pvar p, std::uint64_t n = 1) {
+    if (pvars_ != nullptr) pvars_->add(p, n);
   }
 
-  void deliver(Arrival&& a);                       // under mu_
-  void bind_posted(PostedRecv&& p, Arrival&& a);   // under mu_
-  void store_unexpected(Arrival&& a);              // under mu_
-  void bind_unexpected(const Request& req, UnexpectedMsg&& u);  // under mu_
+  static void push_ord(NodeList& l, MatchNode* n);
+  static void unlink_ord(NodeList& l, MatchNode* n);
+  static void push_bin(NodeList& l, MatchNode* n);
+  static void unlink_bin(NodeList& l, MatchNode* n);
 
   static void complete_recv(const Request& req, const Envelope& env, std::size_t bytes);
 
   Library library_;
-  hw::L2AtomicMutex mu_;
-  std::deque<PostedRecv> posted_;
-  std::deque<UnexpectedMsg> unexpected_;
-  std::map<std::pair<std::int32_t, std::int32_t>, std::uint32_t> expected_seq_;
-  std::map<std::tuple<std::int32_t, std::int32_t, std::uint32_t>, Arrival> parked_;
-  hw::L2AtomicMutex send_seq_mu_;
-  std::map<std::pair<std::int32_t, std::int32_t>, std::uint32_t> send_seq_;
+  Mode mode_;
+  int shard_count_ = 1;
+  obs::PvarSet* pvars_ = nullptr;
+  std::unique_ptr<Shard[]> shards_;
+  std::unique_ptr<SendShard[]> send_shards_;
+  GlobalWild gw_;
+  // Post order (posted receives) and arrival order (unexpected messages)
+  // are global so cross-list candidates compare correctly; the fetch_add
+  // happens under the relevant structure's lock.
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> stamp_{1};
   std::atomic<std::uint64_t> unexpected_total_{0};
   std::atomic<std::uint64_t> posted_matched_{0};
   std::atomic<std::uint64_t> parked_total_{0};

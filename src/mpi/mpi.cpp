@@ -14,22 +14,50 @@ namespace pamix::mpi {
 namespace {
 /// Dispatch id reserved for MPI point-to-point traffic.
 constexpr pami::DispatchId kMpiDispatchId = 1;
+
+/// Handoff injection with a queue-mediated retry. On Eagain the item
+/// re-posts itself instead of advancing the context re-entrantly: a nested
+/// advance() runs the next handoff item inside this one's stack frame, and
+/// with tens of thousands of queued sends that recursion overflows the
+/// commthread stack. Re-posting returns control to the engine's device
+/// loop, so injection and reception drain between attempts; the receive
+/// side's per-peer sequence parking absorbs any arrival reordering the
+/// round trip through the queue introduces.
+void post_handoff_send(pami::Context& ctx, const Envelope& env, pami::Endpoint dest,
+                       const void* buf, std::size_t bytes, const Request& req) {
+  ctx.post([&ctx, env, dest, buf, bytes, req] {
+    pami::SendParams p;
+    p.dispatch = kMpiDispatchId;
+    p.dest = dest;
+    p.header = &env;
+    p.header_bytes = sizeof(env);
+    p.data = buf;
+    p.data_bytes = bytes;
+    p.on_local_done = [req] { req->finish(); };
+    if (ctx.send(p) == pami::Result::Eagain) {
+      post_handoff_send(ctx, env, dest, buf, bytes, req);
+    }
+  });
+}
 }  // namespace
 
 struct Mpi::Impl {
-  Impl(Library lib, int task)
-      : matcher(lib),
-        library(lib),
-        // Counters only: MPI entry points may run on any application
-        // thread, and trace rings are single-writer.
-        obs(obs::Registry::instance().create("task" + std::to_string(task) + ".mpi", task,
-                                             /*tid=*/128, /*want_ring=*/false)) {}
+  Impl(Library lib, int task, int nctx)
+      // Counters only: MPI entry points may run on any application
+      // thread, and trace rings are single-writer.
+      : obs(obs::Registry::instance().create("task" + std::to_string(task) + ".mpi", task,
+                                             /*tid=*/128, /*want_ring=*/false)),
+        matcher(lib, nctx, &obs.pvars),
+        library(lib) {
+    obs.pvars.add(obs::Pvar::ConfigMpiMatch,
+                  matcher.mode() == Matcher::Mode::Bins ? 1 : 0);
+  }
 
+  obs::Domain& obs;
   Matcher matcher;
   RequestPool requests;
   Library library;
   hw::L2AtomicMutex global_lock;  // the "classic" library's global lock
-  obs::Domain& obs;
 };
 
 // ------------------------------------------------------------------ world --
@@ -59,7 +87,7 @@ Mpi::Mpi(MpiWorld& world, int task)
     : world_(world),
       client_(world.client_world().client(task)),
       task_(task),
-      impl_(std::make_unique<Impl>(world.config().library, task)) {
+      impl_(std::make_unique<Impl>(world.config().library, task, client_.context_count())) {
   // COMM_WORLD handle for this task.
   auto comm = std::make_shared<CommImpl>();
   comm->geometry = world.client_world().geometries().world_geometry();
@@ -96,7 +124,17 @@ Mpi::Mpi(MpiWorld& world, int task)
             a.kind = Matcher::Arrival::Kind::Streaming;
             a.live_recv = recv;
           }
-          impl_->matcher.on_arrival(std::move(a));
+          // Dispatch runs under the context lock, so the context's
+          // single-writer ring can take the match span.
+          obs::TraceRing& ring = ctx.obs().trace;
+          if (ring.enabled()) {
+            const std::uint64_t t0 = obs::now_ns();
+            const std::uint32_t seq = env.seq;
+            impl_->matcher.on_arrival(std::move(a));
+            ring.record_span(obs::TraceEv::MpiMatch, t0, seq);
+          } else {
+            impl_->matcher.on_arrival(std::move(a));
+          }
         });
   }
 }
@@ -192,19 +230,7 @@ void Mpi::complete_isend(const CommImpl& c, int dest_rank, Request req, const vo
     // injection to the commthread owning the hashed context. The envelope
     // lives in the closure's inline storage; SendParams are rebuilt on the
     // advancing thread so nothing move-only crosses the queue.
-    ctx.post([&ctx, env, dest, buf, bytes, req] {
-      pami::SendParams p;
-      p.dispatch = kMpiDispatchId;
-      p.dest = dest;
-      p.header = &env;
-      p.header_bytes = sizeof(env);
-      p.data = buf;
-      p.data_bytes = bytes;
-      p.on_local_done = [req] { req->finish(); };
-      while (ctx.send(p) == pami::Result::Eagain) {
-        ctx.advance();
-      }
-    });
+    post_handoff_send(ctx, env, dest, buf, bytes, req);
     return;
   }
   pami::SendParams p;

@@ -17,6 +17,7 @@ const char* cat_string(TraceCat c) {
     case kCatWork: return "work";
     case kCatCommthread: return "commthread";
     case kCatCollective: return "collective";
+    case kCatMpi: return "mpi";
   }
   return "obs";
 }

@@ -63,6 +63,9 @@ enum class Pvar : std::uint32_t {
   // Commthreads.
   CommWakeups,
   CommSleeps,
+  // Context trylock attempts in the commthread sweep that lost to another
+  // thread already advancing the context.
+  CommLockMisses,
   // Collective-network engine.
   CollRoundsContributed,
   CollRoundsCompleted,
@@ -78,6 +81,16 @@ enum class Pvar : std::uint32_t {
   // MPI ("pamid") layer.
   MpiIsends,
   MpiIrecvs,
+  // MPI matching engine (mpi.match.*): O(1) hashed-bin matches, nodes
+  // walked on the ordered-list path, slow-path entries taken because a
+  // wildcard receive was outstanding, overtaken arrivals parked, and
+  // match-node freelist recycling (a steady-state miss is an allocation).
+  MpiMatchBinHits,
+  MpiMatchListScans,
+  MpiMatchWildcardFallbacks,
+  MpiMatchParked,
+  MpiMatchPoolHits,
+  MpiMatchPoolMisses,
   // Fast-path buffer pools (core/buffer_pool.h): recycled acquisitions,
   // freelist misses that fell through to the allocator, and oversize
   // requests served straight from the heap.
@@ -92,6 +105,7 @@ enum class Pvar : std::uint32_t {
   ConfigMuBatch,
   ConfigCollSlice,
   ConfigCollRadix,
+  ConfigMpiMatch,  // 1 = hashed bins, 0 = ordered-list fallback
   Count,
 };
 
@@ -160,7 +174,7 @@ struct Domain {
 ///   PAMIX_OBS            on|1|true  → tracing enabled (counters are always on)
 ///   PAMIX_TRACE_FILE     path for the chrome://tracing JSON dump
 ///   PAMIX_TRACE_EVENTS   comma list of categories (send,rdzv,advance,work,
-///                        commthread,collective); default: all
+///                        commthread,collective,mpi); default: all
 ///   PAMIX_TRACE_CAPACITY events kept per ring (default 16384, most recent win)
 struct ObsConfig {
   bool trace_enabled = false;

@@ -26,6 +26,7 @@ const char* pvar_name(Pvar p) {
     case Pvar::ShmZeroCopyHits: return "shm.zero_copy_hits";
     case Pvar::CommWakeups: return "commthread.wakeups";
     case Pvar::CommSleeps: return "commthread.sleeps";
+    case Pvar::CommLockMisses: return "comm.lock_misses";
     case Pvar::CollRoundsContributed: return "collnet.rounds_contributed";
     case Pvar::CollRoundsCompleted: return "collnet.rounds_completed";
     case Pvar::CollnetLockContended: return "collnet.lock_contended";
@@ -36,6 +37,12 @@ const char* pvar_name(Pvar p) {
     case Pvar::CollSwDeposits: return "coll.sw_deposits";
     case Pvar::MpiIsends: return "mpi.isends";
     case Pvar::MpiIrecvs: return "mpi.irecvs";
+    case Pvar::MpiMatchBinHits: return "mpi.match.bin_hits";
+    case Pvar::MpiMatchListScans: return "mpi.match.list_scans";
+    case Pvar::MpiMatchWildcardFallbacks: return "mpi.match.wildcard_fallbacks";
+    case Pvar::MpiMatchParked: return "mpi.match.parked";
+    case Pvar::MpiMatchPoolHits: return "mpi.match.pool_hits";
+    case Pvar::MpiMatchPoolMisses: return "mpi.match.pool_misses";
     case Pvar::AllocPoolHits: return "alloc.pool_hits";
     case Pvar::AllocPoolMisses: return "alloc.pool_misses";
     case Pvar::AllocHeapFallbacks: return "alloc.heap_fallbacks";
@@ -44,6 +51,7 @@ const char* pvar_name(Pvar p) {
     case Pvar::ConfigMuBatch: return "config.mu_batch";
     case Pvar::ConfigCollSlice: return "config.coll_slice";
     case Pvar::ConfigCollRadix: return "config.coll_radix";
+    case Pvar::ConfigMpiMatch: return "config.mpi_match";
     case Pvar::Count: break;
   }
   return "?";
@@ -66,6 +74,7 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::CollSliceMath: return "collective.slice_math";
     case TraceEv::CollArm: return "collective.arm";
     case TraceEv::CollCopyOut: return "collective.copy_out";
+    case TraceEv::MpiMatch: return "mpi.match";
     case TraceEv::Count: break;
   }
   return "?";
@@ -89,6 +98,8 @@ TraceCat trace_ev_cat(TraceEv ev) {
     case TraceEv::CommSleep:
     case TraceEv::CommWake:
       return kCatCommthread;
+    case TraceEv::MpiMatch:
+      return kCatMpi;
     case TraceEv::CollPhase:
     case TraceEv::CollSliceMath:
     case TraceEv::CollArm:
@@ -122,6 +133,7 @@ std::uint32_t parse_event_mask(const char* v) {
     else if (tok == "work") mask |= kCatWork;
     else if (tok == "commthread") mask |= kCatCommthread;
     else if (tok == "collective") mask |= kCatCollective;
+    else if (tok == "mpi") mask |= kCatMpi;
     else if (tok == "all") mask = ~0u;
     pos = comma + 1;
   }

@@ -48,6 +48,7 @@ enum class TraceEv : std::uint8_t {
   CollSliceMath, // span: parallel local reduce of one pipeline slice; arg = bytes
   CollArm,       // instant: master armed a network round; arg = round
   CollCopyOut,   // span: peer copy-out of a completed slice; arg = bytes
+  MpiMatch,      // span: one arrival through the MPI matcher; arg = seq
   Count,
 };
 
@@ -59,6 +60,7 @@ enum TraceCat : std::uint32_t {
   kCatWork = 1u << 3,
   kCatCommthread = 1u << 4,
   kCatCollective = 1u << 5,
+  kCatMpi = 1u << 6,
 };
 
 const char* trace_ev_name(TraceEv ev);

@@ -5,7 +5,12 @@
 namespace pamix::proto {
 
 std::size_t WorkQueueDevice::poll() {
-  const std::size_t drained = queue_.advance();
+  // Bound each pass to the items present at entry so a work item that
+  // re-posts itself (a send retrying an Eagain) runs again only on the
+  // next pass, after the MU device has had a chance to drain the FIFOs
+  // that caused the Eagain in the first place.
+  const std::size_t budget = queue_.pending();
+  const std::size_t drained = budget > 0 ? queue_.advance(budget) : 0;
   if (drained > 0) {
     obs_.pvars.add(obs::Pvar::WorkItemsDrained, drained);
     obs_.trace.record(obs::TraceEv::WorkDrain, static_cast<std::uint32_t>(drained));

@@ -1,0 +1,143 @@
+// Wildcard-ordering stress for the sharded matcher: ANY_SOURCE/ANY_TAG
+// receives interleaved with exact receives across 4 contexts, commthreads
+// forced on, and (phase B) 4 concurrent receiver threads. Each source s
+// sends only tag s, so the three post classes per stream — exact (s, s),
+// (s, ANY_TAG), and (ANY_SOURCE, s) — all match stream s and nothing
+// else: greedy matching cannot cross streams, and MPI non-overtaking per
+// (comm, src) makes the delivery order assertable from the post order.
+// Runs under the sanitize flavor of scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mpi/mpi.h"
+
+namespace pamix::mpi {
+namespace {
+
+constexpr int kSources = 4;
+constexpr int kMsgs = 48;  // per source; divisible by the 3 post classes
+
+class MatchStress : public ::testing::Test {
+ protected:
+  MatchStress() : machine_(hw::TorusGeometry({kSources + 1, 1, 1, 1, 1}), 1) {}
+
+  MpiConfig cfg() const {
+    MpiConfig c;
+    c.library = Library::ThreadOptimized;
+    c.contexts_per_task = 4;
+    c.commthreads = MpiConfig::Commthreads::ForceOn;
+    c.commthread_count = 2;
+    return c;
+  }
+
+  static int payload(int src, int i) { return src * 100000 + i; }
+
+  runtime::Machine machine_;
+};
+
+TEST_F(MatchStress, InterleavedWildcardsPreservePerSourceOrder) {
+  MpiWorld world(machine_, cfg());
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    if (me == 0) {
+      mpi.barrier(w);  // senders push the first half while we are here
+      mpi.barrier(w);
+      // Post every receive, interleaved across sources and post classes.
+      // recv[s][i] must end up holding message i of stream s+1.
+      std::vector<std::vector<int>> recv(kSources, std::vector<int>(kMsgs, -1));
+      std::vector<Request> reqs;
+      reqs.reserve(kSources * kMsgs);
+      for (int i = 0; i < kMsgs; ++i) {
+        for (int s = 1; s <= kSources; ++s) {
+          int* buf = &recv[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(i)];
+          switch (i % 3) {
+            case 0:
+              reqs.push_back(mpi.irecv(buf, sizeof(int), s, s, w));
+              break;
+            case 1:
+              reqs.push_back(mpi.irecv(buf, sizeof(int), s, kAnyTag, w));
+              break;
+            default:
+              reqs.push_back(mpi.irecv(buf, sizeof(int), kAnySource, s, w));
+              break;
+          }
+        }
+      }
+      mpi.barrier(w);  // second half flows against the posted queue
+      mpi.waitall(reqs);
+      for (int s = 1; s <= kSources; ++s) {
+        for (int i = 0; i < kMsgs; ++i) {
+          EXPECT_EQ(recv[static_cast<std::size_t>(s - 1)][static_cast<std::size_t>(i)],
+                    payload(s, i))
+              << "stream " << s << " message " << i << " overtaken";
+        }
+      }
+    } else {
+      mpi.barrier(w);
+      // First half lands unexpected (posted only after the next barrier).
+      for (int i = 0; i < kMsgs / 2; ++i) {
+        const int v = payload(me, i);
+        mpi.send(&v, sizeof(v), 0, /*tag=*/me, w);
+      }
+      mpi.barrier(w);
+      mpi.barrier(w);
+      for (int i = kMsgs / 2; i < kMsgs; ++i) {
+        const int v = payload(me, i);
+        mpi.send(&v, sizeof(v), 0, /*tag=*/me, w);
+      }
+    }
+    mpi.finalize();
+  });
+}
+
+TEST_F(MatchStress, ConcurrentReceiverThreadsWithWildcards) {
+  MpiWorld world(machine_, cfg());
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    const int me = mpi.rank(w);
+    if (me == 0) {
+      mpi.barrier(w);
+      // One receiver thread per source; each alternates exact-tag and
+      // (src, ANY_TAG) blocking receives and checks non-overtaking.
+      std::vector<std::thread> readers;
+      std::atomic<int> bad{0};
+      for (int s = 1; s <= kSources; ++s) {
+        readers.emplace_back([&, s] {
+          for (int i = 0; i < kMsgs; ++i) {
+            int v = -1;
+            Status st;
+            if (i % 2 == 0) {
+              mpi.recv(&v, sizeof(v), s, s, w, &st);
+            } else {
+              mpi.recv(&v, sizeof(v), s, kAnyTag, w, &st);
+            }
+            if (v != payload(s, i) || st.source != s || st.tag != s) {
+              bad.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (auto& r : readers) r.join();
+      EXPECT_EQ(bad.load(), 0) << "per-(comm, src) order violated under "
+                                  "concurrent wildcard receivers";
+    } else {
+      mpi.barrier(w);
+      for (int i = 0; i < kMsgs; ++i) {
+        const int v = payload(me, i);
+        mpi.send(&v, sizeof(v), 0, /*tag=*/me, w);
+      }
+    }
+    mpi.finalize();
+  });
+}
+
+}  // namespace
+}  // namespace pamix::mpi
