@@ -18,8 +18,15 @@
 #              at reduced scale under PAMIX_BENCH_STRICT_ALLOC: any pool
 #              miss on the matching engine's steady-state path fails the
 #              run, and both must emit their BENCH_*.json results
+#   perf-regress — scripts/bench.sh --smoke --check: run every JSON-emitting
+#              bench, merge BENCH_report.json, and compare throughput keys
+#              against the committed repo-root baselines. The tolerance is
+#              opened to 50% here because shared CI runners are far noisier
+#              than the machines the baselines were recorded on; run
+#              scripts/bench.sh --check (10% default) on a quiet host for
+#              the tight contract. Strict-alloc misses fail at any tolerance.
 #
-# Usage: scripts/check.sh [flavor...]          (default: all six)
+# Usage: scripts/check.sh [flavor...]          (default: all seven)
 #        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
@@ -29,7 +36,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 flavors=("$@")
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke mpi-rate-smoke)
+  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke mpi-rate-smoke perf-regress)
 fi
 
 run_flavor() {
@@ -80,8 +87,12 @@ for flavor in "${flavors[@]}"; do
       ( cd "${prefix}" &&
         PAMIX_TABLE3_KB=64 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/table3_neighbor_throughput )
       test -s "${prefix}/BENCH_table3.json" ;;
+    perf-regress)
+      echo "==> [perf-regress] unified bench run + baseline comparison"
+      PREFIX="${prefix}" scripts/bench.sh --smoke --check --tolerance 0.5
+      test -s "${prefix}/BENCH_report.json" ;;
     *)
-      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke, mpi-rate-smoke)" >&2
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke, mpi-rate-smoke, perf-regress)" >&2
       exit 2 ;;
   esac
 done

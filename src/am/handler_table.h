@@ -1,0 +1,105 @@
+// am::HandlerTable — registered active-message handlers with versioned
+// registration.
+//
+// PAMI ships no code with a message: the sender names a small-integer
+// handler ID and the receiver dispatches from its own table. That only
+// works when both sides agree what each ID means, so every registration
+// bumps two version numbers:
+//
+//   * the slot version  — how many times THIS id has been (re)registered.
+//     Each record on the wire carries the sender's slot version; the
+//     receiver rejects a mismatch (counted, and answered with an error
+//     reply when the sender expects one) instead of running the wrong
+//     handler.
+//   * the table version — total registrations on this endpoint. It rides
+//     every outgoing AM header, so peers can observe registration
+//     symmetry without a dedicated round trip.
+//
+// The intended model is SPMD-symmetric registration: every endpoint
+// registers the same handlers in the same order, which makes both
+// versions agree everywhere — and any asymmetry (a missed or reordered
+// registration) shows up as a version mismatch at dispatch time rather
+// than as a silently misrouted message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/inline_fn.h"
+#include "core/types.h"
+
+namespace pamix::am {
+
+class Engine;
+
+/// Where a handler runs: inline during context advance (lowest latency;
+/// the handler must not block), or deferred onto the context work queue
+/// (the payload is copied to a pooled buffer first, so the handler sees
+/// stable bytes whenever the work item runs).
+enum class ExecMode : std::uint8_t { Inline, Deferred };
+
+/// One delivered active message, as seen by a handler. `data` is valid
+/// only for the duration of the handler call (inline handlers consume it
+/// before returning; deferred handlers receive a pooled copy with the
+/// same rule). A nonzero `call_id` means the sender expects a reply via
+/// `Engine::reply`.
+struct AmMsg {
+  pami::Context& ctx;
+  pami::Endpoint origin;
+  const void* data = nullptr;
+  std::size_t bytes = 0;
+  std::uint32_t call_id = 0;
+  std::uint16_t handler = 0;
+};
+
+/// Handler callable. Inline-only storage like every other fast-path
+/// callable in the stack: captures beyond kSmallCallableBytes are a
+/// compile error.
+using HandlerFn =
+    core::InlineFn<void(Engine&, const AmMsg&), core::kSmallCallableBytes>;
+
+class HandlerTable {
+ public:
+  struct Slot {
+    HandlerFn fn;
+    std::uint16_t version = 0;  // registrations of this id so far
+    ExecMode mode = ExecMode::Inline;
+  };
+
+  /// Register (or re-register) `id`. Returns the slot's new version —
+  /// what this endpoint will stamp on outgoing records for `id`.
+  std::uint16_t register_handler(std::uint16_t id, HandlerFn fn,
+                                 ExecMode mode = ExecMode::Inline) {
+    if (static_cast<std::size_t>(id) >= slots_.size()) {
+      slots_.resize(static_cast<std::size_t>(id) + 1);
+    }
+    Slot& s = slots_[id];
+    s.fn = std::move(fn);
+    s.mode = mode;
+    ++s.version;
+    ++table_version_;
+    return s.version;
+  }
+
+  /// The registered slot for `id`, or nullptr when nothing is registered.
+  Slot* lookup(std::uint16_t id) {
+    if (static_cast<std::size_t>(id) >= slots_.size() || !slots_[id].fn) return nullptr;
+    return &slots_[id];
+  }
+
+  /// Current registration version of `id` (0 = never registered).
+  std::uint16_t version_of(std::uint16_t id) const {
+    return static_cast<std::size_t>(id) < slots_.size() ? slots_[id].version : 0;
+  }
+
+  /// Total registrations on this endpoint; stamped on every AM header.
+  std::uint32_t table_version() const { return table_version_; }
+
+ private:
+  std::vector<Slot> slots_;
+  std::uint32_t table_version_ = 0;
+};
+
+}  // namespace pamix::am

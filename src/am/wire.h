@@ -1,0 +1,96 @@
+// am wire format — headers for the active-message RPC layer (src/am/).
+//
+// Everything the AM layer puts on the wire rides the existing PAMI
+// send/dispatch machinery: each AM packet is an ordinary `Context::send`
+// whose *pami header* is one of the three fixed-size structs below, so
+// the MU/shm protocols, ordering and reassembly all come for free.
+//
+// Three reserved context dispatch IDs near the top of the 4096-entry
+// table carry the layer:
+//   base+0  Msg — one non-aggregated message or RPC reply (MsgHeader)
+//   base+1  Agg — a coalesced packet of small records (AggHeader +
+//                 AggRecord-framed payload)
+//   base+2  Ctl — control traffic: batched credit returns and the
+//                 versioned-registration hello (CtlHeader, no payload)
+//
+// Every header carries two piggyback fields:
+//   credits        — receive credits this endpoint returns to the peer
+//   table_version  — the sender's handler-table registration count; the
+//                    receiver keeps the max seen per peer, so both sides
+//                    can check registration symmetry without a dedicated
+//                    round trip (the "versioned registration handshake").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace pamix::am {
+
+/// Default base of the three reserved dispatch IDs, just under the
+/// context dispatch table's 4096-entry ceiling.
+inline constexpr pami::DispatchId kDefaultDispatchBase = 4090;
+inline constexpr int kDispatchSlots = 3;  // Msg, Agg, Ctl
+
+/// Per-record / per-message flag bits.
+enum MsgFlags : std::uint16_t {
+  kMsgReply = 1u << 0,  // answers an outstanding call (credit-exempt)
+  kMsgError = 1u << 1,  // reply reports failure (e.g. version mismatch)
+};
+
+/// Control-message flag bits.
+enum CtlFlags : std::uint16_t {
+  kCtlHello = 1u << 0,  // first-contact table_version announcement
+};
+
+/// Header of a single (non-aggregated) message or RPC reply.
+struct MsgHeader {
+  std::uint16_t handler = 0;
+  std::uint16_t version = 0;        // sender's registration version for `handler`
+  std::uint32_t call_id = 0;        // correlation ID; 0 = one-way
+  std::uint16_t credits = 0;        // piggybacked credit return
+  std::uint16_t flags = 0;          // MsgFlags
+  std::uint32_t table_version = 0;  // sender's handler-table version
+};
+static_assert(sizeof(MsgHeader) == 16, "MsgHeader is 16 bytes on the wire");
+
+/// Header of an aggregation packet: `count` AggRecord-framed records
+/// follow as the payload.
+struct AggHeader {
+  std::uint16_t count = 0;
+  std::uint16_t credits = 0;
+  std::uint32_t table_version = 0;
+};
+static_assert(sizeof(AggHeader) == 8, "AggHeader is 8 bytes on the wire");
+
+/// Per-record frame inside an aggregation packet. The record's payload
+/// follows immediately, padded to kAggRecordAlign so the next frame stays
+/// naturally aligned.
+struct AggRecord {
+  std::uint16_t handler = 0;
+  std::uint16_t version = 0;
+  std::uint32_t call_id = 0;
+  std::uint32_t bytes = 0;  // unpadded payload length
+  std::uint16_t flags = 0;  // MsgFlags
+  std::uint16_t pad = 0;
+};
+static_assert(sizeof(AggRecord) == 16, "AggRecord is 16 bytes on the wire");
+
+inline constexpr std::size_t kAggRecordAlign = 8;
+
+/// Bytes one record occupies in the staging buffer: frame + padded payload.
+inline constexpr std::size_t agg_record_bytes(std::size_t payload) {
+  return sizeof(AggRecord) +
+         ((payload + (kAggRecordAlign - 1)) & ~(kAggRecordAlign - 1));
+}
+
+/// Header of a control message (credit return / hello). No payload.
+struct CtlHeader {
+  std::uint16_t credits = 0;
+  std::uint16_t flags = 0;  // CtlFlags
+  std::uint32_t table_version = 0;
+};
+static_assert(sizeof(CtlHeader) == 8, "CtlHeader is 8 bytes on the wire");
+
+}  // namespace pamix::am

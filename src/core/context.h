@@ -87,6 +87,12 @@ class Context {
   /// buffers (telemetry + tests).
   core::BufferPool& stage_pool() { return engine_->stage_pool(); }
 
+  /// Register / unregister an auxiliary progress device (e.g. the
+  /// active-message layer's AmDevice) polled after the built-in five.
+  /// Caller keeps ownership; must unregister before destroying the device.
+  void add_progress_device(proto::Device* dev) { engine_->add_device(dev); }
+  void remove_progress_device(proto::Device* dev) { engine_->remove_device(dev); }
+
   // --- Context lock (PAMI_Context_lock) --------------------------------------
   void lock() { mutex_.lock(); }
   bool trylock() { return mutex_.try_lock(); }

@@ -18,6 +18,7 @@ const char* cat_string(TraceCat c) {
     case kCatCommthread: return "commthread";
     case kCatCollective: return "collective";
     case kCatMpi: return "mpi";
+    case kCatAm: return "am";
   }
   return "obs";
 }

@@ -97,6 +97,27 @@ enum class Pvar : std::uint32_t {
   AllocPoolHits,
   AllocPoolMisses,
   AllocHeapFallbacks,
+  // Active-message RPC layer (src/am/, the per-context "am" domain):
+  // traffic counts, aggregation effectiveness (packets coalesced and why
+  // each staging buffer flushed), credit flow control (sends parked at
+  // zero credits, credits granted back, batched credit-return control
+  // packets), the versioned-registration handshake, and deferred handler
+  // execution on the work queue.
+  AmSends,
+  AmCalls,
+  AmReplies,
+  AmDispatches,
+  AmAggPackets,
+  AmAggRecords,
+  AmAggFlushFull,
+  AmAggFlushTimeout,
+  AmAggFlushExplicit,
+  AmCreditStalls,
+  AmCreditsReturned,
+  AmCreditCtlPackets,
+  AmHellosSent,
+  AmVersionMismatches,
+  AmDeferredRuns,
   // Effective configuration, recorded once at context construction so a
   // run's telemetry shows which limits (config or PAMIX_*_LIMIT env
   // overrides) actually applied.
@@ -106,6 +127,9 @@ enum class Pvar : std::uint32_t {
   ConfigCollSlice,
   ConfigCollRadix,
   ConfigMpiMatch,  // 1 = hashed bins, 0 = ordered-list fallback
+  ConfigAmCredits,
+  ConfigAmAggBytes,
+  ConfigAmFlushUs,
   Count,
 };
 
@@ -174,7 +198,7 @@ struct Domain {
 ///   PAMIX_OBS            on|1|true  → tracing enabled (counters are always on)
 ///   PAMIX_TRACE_FILE     path for the chrome://tracing JSON dump
 ///   PAMIX_TRACE_EVENTS   comma list of categories (send,rdzv,advance,work,
-///                        commthread,collective,mpi); default: all
+///                        commthread,collective,mpi,am); default: all
 ///   PAMIX_TRACE_CAPACITY events kept per ring (default 16384, most recent win)
 struct ObsConfig {
   bool trace_enabled = false;

@@ -46,12 +46,30 @@ const char* pvar_name(Pvar p) {
     case Pvar::AllocPoolHits: return "alloc.pool_hits";
     case Pvar::AllocPoolMisses: return "alloc.pool_misses";
     case Pvar::AllocHeapFallbacks: return "alloc.heap_fallbacks";
+    case Pvar::AmSends: return "am.sends";
+    case Pvar::AmCalls: return "am.calls";
+    case Pvar::AmReplies: return "am.replies";
+    case Pvar::AmDispatches: return "am.dispatches";
+    case Pvar::AmAggPackets: return "am.agg_packets";
+    case Pvar::AmAggRecords: return "am.agg_records";
+    case Pvar::AmAggFlushFull: return "am.agg_flush_full";
+    case Pvar::AmAggFlushTimeout: return "am.agg_flush_timeout";
+    case Pvar::AmAggFlushExplicit: return "am.agg_flush_explicit";
+    case Pvar::AmCreditStalls: return "am.credit_stalls";
+    case Pvar::AmCreditsReturned: return "am.credits_returned";
+    case Pvar::AmCreditCtlPackets: return "am.credit_ctl_packets";
+    case Pvar::AmHellosSent: return "am.hellos_sent";
+    case Pvar::AmVersionMismatches: return "am.version_mismatches";
+    case Pvar::AmDeferredRuns: return "am.deferred_runs";
     case Pvar::ConfigEagerLimit: return "config.eager_limit";
     case Pvar::ConfigShmEagerLimit: return "config.shm_eager_limit";
     case Pvar::ConfigMuBatch: return "config.mu_batch";
     case Pvar::ConfigCollSlice: return "config.coll_slice";
     case Pvar::ConfigCollRadix: return "config.coll_radix";
     case Pvar::ConfigMpiMatch: return "config.mpi_match";
+    case Pvar::ConfigAmCredits: return "config.am_credits";
+    case Pvar::ConfigAmAggBytes: return "config.am_agg_bytes";
+    case Pvar::ConfigAmFlushUs: return "config.am_flush_us";
     case Pvar::Count: break;
   }
   return "?";
@@ -75,6 +93,9 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::CollArm: return "collective.arm";
     case TraceEv::CollCopyOut: return "collective.copy_out";
     case TraceEv::MpiMatch: return "mpi.match";
+    case TraceEv::AmDispatch: return "am.dispatch";
+    case TraceEv::AmAggFlush: return "am.agg_flush";
+    case TraceEv::AmCreditStall: return "am.credit_stall";
     case TraceEv::Count: break;
   }
   return "?";
@@ -100,6 +121,10 @@ TraceCat trace_ev_cat(TraceEv ev) {
       return kCatCommthread;
     case TraceEv::MpiMatch:
       return kCatMpi;
+    case TraceEv::AmDispatch:
+    case TraceEv::AmAggFlush:
+    case TraceEv::AmCreditStall:
+      return kCatAm;
     case TraceEv::CollPhase:
     case TraceEv::CollSliceMath:
     case TraceEv::CollArm:
@@ -134,6 +159,7 @@ std::uint32_t parse_event_mask(const char* v) {
     else if (tok == "commthread") mask |= kCatCommthread;
     else if (tok == "collective") mask |= kCatCollective;
     else if (tok == "mpi") mask |= kCatMpi;
+    else if (tok == "am") mask |= kCatAm;
     else if (tok == "all") mask = ~0u;
     pos = comma + 1;
   }

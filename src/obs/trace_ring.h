@@ -49,6 +49,9 @@ enum class TraceEv : std::uint8_t {
   CollArm,       // instant: master armed a network round; arg = round
   CollCopyOut,   // span: peer copy-out of a completed slice; arg = bytes
   MpiMatch,      // span: one arrival through the MPI matcher; arg = seq
+  AmDispatch,    // span: one AM handler execution; arg = payload bytes
+  AmAggFlush,    // instant: one aggregation buffer flushed; arg = records
+  AmCreditStall, // instant: a send parked on zero credits; arg = peer index
   Count,
 };
 
@@ -61,6 +64,7 @@ enum TraceCat : std::uint32_t {
   kCatCommthread = 1u << 4,
   kCatCollective = 1u << 5,
   kCatMpi = 1u << 6,
+  kCatAm = 1u << 7,
 };
 
 const char* trace_ev_name(TraceEv ev);

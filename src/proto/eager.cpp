@@ -81,7 +81,36 @@ void EagerProtocol::deliver_first_packet(pami::Endpoint origin, pami::DispatchId
     std::memcpy(st.buffer, stream + header_bytes, n);
   }
   st.received = stream_bytes;
-  recv_states_.emplace(key, std::move(st));
+  insert_recv(key).st = std::move(st);
+}
+
+EagerProtocol::RecvSlot* EagerProtocol::find_recv(std::uint64_t key) {
+  for (RecvSlot& s : recv_states_) {
+    if (s.in_use && s.key == key) return &s;
+  }
+  return nullptr;
+}
+
+EagerProtocol::RecvSlot& EagerProtocol::insert_recv(std::uint64_t key) {
+  ++recv_live_;
+  for (RecvSlot& s : recv_states_) {
+    if (!s.in_use) {
+      s.in_use = true;
+      s.key = key;
+      return s;
+    }
+  }
+  recv_states_.emplace_back();
+  RecvSlot& s = recv_states_.back();
+  s.in_use = true;
+  s.key = key;
+  return s;
+}
+
+void EagerProtocol::erase_recv(RecvSlot& slot) {
+  slot.in_use = false;
+  slot.st = RecvState{};
+  --recv_live_;
 }
 
 void EagerProtocol::handle_packet(hw::MuPacket&& pkt) {
@@ -102,9 +131,9 @@ void EagerProtocol::handle_packet(hw::MuPacket&& pkt) {
   }
 
   // Continuation packet of a multi-packet eager message.
-  auto it = recv_states_.find(key);
-  assert(it != recv_states_.end() && "continuation packet before first packet");
-  RecvState& st = it->second;
+  RecvSlot* slot = find_recv(key);
+  assert(slot != nullptr && "continuation packet before first packet");
+  RecvState& st = slot->st;
   const std::size_t stream_off = sw.packet_offset;
   const std::size_t data_off = stream_off - st.header_bytes;
   if (st.buffer != nullptr && data_off < st.accept_bytes) {
@@ -116,7 +145,7 @@ void EagerProtocol::handle_packet(hw::MuPacket&& pkt) {
     pami::EventFn done = std::move(st.on_complete);
     const bool want_ack = (sw.flags & kFlagWantAck) != 0;
     const std::uint64_t ack_handle = sw.metadata;
-    recv_states_.erase(it);
+    erase_recv(*slot);
     if (done) done();
     if (want_ack) engine_.send_done(origin, static_cast<std::uint32_t>(ack_handle));
   }

@@ -8,13 +8,16 @@
 // message once the full stream has landed.
 //
 // Target: single-packet messages dispatch immediately; multi-packet
-// streams reassemble through a RecvState table keyed by the packed
+// streams reassemble through a RecvState slot table keyed by the packed
 // (task, context, seq) wire key, honouring the receiver's truncation
-// window (accept_bytes).
+// window (accept_bytes). The table is a linear-scanned freelist vector
+// rather than a map: the live set is tiny (messages in flight from all
+// peers), scans are cheap, and reusing slots keeps the steady-state
+// receive path free of per-message node allocations.
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <vector>
 
 #include "core/types.h"
 #include "hw/mu.h"
@@ -30,7 +33,7 @@ class EagerProtocol final : public Protocol {
 
   const char* name() const override { return "eager"; }
   ProtocolKind kind() const override { return ProtocolKind::Eager; }
-  bool has_pending_state() const override { return !recv_states_.empty(); }
+  bool has_pending_state() const override { return recv_live_ > 0; }
   obs::Domain& obs() override { return obs_; }
 
   /// Origin side. `desc` arrives with addressing and identity filled by
@@ -52,15 +55,27 @@ class EagerProtocol final : public Protocol {
     pami::EventFn on_complete;
   };
 
+  /// One reassembly slot. Slots recycle in place; the vector grows only
+  /// to the in-flight high-water mark.
+  struct RecvSlot {
+    std::uint64_t key = 0;
+    bool in_use = false;
+    RecvState st;
+  };
+
   void deliver_first_packet(pami::Endpoint origin, pami::DispatchId dispatch,
                             const std::byte* stream, std::size_t stream_bytes,
                             std::size_t header_bytes, std::size_t total_stream_bytes,
                             std::uint64_t key);
+  RecvSlot* find_recv(std::uint64_t key);
+  RecvSlot& insert_recv(std::uint64_t key);
+  void erase_recv(RecvSlot& slot);
 
   ProgressEngine& engine_;
   obs::Domain& obs_;
   // Reassembly keyed by (origin task, origin context, msg seq) packed.
-  std::map<std::uint64_t, RecvState> recv_states_;
+  std::vector<RecvSlot> recv_states_;
+  std::size_t recv_live_ = 0;
 };
 
 }  // namespace pamix::proto

@@ -275,7 +275,10 @@ std::size_t ProgressEngine::advance(int iterations) {
   const std::uint64_t t0 = tracing ? obs::now_ns() : 0;
   std::size_t events = 0;
   for (int it = 0; it < iterations; ++it) {
-    for (Device* d : devices_) events += d->poll();
+    // Index-based: a handler running inside poll() may add_device() (e.g.
+    // constructing an am::Engine); appending mid-pass is safe, removal is
+    // deferred to quiescence by contract.
+    for (std::size_t i = 0; i < devices_.size(); ++i) events += devices_[i]->poll();
   }
   if (events > 0) {
     obs_.pvars.add(obs::Pvar::AdvanceEvents, events);
@@ -284,6 +287,20 @@ std::size_t ProgressEngine::advance(int iterations) {
     }
   }
   return events;
+}
+
+void ProgressEngine::add_device(Device* dev) {
+  assert(dev != nullptr);
+  devices_.push_back(dev);
+}
+
+void ProgressEngine::remove_device(Device* dev) {
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (devices_[i] == dev) {
+      devices_.erase(devices_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
 }
 
 std::vector<const void*> ProgressEngine::wakeup_addresses() const {

@@ -168,6 +168,13 @@ class ProgressEngine {
   void release_counter(std::unique_ptr<hw::MuReceptionCounter> counter);
   std::shared_ptr<hw::MuDescriptor> acquire_remote_desc();
 
+  /// Register an auxiliary progress device (e.g. the active-message layer's
+  /// AmDevice) behind the built-in five in drain order. The caller keeps
+  /// ownership and must remove_device() before the device is destroyed.
+  /// Cold path: call from the context-owning thread only.
+  void add_device(Device* dev);
+  void remove_device(Device* dev);
+
   /// Per-context staging pool for eager/RTS streams and shm packet
   /// buffers. Single-consumer: acquire only on this context's advancing
   /// thread (buffers release from anywhere).

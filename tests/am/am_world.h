@@ -1,0 +1,60 @@
+// Shared fixture for the AM tests: an N-task world (one task per node, so
+// traffic crosses the inter-node MU path), one context per task, one
+// am::Engine per context, single-threaded progress by explicit advance.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "am/engine.h"
+#include "core/client.h"
+#include "core/context.h"
+#include "hw/torus.h"
+#include "runtime/machine.h"
+
+namespace pamix::am {
+
+class AmWorld {
+ public:
+  explicit AmWorld(Engine::Options opts = {}, int tasks = 2,
+                   pami::ClientConfig cfg = pami::ClientConfig{})
+      : machine_(hw::TorusGeometry({tasks, 1, 1, 1, 1}), 1), world_(machine_, cfg) {
+    for (int t = 0; t < tasks; ++t) {
+      engines_.push_back(std::make_unique<Engine>(world_.client(t).context(0), opts));
+    }
+  }
+
+  Engine& am(int task) { return *engines_[task]; }
+  pami::Context& ctx(int task) { return world_.client(task).context(0); }
+  int tasks() const { return static_cast<int>(engines_.size()); }
+
+  void advance(int rounds = 1) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int t = 0; t < tasks(); ++t) ctx(t).advance();
+    }
+  }
+
+  /// Advance everyone until `done()` holds (or the round budget runs out).
+  template <typename Pred>
+  bool settle(Pred done, int max_rounds = 2000) {
+    for (int i = 0; i < max_rounds; ++i) {
+      if (done()) return true;
+      advance();
+    }
+    return done();
+  }
+
+ private:
+  runtime::Machine machine_;
+  pami::ClientWorld world_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+};
+
+inline std::vector<std::byte> am_pattern(std::size_t n, int salt = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::byte>(i * 31 + salt);
+  return v;
+}
+
+}  // namespace pamix::am

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "am_world.h"
+#include "am/wire.h"
+#include "obs/pvar.h"
+
+namespace pamix::am {
+namespace {
+
+using pami::Endpoint;
+using pami::Result;
+
+Engine::Options agg_opts(std::uint32_t flush_us) {
+  Engine::Options o;
+  o.agg_bytes = 512;  // one MU packet
+  o.flush_us = flush_us;
+  return o;
+}
+
+TEST(AmAgg, ExplicitFlushPacksManyRecordsIntoOnePacket) {
+  AmWorld w(agg_opts(1000000));  // effectively no timeout flush
+  std::vector<std::uint32_t> order;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg& m) {
+                             std::uint32_t s;
+                             std::memcpy(&s, m.data, sizeof s);
+                             order.push_back(s);
+                           }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  const obs::PvarSnapshot before = w.am(0).obs().pvars.snapshot();
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &seq, sizeof seq), Result::Success);
+  }
+  // Nothing on the wire yet: all five are staged.
+  w.advance(10);
+  EXPECT_TRUE(order.empty());
+
+  w.am(0).flush(Endpoint{1, 0});
+  ASSERT_TRUE(w.settle([&] { return order.size() == 5; }));
+  for (std::uint32_t seq = 0; seq < 5; ++seq) EXPECT_EQ(order[seq], seq);
+
+  const obs::PvarSnapshot delta = w.am(0).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmAggPackets], 1u);
+  EXPECT_EQ(delta[obs::Pvar::AmAggRecords], 5u);
+  EXPECT_EQ(delta[obs::Pvar::AmAggFlushExplicit], 1u);
+  EXPECT_EQ(delta[obs::Pvar::AmAggFlushFull], 0u);
+}
+
+TEST(AmAgg, BufferFullTriggersFlush) {
+  AmWorld w(agg_opts(1000000));
+  int hits = 0;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg&) { ++hits; }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  // 48 framed bytes per record (16B frame + 32B payload): 10 fit in the
+  // 504B record area, the 11th forces a flush-on-full.
+  const std::size_t payload = 32;
+  ASSERT_EQ(agg_record_bytes(payload), 48u);
+  const auto data = am_pattern(payload);
+
+  const obs::PvarSnapshot before = w.am(0).obs().pvars.snapshot();
+  for (int i = 0; i < 11; ++i) {
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, data.data(), payload), Result::Success);
+  }
+  ASSERT_TRUE(w.settle([&] { return hits == 10; }));  // the full packet
+  const obs::PvarSnapshot delta = w.am(0).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmAggPackets], 1u);
+  EXPECT_EQ(delta[obs::Pvar::AmAggRecords], 10u);
+  EXPECT_EQ(delta[obs::Pvar::AmAggFlushFull], 1u);
+  // The 11th record is still staged, not lost.
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return hits == 11; }));
+}
+
+TEST(AmAgg, TimeoutFlushesStragglers) {
+  AmWorld w(agg_opts(1));  // 1 microsecond: the next poll pass flushes
+  int hits = 0;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg&) { ++hits; }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  const obs::PvarSnapshot before = w.am(0).obs().pvars.snapshot();
+  std::uint32_t x = 1;
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &x, sizeof x), Result::Success);
+  // No explicit flush: only the timeout path can move this record.
+  ASSERT_TRUE(w.settle([&] { return hits == 1; }));
+  const obs::PvarSnapshot delta = w.am(0).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmAggFlushTimeout], 1u);
+}
+
+TEST(AmAgg, DirectSendFlushesStagedRecordsFirst) {
+  AmWorld w(agg_opts(1000000));
+  // Receiver logs (kind, seq) in dispatch order; per-peer program order
+  // must hold across the aggregated/direct boundary.
+  std::vector<std::uint32_t> order;
+  auto log = [&](Engine&, const AmMsg& m) {
+    std::uint32_t s;
+    std::memcpy(&s, m.data, sizeof s);
+    order.push_back(s);
+  };
+  w.am(1).register_handler(3, log);
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  // Two small (staged) sends, then one too big to aggregate (600B > the
+  // 504B record area but < eager_limit), then another small one.
+  std::vector<std::byte> big(600, std::byte{0});
+  std::uint32_t seq;
+  for (seq = 0; seq < 2; ++seq) {
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &seq, sizeof seq), Result::Success);
+  }
+  std::memcpy(big.data(), &seq, sizeof seq);  // big carries seq 2
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, big.data(), big.size()), Result::Success);
+  seq = 3;
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &seq, sizeof seq), Result::Success);
+  w.am(0).flush();
+
+  ASSERT_TRUE(w.settle([&] { return order.size() == 4; }));
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(order[i], i) << i;
+}
+
+TEST(AmAgg, AggregationDisabledSendsEverythingDirect) {
+  Engine::Options o;
+  o.agg_bytes = 0;
+  AmWorld w(o);
+  int hits = 0;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg&) { ++hits; }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  const obs::PvarSnapshot before = w.am(0).obs().pvars.snapshot();
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &seq, sizeof seq), Result::Success);
+  }
+  ASSERT_TRUE(w.settle([&] { return hits == 4; }));
+  const obs::PvarSnapshot delta = w.am(0).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmAggPackets], 0u);
+}
+
+TEST(AmAgg, PerPeerBuffersAreIndependent) {
+  AmWorld w(agg_opts(1000000), /*tasks=*/3);
+  int hits1 = 0;
+  int hits2 = 0;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg&) { ++hits1; }));
+  w.am(2).register_handler(3, HandlerFn([&](Engine&, const AmMsg&) { ++hits2; }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  std::uint32_t x = 0;
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &x, sizeof x), Result::Success);
+  ASSERT_EQ(w.am(0).send(Endpoint{2, 0}, 3, &x, sizeof x), Result::Success);
+  // Flushing peer 1 must not disturb peer 2's staged record.
+  w.am(0).flush(Endpoint{1, 0});
+  ASSERT_TRUE(w.settle([&] { return hits1 == 1; }));
+  w.advance(10);
+  EXPECT_EQ(hits2, 0);
+  w.am(0).flush(Endpoint{2, 0});
+  ASSERT_TRUE(w.settle([&] { return hits2 == 1; }));
+}
+
+}  // namespace
+}  // namespace pamix::am

@@ -1,0 +1,143 @@
+// Zero-allocation steady state for the AM layer: after warm-up, one-way
+// sends (aggregated and direct), RPC round trips, credit stalls with
+// park/drain, and deferred dispatch must perform NO global-allocator
+// calls. Same counting-operator-new technique as test_alloc_steadystate;
+// own binary because replacing ::operator new is program-wide.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "am_world.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Counting global allocator. Counts every operator-new entry point;
+// deallocation is left untouched (free is not the invariant under test).
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                               (n + static_cast<std::size_t>(align) - 1) &
+                                   ~(static_cast<std::size_t>(align) - 1));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new[](std::size_t n, std::align_val_t align) { return ::operator new(n, align); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace pamix::am {
+namespace {
+
+using pami::Endpoint;
+using pami::Result;
+
+/// One round of mixed AM traffic 0 -> 1: aggregated small sends past the
+/// credit window (parking + ctl returns), a direct mid-size send, an RPC
+/// round trip, and a deferred dispatch.
+void traffic_round(AmWorld& w, const std::vector<std::byte>& small,
+                   const std::vector<std::byte>& mid, int* one_way_hits) {
+  const int before = *one_way_hits;
+  int sent = 0;
+  for (int i = 0; i < 24; ++i) {  // > default window of 8 below: parks
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 1, small.data(), small.size()),
+              Result::Success);
+    ++sent;
+  }
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 2, mid.data(), mid.size()), Result::Success);
+  ++sent;
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 4, small.data(), small.size()),
+            Result::Success);  // deferred at the receiver
+  ++sent;
+  Future f;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 3, small.data(), small.size(), f),
+            Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] {
+    return f.ready() && *one_way_hits == before + sent && w.am(0).quiescent();
+  }));
+  ASSERT_EQ(f.status(), Result::Success);
+}
+
+TEST(AmAllocSteadyState, MixedAmTrafficIsAllocationFreeAfterWarmup) {
+  Engine::Options o;
+  o.credits = 8;  // small window so every round parks and drains
+  o.agg_bytes = 512;
+  o.flush_us = 0;  // flush every poll pass: no timing dependence
+  AmWorld w(o);
+
+  int one_way_hits = 0;
+  auto count = [&](Engine&, const AmMsg&) { ++one_way_hits; };
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  for (int t = 0; t < 2; ++t) {
+    w.am(t).register_handler(1, count);
+    w.am(t).register_handler(2, count);
+    w.am(t).register_handler(3, echo);
+    w.am(t).register_handler(4, count, ExecMode::Deferred);
+  }
+
+  const auto small = am_pattern(32);
+  const auto mid = am_pattern(1024);  // direct, eager (<= eager_limit)
+
+  // Warm-up: grow every freelist and pool to its high-water mark — buffer
+  // classes, per-peer parked FIFOs, slab table, call table, work queue.
+  for (int r = 0; r < 8; ++r) traffic_round(w, small, mid, &one_way_hits);
+
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int r = 0; r < 32; ++r) traffic_round(w, small, mid, &one_way_hits);
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state AM traffic performed " << (after - before)
+      << " global allocations";
+}
+
+TEST(AmAllocSteadyState, RpcPingPongIsAllocationFreeAfterWarmup) {
+  AmWorld w;  // default options
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  w.am(0).register_handler(3, echo);
+  w.am(1).register_handler(3, echo);
+
+  const auto payload = am_pattern(64);
+  auto round = [&] {
+    Future f;
+    ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 3, payload.data(), payload.size(), f),
+              Result::Success);
+    w.am(0).flush();
+    ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+  };
+
+  for (int r = 0; r < 16; ++r) round();
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int r = 0; r < 64; ++r) round();
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state AM RPC performed " << (after - before)
+      << " global allocations";
+}
+
+}  // namespace
+}  // namespace pamix::am

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "am_world.h"
+#include "obs/pvar.h"
+
+namespace pamix::am {
+namespace {
+
+using pami::Endpoint;
+using pami::Result;
+
+TEST(AmBasic, OneWaySendDispatchesWithPayloadAndOrigin) {
+  AmWorld w;
+  std::vector<std::byte> got;
+  Endpoint got_origin{};
+  std::uint32_t got_call = 1;
+  w.am(1).register_handler(7, HandlerFn([&](Engine&, const AmMsg& m) {
+                             got.assign(static_cast<const std::byte*>(m.data),
+                                        static_cast<const std::byte*>(m.data) + m.bytes);
+                             got_origin = m.origin;
+                             got_call = m.call_id;
+                           }));
+  w.am(0).register_handler(7, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  const auto payload = am_pattern(48);
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 7, payload.data(), payload.size()),
+            Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return !got.empty(); }));
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(got_origin, (Endpoint{0, 0}));
+  EXPECT_EQ(got_call, 0u);  // one-way: no correlation ID
+}
+
+TEST(AmBasic, ZeroBytePayloadDispatches) {
+  AmWorld w;
+  int hits = 0;
+  std::size_t got_bytes = 99;
+  w.am(1).register_handler(2, HandlerFn([&](Engine&, const AmMsg& m) {
+                             ++hits;
+                             got_bytes = m.bytes;
+                           }));
+  w.am(0).register_handler(2, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 2, nullptr, 0), Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return hits == 1; }));
+  EXPECT_EQ(got_bytes, 0u);
+}
+
+TEST(AmBasic, EchoRpcCallbackRoundTrips) {
+  AmWorld w;
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  w.am(0).register_handler(5, echo);
+  w.am(1).register_handler(5, echo);
+
+  const auto payload = am_pattern(100, 3);
+  std::vector<std::byte> reply;
+  Result reply_status = Result::Eagain;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 5, payload.data(), payload.size(),
+                         ReplyFn([&](Result st, const void* d, std::size_t n) {
+                           reply_status = st;
+                           reply.assign(static_cast<const std::byte*>(d),
+                                        static_cast<const std::byte*>(d) + n);
+                         })),
+            Result::Success);
+  EXPECT_EQ(w.am(0).outstanding_calls(), 1u);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return reply_status != Result::Eagain; }));
+  EXPECT_EQ(reply_status, Result::Success);
+  EXPECT_EQ(reply, payload);
+  EXPECT_EQ(w.am(0).outstanding_calls(), 0u);
+}
+
+TEST(AmBasic, EchoRpcFutureRoundTrips) {
+  AmWorld w;
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  w.am(0).register_handler(5, echo);
+  w.am(1).register_handler(5, echo);
+
+  const auto payload = am_pattern(64, 9);
+  Future f;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 5, payload.data(), payload.size(), f),
+            Result::Success);
+  EXPECT_FALSE(f.ready());
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+  EXPECT_EQ(f.status(), Result::Success);
+  ASSERT_EQ(f.bytes(), payload.size());
+  EXPECT_EQ(std::memcmp(f.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(AmBasic, LargePayloadTakesDirectPathAndRoundTrips) {
+  AmWorld w;  // default agg 512B: a 16KB payload must go direct (rendezvous)
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  w.am(0).register_handler(5, echo);
+  w.am(1).register_handler(5, echo);
+
+  const auto payload = am_pattern(16384, 5);
+  Future f;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 5, payload.data(), payload.size(), f),
+            Result::Success);
+  ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+  EXPECT_EQ(f.status(), Result::Success);
+  ASSERT_EQ(f.bytes(), payload.size());
+  EXPECT_EQ(std::memcmp(f.data(), payload.data(), payload.size()), 0);
+}
+
+TEST(AmBasic, UnregisteredHandlerReturnsErrorReply) {
+  AmWorld w;
+  w.am(0).register_handler(9, HandlerFn([](Engine&, const AmMsg&) {}));
+  // Task 1 never registers handler 9: registration asymmetry.
+
+  const obs::PvarSnapshot before = w.am(1).obs().pvars.snapshot();
+  Future f;
+  std::uint32_t x = 42;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 9, &x, sizeof x, f), Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+  EXPECT_EQ(f.status(), Result::Error);
+  EXPECT_EQ(w.am(0).outstanding_calls(), 0u);
+  const obs::PvarSnapshot delta = w.am(1).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmVersionMismatches], 1u);
+}
+
+TEST(AmBasic, ReRegistrationBumpsVersionAndStaleSendersGetError) {
+  AmWorld w;
+  auto ok = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  EXPECT_EQ(w.am(0).register_handler(4, ok), 1);
+  EXPECT_EQ(w.am(1).register_handler(4, ok), 1);
+  // Receiver re-registers (version 2); the sender still stamps version 1.
+  EXPECT_EQ(w.am(1).register_handler(4, ok), 2);
+
+  Future f;
+  std::uint32_t x = 7;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 4, &x, sizeof x, f), Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+  EXPECT_EQ(f.status(), Result::Error);
+
+  // Re-registering on the sender restores symmetry and the call succeeds.
+  EXPECT_EQ(w.am(0).register_handler(4, ok), 2);
+  Future f2;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 4, &x, sizeof x, f2), Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return f2.ready(); }));
+  EXPECT_EQ(f2.status(), Result::Success);
+}
+
+TEST(AmBasic, TableVersionHandshakePropagatesBothWays) {
+  AmWorld w;
+  auto h = [](Engine&, const AmMsg&) {};
+  w.am(0).register_handler(1, h);
+  w.am(0).register_handler(2, h);
+  w.am(0).register_handler(3, h);  // table_version 3
+  w.am(1).register_handler(1, h);  // table_version 1
+
+  EXPECT_EQ(w.am(0).peer_table_version(Endpoint{1, 0}), 0u);  // pre-contact
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 1, nullptr, 0), Result::Success);
+  w.am(0).flush();
+  // The outbound header announces 3; task 1's hello announces 1 back.
+  ASSERT_TRUE(w.settle([&] {
+    return w.am(1).peer_table_version(Endpoint{0, 0}) == 3 &&
+           w.am(0).peer_table_version(Endpoint{1, 0}) == 1;
+  }));
+  EXPECT_EQ(w.am(0).table_version(), 3u);
+  EXPECT_EQ(w.am(1).table_version(), 1u);
+}
+
+TEST(AmBasic, DeferredHandlerRunsFromWorkQueueWithStablePayload) {
+  AmWorld w;
+  std::vector<std::byte> got;
+  w.am(1).register_handler(6, HandlerFn([&](Engine&, const AmMsg& m) {
+                             got.assign(static_cast<const std::byte*>(m.data),
+                                        static_cast<const std::byte*>(m.data) + m.bytes);
+                           }),
+                           ExecMode::Deferred);
+  w.am(0).register_handler(6, HandlerFn([](Engine&, const AmMsg&) {}),
+                           ExecMode::Deferred);
+
+  const obs::PvarSnapshot before = w.am(1).obs().pvars.snapshot();
+  const auto payload = am_pattern(200, 11);
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 6, payload.data(), payload.size()),
+            Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return !got.empty(); }));
+  EXPECT_EQ(got, payload);
+  const obs::PvarSnapshot delta = w.am(1).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmDeferredRuns], 1u);
+}
+
+TEST(AmBasic, HandlerMayIssueAmReentrantly) {
+  Engine::Options o;
+  o.flush_us = 0;  // flush every poll pass: the chain advances per round
+  AmWorld w(o);
+  // Ping-pong chain: each delivery sends the next hop until the counter
+  // runs out. Exercises enqueue-from-within-dispatch (re-entrancy).
+  int t0_hits = 0;
+  int t1_hits = 0;
+  auto hop = [&](int& hits) {
+    return HandlerFn([&hits](Engine& e, const AmMsg& m) {
+      ++hits;
+      std::uint32_t n;
+      std::memcpy(&n, m.data, sizeof n);
+      if (n > 0) {
+        const std::uint32_t next = n - 1;
+        ASSERT_EQ(e.send(m.origin, 8, &next, sizeof next), Result::Success);
+      }
+    });
+  };
+  w.am(0).register_handler(8, hop(t0_hits));
+  w.am(1).register_handler(8, hop(t1_hits));
+
+  const std::uint32_t hops = 10;
+  ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 8, &hops, sizeof hops), Result::Success);
+  w.am(0).flush();
+  ASSERT_TRUE(w.settle([&] { return t0_hits + t1_hits == 11; }));
+  EXPECT_EQ(t1_hits, 6);  // hops 10,8,6,4,2,0 land on task 1
+  EXPECT_EQ(t0_hits, 5);
+}
+
+TEST(AmBasic, QuiescentAfterTrafficDrains) {
+  AmWorld w;
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  w.am(0).register_handler(5, echo);
+  w.am(1).register_handler(5, echo);
+
+  Future f;
+  std::uint32_t x = 1;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 5, &x, sizeof x, f), Result::Success);
+  EXPECT_FALSE(w.am(0).quiescent());  // staged or outstanding
+  ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+  ASSERT_TRUE(w.settle([&] { return w.am(0).quiescent() && w.am(1).quiescent(); }));
+  EXPECT_EQ(w.am(0).parked_sends(), 0u);
+}
+
+}  // namespace
+}  // namespace pamix::am

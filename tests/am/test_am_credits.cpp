@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "am_world.h"
+#include "obs/pvar.h"
+
+namespace pamix::am {
+namespace {
+
+using pami::Endpoint;
+using pami::Result;
+
+Engine::Options tiny_credits(std::uint32_t credits) {
+  Engine::Options o;
+  o.credits = credits;
+  o.agg_bytes = 0;  // every send direct: one message = one credit, visibly
+  o.flush_us = 0;
+  return o;
+}
+
+TEST(AmCredits, SendsParkAtZeroCreditsAndCountStalls) {
+  AmWorld w(tiny_credits(2));
+  int hits = 0;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg&) { ++hits; }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  const obs::PvarSnapshot before = w.am(0).obs().pvars.snapshot();
+  EXPECT_EQ(w.am(0).credits_available(Endpoint{1, 0}), 2u);
+  std::uint32_t seq;
+  for (seq = 0; seq < 5; ++seq) {
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &seq, sizeof seq), Result::Success);
+  }
+  // First two consumed the credits and hit the wire; the rest parked.
+  EXPECT_EQ(w.am(0).credits_available(Endpoint{1, 0}), 0u);
+  EXPECT_EQ(w.am(0).parked_sends(), 3u);
+  const obs::PvarSnapshot delta = w.am(0).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmCreditStalls], 3u);
+
+  // Credits return as task 1 dispatches; the parked FIFO drains fully.
+  ASSERT_TRUE(w.settle([&] { return hits == 5; }));
+  ASSERT_TRUE(w.settle([&] { return w.am(0).parked_sends() == 0; }));
+}
+
+TEST(AmCredits, RefillDrainsParkedFifoInOrder) {
+  AmWorld w(tiny_credits(1));  // worst case: every second send parks
+  std::vector<std::uint32_t> order;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg& m) {
+                             std::uint32_t s;
+                             std::memcpy(&s, m.data, sizeof s);
+                             order.push_back(s);
+                           }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  for (std::uint32_t seq = 0; seq < 16; ++seq) {
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &seq, sizeof seq), Result::Success);
+  }
+  ASSERT_TRUE(w.settle([&] { return order.size() == 16; }));
+  for (std::uint32_t seq = 0; seq < 16; ++seq) EXPECT_EQ(order[seq], seq) << seq;
+}
+
+TEST(AmCredits, CreditsReturnViaBatchedControlMessages) {
+  AmWorld w(tiny_credits(8));  // batch threshold: 8/2 = 4 owed
+  int hits = 0;
+  w.am(1).register_handler(3, HandlerFn([&](Engine&, const AmMsg&) { ++hits; }));
+  w.am(0).register_handler(3, HandlerFn([](Engine&, const AmMsg&) {}));
+
+  const obs::PvarSnapshot before = w.am(1).obs().pvars.snapshot();
+  std::uint32_t seq;
+  for (seq = 0; seq < 8; ++seq) {
+    ASSERT_EQ(w.am(0).send(Endpoint{1, 0}, 3, &seq, sizeof seq), Result::Success);
+  }
+  ASSERT_TRUE(w.settle([&] { return hits == 8; }));
+  // Task 1 sends nothing back, so piggybacking can't carry the credits:
+  // only batched control messages can restore the sender to 8/8.
+  ASSERT_TRUE(
+      w.settle([&] { return w.am(0).credits_available(Endpoint{1, 0}) == 8u; }));
+  const obs::PvarSnapshot delta = w.am(1).obs().pvars.snapshot() - before;
+  EXPECT_GE(delta[obs::Pvar::AmCreditCtlPackets], 1u);
+  EXPECT_EQ(delta[obs::Pvar::AmCreditsReturned], 8u);
+}
+
+TEST(AmCredits, PiggybackedCreditsRideReplies) {
+  AmWorld w(tiny_credits(4));
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  w.am(0).register_handler(5, echo);
+  w.am(1).register_handler(5, echo);
+
+  // Request/response traffic: every reply carries the owed credit back, so
+  // sustained RPC at depth <= credits never needs a control packet.
+  const obs::PvarSnapshot before = w.am(1).obs().pvars.snapshot();
+  for (int i = 0; i < 32; ++i) {
+    Future f;
+    std::uint32_t x = static_cast<std::uint32_t>(i);
+    ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 5, &x, sizeof x, f), Result::Success);
+    ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+    EXPECT_EQ(f.status(), Result::Success);
+  }
+  ASSERT_TRUE(
+      w.settle([&] { return w.am(0).credits_available(Endpoint{1, 0}) == 4u; }));
+  const obs::PvarSnapshot delta = w.am(1).obs().pvars.snapshot() - before;
+  EXPECT_EQ(delta[obs::Pvar::AmCreditCtlPackets], 0u);
+  EXPECT_EQ(delta[obs::Pvar::AmCreditsReturned], 32u);
+}
+
+TEST(AmCredits, RepliesAreCreditExempt) {
+  AmWorld w(tiny_credits(1));
+  // Task 1's handler replies; replies must flow even when task 1 holds
+  // zero send credits toward task 0 (they are bounded by outstanding
+  // calls, not by the credit window).
+  auto echo = [](Engine& e, const AmMsg& m) { e.reply(m, m.data, m.bytes); };
+  w.am(0).register_handler(5, echo);
+  w.am(1).register_handler(5, echo);
+
+  // Burn task 1's single credit toward task 0 with a one-way send.
+  std::uint32_t x = 0;
+  ASSERT_EQ(w.am(1).send(Endpoint{0, 0}, 5, &x, sizeof x), Result::Success);
+  EXPECT_EQ(w.am(1).credits_available(Endpoint{0, 0}), 0u);
+
+  Future f;
+  ASSERT_EQ(w.am(0).call(Endpoint{1, 0}, 5, &x, sizeof x, f), Result::Success);
+  ASSERT_TRUE(w.settle([&] { return f.ready(); }));
+  EXPECT_EQ(f.status(), Result::Success);
+}
+
+}  // namespace
+}  // namespace pamix::am
