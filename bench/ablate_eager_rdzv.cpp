@@ -1,33 +1,20 @@
 // Ablation — eager vs rendezvous crossover. Eager wins latency for short
 // messages (no handshake); rendezvous wins throughput for long ones (RDMA,
-// no receive-side FIFO copy). This sweep locates the crossover in the
-// calibrated model and cross-checks the protocols functionally.
+// no receive-side FIFO copy). The sweep locates the crossover in the
+// calibrated analytic model (sim::MpiModel's protocol one-way predictions,
+// shared with the cross-validation tests), then cross-checks both
+// protocols twice: measured over the DES transport backend (virtual time,
+// the same code path PAMIX_NET=des runs) and functionally on the host.
 #include <cstdio>
 
 #include "bench_util.h"
 #include "mpi/mpi.h"
-#include "sim/des_torus.h"
+#include "sim/mpi_model.h"
+#include "sim/scenario.h"
 
 namespace {
 
 using namespace pamix;
-
-/// Model: one-way time for an eager message (payload streamed through
-/// memory-FIFO packets + per-packet receive copy) vs rendezvous (RTS
-/// round trip + RDMA pull).
-double eager_one_way_us(const sim::BgqCostModel& m, sim::DesTorus& t, std::size_t bytes) {
-  const double net = t.one_way_time(0, 1, bytes);
-  const double copies = static_cast<double>(m.packets_for(bytes)) * m.eager_per_packet_copy_us;
-  return m.pami_send_immediate_origin_us + m.pami_send_extra_us + net + m.pami_dispatch_us +
-         copies;
-}
-
-double rdzv_one_way_us(const sim::BgqCostModel& m, sim::DesTorus& t, std::size_t bytes) {
-  const double rts = t.one_way_time(0, 1, 64) + m.pami_dispatch_us;
-  const double pull_req = t.one_way_time(0, 1, 32);
-  const double data = t.one_way_time(0, 1, bytes);
-  return m.pami_send_immediate_origin_us + m.pami_send_extra_us + rts + pull_req + data;
-}
 
 double host_one_way_us(std::size_t threshold, std::size_t bytes, int iters) {
   runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
@@ -59,21 +46,31 @@ double host_one_way_us(std::size_t threshold, std::size_t bytes, int iters) {
   return us / iters;
 }
 
+/// Network-only one-way over the DES backend with the protocol forced by
+/// the world's eager limit (software runs in zero virtual time).
+double des_one_way_us(std::size_t eager_limit, std::size_t bytes) {
+  sim::ScenarioOptions o;
+  o.geom = hw::TorusGeometry({2, 2, 2, 1, 1});
+  o.eager_limit = eager_limit;
+  sim::ScenarioWorld w(o);
+  return sim::scenario_one_way_us(w, 0, 7, bytes);
+}
+
 }  // namespace
 
 int main() {
   using namespace pamix;
   bench::header("ABLATION — eager vs rendezvous crossover");
 
-  const sim::BgqCostModel m;
-  sim::DesTorus t(hw::TorusGeometry({2, 1, 1, 1, 1}), m);
-  std::printf("Model (BG/Q-calibrated one-way time, us):\n");
+  const hw::TorusGeometry geom({2, 2, 2, 1, 1});
+  const sim::MpiModel model(geom, sim::BgqCostModel{});
+  std::printf("Model (BG/Q-calibrated one-way time, us, 3-hop corner pair):\n");
   std::printf("%-10s %12s %12s %10s\n", "size", "eager", "rendezvous", "winner");
   std::printf("------------------------------------------------\n");
   std::size_t crossover = 0;
   for (std::size_t bytes = 128; bytes <= (1u << 20); bytes *= 2) {
-    const double e = eager_one_way_us(m, t, bytes);
-    const double r = rdzv_one_way_us(m, t, bytes);
+    const double e = model.eager_one_way_us(bytes, 0, 7);
+    const double r = model.rendezvous_one_way_us(bytes, 0, 7);
     if (crossover == 0 && r < e) crossover = bytes;
     std::printf("%-10s %12.2f %12.2f %10s\n", bench::fmt_bytes(bytes).c_str(), e, r,
                 e <= r ? "eager" : "rdzv");
@@ -81,6 +78,20 @@ int main() {
   std::printf("\nModel crossover near %s — consistent with kilobyte-scale rendezvous\n"
               "thresholds on BG/Q (this library defaults to 4KB).\n",
               crossover ? bench::fmt_bytes(crossover).c_str() : ">1MB");
+
+  std::printf("\nDES transport cross-check (measured virtual time vs the model's\n"
+              "network-only prediction; the cross-validation tests hold these\n"
+              "within tolerance):\n");
+  std::printf("%-10s %14s %14s %14s %14s\n", "size", "eager des", "eager model", "rdzv des",
+              "rdzv model");
+  for (std::size_t bytes : {2048ul, 16384ul, 131072ul}) {
+    const double ed = des_one_way_us(/*eager_limit=*/1u << 20, bytes);
+    const double em = model.eager_network_one_way_us(0, bytes, 0, 7);
+    const double rd = des_one_way_us(/*eager_limit=*/1024, bytes);
+    const double rm = model.rendezvous_network_one_way_us(0, bytes, 0, 7);
+    std::printf("%-10s %14.2f %14.2f %14.2f %14.2f\n", bench::fmt_bytes(bytes).c_str(), ed, em,
+                rd, rm);
+  }
 
   std::printf("\nFunctional host check at 64KB (forced protocols, host clock):\n");
   const double eager_host = host_one_way_us(/*threshold=*/1u << 20, 64u << 10, 300);

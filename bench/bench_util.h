@@ -135,6 +135,8 @@ inline hw::TorusGeometry geometry_for_nodes(int nodes) {
       return hw::TorusGeometry::rack();  // 4x4x4x8x2
     case 2048:
       return hw::TorusGeometry::racks(2);  // 8x4x4x8x2
+    case 4096:
+      return hw::TorusGeometry::racks(4);  // 16x4x4x8x2
     default:
       return hw::TorusGeometry({nodes, 1, 1, 1, 1});
   }

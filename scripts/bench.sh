@@ -23,8 +23,11 @@
 #
 # Usage: scripts/bench.sh [--smoke] [--check] [--tolerance F] [bench...]
 #        PREFIX=dir scripts/bench.sh       (build-dir prefix, default: build)
-# Benches: fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc
+# Benches: fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale
 # (table1 prints its rows but emits no JSON, so it is not part of the report.)
+# `scale` runs the DES scenario engine; its smoke mode keeps only the
+# 32/64-node calibration geometries, whose virtual-time keys are exact and
+# therefore still comparable against the committed full-run baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,7 +50,7 @@ while [ $# -gt 0 ]; do
 done
 
 # bench name -> binary -> json file, plus smoke-scale env overrides.
-benches=(fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc)
+benches=(fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale)
 binary_of() {
   case "$1" in
     fig5)    echo fig5_message_rate ;;
@@ -60,6 +63,7 @@ binary_of() {
     table3)  echo table3_neighbor_throughput ;;
     ctxhash) echo ablate_context_hash ;;
     amrpc)   echo amrpc_soak ;;
+    scale)   echo scale_scenarios ;;
     *) echo "unknown bench: $1" >&2; exit 2 ;;
   esac
 }
@@ -81,6 +85,7 @@ smoke_env() {
     table3)  echo "PAMIX_TABLE3_KB=64" ;;
     ctxhash) echo "PAMIX_CTXHASH_MSGS=500" ;;
     amrpc)   echo "PAMIX_BENCH_AMRPC_ITERS=500" ;;
+    scale)   echo "PAMIX_SCALE_SMOKE=1" ;;
   esac
 }
 

@@ -18,6 +18,11 @@
 #              at reduced scale under PAMIX_BENCH_STRICT_ALLOC: any pool
 #              miss on the matching engine's steady-state path fails the
 #              run, and both must emit their BENCH_*.json results
+#   sim-smoke — run the DES transport backend leg: the backend/scenario
+#              unit tests plus scale_scenarios at the 32/64-node calibration
+#              geometries (PAMIX_SCALE_SMOKE=1). Virtual time is exact, so
+#              the smoke keys must reproduce the committed BENCH_scale.json
+#              baseline bit-for-bit modulo float printing
 #   perf-regress — scripts/bench.sh --smoke --check: run every JSON-emitting
 #              bench, merge BENCH_report.json, and compare throughput keys
 #              against the committed repo-root baselines. The tolerance is
@@ -26,7 +31,7 @@
 #              scripts/bench.sh --check (10% default) on a quiet host for
 #              the tight contract. Strict-alloc misses fail at any tolerance.
 #
-# Usage: scripts/check.sh [flavor...]          (default: all seven)
+# Usage: scripts/check.sh [flavor...]          (default: all eight)
 #        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
@@ -36,7 +41,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 flavors=("$@")
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke mpi-rate-smoke perf-regress)
+  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke mpi-rate-smoke sim-smoke perf-regress)
 fi
 
 run_flavor() {
@@ -87,12 +92,21 @@ for flavor in "${flavors[@]}"; do
       ( cd "${prefix}" &&
         PAMIX_TABLE3_KB=64 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/table3_neighbor_throughput )
       test -s "${prefix}/BENCH_table3.json" ;;
+    sim-smoke)
+      echo "==> [sim-smoke] DES transport backend: unit tests + scale calibration run"
+      cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+      cmake --build "${prefix}" -j "${jobs}" --target test_sim test_runtime scale_scenarios
+      "${prefix}/tests/test_runtime" --gtest_filter='DesNetwork*'
+      "${prefix}/tests/test_sim" --gtest_filter='Scenario.*:MpiModel.*'
+      ( cd "${prefix}" &&
+        PAMIX_SCALE_SMOKE=1 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/scale_scenarios )
+      test -s "${prefix}/BENCH_scale.json" ;;
     perf-regress)
       echo "==> [perf-regress] unified bench run + baseline comparison"
       PREFIX="${prefix}" scripts/bench.sh --smoke --check --tolerance 0.5
       test -s "${prefix}/BENCH_report.json" ;;
     *)
-      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke, mpi-rate-smoke, perf-regress)" >&2
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke, mpi-rate-smoke, sim-smoke, perf-regress)" >&2
       exit 2 ;;
   esac
 done

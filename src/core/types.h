@@ -102,6 +102,10 @@ struct SendParams {
   std::size_t header_bytes = 0;
   const void* data = nullptr;
   std::size_t data_bytes = 0;
+  /// Torus hint bits (hw::torus_hint): force the network route's direction
+  /// in the flagged dimensions. 0 (the default) routes shortest-path.
+  /// Collectives use this to keep tree traffic on its claimed links.
+  std::uint16_t hints = 0;
   /// Fired when the source buffer may be reused (payload fully injected).
   EventFn on_local_done;
   /// Fired when the destination has fully received the message (requires

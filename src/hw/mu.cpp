@@ -13,6 +13,7 @@ namespace {
 void frame_packet(MuPacket& pkt, const MuDescriptor& desc, int src_node, std::size_t off) {
   pkt.type = desc.type;
   pkt.routing = desc.routing;
+  pkt.hints = desc.hints;
   pkt.deposit = desc.deposit;
   pkt.src_node = src_node;
   pkt.dest_node = desc.dest_node;
@@ -81,6 +82,14 @@ core::BufferPool& MessagingUnit::inj_pool(int fifo_idx) {
   return *p;
 }
 
+MessagingUnit::PendingInj& MessagingUnit::pending_slot(int fifo_idx) {
+  // Created on first use by the FIFO's single owning context; same
+  // ownership argument as inj_pool() below.
+  auto& p = pending_[static_cast<std::size_t>(fifo_idx)];
+  if (p == nullptr) p = std::make_unique<PendingInj>();
+  return *p;
+}
+
 int MessagingUnit::advance_injection(const std::vector<int>& fifo_indices) {
   int injected = 0;
   for (int idx : fifo_indices) injected += advance_injection(idx);
@@ -89,15 +98,17 @@ int MessagingUnit::advance_injection(const std::vector<int>& fifo_indices) {
 
 int MessagingUnit::advance_injection(int idx) {
   int injected = 0;
-  auto& slot = pending_[static_cast<std::size_t>(idx)];
-  if (slot.has_value()) {
+  PendingInj& slot = pending_slot(idx);
+  if (slot.active) {
     // Resume a descriptor that was backpressured mid-message.
     if (!inject_resumable(idx)) return injected;
     ++injected;
   }
   MuDescriptor desc;
   while (inj_fifo(idx).pop(desc)) {
-    slot.emplace(std::move(desc), 0);
+    slot.desc = std::move(desc);
+    slot.off = 0;
+    slot.active = true;
     if (!inject_resumable(idx)) break;  // backpressure: stop this FIFO
     ++injected;
   }
@@ -162,9 +173,9 @@ bool MessagingUnit::inject_one(MuDescriptor& desc) {
 }
 
 bool MessagingUnit::inject_resumable(int fifo_idx) {
-  auto& slot = pending_[static_cast<std::size_t>(fifo_idx)];
-  MuDescriptor& desc = slot->first;
-  std::size_t& off = slot->second;
+  PendingInj& slot = *pending_[static_cast<std::size_t>(fifo_idx)];
+  MuDescriptor& desc = slot.desc;
+  std::size_t& off = slot.off;
   core::BufferPool& pool = inj_pool(fifo_idx);
   do {
     const std::size_t chunk = std::min(kMaxPacketPayload, desc.payload_bytes - off);
@@ -178,7 +189,8 @@ bool MessagingUnit::inject_resumable(int fifo_idx) {
     off += chunk;
   } while (off < desc.payload_bytes);
   if (desc.on_injected) desc.on_injected();
-  slot.reset();
+  slot.desc = MuDescriptor{};  // drop staged buffers/callbacks promptly
+  slot.active = false;
   return true;
 }
 

@@ -101,6 +101,9 @@ struct MuSoftwareHeader {
 struct MuDescriptor {
   MuPacketType type = MuPacketType::MemoryFifo;
   MuRouting routing = MuRouting::Deterministic;
+  /// Torus hint bits (hw::torus_hint): force the route direction in the
+  /// flagged dimensions instead of taking the shortest way round the ring.
+  std::uint16_t hints = 0;
   int dest_node = 0;
   /// Deposit bit: the packet is *also* delivered at every intermediate
   /// node along the (single-dimension) route — the hardware line
@@ -141,6 +144,7 @@ struct MuDescriptor {
 struct MuPacket {
   MuPacketType type = MuPacketType::MemoryFifo;
   MuRouting routing = MuRouting::Deterministic;
+  std::uint16_t hints = 0;  // torus hint bits, copied from the descriptor
   bool deposit = false;
   int src_node = 0;
   int dest_node = 0;
@@ -158,6 +162,7 @@ struct MuPacket {
     MuPacket c;
     c.type = type;
     c.routing = routing;
+    c.hints = hints;
     c.deposit = deposit;
     c.src_node = src_node;
     c.dest_node = dest_node;
@@ -177,15 +182,19 @@ struct MuPacket {
 /// head/tail words need no locking (exactly the hardware contract).
 class InjFifo {
  public:
-  explicit InjFifo(std::size_t capacity = 128) : ring_(capacity) {}
+  explicit InjFifo(std::size_t capacity = 128) : capacity_(capacity) {}
 
   /// Push a descriptor. On failure (FIFO full) the descriptor is left
   /// intact in the caller's hands for the retry; it is consumed only on
-  /// success.
+  /// success. The ring storage is allocated on the first push — most of a
+  /// node's 544 FIFOs are never used, which matters at the 4096-node
+  /// geometries the DES backend hosts. The release store on tail_
+  /// publishes the allocation to the consumer side.
   bool push(MuDescriptor&& desc) {
     const std::uint64_t head = head_.value.load(std::memory_order_acquire);
     const std::uint64_t tail = tail_.value.load(std::memory_order_relaxed);
-    if (tail - head >= ring_.size()) return false;  // FIFO full -> caller retries
+    if (tail - head >= capacity_) return false;  // FIFO full -> caller retries
+    if (ring_.empty()) ring_.resize(capacity_);
     ring_[tail % ring_.size()] = std::move(desc);
     tail_.value.store(tail + 1, std::memory_order_release);
     return true;
@@ -194,7 +203,7 @@ class InjFifo {
   bool pop(MuDescriptor& out) {
     const std::uint64_t tail = tail_.value.load(std::memory_order_acquire);
     const std::uint64_t head = head_.value.load(std::memory_order_relaxed);
-    if (head == tail) return false;
+    if (head == tail) return false;  // never touches a not-yet-allocated ring
     out = std::move(ring_[head % ring_.size()]);
     head_.value.store(head + 1, std::memory_order_release);
     return true;
@@ -205,13 +214,14 @@ class InjFifo {
            tail_.value.load(std::memory_order_acquire);
   }
 
-  std::size_t capacity() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
   std::uint64_t injected_total() const { return head_.value.load(std::memory_order_acquire); }
 
  private:
   L2Word head_;  // consumer (MU engine) index
   L2Word tail_;  // producer (software) index
-  std::vector<MuDescriptor> ring_;
+  std::size_t capacity_;
+  std::vector<MuDescriptor> ring_;  // lazily sized to capacity_ on first push
 };
 
 /// A reception FIFO: packets delivered by the network, polled by the owning
@@ -361,8 +371,17 @@ class MessagingUnit {
   std::array<std::atomic<std::uint64_t>, 3> rx_count_{};
   // Descriptors whose transmit was backpressured mid-message, resumed on the
   // next advance. One slot per injection FIFO (hardware keeps the partially
-  // processed descriptor at the FIFO head likewise).
-  std::vector<std::optional<std::pair<MuDescriptor, std::size_t>>> pending_;
+  // processed descriptor at the FIFO head likewise). Slots are allocated
+  // lazily by the FIFO's single owning context, like inj_pools_ below —
+  // a full descriptor-sized slot per never-used FIFO is real memory at
+  // 4096 simulated nodes.
+  struct PendingInj {
+    MuDescriptor desc;
+    std::size_t off = 0;
+    bool active = false;
+  };
+  PendingInj& pending_slot(int fifo_idx);
+  std::vector<std::unique_ptr<PendingInj>> pending_;
   // Packet-payload staging pools. Each injection FIFO is owned by exactly
   // one context, so its pool is single-consumer and allocated lazily on
   // first use (most of the 544 FIFOs are never touched). Remote-get

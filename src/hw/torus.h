@@ -27,6 +27,16 @@ enum class Dim : std::uint8_t { A = 0, B = 1, C = 2, D = 3, E = 4 };
 /// Link direction along a dimension.
 enum class Dir : std::uint8_t { Plus = 0, Minus = 1 };
 
+/// Torus hint bit for one (dimension, direction): descriptors carry a mask
+/// of these to force the router's direction choice per dimension, exactly
+/// the hint bits of the real MU descriptor. PAMI sets them where the
+/// algorithm — not the shortest path — must pick the wire, e.g. to keep
+/// the rectangle broadcast's color trees on their claimed links in
+/// extent-2 rings where both directions are one hop.
+constexpr std::uint16_t torus_hint(Dim d, Dir dir) {
+  return static_cast<std::uint16_t>(1u << (2 * static_cast<int>(d) + static_cast<int>(dir)));
+}
+
 inline const char* dim_name(Dim d) {
   static constexpr const char* names[] = {"A", "B", "C", "D", "E"};
   return names[static_cast<int>(d)];
@@ -72,6 +82,35 @@ class TorusGeometry {
     // Grow the A dimension rack by rack, as BG/Q cabling does for small
     // multi-rack partitions.
     return TorusGeometry({4 * n, 4, 4, 8, 2});
+  }
+
+  /// Parse "AxBxCxDxE" (e.g. "4x4x4x8x2"), the format to_string() emits and
+  /// the PAMIX_GEOM override accepts. Fewer than five fields pads the rest
+  /// with 1; invalid input falls back to `fallback`.
+  static TorusGeometry parse(const std::string& spec, TorusGeometry fallback) {
+    std::array<int, kTorusDims> dims{1, 1, 1, 1, 1};
+    int field = 0;
+    int value = 0;
+    bool have_digit = false;
+    for (char ch : spec) {
+      if (ch >= '0' && ch <= '9') {
+        value = value * 10 + (ch - '0');
+        have_digit = true;
+      } else if ((ch == 'x' || ch == 'X') && have_digit && field < kTorusDims - 1) {
+        dims[static_cast<std::size_t>(field++)] = value;
+        value = 0;
+        have_digit = false;
+      } else {
+        return fallback;
+      }
+      if (value > 1 << 20) return fallback;
+    }
+    if (!have_digit || value < 1) return fallback;
+    dims[static_cast<std::size_t>(field)] = value;
+    for (int d : dims) {
+      if (d < 1) return fallback;
+    }
+    return TorusGeometry(dims);
   }
 
   int node_count() const { return nodes_; }

@@ -118,6 +118,16 @@ enum class Pvar : std::uint32_t {
   AmHellosSent,
   AmVersionMismatches,
   AmDeferredRuns,
+  // Timed network backend (runtime::DesNetwork, the per-machine "sim.net"
+  // domain): events executed by the discrete-event loop, packets delivered
+  // to destination MUs, deliveries re-scheduled after reception-FIFO
+  // backpressure, virtual time consumed (nanoseconds — pvars are integers),
+  // and the peak packet count observed on any one directed link.
+  SimEvents,
+  SimPackets,
+  SimDeliverRetries,
+  SimVirtualNs,
+  SimLinkMaxOccupancy,
   // Effective configuration, recorded once at context construction so a
   // run's telemetry shows which limits (config or PAMIX_*_LIMIT env
   // overrides) actually applied.
@@ -130,6 +140,8 @@ enum class Pvar : std::uint32_t {
   ConfigAmCredits,
   ConfigAmAggBytes,
   ConfigAmFlushUs,
+  ConfigNetBackend,  // NetBackendKind as int: 0 functional, 1 des
+  ConfigSimSeed,
   Count,
 };
 

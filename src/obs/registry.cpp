@@ -61,6 +61,11 @@ const char* pvar_name(Pvar p) {
     case Pvar::AmHellosSent: return "am.hellos_sent";
     case Pvar::AmVersionMismatches: return "am.version_mismatches";
     case Pvar::AmDeferredRuns: return "am.deferred_runs";
+    case Pvar::SimEvents: return "sim.events";
+    case Pvar::SimPackets: return "sim.packets_delivered";
+    case Pvar::SimDeliverRetries: return "sim.deliver_retries";
+    case Pvar::SimVirtualNs: return "sim.virtual_ns";
+    case Pvar::SimLinkMaxOccupancy: return "sim.link_max_occupancy";
     case Pvar::ConfigEagerLimit: return "config.eager_limit";
     case Pvar::ConfigShmEagerLimit: return "config.shm_eager_limit";
     case Pvar::ConfigMuBatch: return "config.mu_batch";
@@ -70,6 +75,8 @@ const char* pvar_name(Pvar p) {
     case Pvar::ConfigAmCredits: return "config.am_credits";
     case Pvar::ConfigAmAggBytes: return "config.am_agg_bytes";
     case Pvar::ConfigAmFlushUs: return "config.am_flush_us";
+    case Pvar::ConfigNetBackend: return "config.net_backend";
+    case Pvar::ConfigSimSeed: return "config.sim_seed";
     case Pvar::Count: break;
   }
   return "?";

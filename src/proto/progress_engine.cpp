@@ -182,6 +182,7 @@ pami::Result ProgressEngine::send(pami::SendParams& params) {
     hw::MuDescriptor desc;
     desc.type = hw::MuPacketType::MemoryFifo;
     desc.routing = hw::MuRouting::Deterministic;
+    desc.hints = params.hints;
     desc.dest_node = dest_node;
     desc.rec_fifo = client_.world().plan().rec_fifo(dest_proc, params.dest.context);
     desc.sw.dispatch_id = params.dispatch;
@@ -273,6 +274,11 @@ std::size_t ProgressEngine::advance(int iterations) {
   obs_.pvars.add(obs::Pvar::AdvanceCalls);
   const bool tracing = obs_.trace.enabled();
   const std::uint64_t t0 = tracing ? obs::now_ns() : 0;
+  // Pump the transport first: a timed backend (PAMIX_NET=des) delivers due
+  // packets — and may advance virtual time — so the device polls below see
+  // them this call. The functional backend's hook is a no-op; delivered
+  // packets are counted by the MU device when consumed, not here.
+  machine_.backend().progress();
   std::size_t events = 0;
   for (int it = 0; it < iterations; ++it) {
     // Index-based: a handler running inside poll() may add_device() (e.g.
@@ -327,6 +333,10 @@ bool ProgressEngine::has_pending_state() const {
   for (const Protocol* p : protocols_) {
     if (p->has_pending_state()) return true;
   }
+  // Packets still in flight inside a timed backend count as pending: a
+  // drain loop must keep advancing (each advance pumps the backend) until
+  // they deliver. Always 0 on the functional backend.
+  if (machine_.backend().in_flight() > 0) return true;
   return false;
 }
 

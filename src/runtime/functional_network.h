@@ -17,22 +17,24 @@
 #include <vector>
 
 #include "hw/mu.h"
+#include "hw/net_backend.h"
 #include "hw/torus.h"
 
 namespace pamix::runtime {
 
 class Machine;
 
-class FunctionalNetwork final : public hw::NetworkPort {
+class FunctionalNetwork final : public hw::NetBackend {
  public:
   explicit FunctionalNetwork(Machine* machine) : machine_(machine) {}
 
   bool transmit(hw::MuPacket&& pkt) override;
+  const char* name() const override { return "functional"; }
 
-  std::uint64_t packets_delivered() const {
+  std::uint64_t packets_delivered() const override {
     return packets_.load(std::memory_order_relaxed);
   }
-  std::uint64_t payload_bytes_delivered() const {
+  std::uint64_t payload_bytes_delivered() const override {
     return bytes_.load(std::memory_order_relaxed);
   }
 

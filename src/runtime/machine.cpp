@@ -3,6 +3,9 @@
 #include <exception>
 #include <mutex>
 
+#include "core/env.h"
+#include "runtime/des_network.h"
+
 namespace pamix::runtime {
 
 bool FunctionalNetwork::transmit(hw::MuPacket&& pkt) {
@@ -41,11 +44,42 @@ Machine::Machine(hw::TorusGeometry geometry, int ppn, MachineOptions options)
     : geom_(std::move(geometry)),
       ppn_(ppn),
       options_(options),
-      network_(this),
       gi_(hw::kClassRoutesPerNode),
       routes_(hw::kClassRoutesPerNode),
       engines_(hw::kClassRoutesPerNode) {
   assert(ppn_ >= 1 && ppn_ <= 64);
+  // Pick the byte-moving backend: an explicit MachineOptions choice wins,
+  // otherwise the PAMIX_NET run-time switch (default functional).
+  const hw::NetBackendKind kind =
+      options_.backend.has_value()
+          ? *options_.backend
+          : static_cast<hw::NetBackendKind>(
+                core::env_choice_or("PAMIX_NET", 0, {"functional", "des"}));
+  std::uint64_t seed = 0;
+  if (kind == hw::NetBackendKind::Des) {
+    DesNetwork::Options dopt;
+    seed = options_.sim_seed.has_value()
+               ? *options_.sim_seed
+               : static_cast<std::uint64_t>(
+                     core::env_int_or("PAMIX_SIM_SEED", 0, 0, 1 << 30));
+    dopt.seed = seed;
+    dopt.link_skew_pct =
+        options_.link_skew_pct.has_value()
+            ? *options_.link_skew_pct
+            : static_cast<double>(core::env_int_or("PAMIX_SIM_SKEW_PCT", 0, 0, 90));
+    dopt.auto_advance = options_.des_auto_advance;
+    auto des = std::make_unique<DesNetwork>(this, dopt);
+    des_ = des.get();
+    backend_ = std::move(des);
+  } else {
+    backend_ = std::make_unique<FunctionalNetwork>(this);
+  }
+  // Record the effective transport in this machine's telemetry domain, so
+  // a run's pvar dump shows which backend produced it.
+  obs::Domain& md = obs::Registry::instance().create("machine", /*pid=*/-1, /*tid=*/0,
+                                                     /*want_ring=*/false);
+  md.pvars.add(obs::Pvar::ConfigNetBackend, static_cast<std::uint64_t>(kind));
+  if (kind == hw::NetBackendKind::Des) md.pvars.add(obs::Pvar::ConfigSimSeed, seed);
   // Tell the spin loops whether the task threads will oversubscribe the
   // host: more tasks than hardware threads means a waited-for peer is
   // often not running, and waiters must yield instead of burning quanta.
@@ -54,7 +88,7 @@ Machine::Machine(hw::TorusGeometry geometry, int ppn, MachineOptions options)
                                   std::memory_order_relaxed);
   nodes_.reserve(static_cast<std::size_t>(geom_.node_count()));
   for (int n = 0; n < geom_.node_count(); ++n) {
-    nodes_.push_back(std::make_unique<Node>(n, &network_, options_));
+    nodes_.push_back(std::make_unique<Node>(n, backend_.get(), options_));
   }
   // Classroute 0 is system-programmed over the whole partition at boot
   // (the COMM_WORLD route), exactly as CNK does.

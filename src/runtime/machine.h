@@ -20,6 +20,7 @@
 #include <cassert>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "hw/global_interrupt.h"
 #include "hw/l2_atomics.h"
 #include "hw/mu.h"
+#include "hw/net_backend.h"
 #include "hw/torus.h"
 #include "hw/wakeup_unit.h"
 #include "runtime/collective_engine.h"
@@ -35,9 +37,23 @@
 
 namespace pamix::runtime {
 
+class DesNetwork;
+
 struct MachineOptions {
   std::size_t inj_fifo_capacity = 256;
   std::size_t rec_fifo_capacity = 8192;
+  /// Transport backend; unset → the PAMIX_NET environment knob
+  /// ("functional", the default, or "des"). The effective choice is
+  /// exported as the config.net_backend pvar of the "machine" obs domain.
+  std::optional<hw::NetBackendKind> backend;
+  /// DES-backend knobs; unset → PAMIX_SIM_SEED / PAMIX_SIM_SKEW_PCT.
+  std::optional<std::uint64_t> sim_seed;
+  std::optional<double> link_skew_pct;
+  /// DES clock discipline: true lets progress() advance virtual time when
+  /// nothing is due (threaded blocking loops keep moving); cooperative
+  /// scenario drivers set false and call backend().advance_time() at
+  /// quiescence for deterministic runs.
+  bool des_auto_advance = true;
 };
 
 /// One simulated compute node.
@@ -82,7 +98,14 @@ class Machine {
 
   Node& node(int id) { return *nodes_[static_cast<std::size_t>(id)]; }
   Node& node_of(int task) { return node(node_of_task(task)); }
-  FunctionalNetwork& network() { return network_; }
+  /// The byte-moving transport. `network()` is the historical name most
+  /// call sites use; `backend()` reads better where the time/progress side
+  /// of the contract is what matters.
+  hw::NetBackend& network() { return *backend_; }
+  hw::NetBackend& backend() { return *backend_; }
+  const hw::NetBackend& backend() const { return *backend_; }
+  /// The DES backend, or nullptr when running functionally.
+  DesNetwork* des_network() { return des_; }
   hw::GlobalInterruptNetwork& gi_network() { return gi_; }
   const MachineOptions& options() const { return options_; }
 
@@ -110,7 +133,10 @@ class Machine {
   hw::TorusGeometry geom_;
   int ppn_;
   MachineOptions options_;
-  FunctionalNetwork network_;
+  // Declared before nodes_: the backend is destroyed after the nodes, so
+  // in-flight DES events (which hold pooled Bufs) never outlive it.
+  std::unique_ptr<hw::NetBackend> backend_;
+  DesNetwork* des_ = nullptr;  // backend_ downcast when kind == Des
   std::vector<std::unique_ptr<Node>> nodes_;
   hw::GlobalInterruptNetwork gi_;
   std::vector<std::unique_ptr<hw::ClassRoute>> routes_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace pamix::sim {
 
@@ -73,6 +74,36 @@ double CollectiveModel::bcast_time_us(int ppn, std::size_t bytes) const {
 
 double CollectiveModel::bcast_throughput_mb_s(int ppn, std::size_t bytes) const {
   return static_cast<double>(bytes) / bcast_time_us(ppn, bytes);
+}
+
+double CollectiveModel::software_tree_barrier_us(int radix) const {
+  const int n = geom_.node_count();
+  if (n <= 1) return 0.0;
+  auto edge_us = [&](int a, int b) {
+    int hops = 0;
+    geom_.for_each_route_link(a, b, [&](const hw::TorusLink&) { ++hops; });
+    return model_.network_one_way_us(hops, 1);
+  };
+  // Up phase: a node's subtree completes when its slowest child's subtree
+  // has completed AND that completion message has crossed the torus.
+  std::vector<double> up(static_cast<std::size_t>(n), 0.0);
+  for (int node = n - 1; node >= 1; --node) {
+    const int parent = (node - 1) / radix;
+    up[static_cast<std::size_t>(parent)] =
+        std::max(up[static_cast<std::size_t>(parent)],
+                 up[static_cast<std::size_t>(node)] + edge_us(node, parent));
+  }
+  // Down phase: the release propagates root-to-leaves; the barrier is over
+  // when the last node is released.
+  std::vector<double> down(static_cast<std::size_t>(n), 0.0);
+  double last = up[0];
+  for (int node = 1; node < n; ++node) {
+    const int parent = (node - 1) / radix;
+    down[static_cast<std::size_t>(node)] =
+        down[static_cast<std::size_t>(parent)] + edge_us(parent, node);
+    last = std::max(last, up[0] + down[static_cast<std::size_t>(node)]);
+  }
+  return last;
 }
 
 }  // namespace pamix::sim

@@ -50,6 +50,14 @@ class CollectiveModel {
   double allreduce_time_us(int ppn, std::size_t bytes) const;
   double bcast_time_us(int ppn, std::size_t bytes) const;
 
+  /// Latency (µs) of a *software* radix-`radix` rank-tree barrier (leaves
+  /// report up, root releases down) with zero software cost per hop: the
+  /// exact critical path of single-packet messages over the deterministic
+  /// torus routes, ignoring link contention. This is the analytic twin of
+  /// sim::scenario_tree_barrier on the DES backend, and the quantity the
+  /// cross-validation tests compare.
+  double software_tree_barrier_us(int radix) const;
+
  private:
   double local_barrier_us(int ppn) const;
   double net_rate_mb_s(double derate, double ppn_log_derate, int ppn) const;

@@ -6,34 +6,56 @@
 
 namespace pamix::sim {
 
-std::vector<hw::TorusLink> DesTorus::route_for(int src, int dst, hw::MuRouting routing,
-                                               std::uint64_t packet_seq) const {
+std::vector<hw::TorusLink> torus_route(const hw::TorusGeometry& geom, int src, int dst,
+                                       hw::MuRouting routing, std::uint64_t packet_seq,
+                                       std::uint16_t hints) {
   std::vector<hw::TorusLink> route;
-  if (routing == hw::MuRouting::Deterministic) {
-    geom_.for_each_route_link(src, dst, [&](const hw::TorusLink& l) { route.push_back(l); });
+  if (routing == hw::MuRouting::Deterministic && hints == 0) {
+    geom.for_each_route_link(src, dst, [&](const hw::TorusLink& l) { route.push_back(l); });
     return route;
   }
-  // Dynamic routing: spread packets over rotations of the dimension order,
-  // approximating the adaptive spreading of bulk RDMA traffic.
-  const int rot = static_cast<int>(packet_seq % hw::kTorusDims);
+  // Dynamic routing spreads packets over rotations of the dimension order,
+  // approximating the adaptive spreading of bulk RDMA traffic. Hint bits
+  // pin the direction in their dimension for either routing mode.
+  const int rot = routing == hw::MuRouting::Dynamic
+                      ? static_cast<int>(packet_seq % hw::kTorusDims)
+                      : 0;
   int cur = src;
   for (int i = 0; i < hw::kTorusDims; ++i) {
     const auto d = static_cast<hw::Dim>((i + rot) % hw::kTorusDims);
-    int delta = geom_.shortest_delta(src, dst, d);
-    hw::Dir dir = delta >= 0 ? hw::Dir::Plus : hw::Dir::Minus;
-    // A size-2 ring has two physical links to the partner node (BG/Q's E
-    // dimension is cabled with both); adaptive traffic alternates between
-    // them packet by packet.
-    if (geom_.size(d) == 2 && delta != 0 && (packet_seq & 1)) {
-      dir = dir == hw::Dir::Plus ? hw::Dir::Minus : hw::Dir::Plus;
+    const int s = geom.size(d);
+    const int delta = geom.shortest_delta(src, dst, d);
+    if (delta == 0) continue;
+    const bool hint_plus = (hints & hw::torus_hint(d, hw::Dir::Plus)) != 0;
+    const bool hint_minus = (hints & hw::torus_hint(d, hw::Dir::Minus)) != 0;
+    hw::Dir dir;
+    if (hint_plus != hint_minus) {
+      dir = hint_plus ? hw::Dir::Plus : hw::Dir::Minus;
+    } else {
+      dir = delta >= 0 ? hw::Dir::Plus : hw::Dir::Minus;
+      // A size-2 ring has two physical links to the partner node (BG/Q's E
+      // dimension is cabled with both); adaptive traffic alternates between
+      // them packet by packet.
+      if (routing == hw::MuRouting::Dynamic && s == 2 && (packet_seq & 1)) {
+        dir = dir == hw::Dir::Plus ? hw::Dir::Minus : hw::Dir::Plus;
+      }
     }
-    for (int k = std::abs(delta); k > 0; --k) {
+    // Hop count in the chosen direction: the modular distance, which for a
+    // hinted non-shortest direction is the long way round the ring.
+    const int fwd = ((delta % s) + s) % s;  // hops going Plus
+    const int steps = dir == hw::Dir::Plus ? fwd : (s - fwd) % s;
+    for (int k = steps; k > 0; --k) {
       route.push_back(hw::TorusLink{cur, d, dir});
-      cur = geom_.neighbor(cur, d, dir);
+      cur = geom.neighbor(cur, d, dir);
     }
   }
   assert(cur == dst);
   return route;
+}
+
+std::vector<hw::TorusLink> DesTorus::route_for(int src, int dst, hw::MuRouting routing,
+                                               std::uint64_t packet_seq) const {
+  return torus_route(geom_, src, dst, routing, packet_seq);
 }
 
 void DesTorus::send_message(SimTime start, int src, int dst, std::size_t bytes,

@@ -26,6 +26,20 @@
 
 namespace pamix::sim {
 
+/// Compute the link-by-link route a packet takes from src to dst.
+/// Deterministic routing is dimension-ordered (the geometry's canonical
+/// route); dynamic routing spreads packets over rotations of the dimension
+/// order keyed by `packet_seq`, approximating the adaptive spreading the MU
+/// applies to bulk RDMA traffic. `hints` (hw::torus_hint bits) force the
+/// direction in the flagged dimensions — possibly the long way round the
+/// ring — overriding both the shortest-path choice and dynamic
+/// alternation, as the MU descriptor's hint bits do. Shared by DesTorus
+/// (closed-form benches) and runtime::DesNetwork (real MuPackets) so the
+/// cost models cannot drift.
+std::vector<hw::TorusLink> torus_route(const hw::TorusGeometry& geom, int src, int dst,
+                                       hw::MuRouting routing, std::uint64_t packet_seq,
+                                       std::uint16_t hints = 0);
+
 class DesTorus {
  public:
   DesTorus(hw::TorusGeometry geom, BgqCostModel model)

@@ -34,6 +34,10 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
 
+  /// Time of the earliest pending event. Only valid when !empty(); used by
+  /// cooperative drivers to advance the clock one batch at a time.
+  SimTime next_time() const { return heap_.top().time; }
+
   /// Run a single event; returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) return false;

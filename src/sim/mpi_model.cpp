@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
 
 #include "hw/cnk.h"
 #include "sim/des_torus.h"
@@ -124,6 +125,79 @@ double MpiModel::eager_neighbor_throughput_mb_s(int neighbors, std::size_t bytes
   const double recv_rate =
       std::min(fifos * model_.eager_rec_fifo_mb_s, model_.eager_recv_cap_mb_s);
   return std::min(wire, 2.0 * recv_rate);
+}
+
+// ------------------------------------------- Protocol one-way predictions --
+
+int MpiModel::route_hops(int src, int dst) const {
+  if (dst < 0) dst = geom_.neighbor(src, hw::Dim::A, hw::Dir::Plus);
+  int hops = 0;
+  geom_.for_each_route_link(src, dst, [&](const hw::TorusLink&) { ++hops; });
+  return hops;
+}
+
+double MpiModel::stream_serialization_us(std::size_t stream_bytes) const {
+  // An uncontended burst: every packet pays its full serialization on the
+  // first link, later links overlap (cut-through), so the stream's wire
+  // time is the plain sum of per-packet serializations.
+  const std::size_t full = stream_bytes / model_.packet_payload_bytes;
+  const std::size_t rem = stream_bytes % model_.packet_payload_bytes;
+  double t = static_cast<double>(full) *
+             model_.packet_serialization_us(model_.packet_payload_bytes);
+  if (rem > 0 || stream_bytes == 0) t += model_.packet_serialization_us(rem);
+  return t;
+}
+
+double MpiModel::eager_network_one_way_us(std::size_t header_bytes, std::size_t data_bytes,
+                                          int src, int dst) const {
+  const int hops = route_hops(src, dst);
+  return model_.mu_injection_us + stream_serialization_us(header_bytes + data_bytes) +
+         model_.hop_latency_us * hops + model_.mu_reception_us;
+}
+
+double MpiModel::rendezvous_network_one_way_us(std::size_t header_bytes, std::size_t data_bytes,
+                                               int src, int dst) const {
+  if (dst < 0) dst = geom_.neighbor(src, hw::Dim::A, hw::Dir::Plus);
+  const int hops = route_hops(src, dst);
+  const double leg = model_.mu_injection_us + model_.hop_latency_us * hops +
+                     model_.mu_reception_us;
+  // The direct-put data leg rides dynamic routing: consecutive packets
+  // rotate over the minimal routes, so the stream serializes over several
+  // routes at once. The rotation is not uniform (rotations through
+  // zero-hop dimensions collapse onto the same order), so the wire time is
+  // governed by the *busiest* link: replay one rotation period and take
+  // spread = packets sent / packets on the most-loaded link.
+  double spread = 1.0;
+  {
+    std::vector<int> load(static_cast<std::size_t>(geom_.directed_link_count()), 0);
+    int sampled = 0, max_load = 0;
+    for (std::uint64_t seq = 0; seq < 10; ++seq) {  // lcm(5 rotations, 2 directions)
+      const auto route = torus_route(geom_, src, dst, hw::MuRouting::Dynamic, seq);
+      if (route.empty()) continue;
+      ++sampled;
+      for (const auto& l : route) {
+        const int n = ++load[static_cast<std::size_t>(geom_.link_index(l))];
+        max_load = std::max(max_load, n);
+      }
+    }
+    if (max_load > 0) spread = static_cast<double>(sampled) / max_load;
+  }
+  // RTS out (header + 24B RtsInfo in one packet), remote-get request back
+  // (header-only packet), RDMA direct-put stream out over `spread` routes.
+  return 3.0 * leg + model_.packet_serialization_us(header_bytes + 24) +
+         model_.packet_serialization_us(0) + stream_serialization_us(data_bytes) / spread;
+}
+
+double MpiModel::eager_one_way_us(std::size_t bytes, int src, int dst) const {
+  const double copies =
+      static_cast<double>(model_.packets_for(bytes)) * model_.eager_per_packet_copy_us;
+  return model_.pami_send_immediate_origin_us + model_.pami_send_extra_us +
+         eager_network_one_way_us(0, bytes, src, dst) + model_.pami_dispatch_us + copies;
+}
+
+double MpiModel::rendezvous_one_way_us(std::size_t bytes, int src, int dst) const {
+  return model_.pami_send_immediate_origin_us + model_.pami_send_extra_us +
+         rendezvous_network_one_way_us(0, bytes, src, dst) + model_.pami_dispatch_us;
 }
 
 }  // namespace pamix::sim

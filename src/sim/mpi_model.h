@@ -62,6 +62,32 @@ class MpiModel {
   double eager_neighbor_throughput_mb_s(int neighbors, std::size_t bytes) const;
   double rendezvous_neighbor_throughput_mb_s(int neighbors, std::size_t bytes) const;
 
+  // --- Protocol one-way times over the real route --------------------------
+  /// Deterministic-route hop count between two nodes.
+  int route_hops(int src, int dst) const;
+  /// Wire time of an uncontended packet stream: the stream is fragmented
+  /// into 512-byte MU packets that serialize back-to-back on the first
+  /// link and cut through the rest.
+  double stream_serialization_us(std::size_t stream_bytes) const;
+
+  /// Network-only one-way time of an eager message (user header + payload
+  /// staged into one stream): exactly what the DES transport backend
+  /// charges between send() and delivery when the software itself runs in
+  /// zero virtual time — the quantity scenario_one_way_us measures on the
+  /// eager path. Cross-validated against the DES backend by the tests.
+  double eager_network_one_way_us(std::size_t header_bytes, std::size_t data_bytes, int src = 0,
+                                  int dst = -1) const;
+  /// Same for rendezvous: RTS packet out, remote-get request back, RDMA
+  /// data stream out again — three network legs.
+  double rendezvous_network_one_way_us(std::size_t header_bytes, std::size_t data_bytes,
+                                       int src = 0, int dst = -1) const;
+
+  /// Full one-way protocol latency including the calibrated software
+  /// terms (origin build, dispatch, eager receive copies) — the ablation
+  /// bench's crossover model.
+  double eager_one_way_us(std::size_t bytes, int src = 0, int dst = -1) const;
+  double rendezvous_one_way_us(std::size_t bytes, int src = 0, int dst = -1) const;
+
  private:
   /// One-way network time between nearest neighbors for a small packet.
   double net_one_way_us(int src, int dst, std::size_t payload) const;

@@ -47,6 +47,16 @@ class MulticolorRectBcast {
     return trees_[static_cast<std::size_t>(color)].parent[static_cast<std::size_t>(node)];
   }
 
+  /// Dense index (TorusGeometry::link_index) of the directed link this
+  /// tree claimed for parent(node) -> node traffic, -1 at the root. In an
+  /// extent-2 ring both directions reach the same neighbor over different
+  /// wires, so senders must force this link with torus hint bits —
+  /// shortest-path routing alone would collapse the two colors of that
+  /// dimension onto one wire.
+  int parent_link_index(int color, int node) const {
+    return trees_[static_cast<std::size_t>(color)].plink[static_cast<std::size_t>(node)];
+  }
+
   /// Nodes of `color`'s tree in a valid root-first delivery order.
   const std::vector<int>& delivery_order(int color) const {
     return trees_[static_cast<std::size_t>(color)].order;
