@@ -23,7 +23,7 @@
 #
 # Usage: scripts/bench.sh [--smoke] [--check] [--tolerance F] [bench...]
 #        PREFIX=dir scripts/bench.sh       (build-dir prefix, default: build)
-# Benches: fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale
+# Benches: fig5 endpoints fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale
 # (table1 prints its rows but emits no JSON, so it is not part of the report.)
 # `scale` runs the DES scenario engine; its smoke mode keeps only the
 # 32/64-node calibration geometries, whose virtual-time keys are exact and
@@ -50,10 +50,11 @@ while [ $# -gt 0 ]; do
 done
 
 # bench name -> binary -> json file, plus smoke-scale env overrides.
-benches=(fig5 fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale)
+benches=(fig5 endpoints fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale)
 binary_of() {
   case "$1" in
     fig5)    echo fig5_message_rate ;;
+    endpoints) echo fig5_endpoints ;;
     fig6)    echo fig6_barrier ;;
     fig7)    echo fig7_allreduce_latency ;;
     fig8)    echo fig8_allreduce_bw ;;
@@ -76,6 +77,7 @@ json_of() {
 smoke_env() {
   case "$1" in
     fig5)    echo "PAMIX_FIG5_MSGS=2000" ;;
+    endpoints) echo "PAMIX_EPBENCH_MSGS=2000" ;;
     fig6)    echo "PAMIX_FIG6_ITERS=200" ;;
     fig7)    echo "PAMIX_FIG7_ITERS=50 PAMIX_FIG7_BW_ITERS=2 PAMIX_FIG7_SW_ITERS=64" ;;
     fig8)    echo "PAMIX_FIG8_ITERS=2" ;;

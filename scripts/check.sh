@@ -6,6 +6,11 @@
 #              accessors must keep working
 #   sanitize — ASan + UBSan (-DPAMIX_SANITIZE=ON), catching lifetime and
 #              UB bugs the protocol/device layer could otherwise hide
+#   sanitize-thread — TSan (-DPAMIX_SANITIZE=thread) on the threaded
+#              endpoint and matching stress tests: the endpoint fast
+#              path's zero-shared-state claim, the request pool's
+#              cross-thread release stack, and the sharded matcher all
+#              run under the race detector
 #   bench-smoke — build the obs-on tree and run fig5 with a tiny message
 #              count under PAMIX_BENCH_STRICT_ALLOC: any steady-state pool
 #              miss (a zero-allocation fast-path regression) fails the run
@@ -31,7 +36,7 @@
 #              scripts/bench.sh --check (10% default) on a quiet host for
 #              the tight contract. Strict-alloc misses fail at any tolerance.
 #
-# Usage: scripts/check.sh [flavor...]          (default: all eight)
+# Usage: scripts/check.sh [flavor...]          (default: all nine)
 #        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
@@ -41,7 +46,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 flavors=("$@")
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(obs-on obs-off sanitize bench-smoke coll-smoke mpi-rate-smoke sim-smoke perf-regress)
+  flavors=(obs-on obs-off sanitize sanitize-thread bench-smoke coll-smoke mpi-rate-smoke sim-smoke perf-regress)
 fi
 
 run_flavor() {
@@ -61,6 +66,12 @@ for flavor in "${flavors[@]}"; do
       run_flavor obs-off "${prefix}-obs-off" -DPAMIX_OBS=OFF ;;
     sanitize)
       run_flavor sanitize "${prefix}-sanitize" -DPAMIX_SANITIZE=ON ;;
+    sanitize-thread)
+      echo "==> [sanitize-thread] TSan build + threaded endpoint/matching stress"
+      cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=Release -DPAMIX_SANITIZE=thread
+      cmake --build "${prefix}-tsan" -j "${jobs}" --target test_mpi
+      "${prefix}-tsan/tests/test_mpi" \
+        --gtest_filter='MpiEndpoints.*:RequestPoolEndpoints.*:MatcherEndpoints.*:*Threading*:*MatchStress*:*Stress*' ;;
     bench-smoke)
       echo "==> [bench-smoke] fig5 strict-alloc gate + fast-path microbenches"
       cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
@@ -106,7 +117,7 @@ for flavor in "${flavors[@]}"; do
       PREFIX="${prefix}" scripts/bench.sh --smoke --check --tolerance 0.5
       test -s "${prefix}/BENCH_report.json" ;;
     *)
-      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, bench-smoke, coll-smoke, mpi-rate-smoke, sim-smoke, perf-regress)" >&2
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, sanitize-thread, bench-smoke, coll-smoke, mpi-rate-smoke, sim-smoke, perf-regress)" >&2
       exit 2 ;;
   esac
 done

@@ -4,9 +4,12 @@
 
 namespace pamix::pami {
 
-CommThreadPool::CommThreadPool(Client& client, int count) : client_(client) {
+CommThreadPool::CommThreadPool(Client& client, int count, int context_limit)
+    : client_(client) {
   hw::HwThreadMap& hwmap = client_.node().hw_threads();
-  const int nctx = client_.context_count();
+  int nctx = client_.context_count();
+  if (context_limit >= 0 && context_limit < nctx) nctx = context_limit;
+  if (nctx == 0) return;  // every context is endpoint-owned
   // Distribute contexts round-robin over however many threads we can bind.
   std::vector<std::unique_ptr<Worker>> workers;
   for (int i = 0; i < count; ++i) {

@@ -32,8 +32,11 @@ class CommThreadPool {
   /// Spawn `count` commthreads for `client`, distributing the client's
   /// contexts round-robin across them. Each commthread claims a hardware
   /// thread slot from the node's map (fails soft: fewer threads spawn if
-  /// the node is out of hardware threads).
-  CommThreadPool(Client& client, int count);
+  /// the node is out of hardware threads). `context_limit` restricts the
+  /// pool to the first N contexts (-1 = all): endpoint mode hands the tail
+  /// contexts to bound application threads, which advance them lock-free —
+  /// a commthread sweeping those would race the owner.
+  CommThreadPool(Client& client, int count, int context_limit = -1);
   ~CommThreadPool();
 
   CommThreadPool(const CommThreadPool&) = delete;

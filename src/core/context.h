@@ -74,6 +74,13 @@ class Context {
   /// events processed (work items, packets, completions).
   std::size_t advance(int iterations = 1) { return engine_->advance(iterations); }
 
+  /// Injection-only progress: drain parked control descriptors and this
+  /// context's MU injection FIFOs, nothing else. NOT thread safe (same
+  /// single-advancer discipline as advance). Endpoints use it as the
+  /// bounded retry step after an Eagain so two endpoints never poll each
+  /// other's devices.
+  std::size_t advance_injection() { return engine_->advance_injection(); }
+
   /// Complete a rendezvous that a dispatch handler deferred: pull up to
   /// `bytes` into `buffer` (RDMA remote get) and run `on_complete` when the
   /// data has landed; the sender is acknowledged either way. Must be called

@@ -1,0 +1,31 @@
+#include "core/endpoint.h"
+
+#include <cassert>
+
+namespace pamix {
+
+bool Endpoint::bind() {
+  const std::thread::id me = std::this_thread::get_id();
+  std::thread::id expected{};
+  if (owner_.compare_exchange_strong(expected, me, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+    if (pvars_ != nullptr) pvars_->add(obs::Pvar::EpBinds);
+    return true;
+  }
+  return expected == me;  // idempotent re-bind by the owner
+}
+
+bool Endpoint::unbind() {
+  const std::thread::id me = std::this_thread::get_id();
+  std::thread::id expected = me;
+  return owner_.compare_exchange_strong(expected, std::thread::id{},
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire);
+}
+
+std::size_t Endpoint::advance(int iterations) {
+  assert(bound_to_caller() && "Endpoint::advance from a non-owning thread");
+  return ctx_.advance(iterations);
+}
+
+}  // namespace pamix

@@ -1,0 +1,75 @@
+// pamix::Endpoint — an explicit thread→context binding (the MPI-3
+// endpoints / MPIX stream object the paper anticipated in §III-B).
+//
+// A PAMI context already owns an exclusive slice of the node: its own
+// injection FIFOs, its own reception FIFO, its own staging pool, and (via
+// the MPI matcher's endpoint shards) its own matching state. What was
+// missing is the *binding discipline*: Context::advance is thread-unsafe,
+// so callers either lock or pin — and the lock is exactly what flattens
+// the MPI+threads message-rate curve.
+//
+// Endpoint makes the pinning explicit and checkable. bind() claims the
+// context for the calling thread with one CAS on an owner word nobody
+// else writes on the fast path; after that, every operation through the
+// endpoint (send, advance, post-side matching) runs lock-free on state no
+// other endpoint touches — no locks taken, no cache lines shared between
+// endpoints for exact-match traffic. unbind() releases the claim so
+// another thread may rebind (a thread pool recycling workers), and a
+// bind() attempt while another live thread holds the claim fails instead
+// of silently racing.
+//
+// The object is deliberately thin: it does not own the context (the
+// client does) and it does not know about MPI — mpi::MpiEndpoint layers
+// matching-shard and request-pool affinity on top of this binding core.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "core/context.h"
+#include "obs/pvar.h"
+
+namespace pamix {
+
+class Endpoint {
+ public:
+  /// `index` is the logical endpoint number (0-based, dense); `ctx` is the
+  /// context this endpoint pins. `pvars` (optional) receives ep.binds.
+  Endpoint(pami::Context& ctx, int index, obs::PvarSet* pvars = nullptr)
+      : ctx_(ctx), index_(index), pvars_(pvars) {}
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  int index() const { return index_; }
+  pami::Context& context() { return ctx_; }
+
+  /// Claim this endpoint for the calling thread. Fails (returns false)
+  /// when another live thread holds the claim; succeeds idempotently when
+  /// the caller already holds it.
+  bool bind();
+
+  /// Release the claim. Only the owning thread may unbind; a stray unbind
+  /// from elsewhere is ignored (returns false).
+  bool unbind();
+
+  bool bound() const {
+    return owner_.load(std::memory_order_acquire) != std::thread::id{};
+  }
+  bool bound_to_caller() const {
+    return owner_.load(std::memory_order_acquire) == std::this_thread::get_id();
+  }
+
+  /// Lock-free progress on the bound context. The binding *is* the thread
+  /// -safety argument: only the owner may call, so no context lock is
+  /// taken (assert-checked in debug builds).
+  std::size_t advance(int iterations = 1);
+
+ private:
+  pami::Context& ctx_;
+  int index_;
+  obs::PvarSet* pvars_;
+  std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace pamix

@@ -12,6 +12,70 @@ namespace pamix::mpi {
 
 // ------------------------------------------------------------ RequestPool --
 
+namespace {
+
+/// Pooled allocator for the shared_ptr control block, the one heap
+/// allocation left on the request fast path. Slots recycle through a
+/// thread-local cache: the owner-thread acquire/release cycle touches no
+/// atomics at all, and a cross-thread release just migrates the slot to
+/// the releasing thread's cache (slots are fungible raw memory). The
+/// cache is capped so a strictly asymmetric producer/consumer pattern
+/// degrades to plain heap traffic instead of hoarding.
+///
+/// Deliberately not tied to RequestPool::State: libstdc++ destroys the
+/// deleter (which co-owns State) *before* it deallocates the control
+/// block, so a State-owned slot pool would be used after State could
+/// already be dead.
+constexpr std::size_t kCtrlSlotBytes = 64;
+constexpr std::size_t kCtrlCacheCap = 4096;
+
+struct CtrlCache {
+  std::vector<void*> slots;
+  ~CtrlCache() {
+    for (void* p : slots) ::operator delete(p);
+  }
+};
+
+inline std::vector<void*>& ctrl_cache() {
+  thread_local CtrlCache cache;
+  return cache.slots;
+}
+
+template <class T>
+struct CtrlAlloc {
+  using value_type = T;
+  CtrlAlloc() = default;
+  template <class U>
+  CtrlAlloc(const CtrlAlloc<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    if (n == 1 && sizeof(T) <= kCtrlSlotBytes) {
+      std::vector<void*>& c = ctrl_cache();
+      if (!c.empty()) {
+        void* p = c.back();
+        c.pop_back();
+        return static_cast<T*>(p);
+      }
+      return static_cast<T*>(::operator new(kCtrlSlotBytes));
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    if (n == 1 && sizeof(T) <= kCtrlSlotBytes) {
+      std::vector<void*>& c = ctrl_cache();
+      if (c.size() < kCtrlCacheCap) {
+        c.push_back(p);
+        return;
+      }
+    }
+    ::operator delete(p);
+  }
+  friend bool operator==(const CtrlAlloc&, const CtrlAlloc&) { return true; }
+  friend bool operator!=(const CtrlAlloc&, const CtrlAlloc&) { return false; }
+};
+
+}  // namespace
+
 Request RequestPool::acquire(RequestImpl::Kind kind) {
   const std::size_t shard_idx =
       std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
@@ -24,24 +88,59 @@ Request RequestPool::acquire(RequestImpl::Kind kind) {
       shard.free.pop_back();
     }
   }
+  if (impl == nullptr) {
+    // Freelist dry: steal the whole reclaim stack with one exchange and
+    // keep the surplus (pop-all, so there is no ABA hazard to defend).
+    RequestImpl* chain = shard.reclaim.exchange(nullptr, std::memory_order_acquire);
+    if (chain != nullptr) {
+      impl = chain;
+      chain = chain->pool_next;
+      if (chain != nullptr) {
+        std::lock_guard<hw::L2AtomicMutex> g(shard.mu);
+        while (chain != nullptr) {
+          shard.free.push_back(chain);
+          chain = chain->pool_next;
+        }
+      }
+    }
+  }
   if (impl == nullptr) impl = new RequestImpl();
   impl->reset();
   impl->kind = kind;
+  impl->pool_shard = static_cast<std::uint32_t>(shard_idx);
   state_->live.fetch_add(1, std::memory_order_relaxed);
   // The deleter co-owns the shard state: a request parked in a matcher
-  // queue can be released after the pool object itself is gone. The shard
-  // is hashed from the *releasing* thread (owner/reclaim split, like
-  // buffer_pool): when a commthread completes and drops the last
-  // reference, the request lands in that thread's shard instead of
-  // contending on the acquirer's.
-  return Request(impl, [st = state_](RequestImpl* p) {
+  // queue can be released after the pool object itself is gone. Release
+  // pushes onto the *home* shard's lock-free reclaim stack — a CAS loop
+  // with cpu_relax between attempts and a yield once contention is
+  // clearly pathological — so a commthread or sibling endpoint thread
+  // completing a request never takes the acquirer's lock.
+  return Request(
+      impl,
+      [st = state_](RequestImpl* p) {
     st->live.fetch_sub(1, std::memory_order_relaxed);
-    const std::size_t idx =
-        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
-    Shard& sh = st->shards[idx];
-    std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
-    sh.free.push_back(p);
-  });
+    if (st->pvars != nullptr) {
+      const std::size_t here =
+          std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+      if (here != p->pool_shard) st->pvars->add(obs::Pvar::ReqCrossThreadReleases);
+    }
+    Shard& sh = st->shards[p->pool_shard];
+    RequestImpl* head = sh.reclaim.load(std::memory_order_relaxed);
+    int attempts = 0;
+    for (;;) {
+      p->pool_next = head;
+      if (sh.reclaim.compare_exchange_weak(head, p, std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+        break;
+      }
+      if ((++attempts & 63) == 0) {
+        std::this_thread::yield();
+      } else {
+        hw::cpu_relax();
+      }
+    }
+      },
+      CtrlAlloc<RequestImpl>());
 }
 
 // -------------------------------------------------------------- MatchNode --
@@ -59,6 +158,7 @@ struct Matcher::MatchNode {
   MatchNode* ord_prev = nullptr;
   std::uint64_t epoch = 0;  // post epoch (posted) / arrival stamp (unexpected)
   std::uint64_t gen = 0;    // bumped on recycle; validates two-phase wildcard claims
+  std::uint64_t pkey = 0;   // sequence-channel key of the peer entry (unexpected)
   bool in_list = false;     // global wildcard node still queued
   std::int32_t comm = 0;
   std::int32_t src = 0;  // kAnySource allowed (posted)
@@ -93,6 +193,18 @@ std::uint64_t mix64(std::uint64_t x) {
 std::uint64_t Matcher::peer_key(int comm, int rank) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(comm)) << 32) |
          static_cast<std::uint32_t>(rank);
+}
+
+std::uint64_t Matcher::chan_key(int comm, int rank, int src_ep, int dst_ep) {
+  // Fold the endpoint pair into bits 48..63 (communicator ids are small,
+  // so those bits of peer_key are dead). -1/-1 — the hashed path — leaves
+  // the legacy key untouched, so pre-endpoint streams stay continuous.
+  std::uint64_t k = peer_key(comm, rank);
+  if (src_ep >= 0 || dst_ep >= 0) {
+    k ^= (static_cast<std::uint64_t>(static_cast<std::uint8_t>(src_ep + 1)) << 48) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(dst_ep + 1)) << 56);
+  }
+  return k;
 }
 
 std::size_t Matcher::bin_of(int comm, int src, int tag) {
@@ -167,19 +279,23 @@ void Matcher::unlink_bin(NodeList& l, MatchNode* n) {
   n->bin_next = n->bin_prev = nullptr;
 }
 
-Matcher::MatchNode* Matcher::alloc_node(MatchNode*& free_head) {
+Matcher::MatchNode* Matcher::alloc_node(MatchNode*& free_head, obs::PvarSet* pv) {
   MatchNode* n = free_head;
   if (n != nullptr) {
     free_head = n->bin_next;
-    count(obs::Pvar::MpiMatchPoolHits);
+    if (pv != nullptr) pv->add(obs::Pvar::MpiMatchPoolHits);
   } else {
     n = new MatchNode();
-    count(obs::Pvar::MpiMatchPoolMisses);
+    if (pv != nullptr) pv->add(obs::Pvar::MpiMatchPoolMisses);
   }
   n->bin_next = n->bin_prev = nullptr;
   n->ord_next = n->ord_prev = nullptr;
   n->in_list = false;
   return n;
+}
+
+Matcher::MatchNode* Matcher::alloc_node(Shard& sh) {
+  return alloc_node(sh.free_head, shard_pvars(sh));
 }
 
 void Matcher::recycle_node(MatchNode*& free_head, MatchNode* n) {
@@ -215,11 +331,51 @@ Matcher::Matcher(Library library, Mode mode, int context_hint, obs::PvarSet* pva
   }
   shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(shard_count_));
   send_shards_ = std::make_unique<SendShard[]>(static_cast<std::size_t>(shard_count_));
+  // Warm every freelist to the expected steady-state posted depth so the
+  // first message through each shard is not an allocator miss (the old
+  // behaviour is PAMIX_MPI_PREWARM=0).
+  prewarm(core::env_int_or("PAMIX_MPI_PREWARM", 8, 0, 1 << 20));
+}
+
+void Matcher::prewarm(int nodes_per_shard) {
+  prewarm_nodes_ = nodes_per_shard;
+  const auto warm = [nodes_per_shard](MatchNode*& head) {
+    for (int i = 0; i < nodes_per_shard; ++i) {
+      MatchNode* n = new MatchNode();
+      n->bin_next = head;
+      head = n;
+    }
+  };
+  for (int i = 0; i < shard_count_; ++i) warm(shards_[i].free_head);
+  for (int i = 0; i < ep_count_; ++i) warm(ep_shards_[i].free_head);
+  warm(gw_.free_head);
+}
+
+void Matcher::enable_endpoints(int count, bool fallback) {
+  assert(ep_count_ == 0 && "enable_endpoints is one-shot");
+  if (mode_ == Mode::List || count <= 0) return;
+  ep_count_ = count;
+  ep_fallback_ = fallback;
+  ep_shards_ = std::make_unique<Shard[]>(static_cast<std::size_t>(count));
+  ep_send_ = std::make_unique<PeerTable[]>(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Shard& sh = ep_shards_[i];
+    sh.ep_owned = true;
+    for (int j = 0; j < prewarm_nodes_; ++j) {
+      MatchNode* n = new MatchNode();
+      n->bin_next = sh.free_head;
+      sh.free_head = n;
+    }
+  }
+}
+
+void Matcher::bind_endpoint_pvars(int ep, obs::PvarSet* pvars) {
+  assert(ep >= 0 && ep < ep_count_);
+  ep_shards_[ep].pvars = pvars;
 }
 
 Matcher::~Matcher() {
-  for (int i = 0; i < shard_count_; ++i) {
-    Shard& sh = shards_[i];
+  const auto free_shard = [](Shard& sh) {
     // wild_local and the bins alias posted_all / unexp_all, so the order
     // lists are the single ownership walk.
     for (MatchNode* n = sh.posted_all.head; n != nullptr;) {
@@ -244,7 +400,9 @@ Matcher::~Matcher() {
       delete n;
       n = next;
     }
-  }
+  };
+  for (int i = 0; i < shard_count_; ++i) free_shard(shards_[i]);
+  for (int i = 0; i < ep_count_; ++i) free_shard(ep_shards_[i]);
   for (MatchNode* n = gw_.list.head; n != nullptr;) {
     MatchNode* next = n->ord_next;
     delete n;
@@ -263,6 +421,40 @@ std::uint32_t Matcher::next_send_seq(int comm, int dest_rank) {
   return ss.peers.find_or_insert(peer_key(comm, dest_rank)).seq++;
 }
 
+std::uint32_t Matcher::next_send_seq_ep(int ep, int comm, int dest_rank, int dest_ep) {
+  assert(ep >= 0 && ep < ep_count_);
+  // Owner-private table, no lock: one independent stream per
+  // (comm, dest_rank, dest_ep) from this endpoint.
+  return ep_send_[ep].find_or_insert(chan_key(comm, dest_rank, ep, dest_ep)).seq++;
+}
+
+std::uint64_t Matcher::unexpected_count() const {
+  std::uint64_t t = 0;
+  for (int i = 0; i < shard_count_; ++i)
+    t += shards_[i].n_unexp.load(std::memory_order_relaxed);
+  for (int i = 0; i < ep_count_; ++i)
+    t += ep_shards_[i].n_unexp.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::uint64_t Matcher::posted_matched_count() const {
+  std::uint64_t t = gw_.n_matched.load(std::memory_order_relaxed);
+  for (int i = 0; i < shard_count_; ++i)
+    t += shards_[i].n_matched.load(std::memory_order_relaxed);
+  for (int i = 0; i < ep_count_; ++i)
+    t += ep_shards_[i].n_matched.load(std::memory_order_relaxed);
+  return t;
+}
+
+std::uint64_t Matcher::parked_count() const {
+  std::uint64_t t = 0;
+  for (int i = 0; i < shard_count_; ++i)
+    t += shards_[i].n_parked.load(std::memory_order_relaxed);
+  for (int i = 0; i < ep_count_; ++i)
+    t += ep_shards_[i].n_parked.load(std::memory_order_relaxed);
+  return t;
+}
+
 void Matcher::complete_recv(const Request& req, const Envelope& env, std::size_t bytes) {
   req->status.source = env.src_rank;
   req->status.tag = env.tag;
@@ -271,9 +463,35 @@ void Matcher::complete_recv(const Request& req, const Envelope& env, std::size_t
 }
 
 void Matcher::on_arrival(Arrival&& a) {
+  if (a.env.ep >= 0 && mode_ == Mode::Bins) {
+    if (a.env.ep < ep_count_) {
+      on_arrival_ep(std::move(a));
+      return;
+    }
+    // Stamped for an endpoint this task never configured (stale or
+    // mismatched PAMIX_ENDPOINTS across tasks): degrade to the hashed
+    // path. The endpoint-qualified channel key keeps the stream's
+    // sequence state consistent wherever its arrivals land.
+    count(obs::Pvar::EpShardCollisions);
+  }
   Shard& sh = shard_of(a.env.comm, a.env.src_rank);
   std::lock_guard<hw::L2AtomicMutex> g(sh.mu);
-  PeerTable::Entry& e = sh.peers.find_or_insert(peer_key(a.env.comm, a.env.src_rank));
+  PeerTable::Entry& e = sh.peers.find_or_insert(
+      chan_key(a.env.comm, a.env.src_rank, a.env.src_ep, a.env.ep));
+  sequence_and_deliver(sh, e, std::move(a));
+}
+
+void Matcher::on_arrival_ep(Arrival&& a) {
+  // Endpoint fast path: the shard belongs to the one thread advancing the
+  // endpoint's context — the thread we are on — so there is nothing to
+  // lock and no cache line shared with any other endpoint.
+  Shard& sh = ep_shards_[a.env.ep];
+  PeerTable::Entry& e = sh.peers.find_or_insert(
+      chan_key(a.env.comm, a.env.src_rank, a.env.src_ep, a.env.ep));
+  sequence_and_deliver(sh, e, std::move(a));
+}
+
+void Matcher::sequence_and_deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
   if (a.env.seq != e.seq) {
     assert(a.env.seq > e.seq && "duplicate sequence number");
     park(sh, e, std::move(a));
@@ -305,8 +523,8 @@ void Matcher::on_arrival(Arrival&& a) {
 void Matcher::park(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
   // Overtaken arrival: park it. Streaming payload must land somewhere
   // now, so it goes to a temp buffer; rendezvous defers (no data moved).
-  parked_total_.fetch_add(1, std::memory_order_relaxed);
-  count(obs::Pvar::MpiMatchParked);
+  sh.n_parked.fetch_add(1, std::memory_order_relaxed);
+  count_sh(sh, obs::Pvar::MpiMatchParked);
   if (a.kind == Arrival::Kind::Inline && a.pipe != nullptr) {
     a.owned.assign(a.pipe, a.pipe + a.pipe_bytes);
     a.pipe = nullptr;
@@ -331,7 +549,7 @@ void Matcher::park(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
     a.defer_handle = a.live_recv->defer_handle;
     a.live_recv = nullptr;
   }
-  MatchNode* n = alloc_node(sh.free_head);
+  MatchNode* n = alloc_node(sh);
   n->kind = a.kind;
   n->env = a.env;
   n->origin = a.origin;
@@ -391,9 +609,11 @@ void Matcher::deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
     }
     // Wildcard fallback, entered only while wildcards are outstanding.
     // Both wildcard lists are post-ordered, so an earlier-epoch wildcard
-    // beats the bin candidate and the walks stop at best_epoch.
+    // beats the bin candidate and the walks stop at best_epoch. (On an
+    // endpoint shard the epochs are shard-local — still comparable, since
+    // both candidates were posted through the same owner thread.)
     if (sh.wild_count > 0) {
-      count(obs::Pvar::MpiMatchWildcardFallbacks);
+      count_sh(sh, obs::Pvar::MpiMatchWildcardFallbacks);
       std::uint64_t walked = 0;
       for (MatchNode* n = sh.wild_local.head; n != nullptr; n = n->bin_next) {
         if (n->epoch >= best_epoch) break;
@@ -404,9 +624,17 @@ void Matcher::deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
           break;
         }
       }
-      count(obs::Pvar::MpiMatchListScans, walked);
+      count_sh(sh, obs::Pvar::MpiMatchListScans, walked);
     }
-    if (gw_.count.load(std::memory_order_acquire) > 0) {
+    if (sh.ep_owned) {
+      // Endpoint shards use relaxed cross-VCI arbitration: a local posted
+      // match always wins; the serialized global ANY_SOURCE list is
+      // consulted only when nothing local matched (and fallback is on).
+      if (best == nullptr && ep_fallback_ &&
+          gw_.count.load(std::memory_order_acquire) > 0) {
+        if (claim_global_wild(sh, a)) return;
+      }
+    } else if (gw_.count.load(std::memory_order_acquire) > 0) {
       count(obs::Pvar::MpiMatchWildcardFallbacks);
       Request wreq;
       bool claimed = false;
@@ -429,7 +657,7 @@ void Matcher::deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
         count(obs::Pvar::MpiMatchListScans, walked);
       }
       if (claimed) {
-        posted_matched_.fetch_add(1, std::memory_order_relaxed);
+        gw_.n_matched.fetch_add(1, std::memory_order_relaxed);
         bind_posted(wreq, std::move(a));
         return;
       }
@@ -444,16 +672,61 @@ void Matcher::deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
         --sh.wild_count;
       } else {
         unlink_bin(sh.posted_bins[bin_of(best->comm, best->src, best->tag)], best);
-        if (best == bin_candidate) count(obs::Pvar::MpiMatchBinHits);
+        if (best == bin_candidate) count_sh(sh, obs::Pvar::MpiMatchBinHits);
       }
     }
-    posted_matched_.fetch_add(1, std::memory_order_relaxed);
+    sh.n_matched.fetch_add(1, std::memory_order_relaxed);
     Request req = std::move(best->req);
     recycle_node(sh.free_head, best);
     bind_posted(req, std::move(a));
     return;
   }
   store_unexpected(sh, e, std::move(a));
+}
+
+bool Matcher::claim_global_wild(Shard& sh, Arrival& a) {
+  // Called on an endpoint shard with no local posted match. Each pass
+  // claims (under the global lock) the oldest outstanding ANY_SOURCE
+  // receive that matches the live arrival — but MPI non-overtaking order
+  // within this shard still applies: if the claimed wildcard also matches
+  // an *older* message in the shard's unexpected backlog, the wildcard
+  // takes that message instead and the arrival retries against the next
+  // one. Every pass retires one wildcard, so the loop terminates.
+  count_sh(sh, obs::Pvar::MpiMatchWildcardFallbacks);
+  for (;;) {
+    if (gw_.count.load(std::memory_order_acquire) == 0) return false;
+    Request wreq;
+    MatchNode* backlog = nullptr;
+    {
+      std::lock_guard<hw::L2AtomicMutex> g(gw_.mu);
+      MatchNode* w = nullptr;
+      for (MatchNode* n = gw_.list.head; n != nullptr; n = n->ord_next) {
+        if (node_matches(*n, a.env)) {
+          w = n;
+          break;
+        }
+      }
+      if (w == nullptr) return false;
+      for (MatchNode* u = sh.unexp_all.head; u != nullptr; u = u->ord_next) {
+        if (node_matches(*w, u->env)) {
+          backlog = u;
+          break;
+        }
+      }
+      unlink_ord(gw_.list, w);
+      w->in_list = false;
+      gw_.count.fetch_sub(1, std::memory_order_acq_rel);
+      wreq = std::move(w->req);
+      recycle_node(gw_.free_head, w);
+      gw_.n_matched.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (backlog == nullptr) {
+      bind_posted(wreq, std::move(a));
+      return true;
+    }
+    take_unexpected(sh, backlog);
+    bind_unexpected(sh, wreq, backlog);
+  }
 }
 
 void Matcher::bind_posted(const Request& req, Arrival&& a) {
@@ -508,8 +781,8 @@ void Matcher::bind_posted(const Request& req, Arrival&& a) {
 }
 
 void Matcher::store_unexpected(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
-  unexpected_total_.fetch_add(1, std::memory_order_relaxed);
-  MatchNode* u = alloc_node(sh.free_head);
+  sh.n_unexp.fetch_add(1, std::memory_order_relaxed);
+  MatchNode* u = alloc_node(sh);
   u->comm = a.env.comm;
   u->src = a.env.src_rank;
   u->tag = a.env.tag;
@@ -517,7 +790,8 @@ void Matcher::store_unexpected(Shard& sh, PeerTable::Entry& e, Arrival&& a) {
   u->env = a.env;
   u->origin = a.origin;
   u->total = a.total;
-  u->epoch = stamp_.fetch_add(1, std::memory_order_relaxed);
+  u->pkey = e.key;
+  u->epoch = sh.ep_owned ? sh.local_stamp++ : stamp_.fetch_add(1, std::memory_order_relaxed);
   switch (a.kind) {
     case Arrival::Kind::Inline:
       if (a.pipe != nullptr) {
@@ -567,7 +841,7 @@ Matcher::MatchNode* Matcher::find_unexpected(Shard& sh, int comm, int src, int t
     NodeList& bl = sh.unexp_bins[bin_of(comm, src, tag)];
     for (MatchNode* u = bl.head; u != nullptr; u = u->bin_next) {
       if (u->comm == comm && u->src == src && u->tag == tag) {
-        count(obs::Pvar::MpiMatchBinHits);
+        count_sh(sh, obs::Pvar::MpiMatchBinHits);
         return u;
       }
     }
@@ -582,14 +856,16 @@ Matcher::MatchNode* Matcher::find_unexpected(Shard& sh, int comm, int src, int t
       break;
     }
   }
-  count(obs::Pvar::MpiMatchListScans, walked);
+  count_sh(sh, obs::Pvar::MpiMatchListScans, walked);
   return u;
 }
 
 void Matcher::take_unexpected(Shard& sh, MatchNode* u) {
   unlink_ord(sh.unexp_all, u);
   if (mode_ == Mode::Bins) unlink_bin(sh.unexp_bins[bin_of(u->comm, u->src, u->tag)], u);
-  PeerTable::Entry* pe = sh.peers.find(peer_key(u->comm, u->src));
+  // pkey, not peer_key: endpoint-qualified streams key their entries by
+  // the full channel, and the unexp count must come off the same entry.
+  PeerTable::Entry* pe = sh.peers.find(u->pkey);
   assert(pe != nullptr && pe->unexp > 0);
   --pe->unexp;
 }
@@ -682,7 +958,7 @@ void Matcher::post_recv(Request req, int comm, int src_rank, int tag) {
       bind_unexpected(sh, req, u);
       return;
     }
-    MatchNode* n = alloc_node(sh.free_head);
+    MatchNode* n = alloc_node(sh);
     n->comm = comm;
     n->src = src_rank;
     n->tag = tag;
@@ -710,7 +986,7 @@ void Matcher::post_recv(Request req, int comm, int src_rank, int tag) {
   std::uint64_t my_gen = 0;
   {
     std::lock_guard<hw::L2AtomicMutex> g(gw_.mu);
-    node = alloc_node(gw_.free_head);
+    node = alloc_node(gw_.free_head, pvars_);
     node->comm = comm;
     node->src = kAnySource;
     node->tag = tag;
@@ -740,6 +1016,68 @@ void Matcher::post_recv(Request req, int comm, int src_rank, int tag) {
     take_unexpected(sh, u);
     bind_unexpected(sh, req, u);
     return;
+  }
+}
+
+void Matcher::post_recv_ep(int ep, Request req, int comm, int src_rank, int tag) {
+  assert(ep >= 0 && ep < ep_count_);
+  assert(src_rank != kAnySource && "ANY_SOURCE receives go through post_recv");
+  // Owner thread only — no lock, no shared cache lines. ANY_TAG is fine
+  // (it rides the shard-local wildcard list); only the source wildcard
+  // needs the global serialized path.
+  Shard& sh = ep_shards_[ep];
+  if (MatchNode* u = find_unexpected(sh, comm, src_rank, tag)) {
+    take_unexpected(sh, u);
+    bind_unexpected(sh, req, u);
+    return;
+  }
+  MatchNode* n = alloc_node(sh);
+  n->comm = comm;
+  n->src = src_rank;
+  n->tag = tag;
+  n->req = std::move(req);
+  n->epoch = sh.local_epoch++;
+  push_ord(sh.posted_all, n);
+  if (tag == kAnyTag) {
+    push_bin(sh.wild_local, n);
+    ++sh.wild_count;
+  } else {
+    push_bin(sh.posted_bins[bin_of(comm, src_rank, tag)], n);
+  }
+}
+
+void Matcher::scan_endpoint_for_global(int ep) {
+  assert(ep >= 0 && ep < ep_count_);
+  Shard& sh = ep_shards_[ep];
+  // Marry outstanding global ANY_SOURCE receives to this shard's
+  // unexpected backlog: for each backlog message in arrival order, claim
+  // the oldest matching wildcard (the global list is post-ordered). Runs
+  // on the owner thread — posted to the bound context right after a
+  // wildcard publishes, mirroring post_recv's hashed-shard sweep.
+  MatchNode* u = sh.unexp_all.head;
+  while (u != nullptr && gw_.count.load(std::memory_order_acquire) > 0) {
+    MatchNode* next = u->ord_next;
+    Request wreq;
+    bool claimed = false;
+    {
+      std::lock_guard<hw::L2AtomicMutex> g(gw_.mu);
+      for (MatchNode* w = gw_.list.head; w != nullptr; w = w->ord_next) {
+        if (!node_matches(*w, u->env)) continue;
+        unlink_ord(gw_.list, w);
+        w->in_list = false;
+        gw_.count.fetch_sub(1, std::memory_order_acq_rel);
+        wreq = std::move(w->req);
+        recycle_node(gw_.free_head, w);
+        gw_.n_matched.fetch_add(1, std::memory_order_relaxed);
+        claimed = true;
+        break;
+      }
+    }
+    if (claimed) {
+      take_unexpected(sh, u);
+      bind_unexpected(sh, wreq, u);
+    }
+    u = next;
   }
 }
 

@@ -44,11 +44,18 @@
 namespace pamix::mpi {
 
 /// Wire envelope carried as the PAMI header of every MPI message.
+/// `ep` / `src_ep` are the destination / source endpoint indices for
+/// endpoint-routed traffic (-1 on the hashed path): arrivals with a valid
+/// `ep` route straight to that endpoint's lock-free matching shard, and
+/// the pair widens the per-peer sequence channel so every
+/// (comm, src, src_ep, dst_ep) stream is independently ordered.
 struct Envelope {
   std::int32_t comm = 0;
   std::int32_t src_rank = 0;
   std::int32_t tag = 0;
   std::uint32_t seq = 0;
+  std::int16_t ep = -1;
+  std::int16_t src_ep = -1;
 };
 
 /// MPI_Request state.
@@ -60,6 +67,11 @@ struct RequestImpl {
   // Recv-side user buffer.
   void* buffer = nullptr;
   std::size_t capacity = 0;
+  // Pool bookkeeping (owned by RequestPool, not reset between uses):
+  // intrusive link for the lock-free reclaim stack and the shard the
+  // request was acquired from, so a cross-thread release lands home.
+  RequestImpl* pool_next = nullptr;
+  std::uint32_t pool_shard = 0;
 
   void reset() {
     complete.store(0, std::memory_order_relaxed);
@@ -72,16 +84,22 @@ struct RequestImpl {
 };
 
 /// Thread-sharded request allocator (paper: "thread private pools to
-/// minimize locking overheads"). Shards are picked by thread id hash on
-/// both acquire and release, so a request completed (and released) on a
-/// commthread recycles through that thread's shard instead of piling every
-/// cross-thread completion onto the acquirer's lock — the same
-/// owner/reclaim split core/buffer_pool.h uses. The shards live in shared
-/// state co-owned by every outstanding request's deleter, so a Request
-/// parked in a matcher queue may safely outlive the pool object.
+/// minimize locking overheads"). Acquire hashes the calling thread to a
+/// shard and pops its mutex-guarded freelist; release pushes onto the
+/// *home* shard's lock-free Treiber reclaim stack (bounded-retry CAS with
+/// cpu_relax), so a request completed on a commthread or a sibling
+/// endpoint thread recycles back without taking the acquirer's lock — the
+/// same owner/reclaim split core/buffer_pool.h uses. Releases from a
+/// thread hashing to a different shard than the acquirer count the
+/// req.cross_thread_releases pvar, making endpoint-mode churn observable.
+/// The shards live in shared state co-owned by every outstanding request's
+/// deleter, so a Request parked in a matcher queue may safely outlive the
+/// pool object.
 class RequestPool {
  public:
-  RequestPool() : state_(std::make_shared<State>()) {}
+  explicit RequestPool(obs::PvarSet* pvars = nullptr) : state_(std::make_shared<State>()) {
+    state_->pvars = pvars;
+  }
   RequestPool(const RequestPool&) = delete;
   RequestPool& operator=(const RequestPool&) = delete;
 
@@ -93,15 +111,25 @@ class RequestPool {
   struct Shard {
     hw::L2AtomicMutex mu;
     std::vector<RequestImpl*> free;
+    /// Lock-free reclaim stack (push-only from releasers; acquire steals
+    /// the whole chain with one exchange, so there is no ABA window).
+    std::atomic<RequestImpl*> reclaim{nullptr};
   };
   struct State {
     ~State() {
       for (Shard& s : shards) {
         for (RequestImpl* p : s.free) delete p;
+        RequestImpl* r = s.reclaim.load(std::memory_order_relaxed);
+        while (r != nullptr) {
+          RequestImpl* next = r->pool_next;
+          delete r;
+          r = next;
+        }
       }
     }
     Shard shards[kShards];
     std::atomic<std::size_t> live{0};
+    obs::PvarSet* pvars = nullptr;
   };
   std::shared_ptr<State> state_;
 };
@@ -164,6 +192,9 @@ class Matcher {
 
   /// Dispatch-side entry: called from the PAMI dispatch handler on the
   /// receiving context's thread. Handles sequencing, matching, parking.
+  /// Arrivals with env.ep in [0, endpoint_count()) route to that
+  /// endpoint's lock-free shard; out-of-range endpoint indices degrade to
+  /// the hashed path (counted as ep.shard_collisions).
   void on_arrival(Arrival&& a);
 
   /// Post a receive. Matches the unexpected queue first (in arrival
@@ -171,10 +202,51 @@ class Matcher {
   void post_recv(Request req, int comm, int src_rank, int tag);
 
   /// MPI_Iprobe: report (without consuming) the first unexpected message
-  /// matching (comm, src, tag). Wildcards allowed.
+  /// matching (comm, src, tag). Wildcards allowed. Sees hashed-path
+  /// traffic only: endpoint shards are owner-private, so messages routed
+  /// to a bound endpoint are invisible here (probe via that endpoint's
+  /// own receive ops instead).
   bool probe(int comm, int src_rank, int tag, Status* status);
 
   std::uint32_t next_send_seq(int comm, int dest_rank);
+
+  // --- Endpoint shards (scalable-endpoints mode) ----------------------------
+  // One extra matching shard per endpoint, owned exclusively by the bound
+  // thread: no mutex, no atomics on the exact-match path, sequence/epoch
+  // counters shard-local. The only shared structure an endpoint ever
+  // consults is the global ANY_SOURCE list, and only when `fallback` is on
+  // and its count gate is nonzero.
+
+  /// Allocate `count` endpoint shards (plus per-endpoint send-sequence
+  /// tables). Bins mode only — under PAMIX_MPI_MATCH=list endpoints are
+  /// disabled and this is a no-op. Call once, before any traffic.
+  void enable_endpoints(int count, bool fallback);
+  int endpoint_count() const { return ep_count_; }
+  bool endpoint_fallback() const { return ep_fallback_; }
+
+  /// Point one endpoint shard's counters at its own obs domain so sibling
+  /// endpoints never share a counter cache line. Call before traffic.
+  void bind_endpoint_pvars(int ep, obs::PvarSet* pvars);
+
+  /// Owner-thread receive post on an endpoint shard. No wildcard source:
+  /// ANY_SOURCE receives go through post_recv (the global list) and reach
+  /// this shard's backlog via scan_endpoint_for_global.
+  void post_recv_ep(int ep, Request req, int comm, int src_rank, int tag);
+
+  /// Owner-thread send sequencing: one independent stream per
+  /// (comm, dest_rank, dest_ep) in the endpoint's private table.
+  std::uint32_t next_send_seq_ep(int ep, int comm, int dest_rank, int dest_ep);
+
+  /// Owner-thread sweep: marry outstanding global ANY_SOURCE receives to
+  /// this endpoint shard's unexpected backlog (oldest wildcard first, then
+  /// arrival order). Posted to bound contexts after a wildcard publishes so
+  /// endpoint-routed messages can still satisfy MPI_ANY_SOURCE.
+  void scan_endpoint_for_global(int ep);
+
+  /// Pre-size every shard freelist (hashed, endpoint, global-wild) to
+  /// `nodes_per_shard` nodes without touching the pool_hits/misses
+  /// counters — init-time warm-up so steady state reports zero misses.
+  void prewarm(int nodes_per_shard);
 
   Mode mode() const { return mode_; }
   int shard_count() const { return shard_count_; }
@@ -185,13 +257,11 @@ class Matcher {
     return gw_.count.load(std::memory_order_relaxed);
   }
 
-  std::uint64_t unexpected_count() const {
-    return unexpected_total_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t posted_matched_count() const {
-    return posted_matched_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t parked_count() const { return parked_total_.load(std::memory_order_relaxed); }
+  // Totals are kept per shard (owner/lock-holder written, relaxed) so
+  // endpoint fast paths never tick a shared cache line; accessors sum.
+  std::uint64_t unexpected_count() const;
+  std::uint64_t posted_matched_count() const;
+  std::uint64_t parked_count() const;
 
  private:
   struct MatchNode;  // defined in matching.cpp
@@ -277,7 +347,10 @@ class Matcher {
   static constexpr int kMinShards = 16;
 
   /// One matching shard: everything about the (comm, src) peers that hash
-  /// here, serialized by its own cheap mutex.
+  /// here, serialized by its own cheap mutex — except endpoint shards
+  /// (`ep_owned`), which belong to exactly one bound thread and are never
+  /// locked: their epoch/stamp order is a plain shard-local counter and
+  /// their telemetry lands in the endpoint's own pvar domain.
   struct alignas(64) Shard {
     hw::L2AtomicMutex mu;
     NodeList posted_bins[kBins];  // exact (comm, src, tag) receives
@@ -288,6 +361,15 @@ class Matcher {
     NodeList unexp_all;           // all unexpected nodes, arrival order (ord links)
     PeerTable peers;              // expected seq / parked chain / unexp count
     MatchNode* free_head = nullptr;  // node freelist (chained via bin_next)
+    bool ep_owned = false;           // owner-thread shard: no locking, local order
+    std::uint64_t local_epoch = 1;   // post order (ep shards; owner-only)
+    std::uint64_t local_stamp = 1;   // arrival order (ep shards; owner-only)
+    obs::PvarSet* pvars = nullptr;   // ep domain override; null -> matcher's
+    // Per-shard totals: single-writer relaxed atomics (readable while the
+    // owner runs), summed by the Matcher accessors.
+    std::atomic<std::uint64_t> n_unexp{0};
+    std::atomic<std::uint64_t> n_matched{0};
+    std::atomic<std::uint64_t> n_parked{0};
   };
 
   struct alignas(64) SendShard {
@@ -303,16 +385,27 @@ class Matcher {
     NodeList list;  // post order (ord links)
     MatchNode* free_head = nullptr;
     std::atomic<std::uint32_t> count{0};
+    std::atomic<std::uint64_t> n_matched{0};  // wildcard claims (under mu)
   };
 
   std::size_t shard_index(int comm, int rank) const;
   Shard& shard_of(int comm, int rank);
   static std::size_t bin_of(int comm, int src, int tag);
   static std::uint64_t peer_key(int comm, int rank);
+  /// Sequence-channel key: peer_key widened with the (src_ep, dst_ep) pair
+  /// when the sender stamped endpoint indices, so every endpoint-to-
+  /// endpoint stream is independently ordered.
+  static std::uint64_t chan_key(int comm, int rank, int src_ep, int dst_ep);
   static bool node_matches(const MatchNode& p, const Envelope& env);
 
+  void on_arrival_ep(Arrival&& a);
+  void sequence_and_deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a);
   void park(Shard& sh, PeerTable::Entry& e, Arrival&& a);
   void deliver(Shard& sh, PeerTable::Entry& e, Arrival&& a);
+  /// Endpoint-shard global-wildcard arbitration: claim matching wildcards
+  /// for the shard's oldest unexpected messages first, then for the live
+  /// arrival. Returns true when the arrival was consumed.
+  bool claim_global_wild(Shard& sh, Arrival& a);
   void bind_posted(const Request& req, Arrival&& a);
   void store_unexpected(Shard& sh, PeerTable::Entry& e, Arrival&& a);
   void bind_unexpected(Shard& sh, const Request& req, MatchNode* u);
@@ -321,8 +414,18 @@ class Matcher {
   bool wildcard_blocked(Shard& sh, const PeerTable::Entry& e, const MatchNode& w,
                         const Envelope& env);
 
-  MatchNode* alloc_node(MatchNode*& free_head);
+  MatchNode* alloc_node(Shard& sh);
+  MatchNode* alloc_node(MatchNode*& free_head, obs::PvarSet* pv);
   void recycle_node(MatchNode*& free_head, MatchNode* n);
+  /// Shard-aware counting: endpoint shards tick their own pvar domain so
+  /// sibling endpoints never write the same counter line.
+  obs::PvarSet* shard_pvars(const Shard& sh) const {
+    return sh.pvars != nullptr ? sh.pvars : pvars_;
+  }
+  void count_sh(const Shard& sh, obs::Pvar p, std::uint64_t n = 1) {
+    obs::PvarSet* pv = shard_pvars(sh);
+    if (pv != nullptr) pv->add(p, n);
+  }
   void count(obs::Pvar p, std::uint64_t n = 1) {
     if (pvars_ != nullptr) pvars_->add(p, n);
   }
@@ -341,14 +444,20 @@ class Matcher {
   std::unique_ptr<Shard[]> shards_;
   std::unique_ptr<SendShard[]> send_shards_;
   GlobalWild gw_;
+  // Endpoint mode: one owner-private shard + send-sequence table per
+  // endpoint, allocated once by enable_endpoints.
+  int ep_count_ = 0;
+  bool ep_fallback_ = true;
+  int prewarm_nodes_ = 0;
+  std::unique_ptr<Shard[]> ep_shards_;
+  std::unique_ptr<PeerTable[]> ep_send_;
   // Post order (posted receives) and arrival order (unexpected messages)
-  // are global so cross-list candidates compare correctly; the fetch_add
-  // happens under the relevant structure's lock.
+  // are global for the hashed shards so cross-list candidates compare
+  // correctly; the fetch_add happens under the relevant structure's lock.
+  // Endpoint shards use their own local_epoch/local_stamp instead — an
+  // endpoint never compares order against another shard's nodes.
   std::atomic<std::uint64_t> epoch_{1};
   std::atomic<std::uint64_t> stamp_{1};
-  std::atomic<std::uint64_t> unexpected_total_{0};
-  std::atomic<std::uint64_t> posted_matched_{0};
-  std::atomic<std::uint64_t> parked_total_{0};
 };
 
 }  // namespace pamix::mpi

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <thread>
 
+#include "core/endpoint.h"
+#include "core/env.h"
 #include "hw/cnk.h"
 #include "mpi/matching.h"
 #include "obs/pvar.h"
@@ -64,13 +66,19 @@ struct Mpi::Impl {
 
 MpiWorld::MpiWorld(runtime::Machine& machine, MpiConfig config)
     : machine_(machine), config_(config) {
+  config_.endpoints = core::env_int_or("PAMIX_ENDPOINTS", config_.endpoints, 0, 64);
+  config_.ep_fallback = core::env_flag_or("PAMIX_EP_FALLBACK", config_.ep_fallback);
   pami::ClientConfig cc;
   cc.name = "mpi";
-  cc.contexts_per_task = config_.contexts_per_task;
+  // Endpoint contexts sit after the hashed ones: [0, contexts_per_task)
+  // is the hashed partition, [contexts_per_task, +endpoints) is one
+  // context per bindable endpoint.
+  const int total_ctx = config_.contexts_per_task + config_.endpoints;
+  cc.contexts_per_task = total_ctx;
   cc.eager_limit = config_.rendezvous_threshold;
   cc.shm_eager_limit = config_.rendezvous_threshold;
   // Keep the FIFO demand within the MU partition at high ppn.
-  const int budget = hw::kInjFifoCount / std::max(1, machine.ppn() * config_.contexts_per_task);
+  const int budget = hw::kInjFifoCount / std::max(1, machine.ppn() * total_ctx);
   cc.send_fifos_per_context = std::clamp(budget, 1, 8);
   clients_ = std::make_unique<pami::ClientWorld>(machine, cc);
   ranks_.reserve(static_cast<std::size_t>(machine.task_count()));
@@ -87,7 +95,10 @@ Mpi::Mpi(MpiWorld& world, int task)
     : world_(world),
       client_(world.client_world().client(task)),
       task_(task),
-      impl_(std::make_unique<Impl>(world.config().library, task, client_.context_count())) {
+      base_contexts_(client_.context_count() - world.config().endpoints),
+      // The matcher's shard hash refines the *hashed* context hash, so its
+      // hint is the base-context count, not the total.
+      impl_(std::make_unique<Impl>(world.config().library, task, base_contexts_)) {
   // COMM_WORLD handle for this task.
   auto comm = std::make_shared<CommImpl>();
   comm->geometry = world.client_world().geometries().world_geometry();
@@ -137,6 +148,22 @@ Mpi::Mpi(MpiWorld& world, int task)
           }
         });
   }
+
+  // Scalable endpoints: one owner-private matching shard + endpoint object
+  // per extra context. enable_endpoints no-ops in list mode, so
+  // endpoint_count() stays 0 there even if contexts were allocated.
+  const int eps = world.config().endpoints;
+  if (eps > 0) {
+    impl_->matcher.enable_endpoints(eps, world.config().ep_fallback);
+    impl_->obs.pvars.add(obs::Pvar::ConfigEndpoints,
+                         static_cast<std::uint64_t>(impl_->matcher.endpoint_count()));
+    impl_->obs.pvars.add(obs::Pvar::ConfigEpFallback,
+                         world.config().ep_fallback ? 1 : 0);
+    endpoints_.reserve(static_cast<std::size_t>(impl_->matcher.endpoint_count()));
+    for (int i = 0; i < impl_->matcher.endpoint_count(); ++i) {
+      endpoints_.push_back(std::unique_ptr<MpiEndpoint>(new MpiEndpoint(*this, i)));
+    }
+  }
 }
 
 Mpi::~Mpi() = default;
@@ -154,9 +181,13 @@ ThreadLevel Mpi::init(ThreadLevel requested) {
     if (count < 0) {
       const int ppn = world_.machine().ppn();
       count = std::max(1, (hw::kHwThreadsPerNode - ppn) / std::max(1, ppn));
-      count = std::min(count, client_.context_count());
+      count = std::min(count, base_contexts_);
     }
-    if (count > 0) commthreads_ = std::make_unique<pami::CommThreadPool>(client_, count);
+    // Commthreads cover only the hashed partition: endpoint contexts are
+    // advanced exclusively by their bound thread.
+    if (count > 0) {
+      commthreads_ = std::make_unique<pami::CommThreadPool>(client_, count, base_contexts_);
+    }
   }
   return level_;
 }
@@ -181,8 +212,10 @@ int Mpi::size(const Comm& c) const { return c->size(); }
 // --------------------------------------------------------------- progress --
 
 void Mpi::progress() {
+  // Hashed contexts only: endpoint contexts belong to their bound thread
+  // (single-advancer), so the shared progress loop must not touch them.
   const bool need_ctx_lock = commthreads_ != nullptr || level_ == ThreadLevel::Multiple;
-  for (int i = 0; i < client_.context_count(); ++i) {
+  for (int i = 0; i < base_contexts_; ++i) {
     pami::Context& ctx = client_.context(i);
     if (need_ctx_lock) {
       if (!ctx.trylock()) continue;  // a commthread is already on it
@@ -206,15 +239,17 @@ void Mpi::progress_until(const std::function<bool()>& pred) {
 pami::Context& Mpi::context_for_send(const CommImpl& c, int dest_rank) {
   // Source context hashed from (destination, communicator); the peer
   // context is hashed symmetrically from (source, communicator), so one
-  // (comm, src, dst) triple always rides one ordered channel.
-  const int n = client_.context_count();
+  // (comm, src, dst) triple always rides one ordered channel. The hash
+  // spans only the base partition — endpoint contexts are reached by
+  // explicit addressing, never by hashing.
+  const int n = base_contexts_;
   return client_.context((dest_rank + c.id()) % n);
 }
 
 void Mpi::complete_isend(const CommImpl& c, int dest_rank, Request req, const void* buf,
                          std::size_t bytes, int tag) {
   pami::Context& ctx = context_for_send(c, dest_rank);
-  const int n = client_.context_count();
+  const int n = base_contexts_;
   Envelope env;
   env.comm = c.id();
   env.src_rank = c.my_rank;
@@ -279,7 +314,23 @@ Request Mpi::irecv(void* buf, std::size_t bytes, int source, int tag, const Comm
   if (classic_locked) impl_->global_lock.lock();
   impl_->matcher.post_recv(req, c->id(), source, tag);
   if (classic_locked) impl_->global_lock.unlock();
+  // A global ANY_SOURCE must also see messages sitting unexpected in
+  // endpoint shards; those are owner-private, so the sweep is posted to
+  // each bound context's work queue rather than run here.
+  if (source == kAnySource && impl_->matcher.endpoint_count() > 0 &&
+      impl_->matcher.endpoint_fallback()) {
+    kick_endpoint_scans(-1);
+  }
   return req;
+}
+
+void Mpi::kick_endpoint_scans(int except) {
+  Matcher* m = &impl_->matcher;
+  for (int i = 0; i < m->endpoint_count(); ++i) {
+    if (i == except) continue;
+    pami::Context& ctx = client_.context(base_contexts_ + i);
+    ctx.post([m, i] { m->scan_endpoint_for_global(i); });
+  }
 }
 
 void Mpi::send(const void* buf, std::size_t bytes, int dest, int tag, const Comm& c) {
@@ -355,5 +406,160 @@ std::uint64_t Mpi::unexpected_messages() const { return impl_->matcher.unexpecte
 std::uint64_t Mpi::posted_receives_matched() const {
   return impl_->matcher.posted_matched_count();
 }
+
+// ------------------------------------------------------------ MpiEndpoint --
+
+struct MpiEndpoint::Impl {
+  Impl(Mpi& mpi, int index)
+      : obs(obs::Registry::instance().create(
+            "task" + std::to_string(mpi.task_) + ".ep" + std::to_string(index), mpi.task_,
+            /*tid=*/128, /*want_ring=*/false)),
+        core(mpi.client_.context(mpi.base_contexts_ + index), index, &obs.pvars),
+        requests(&obs.pvars) {}
+
+  obs::Domain& obs;       // registry-owned "taskN.ep<i>" counter domain
+  pamix::Endpoint core;   // thread binding + owner-only advance
+  RequestPool requests;   // per-endpoint pool; releases stay endpoint-local
+  Request done_send;      // shared pre-finished request for immediate sends
+};
+
+MpiEndpoint::MpiEndpoint(Mpi& mpi, int index)
+    : mpi_(mpi), index_(index), impl_(std::make_unique<Impl>(mpi, index)) {
+  // Endpoint-shard telemetry lands in this endpoint's own domain, so two
+  // endpoints never write the same counter cache line.
+  mpi.impl_->matcher.bind_endpoint_pvars(index, &impl_->obs.pvars);
+  // An immediate send is complete the moment send_immediate returns, so
+  // every such isend hands back the same pre-finished request instead of
+  // cycling one through the pool — the fast path allocates nothing.
+  impl_->done_send = impl_->requests.acquire(RequestImpl::Kind::Send);
+  impl_->done_send->finish();
+}
+
+MpiEndpoint::~MpiEndpoint() = default;
+
+bool MpiEndpoint::bind() { return impl_->core.bind(); }
+bool MpiEndpoint::unbind() { return impl_->core.unbind(); }
+bool MpiEndpoint::bound() const { return impl_->core.bound(); }
+bool MpiEndpoint::bound_to_caller() const { return impl_->core.bound_to_caller(); }
+pami::Context& MpiEndpoint::context() { return impl_->core.context(); }
+
+Request MpiEndpoint::isend(const void* buf, std::size_t bytes, int dest, int tag,
+                           const Comm& c, int dest_ep) {
+  if (!bound_to_caller()) {
+    // Unbound caller: degrade to the hashed path (thread-safe under the
+    // library's normal rules) rather than touch owner-private state.
+    impl_->obs.pvars.add(obs::Pvar::EpFallbackSends);
+    return mpi_.isend(buf, bytes, dest, tag, c);
+  }
+  if (dest_ep < 0) dest_ep = index_;
+  impl_->obs.pvars.add(obs::Pvar::MpiIsends);
+  pami::Context& ctx = impl_->core.context();
+
+  Envelope env;
+  env.comm = c->id();
+  env.src_rank = c->my_rank;
+  env.tag = tag;
+  env.ep = static_cast<std::int16_t>(dest_ep);
+  env.src_ep = static_cast<std::int16_t>(index_);
+  env.seq = mpi_.impl_->matcher.next_send_seq_ep(index_, c->id(), dest, dest_ep);
+
+  const pami::Endpoint pdest{
+      c->geometry->task_of(static_cast<std::size_t>(dest)),
+      static_cast<std::int16_t>(mpi_.base_contexts_ + dest_ep)};
+
+  // Fast path: whole message in one packet via send_immediate — no
+  // SendParams, no callbacks, payload staged on return. Eagain drains
+  // only this endpoint's injection FIFOs (owner-private), so the retry
+  // never touches another endpoint's devices.
+  if (sizeof(env) + bytes <= mpi_.world_.client_world().config().immediate_limit) {
+    pami::Result r;
+    std::uint32_t tries = 0;
+    while ((r = ctx.send_immediate(kMpiDispatchId, pdest, &env, sizeof(env), buf, bytes)) ==
+           pami::Result::Eagain) {
+      ctx.advance_injection();
+      // Backpressure means the peer has not drained its reception FIFO;
+      // let its thread run rather than burning the rest of our quantum.
+      if ((++tries & 63) == 0) std::this_thread::yield();
+    }
+    if (r == pami::Result::Success) {
+      impl_->obs.pvars.add(obs::Pvar::EpFastSends);
+      return impl_->done_send;
+    }
+  }
+  // Large (or shm-routed) message: the full protocol send on our own
+  // context. Still lock-free — the context is owner-private.
+  impl_->obs.pvars.add(obs::Pvar::EpFallbackSends);
+  Request req = impl_->requests.acquire(RequestImpl::Kind::Send);
+  pami::SendParams p;
+  p.dispatch = kMpiDispatchId;
+  p.dest = pdest;
+  p.header = &env;
+  p.header_bytes = sizeof(env);
+  p.data = buf;
+  p.data_bytes = bytes;
+  p.on_local_done = [req] { req->finish(); };
+  std::uint32_t tries = 0;
+  while (ctx.send(p) == pami::Result::Eagain) {
+    ctx.advance();
+    if ((++tries & 63) == 0) std::this_thread::yield();
+  }
+  return req;
+}
+
+Request MpiEndpoint::irecv(void* buf, std::size_t bytes, int source, int tag, const Comm& c) {
+  if (!bound_to_caller()) {
+    impl_->obs.pvars.add(obs::Pvar::EpFallbackSends);
+    return mpi_.irecv(buf, bytes, source, tag, c);
+  }
+  Matcher& m = mpi_.impl_->matcher;
+  if (source == kAnySource) {
+    // Wildcard: publish on the global serialized list (counted as a
+    // fallback), sweep our own backlog right here (we are the owner), and
+    // ask sibling endpoints to sweep theirs.
+    impl_->obs.pvars.add(obs::Pvar::EpFallbackSends);
+    Request req = mpi_.irecv(buf, bytes, source, tag, c);
+    if (m.endpoint_fallback()) m.scan_endpoint_for_global(index_);
+    return req;
+  }
+  impl_->obs.pvars.add(obs::Pvar::MpiIrecvs);
+  Request req = impl_->requests.acquire(RequestImpl::Kind::Recv);
+  req->buffer = buf;
+  req->capacity = bytes;
+  m.post_recv_ep(index_, req, c->id(), source, tag);
+  return req;
+}
+
+void MpiEndpoint::wait(Request& r, Status* status) {
+  if (!bound_to_caller()) {
+    mpi_.wait(r, status);
+    return;
+  }
+  // Owner spin: advance only this endpoint's context. If it goes idle for
+  // a long stretch (e.g. waiting on a wildcard that will complete through
+  // a hashed context), lend a hand to the shared progress loop — that
+  // path trylocks, so it is safe from a bound thread.
+  std::uint32_t idle = 0;
+  while (!r->done()) {
+    if (impl_->core.advance() > 0) {
+      idle = 0;
+    } else {
+      if ((++idle & 1023) == 0) mpi_.progress();
+      if ((idle & 255) == 0) std::this_thread::yield();
+    }
+  }
+  if (status != nullptr) *status = r->status;
+  r.reset();
+}
+
+bool MpiEndpoint::test(Request& r, Status* status) {
+  if (!bound_to_caller()) return mpi_.test(r, status);
+  impl_->core.advance();
+  if (!r->done()) return false;
+  if (status != nullptr) *status = r->status;
+  r.reset();
+  return true;
+}
+
+void MpiEndpoint::progress() { impl_->core.advance(); }
 
 }  // namespace pamix::mpi

@@ -64,6 +64,17 @@ struct MpiConfig {
   /// Commthread count per process; -1 derives it from free hardware
   /// threads as the runtime does (64/node minus one per process).
   int commthread_count = -1;
+  /// Scalable endpoints (PAMIX_ENDPOINTS): extra contexts, one per
+  /// endpoint, bindable to application threads via Mpi::endpoint(i).
+  /// Endpoint contexts sit after the `contexts_per_task` hashed ones and
+  /// are never advanced by commthreads or Mpi::progress — their bound
+  /// thread owns them outright.
+  int endpoints = 0;
+  /// PAMIX_EP_FALLBACK: when true (default), traffic routed to a bound
+  /// endpoint can still satisfy a global MPI_ANY_SOURCE receive (relaxed
+  /// cross-endpoint arbitration, DESIGN.md §12). When false, endpoints
+  /// and the global wildcard list never interact.
+  bool ep_fallback = true;
 };
 
 struct Status {
@@ -73,6 +84,7 @@ struct Status {
 };
 
 class Mpi;
+class MpiEndpoint;
 class MpiWorld;
 struct RequestImpl;
 struct CommImpl;
@@ -161,6 +173,15 @@ class Mpi {
                 void* recvbuf, std::size_t recv_bytes, int source, int recvtag, const Comm& c,
                 Status* status = nullptr);
 
+  // --- Scalable endpoints ------------------------------------------------------
+  /// Endpoints configured for this task (MpiConfig::endpoints, 0 when the
+  /// matcher runs in list mode). endpoint(i) is valid for i in
+  /// [0, endpoint_count()); bind the calling thread before using it.
+  int endpoint_count() const { return static_cast<int>(endpoints_.size()); }
+  MpiEndpoint& endpoint(int i) { return *endpoints_[static_cast<std::size_t>(i)]; }
+  /// Contexts serving the hashed (non-endpoint) path.
+  int base_context_count() const { return base_contexts_; }
+
   // --- Introspection -----------------------------------------------------------
   MpiWorld& mpi_world() { return world_; }
   pami::Client& client() { return client_; }
@@ -169,21 +190,78 @@ class Mpi {
 
  private:
   struct Impl;
+  friend class MpiEndpoint;
 
   void progress();
   void progress_until(const std::function<bool()>& pred);
   pami::Context& context_for_send(const CommImpl& c, int dest_rank);
   void complete_isend(const CommImpl& c, int dest_rank, Request req, const void* buf,
                       std::size_t bytes, int tag);
+  /// Ask every bound endpoint (except `except`) to sweep its unexpected
+  /// backlog against the global ANY_SOURCE list, via each endpoint
+  /// context's lockless work queue (the owner runs it on its next
+  /// advance). Called after a wildcard receive publishes.
+  void kick_endpoint_scans(int except);
 
   MpiWorld& world_;
   pami::Client& client_;
   int task_;
+  int base_contexts_ = 0;
   ThreadLevel level_ = ThreadLevel::Single;
   bool initialized_ = false;
   Comm world_comm_;
   std::unique_ptr<Impl> impl_;
   std::unique_ptr<pami::CommThreadPool> commthreads_;
+  std::vector<std::unique_ptr<MpiEndpoint>> endpoints_;
+};
+
+/// One scalable endpoint (MPI-endpoints / MPIX-stream semantics): an
+/// explicit object binding one application thread to one PAMI context —
+/// and through it one injection/reception FIFO partition, one lock-free
+/// matching shard, and one private request pool. Once bound, the
+/// exact-match isend/irecv/wait fast path takes no locks and shares no
+/// cache lines with other endpoints. Calls from a thread that is not the
+/// bound owner fall back to the hashed Mpi path (counted as
+/// ep.fallback_sends), as do MPI_ANY_SOURCE receives, which publish on
+/// the global serialized wildcard list.
+class MpiEndpoint {
+ public:
+  ~MpiEndpoint();
+  MpiEndpoint(const MpiEndpoint&) = delete;
+  MpiEndpoint& operator=(const MpiEndpoint&) = delete;
+
+  /// Bind the calling thread to this endpoint (CAS: fails if a different
+  /// thread holds the binding; idempotent for the owner).
+  bool bind();
+  /// Release the binding (owner only; fails from any other thread).
+  bool unbind();
+  bool bound() const;
+  bool bound_to_caller() const;
+  int index() const { return index_; }
+  pami::Context& context();
+
+  /// Endpoint-addressed send: routed to `dest_ep` at the destination
+  /// (same index as this endpoint when -1), skipping the context hash.
+  /// Header+payload within the immediate limit go out on the
+  /// send-immediate path with bounded injection-drain retry.
+  Request isend(const void* buf, std::size_t bytes, int dest, int tag, const Comm& c,
+                int dest_ep = -1);
+  /// Post a receive on this endpoint's matching shard. MPI_ANY_SOURCE
+  /// falls back to the global ordered wildcard list.
+  Request irecv(void* buf, std::size_t bytes, int source, int tag, const Comm& c);
+  void wait(Request& r, Status* status = nullptr);
+  bool test(Request& r, Status* status = nullptr);
+  /// Advance this endpoint's context only (owner thread).
+  void progress();
+
+ private:
+  friend class Mpi;
+  MpiEndpoint(Mpi& mpi, int index);
+  struct Impl;
+
+  Mpi& mpi_;
+  int index_;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// The SPMD-collective MPI job over a functional machine.

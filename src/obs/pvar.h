@@ -91,6 +91,19 @@ enum class Pvar : std::uint32_t {
   MpiMatchParked,
   MpiMatchPoolHits,
   MpiMatchPoolMisses,
+  // Endpoint (multi-VCI) layer (ep.*): thread->context bindings taken,
+  // sends/recvs that rode the bound zero-shared fast path, operations that
+  // fell back to the hashed/global structures (wildcards, oversize), and
+  // arrivals carrying an endpoint index outside the configured range
+  // (degraded to the hashed path).
+  EpBinds,
+  EpFastSends,
+  EpFallbackSends,
+  EpShardCollisions,
+  // Request-pool cross-thread releases: a request freed by a thread whose
+  // pool shard differs from the acquiring shard (endpoint-mode churn rides
+  // the lock-free reclaim stack instead of the owner freelist).
+  ReqCrossThreadReleases,
   // Fast-path buffer pools (core/buffer_pool.h): recycled acquisitions,
   // freelist misses that fell through to the allocator, and oversize
   // requests served straight from the heap.
@@ -137,6 +150,8 @@ enum class Pvar : std::uint32_t {
   ConfigCollSlice,
   ConfigCollRadix,
   ConfigMpiMatch,  // 1 = hashed bins, 0 = ordered-list fallback
+  ConfigEndpoints,   // endpoint contexts configured per task
+  ConfigEpFallback,  // 1 = bound endpoints consult the global wildcard list
   ConfigAmCredits,
   ConfigAmAggBytes,
   ConfigAmFlushUs,

@@ -43,6 +43,11 @@ const char* pvar_name(Pvar p) {
     case Pvar::MpiMatchParked: return "mpi.match.parked";
     case Pvar::MpiMatchPoolHits: return "mpi.match.pool_hits";
     case Pvar::MpiMatchPoolMisses: return "mpi.match.pool_misses";
+    case Pvar::EpBinds: return "ep.binds";
+    case Pvar::EpFastSends: return "ep.fast_sends";
+    case Pvar::EpFallbackSends: return "ep.fallback_sends";
+    case Pvar::EpShardCollisions: return "ep.shard_collisions";
+    case Pvar::ReqCrossThreadReleases: return "req.cross_thread_releases";
     case Pvar::AllocPoolHits: return "alloc.pool_hits";
     case Pvar::AllocPoolMisses: return "alloc.pool_misses";
     case Pvar::AllocHeapFallbacks: return "alloc.heap_fallbacks";
@@ -72,6 +77,8 @@ const char* pvar_name(Pvar p) {
     case Pvar::ConfigCollSlice: return "config.coll_slice";
     case Pvar::ConfigCollRadix: return "config.coll_radix";
     case Pvar::ConfigMpiMatch: return "config.mpi_match";
+    case Pvar::ConfigEndpoints: return "config.endpoints";
+    case Pvar::ConfigEpFallback: return "config.ep_fallback";
     case Pvar::ConfigAmCredits: return "config.am_credits";
     case Pvar::ConfigAmAggBytes: return "config.am_agg_bytes";
     case Pvar::ConfigAmFlushUs: return "config.am_flush_us";

@@ -31,6 +31,10 @@ std::size_t ControlDevice::poll() {
   return sent;
 }
 
+std::size_t MuDevice::poll_injection() {
+  return static_cast<std::size_t>(mu_.advance_injection(inj_fifos_));
+}
+
 std::size_t MuDevice::poll() {
   std::size_t events = static_cast<std::size_t>(mu_.advance_injection(inj_fifos_));
   // A dispatched handler may advance the context re-entrantly, and batch_

@@ -81,6 +81,12 @@ class MuDevice final : public Device {
 
   const char* name() const override { return "mu"; }
   std::size_t poll() override;
+  /// Injection-only drain: advance this context's message engines without
+  /// touching the reception FIFO. Used by the endpoint immediate-send
+  /// retry loop — an Eagain means *our* injection FIFOs are saturated, and
+  /// draining only them keeps the retry bounded to state this endpoint
+  /// owns (reception still drains on the owner's full advance).
+  std::size_t poll_injection();
   const void* wakeup_address() const override {
     return &mu_.rec_fifo(rec_fifo_).delivered_count();
   }

@@ -270,6 +270,15 @@ pami::Result ProgressEngine::get(pami::GetParams& params) {
 
 // ---------------------------------------------------------------- advance --
 
+std::size_t ProgressEngine::advance_injection() {
+  // Parked control descriptors first (they compete for the same FIFO
+  // slots the retried send needs), then the injection engines.
+  std::size_t events = control_dev_->poll();
+  events += mu_dev_->poll_injection();
+  if (events > 0) obs_.pvars.add(obs::Pvar::AdvanceEvents, events);
+  return events;
+}
+
 std::size_t ProgressEngine::advance(int iterations) {
   obs_.pvars.add(obs::Pvar::AdvanceCalls);
   const bool tracing = obs_.trace.enabled();

@@ -103,6 +103,12 @@ class ProgressEngine {
   pami::Result put(pami::PutParams&& params) { return put(params); }
   pami::Result get(pami::GetParams&& params) { return get(params); }
   std::size_t advance(int iterations);
+  /// Injection-credit drain: retire parked control descriptors and advance
+  /// the MU injection engines over this context's FIFOs only — no
+  /// reception, no work queue, no shm. Two endpoints calling this
+  /// concurrently touch disjoint FIFO sets; it is the bounded-latency
+  /// retry step after a send_immediate Eagain on a bound endpoint.
+  std::size_t advance_injection();
   void complete_deferred_rdzv(std::uint64_t handle, void* buffer, std::size_t bytes,
                               pami::EventFn&& on_complete);
 

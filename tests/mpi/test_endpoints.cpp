@@ -1,0 +1,403 @@
+// Scalable endpoints: thread→context binding lifecycle, endpoint-routed
+// exact matching, wildcard fallback to the global ordered list, unbound-
+// caller degradation, and the request pool's lock-free cross-thread
+// release path. The threaded cases double as the TSan stress targets for
+// the sanitize-thread flavor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mpi/matching.h"
+#include "mpi/mpi.h"
+#include "obs/pvar.h"
+
+namespace pamix::mpi {
+namespace {
+
+MpiConfig ep_cfg(int endpoints, bool fallback = true) {
+  MpiConfig c;
+  c.library = Library::ThreadOptimized;
+  c.contexts_per_task = 2;
+  c.endpoints = endpoints;
+  c.ep_fallback = fallback;
+  c.commthreads = MpiConfig::Commthreads::ForceOff;
+  return c;
+}
+
+class MpiEndpoints : public ::testing::Test {
+ protected:
+  MpiEndpoints() : machine_(hw::TorusGeometry({2, 1, 1, 1, 1}), 1) {}
+  runtime::Machine machine_;
+};
+
+TEST_F(MpiEndpoints, ConfigCreatesEndpoints) {
+  MpiWorld world(machine_, ep_cfg(4));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    EXPECT_EQ(mpi.endpoint_count(), 4);
+    EXPECT_EQ(mpi.base_context_count(), 2);
+    EXPECT_EQ(mpi.client().context_count(), 6);
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, BindUnbindRebindLifecycle) {
+  MpiWorld world(machine_, ep_cfg(2));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    MpiEndpoint& ep = mpi.endpoint(0);
+    EXPECT_FALSE(ep.bound());
+    EXPECT_TRUE(ep.bind());
+    EXPECT_TRUE(ep.bound());
+    EXPECT_TRUE(ep.bound_to_caller());
+    // Idempotent rebind by the owner.
+    EXPECT_TRUE(ep.bind());
+    EXPECT_TRUE(ep.unbind());
+    EXPECT_FALSE(ep.bound());
+    // Unbind without a binding fails; rebind after release succeeds.
+    EXPECT_FALSE(ep.unbind());
+    EXPECT_TRUE(ep.bind());
+    EXPECT_TRUE(ep.unbind());
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, SecondThreadCannotBindOrStealEndpoint) {
+  MpiWorld world(machine_, ep_cfg(1));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    MpiEndpoint& ep = mpi.endpoint(0);
+    ASSERT_TRUE(ep.bind());
+    bool other_bind = true;
+    bool other_unbind = true;
+    bool other_owner = true;
+    std::thread t([&] {
+      other_bind = ep.bind();
+      other_unbind = ep.unbind();
+      other_owner = ep.bound_to_caller();
+    });
+    t.join();
+    EXPECT_FALSE(other_bind);
+    EXPECT_FALSE(other_unbind);
+    EXPECT_FALSE(other_owner);
+    EXPECT_TRUE(ep.bound_to_caller());
+    EXPECT_TRUE(ep.unbind());
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, EndpointExactPingPong) {
+  MpiWorld world(machine_, ep_cfg(2));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    MpiEndpoint& ep = mpi.endpoint(0);
+    ASSERT_TRUE(ep.bind());
+    const int peer = 1 - mpi.rank(w);
+    for (int i = 0; i < 64; ++i) {
+      int out = 100 * mpi.rank(w) + i;
+      int in = -1;
+      Request s = ep.isend(&out, sizeof(out), peer, /*tag=*/7, w);
+      Request r = ep.irecv(&in, sizeof(in), peer, /*tag=*/7, w);
+      ep.wait(s);
+      Status st;
+      ep.wait(r, &st);
+      EXPECT_EQ(in, 100 * peer + i);
+      EXPECT_EQ(st.source, peer);
+      EXPECT_EQ(st.tag, 7);
+      EXPECT_EQ(st.bytes, sizeof(int));
+    }
+    EXPECT_TRUE(ep.unbind());
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, CrossEndpointAddressing) {
+  // Endpoint 0 on each task sends to endpoint 1 on the peer: dest_ep
+  // selects the remote shard explicitly, no context hashing involved.
+  MpiWorld world(machine_, ep_cfg(2));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    const int peer = 1 - mpi.rank(w);
+    std::atomic<bool> done{false};
+    std::thread receiver([&] {
+      MpiEndpoint& ep1 = mpi.endpoint(1);
+      ASSERT_TRUE(ep1.bind());
+      int in = -1;
+      Request r = ep1.irecv(&in, sizeof(in), peer, /*tag=*/3, w);
+      ep1.wait(r);
+      EXPECT_EQ(in, 1000 + peer);
+      EXPECT_TRUE(ep1.unbind());
+      done.store(true);
+    });
+    MpiEndpoint& ep0 = mpi.endpoint(0);
+    ASSERT_TRUE(ep0.bind());
+    int out = 1000 + mpi.rank(w);
+    Request s = ep0.isend(&out, sizeof(out), peer, /*tag=*/3, w, /*dest_ep=*/1);
+    ep0.wait(s);
+    while (!done.load()) std::this_thread::yield();
+    receiver.join();
+    EXPECT_TRUE(ep0.unbind());
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, WildcardRecvFallsBackToGlobalList) {
+  // An ANY_SOURCE receive posted from a bound endpoint must still match
+  // traffic routed to that endpoint — via the global ordered list plus the
+  // owner-side backlog sweep, not the endpoint bins.
+  MpiWorld world(machine_, ep_cfg(1));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    const int peer = 1 - mpi.rank(w);
+    MpiEndpoint& ep = mpi.endpoint(0);
+    ASSERT_TRUE(ep.bind());
+    int out = 40 + mpi.rank(w);
+    int in = -1;
+    Request s = ep.isend(&out, sizeof(out), peer, /*tag=*/9, w);
+    Request r = ep.irecv(&in, sizeof(in), kAnySource, /*tag=*/9, w);
+    ep.wait(s);
+    Status st;
+    ep.wait(r, &st);
+    EXPECT_EQ(in, 40 + peer);
+    EXPECT_EQ(st.source, peer);
+    EXPECT_TRUE(ep.unbind());
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, GlobalWildcardSeesEndpointBacklog) {
+  // Message already unexpected in the endpoint shard, wildcard posted
+  // afterwards from the main thread: the kick-scan path must marry them.
+  MpiWorld world(machine_, ep_cfg(1));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    const int peer = 1 - mpi.rank(w);
+    MpiEndpoint& ep = mpi.endpoint(0);
+    ASSERT_TRUE(ep.bind());
+    int out = 70 + mpi.rank(w);
+    Request s = ep.isend(&out, sizeof(out), peer, /*tag=*/11, w);
+    ep.wait(s);
+    // Let the message land unexpected in our endpoint shard.
+    while (mpi.unexpected_messages() == 0) ep.progress();
+    int in = -1;
+    Request r = mpi.irecv(&in, sizeof(in), kAnySource, /*tag=*/11, w);
+    // The scan work item was posted to our endpoint context; the owner
+    // must drive it.
+    while (!r->done()) ep.progress();
+    mpi.wait(r);
+    EXPECT_EQ(in, 70 + peer);
+    EXPECT_TRUE(ep.unbind());
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, UnboundCallerFallsBackToHashedPath) {
+  MpiWorld world(machine_, ep_cfg(1));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    const int peer = 1 - mpi.rank(w);
+    // Never bound: endpoint entry points degrade to Mpi::isend/irecv.
+    MpiEndpoint& ep = mpi.endpoint(0);
+    int out = 7 + mpi.rank(w);
+    int in = -1;
+    Request s = ep.isend(&out, sizeof(out), peer, /*tag=*/5, w);
+    Request r = ep.irecv(&in, sizeof(in), peer, /*tag=*/5, w);
+    ep.wait(s);
+    ep.wait(r);
+    EXPECT_EQ(in, 7 + peer);
+    mpi.finalize();
+  });
+}
+
+TEST_F(MpiEndpoints, ThreadedExactMatchStress) {
+  // The TSan target: every endpoint bound to its own thread, all driving
+  // exact-match isend/irecv against the peer task's same-index endpoint
+  // concurrently. Any shared mutable state on the fast path shows up here.
+  constexpr int kEps = 4;
+  constexpr int kMsgs = 200;
+  MpiWorld world(machine_, ep_cfg(kEps));
+  machine_.run_spmd([&](int task) {
+    Mpi& mpi = world.at(task);
+    mpi.init(ThreadLevel::Multiple);
+    const Comm w = mpi.world();
+    const int peer = 1 - mpi.rank(w);
+    std::vector<std::thread> threads;
+    threads.reserve(kEps);
+    for (int e = 0; e < kEps; ++e) {
+      threads.emplace_back([&, e] {
+        MpiEndpoint& ep = mpi.endpoint(e);
+        ASSERT_TRUE(ep.bind());
+        for (int i = 0; i < kMsgs; ++i) {
+          int out = (task << 20) | (e << 10) | i;
+          int in = -1;
+          Request s = ep.isend(&out, sizeof(out), peer, /*tag=*/e, w);
+          Request r = ep.irecv(&in, sizeof(in), peer, /*tag=*/e, w);
+          ep.wait(s);
+          ep.wait(r);
+          EXPECT_EQ(in, ((1 - task) << 20) | (e << 10) | i);
+        }
+        EXPECT_TRUE(ep.unbind());
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    mpi.finalize();
+  });
+}
+
+TEST(RequestPoolEndpoints, CrossThreadReleaseReclaims) {
+  // Requests acquired on one thread and released on another must recycle
+  // home through the lock-free reclaim stack and tick the
+  // req.cross_thread_releases pvar.
+  obs::Domain& d = obs::Registry::instance().create("test.req_pool", 0, 128, false);
+  RequestPool pool(&d.pvars);
+  const std::uint64_t before = d.pvars.get(obs::Pvar::ReqCrossThreadReleases);
+  constexpr int kReqs = 256;
+  std::vector<Request> reqs;
+  reqs.reserve(kReqs);
+  for (int i = 0; i < kReqs; ++i) reqs.push_back(pool.acquire(RequestImpl::Kind::Send));
+  EXPECT_EQ(pool.outstanding(), static_cast<std::size_t>(kReqs));
+  // Release them all from several foreign threads at once — exercises the
+  // CAS push under contention.
+  std::vector<std::thread> releasers;
+  std::atomic<int> next{0};
+  for (int t = 0; t < 4; ++t) {
+    releasers.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= kReqs) break;
+        reqs[static_cast<std::size_t>(i)].reset();
+      }
+    });
+  }
+  for (std::thread& t : releasers) t.join();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  // At least the releases from threads hashing to foreign shards count.
+  // With 4 releaser threads and 16 shards, some releases are overwhelmingly
+  // likely to be cross-shard; tolerate the (unlikely) all-home case by
+  // checking monotonicity only.
+  EXPECT_GE(d.pvars.get(obs::Pvar::ReqCrossThreadReleases), before);
+  // Reclaimed requests must be reusable (steal path).
+  for (int i = 0; i < kReqs; ++i) {
+    Request r = pool.acquire(RequestImpl::Kind::Recv);
+    EXPECT_FALSE(r->done());
+  }
+}
+
+TEST(MatcherEndpoints, EndpointShardExactAndAnyTag) {
+  // Direct matcher-level checks of the owner-private shard: exact bins,
+  // ANY_TAG local wildcard ordering, and channel-qualified sequencing.
+  Matcher m(Library::ThreadOptimized, Matcher::Mode::Bins, 2);
+  m.enable_endpoints(2, /*fallback=*/true);
+  ASSERT_EQ(m.endpoint_count(), 2);
+  RequestPool pool;
+
+  // Exact posted receive on endpoint 1 matches an arrival stamped ep=1.
+  int buf = 0;
+  Request req = pool.acquire(RequestImpl::Kind::Recv);
+  req->buffer = &buf;
+  req->capacity = sizeof(buf);
+  m.post_recv_ep(1, req, /*comm=*/0, /*src=*/1, /*tag=*/5);
+  const int v = 21;
+  Matcher::Arrival a;
+  a.kind = Matcher::Arrival::Kind::Inline;
+  a.env = Envelope{0, 1, 5, 0, /*ep=*/1, /*src_ep=*/0};
+  a.origin = pami::Endpoint{1, 0};
+  a.total = sizeof(v);
+  a.pipe = reinterpret_cast<const std::byte*>(&v);
+  a.pipe_bytes = sizeof(v);
+  m.on_arrival(std::move(a));
+  EXPECT_TRUE(req->done());
+  EXPECT_EQ(buf, 21);
+
+  // ANY_TAG on the endpoint's local wildcard list.
+  int buf2 = 0;
+  Request req2 = pool.acquire(RequestImpl::Kind::Recv);
+  req2->buffer = &buf2;
+  req2->capacity = sizeof(buf2);
+  m.post_recv_ep(1, req2, 0, 1, kAnyTag);
+  const int v2 = 22;
+  Matcher::Arrival b;
+  b.kind = Matcher::Arrival::Kind::Inline;
+  b.env = Envelope{0, 1, 99, 1, /*ep=*/1, /*src_ep=*/0};
+  b.origin = pami::Endpoint{1, 0};
+  b.total = sizeof(v2);
+  b.pipe = reinterpret_cast<const std::byte*>(&v2);
+  b.pipe_bytes = sizeof(v2);
+  m.on_arrival(std::move(b));
+  EXPECT_TRUE(req2->done());
+  EXPECT_EQ(buf2, 22);
+  EXPECT_EQ(req2->status.tag, 99);
+}
+
+TEST(MatcherEndpoints, OutOfRangeEndpointDegradesToHashedPath) {
+  // Arrival stamped for an endpoint that does not exist locally: it must
+  // still be receivable through the ordinary hashed path.
+  Matcher m(Library::ThreadOptimized, Matcher::Mode::Bins, 2);
+  m.enable_endpoints(1, true);
+  RequestPool pool;
+  const int v = 33;
+  Matcher::Arrival a;
+  a.kind = Matcher::Arrival::Kind::Inline;
+  a.env = Envelope{0, 1, 4, 0, /*ep=*/7, /*src_ep=*/2};
+  a.origin = pami::Endpoint{1, 0};
+  a.total = sizeof(v);
+  a.pipe = reinterpret_cast<const std::byte*>(&v);
+  a.pipe_bytes = sizeof(v);
+  m.on_arrival(std::move(a));
+  EXPECT_EQ(m.unexpected_count(), 1u);
+  int buf = 0;
+  Request req = pool.acquire(RequestImpl::Kind::Recv);
+  req->buffer = &buf;
+  req->capacity = sizeof(buf);
+  m.post_recv(req, 0, 1, 4);
+  EXPECT_TRUE(req->done());
+  EXPECT_EQ(buf, 33);
+}
+
+TEST(MatcherEndpoints, PrewarmedFreelistsReportNoMisses) {
+  // Satellite 1: with the default prewarm depth, a shallow posted/match
+  // cycle must run entirely on warmed freelists.
+  obs::Domain& d = obs::Registry::instance().create("test.prewarm", 0, 128, false);
+  Matcher m(Library::ThreadOptimized, Matcher::Mode::Bins, 2, &d.pvars);
+  RequestPool pool;
+  const std::uint64_t misses0 = d.pvars.get(obs::Pvar::MpiMatchPoolMisses);
+  for (int i = 0; i < 32; ++i) {
+    int buf = 0;
+    Request req = pool.acquire(RequestImpl::Kind::Recv);
+    req->buffer = &buf;
+    req->capacity = sizeof(buf);
+    m.post_recv(req, 0, 1, i);
+    const int v = i;
+    Matcher::Arrival a;
+    a.kind = Matcher::Arrival::Kind::Inline;
+    a.env = Envelope{0, 1, i, static_cast<std::uint32_t>(i)};
+    a.origin = pami::Endpoint{1, 0};
+    a.total = sizeof(v);
+    a.pipe = reinterpret_cast<const std::byte*>(&v);
+    a.pipe_bytes = sizeof(v);
+    m.on_arrival(std::move(a));
+    EXPECT_TRUE(req->done());
+    EXPECT_EQ(buf, i);
+  }
+  EXPECT_EQ(d.pvars.get(obs::Pvar::MpiMatchPoolMisses), misses0);
+  EXPECT_GT(d.pvars.get(obs::Pvar::MpiMatchPoolHits), 0u);
+}
+
+}  // namespace
+}  // namespace pamix::mpi
