@@ -54,13 +54,21 @@ double run_waitall_us(bool two_phase, int msgs, int iters) {
 int main() {
   using namespace pamix;
   bench::header("ABLATION — two-phase waitall vs naive (functional machine, host clock)");
+  const int kIters = bench::env_iters("PAMIX_ABLWAITALL_ITERS", 30);
   std::printf("%-12s %16s %16s %10s\n", "requests", "two-phase (us)", "naive (us)", "ratio");
   std::printf("----------------------------------------------------------\n");
+  bench::JsonResult json;
   for (int msgs : {8, 32, 128, 512}) {
-    const double tp = run_waitall_us(true, msgs, 30);
-    const double nv = run_waitall_us(false, msgs, 30);
+    const double tp = run_waitall_us(true, msgs, kIters);
+    const double nv = run_waitall_us(false, msgs, kIters);
     std::printf("%-12d %16.1f %16.1f %9.2fx\n", 2 * msgs, tp, nv, nv / tp);
+    char key[48];
+    std::snprintf(key, sizeof(key), "two_phase_%d_us", 2 * msgs);
+    json.add(key, tp);
+    std::snprintf(key, sizeof(key), "naive_%d_us", 2 * msgs);
+    json.add(key, nv);
   }
+  json.write("BENCH_waitall.json");
   std::printf("\n(The paper's two-phase gain on BG/Q comes from overlapping request-id\n"
               " hashing with completion-counter cache misses; on the host the benefit\n"
               " shows as fewer full progress sweeps for already-complete requests.)\n");

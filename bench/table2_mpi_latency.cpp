@@ -13,6 +13,7 @@
 // orderings the paper explains (classic fastest single-threaded; the
 // thread-optimized build pays its fences; commthreads hurt classic most).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "mpi/mpi.h"
@@ -111,6 +112,14 @@ int main() {
   const double t_comm =
       host_mpi_pingpong_us(mpi::Library::ThreadOptimized, mpi::ThreadLevel::Multiple, true,
                            kIters);
+  // A/B before-arm: PAMIX_COMM_SPIN_US=0 selects the legacy fixed
+  // sweep/sleep commthread loop (no adaptive controller, no steal-window
+  // muting on the contexts, no doorbell). Same workload, same build.
+  ::setenv("PAMIX_COMM_SPIN_US", "0", 1);
+  const double t_comm_legacy =
+      host_mpi_pingpong_us(mpi::Library::ThreadOptimized, mpi::ThreadLevel::Multiple, true,
+                           kIters);
+  ::unsetenv("PAMIX_COMM_SPIN_US");
   bench::columns("library / thread mode", "host (us)", "");
   std::printf("%-28s %14.3f\n", "Classic / SINGLE", c_single);
   std::printf("%-28s %14.3f\n", "Classic / MULTIPLE", c_multi);
@@ -118,9 +127,15 @@ int main() {
   std::printf("%-28s %14.3f\n", "ThreadOpt / SINGLE", t_single);
   std::printf("%-28s %14.3f\n", "ThreadOpt / MULTIPLE", t_multi);
   std::printf("%-28s %14.3f\n", "ThreadOpt / MULTIPLE +comm", t_comm);
+  std::printf("%-28s %14.3f  (PAMIX_COMM_SPIN_US=0 before-arm)\n",
+              "ThreadOpt / +comm legacy", t_comm_legacy);
   std::printf("\nShape checks: classic SINGLE fastest: %s; MULTIPLE adds lock cost: %s\n",
               (c_single <= t_single * 1.25) ? "OK" : "differs on host",
               (c_multi >= c_single * 0.9) ? "OK" : "differs on host");
+  std::printf("Progress engine A/B: adaptive %.3f us vs legacy %.3f us (%.2fx); "
+              "adaptive <= classic single: %s\n",
+              t_comm, t_comm_legacy, t_comm_legacy / t_comm,
+              (t_comm <= c_single) ? "OK" : "MISS");
 
   // Machine-readable results: host latencies plus what the matching engine
   // did across all six ping-pong phases (every recv here is an exact match,
@@ -133,7 +148,18 @@ int main() {
   json.add("threadopt_single_us", t_single);
   json.add("threadopt_multiple_us", t_multi);
   json.add("threadopt_commthread_us", t_comm);
+  json.add("threadopt_commthread_legacy_us", t_comm_legacy);
   json.add("iters", static_cast<std::uint64_t>(kIters));
+  // Progress-engine telemetry across all seven phases: blocking callers
+  // should steal their own progress (comm.steals high, comm.sleep_timeouts
+  // ~0) and latency-shaped sends should stay inline (comm.inline_sends).
+  json.add("comm.wakeups", delta[obs::Pvar::CommWakeups]);
+  json.add("comm.sleeps", delta[obs::Pvar::CommSleeps]);
+  json.add("comm.spin_iters", delta[obs::Pvar::CommSpinIters]);
+  json.add("comm.fast_wakes", delta[obs::Pvar::CommFastWakes]);
+  json.add("comm.steals", delta[obs::Pvar::CommSteals]);
+  json.add("comm.inline_sends", delta[obs::Pvar::CommInlineSends]);
+  json.add("comm.sleep_timeouts", delta[obs::Pvar::CommSleepTimeouts]);
   json.add("mpi.match.bin_hits", delta[obs::Pvar::MpiMatchBinHits]);
   json.add("mpi.match.list_scans", delta[obs::Pvar::MpiMatchListScans]);
   json.add("mpi.match.wildcard_fallbacks", delta[obs::Pvar::MpiMatchWildcardFallbacks]);

@@ -23,6 +23,14 @@
 #              at reduced scale under PAMIX_BENCH_STRICT_ALLOC: any pool
 #              miss on the matching engine's steady-state path fails the
 #              run, and both must emit their BENCH_*.json results
+#   commthread-smoke — run the commthread progress-engine leg: the
+#              table2 latency harness (adaptive vs legacy A/B arm) and the
+#              ablate_commthread spin sweep at reduced iteration counts.
+#              ablate_commthread self-gates: adaptive ping-pong must not
+#              lose to classic/SINGLE by more than its noise margin and
+#              comm.sleep_timeouts must be exactly 0 (a nonzero count
+#              means a wakeup was lost and the 50ms bounded sleep rescued
+#              progress)
 #   sim-smoke — run the DES transport backend leg: the backend/scenario
 #              unit tests plus scale_scenarios at the 32/64-node calibration
 #              geometries (PAMIX_SCALE_SMOKE=1). Virtual time is exact, so
@@ -36,7 +44,7 @@
 #              scripts/bench.sh --check (10% default) on a quiet host for
 #              the tight contract. Strict-alloc misses fail at any tolerance.
 #
-# Usage: scripts/check.sh [flavor...]          (default: all nine)
+# Usage: scripts/check.sh [flavor...]          (default: all ten)
 #        PREFIX=dir scripts/check.sh           (build-dir prefix, default: build)
 set -euo pipefail
 
@@ -46,7 +54,7 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 flavors=("$@")
 if [ ${#flavors[@]} -eq 0 ]; then
-  flavors=(obs-on obs-off sanitize sanitize-thread bench-smoke coll-smoke mpi-rate-smoke sim-smoke perf-regress)
+  flavors=(obs-on obs-off sanitize sanitize-thread bench-smoke coll-smoke mpi-rate-smoke commthread-smoke sim-smoke perf-regress)
 fi
 
 run_flavor() {
@@ -103,6 +111,16 @@ for flavor in "${flavors[@]}"; do
       ( cd "${prefix}" &&
         PAMIX_TABLE3_KB=64 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/table3_neighbor_throughput )
       test -s "${prefix}/BENCH_table3.json" ;;
+    commthread-smoke)
+      echo "==> [commthread-smoke] adaptive progress engine: table2 A/B + spin sweep"
+      cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
+      cmake --build "${prefix}" -j "${jobs}" --target table2_mpi_latency ablate_commthread
+      ( cd "${prefix}" &&
+        PAMIX_TABLE2_ITERS=300 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/table2_mpi_latency )
+      test -s "${prefix}/BENCH_table2.json"
+      ( cd "${prefix}" &&
+        PAMIX_ABLCOMM_ITERS=300 PAMIX_ABLCOMM_MSGS=2000 ./bench/ablate_commthread )
+      test -s "${prefix}/BENCH_commthread.json" ;;
     sim-smoke)
       echo "==> [sim-smoke] DES transport backend: unit tests + scale calibration run"
       cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
@@ -117,7 +135,7 @@ for flavor in "${flavors[@]}"; do
       PREFIX="${prefix}" scripts/bench.sh --smoke --check --tolerance 0.5
       test -s "${prefix}/BENCH_report.json" ;;
     *)
-      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, sanitize-thread, bench-smoke, coll-smoke, mpi-rate-smoke, sim-smoke, perf-regress)" >&2
+      echo "unknown flavor: ${flavor} (expected obs-on, obs-off, sanitize, sanitize-thread, bench-smoke, coll-smoke, mpi-rate-smoke, commthread-smoke, sim-smoke, perf-regress)" >&2
       exit 2 ;;
   esac
 done

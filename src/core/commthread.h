@@ -8,12 +8,24 @@
 // a PAMI_Context_post into asynchronous progress and gives MPI its message
 // -rate boost.
 //
-// When a commthread finds nothing to do it programs the wakeup unit over
-// its contexts' work-queue / reception-FIFO / shm-queue addresses and
-// executes the PPC `wait` — consuming no core resources until a store
-// lands in a watched region.  This pool reproduces that loop: idle
-// commthreads block on the WakeupUnit model and are woken by the same
-// stores (posts, packet deliveries, shm pushes).
+// The progress loop is an adaptive spin-then-sleep controller
+// (see DESIGN.md §13 for the state machine):
+//
+//   HOT:   sweep non-idle contexts under their locks, CommHighest only
+//          across each single advance. Any event re-arms the spin window.
+//   SPIN:  after a zero-event sweep, keep polling the cheap idle
+//          predicates for PAMIX_COMM_SPIN_US microseconds — a message
+//          arriving inside the window is picked up without a wakeup-unit
+//          round trip.
+//   SLEEP: arm one watch per owned context (plus the handoff doorbell) on
+//          a shared WaitSlot, re-check the predicates, and park.  A wake
+//          identifies *which* watch fired; only those contexts advance.
+//
+// A context whose trylock fails is left to the lock holder: Context::unlock
+// re-rings the per-context watch if pollable work remains (the doorbell
+// protocol), so sleeping on a contended context cannot strand work.
+// PAMIX_COMM_SPIN_US=0 selects the legacy controller (aggregate watch,
+// sweep-everything, yield-while-any-work) as the before-arm for A/B runs.
 #pragma once
 
 #include <atomic>
@@ -44,33 +56,79 @@ class CommThreadPool {
 
   int thread_count() const { return static_cast<int>(threads_.size()); }
 
-  /// Total advance events processed by all commthreads.
-  std::uint64_t events_processed() const {
-    return events_.load(std::memory_order_relaxed);
-  }
-  /// Number of wakeup-unit sleeps taken (idle transitions).
-  std::uint64_t sleeps() const { return sleeps_.load(std::memory_order_relaxed); }
+  /// Latency-sensitive fast wake (paper §III-C): store to the watched
+  /// doorbell word of the worker covering `ctx`, so a sleeping commthread
+  /// wakes for the handoff immediately instead of on the next queue-tail
+  /// snoop. No-op in legacy mode (no doorbell watch is programmed).
+  void ring_doorbell(const Context* ctx);
+
+  /// Effective spin window (µs); 0 means the legacy controller is active.
+  int spin_us() const { return spin_us_; }
+
+  // Pool-wide telemetry, aggregated from the per-worker cache-line-aligned
+  // counters on every read (workers never write shared cache lines).
+  std::uint64_t events_processed() const;  ///< advance events across workers
+  std::uint64_t sleeps() const;            ///< wakeup-unit sleeps taken
+  std::uint64_t sleep_timeouts() const;    ///< bounded sleeps that expired un-notified
+  std::uint64_t fast_wakes() const;        ///< sleeps ended by the doorbell watch
+  std::uint64_t spin_iters() const;        ///< zero-event polls inside the spin window
 
   void stop();
 
  private:
+  /// One worker's hot counters, alone on their cache lines: every sweep
+  /// bumps events, so sharing a line between workers (or with pool state)
+  /// ping-pongs it across cores.
+  struct alignas(64) Counters {
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::uint64_t> sleeps{0};
+    std::atomic<std::uint64_t> timeouts{0};
+    std::atomic<std::uint64_t> fast_wakes{0};
+    std::atomic<std::uint64_t> spin_iters{0};
+  };
+
   struct Worker {
     std::thread thread;
     int hw_thread = -1;
     std::vector<Context*> contexts;
+    // Per-context watches (adaptive mode): ctx_watches[i] covers
+    // contexts[i]'s producer-visible addresses, so a wake names the
+    // context that fired. All share `slot` — one sleep covers them all.
+    std::vector<hw::WakeupUnit::WatchHandle> ctx_watches;
+    hw::WakeupUnit::WatchHandle doorbell_watch = 0;
+    hw::WakeupUnit::WaitSlot* slot = nullptr;
+    // Legacy mode: one aggregate watch over every owned address.
     hw::WakeupUnit::WatchHandle watch = 0;
+    // The word ring_doorbell stores to; watched by doorbell_watch. Own
+    // cache line: app threads store here while the worker reads.
+    alignas(64) std::atomic<std::uint64_t> doorbell{0};
+    // True between arming for sleep and waking. ring_doorbell only pays
+    // the store+notify when this is set: an awake worker's next sweep
+    // already sees the posted work, and a worker arming concurrently
+    // re-checks after setting this flag, so a skipped ring is never lost.
+    std::atomic<bool> asleep{false};
+    Counters counters;
     // Telemetry domain (sleep/wake pvars + trace ring). The worker thread
     // is the ring's single writer.
     obs::Domain* obs = nullptr;
   };
 
   void run(Worker& w);
+  void run_legacy(Worker& w);
+  /// One pass over the worker's contexts: skip idle ones (no lock, no
+  /// priority traffic), trylock the rest, advance under a per-context
+  /// CommHighest ceiling. Returns events processed.
+  std::size_t sweep(Worker& w);
+  std::size_t advance_one(Worker& w, Context& ctx);
+  /// A bounded sleep expired un-notified: count it only if work was
+  /// pending (the lost-wakeup signature); an idle expiry is a benign
+  /// re-arm tick.
+  void record_timeout_if_lost(Worker& w);
 
   Client& client_;
+  int spin_us_ = 0;
   std::atomic<bool> stopping_{false};
   std::vector<std::unique_ptr<Worker>> threads_;
-  std::atomic<std::uint64_t> events_{0};
-  std::atomic<std::uint64_t> sleeps_{0};
 };
 
 }  // namespace pamix::pami

@@ -20,10 +20,13 @@
 #include <memory>
 #include <vector>
 
+#include <atomic>
+
 #include "core/client.h"
 #include "core/types.h"
 #include "core/work_queue.h"
 #include "hw/l2_atomics.h"
+#include "hw/wakeup_unit.h"
 #include "obs/pvar.h"
 #include "proto/progress_engine.h"
 
@@ -103,12 +106,70 @@ class Context {
   // --- Context lock (PAMI_Context_lock) --------------------------------------
   void lock() { mutex_.lock(); }
   bool trylock() { return mutex_.try_lock(); }
-  void unlock() { mutex_.unlock(); }
+  /// Release the lock; when a commthread watches this context and pollable
+  /// work remains, re-ring its watch. This is the unlock half of the
+  /// doorbell protocol: a commthread that loses the trylock goes to sleep
+  /// (the holder is advancing), and this ring is what guarantees work the
+  /// holder left behind — a partial drain, a lock taken for a raw send —
+  /// still wakes it without waiting out the bounded-sleep deadline.
+  void unlock() {
+    const bool watched = comm_watched_.load(std::memory_order_acquire);
+    mutex_.unlock();
+    // Inside a steal window the ring would be muted anyway and end_steal
+    // re-checks on exit, so skip the pollable-work walk — it would run on
+    // every pass of the stealer's progress loop.
+    if (watched && !comm_wakeup_->muted(comm_watch_) && engine_->has_pollable_work()) {
+      comm_wakeup_->notify_watch(comm_watch_);
+    }
+  }
 
   // --- Wakeup integration (used by commthreads) ------------------------------
   /// Addresses written when work arrives for this context: the work-queue
   /// tail, the reception FIFO's delivery counter, the shm queue tail.
   std::vector<const void*> wakeup_addresses() const { return engine_->wakeup_addresses(); }
+  /// The same as (base, length) ranges — this context's WAC register image.
+  std::vector<std::pair<const void*, std::size_t>> wakeup_ranges() const {
+    return engine_->wakeup_ranges();
+  }
+
+  /// Register the watching commthread's per-context watch for the unlock
+  /// doorbell above. The watch (and the unit) outlive any watcher, so a
+  /// ring racing clear_comm_watch() at pool shutdown lands on a valid but
+  /// unattended watch.
+  void set_comm_watch(hw::WakeupUnit* unit, hw::WakeupUnit::WatchHandle h) {
+    comm_wakeup_ = unit;
+    comm_watch_ = h;
+    comm_watched_.store(true, std::memory_order_release);
+  }
+  void clear_comm_watch() { comm_watched_.store(false, std::memory_order_release); }
+
+  /// Bracket a blocking caller's progress-steal window (paper §V): while
+  /// an app thread is driving this context's progress itself, mute the
+  /// commthread watch so every store it is about to consume anyway does
+  /// not also pay a futex wake into a guaranteed trylock loss. end_steal
+  /// re-rings the watch if the stealer left pollable work behind, so the
+  /// mute window cannot strand anything. Nestable across threads (the
+  /// mute is counted in the wakeup unit); each window keeps its own epoch
+  /// snapshot, returned by begin and passed back to end.
+  ///
+  /// Ordering: the snapshot is taken BEFORE muting, so a store racing the
+  /// mute either notifies normally (pre-mute) or lands after the snapshot
+  /// and is visible as an epoch change at end_steal — never both missed.
+  std::uint64_t begin_steal() {
+    if (!comm_watched_.load(std::memory_order_acquire)) return 0;
+    const std::uint64_t epoch = comm_wakeup_->arm(comm_watch_);
+    comm_wakeup_->mute(comm_watch_);
+    return epoch;
+  }
+  void end_steal(std::uint64_t begin_epoch) {
+    if (!comm_watched_.load(std::memory_order_acquire)) return;
+    comm_wakeup_->unmute(comm_watch_);
+    // Nothing fired while muted → nothing a sleeping commthread missed;
+    // skip the engine walk (it would run once per blocking call per
+    // context). Otherwise re-ring only if work actually remains.
+    if (comm_wakeup_->arm(comm_watch_) == begin_epoch) return;
+    if (engine_->has_pollable_work()) comm_wakeup_->notify_watch(comm_watch_);
+  }
 
   WorkQueue& work_queue() { return work_queue_; }
 
@@ -149,6 +210,11 @@ class Context {
   hw::L2AtomicMutex mutex_;
   std::vector<DispatchFn> dispatch_;
   obs::Domain& obs_;  // registry-owned; outlives the context
+
+  // Unlock-doorbell registration (set by the commthread pool).
+  std::atomic<bool> comm_watched_{false};
+  hw::WakeupUnit* comm_wakeup_ = nullptr;
+  hw::WakeupUnit::WatchHandle comm_watch_ = 0;
 
   // Engine last: it snapshots references to the members above.
   std::unique_ptr<proto::ProgressEngine> engine_;

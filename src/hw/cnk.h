@@ -27,6 +27,7 @@
 //     guarantee).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -126,7 +127,7 @@ class GlobalVaTable {
 /// runtime's policy; this class only enforces exclusivity).
 class HwThreadMap {
  public:
-  HwThreadMap() { slots_.resize(kHwThreadsPerNode); }
+  HwThreadMap() = default;
 
   /// Claim a hardware thread for an application thread of `process`.
   std::optional<int> claim_app_thread(int process) {
@@ -140,17 +141,23 @@ class HwThreadMap {
 
   void release(int hw_thread) {
     std::lock_guard<std::mutex> g(mu_);
-    slots_[static_cast<std::size_t>(hw_thread)] = Slot{};
+    Slot& s = slots_[static_cast<std::size_t>(hw_thread)];
+    s.used = false;
+    s.comm = false;
+    s.process = -1;
+    s.priority.store(ThreadPriority::Application, std::memory_order_relaxed);
   }
 
+  /// Lock-free: a commthread raises to CommHighest around every single
+  /// context advance and lowers right after (the honest priority ceiling),
+  /// so this sits on the progress hot path — a global mutex here convoys
+  /// every worker on the node through one lock word per advance.
   void set_priority(int hw_thread, ThreadPriority p) {
-    std::lock_guard<std::mutex> g(mu_);
-    slots_[static_cast<std::size_t>(hw_thread)].priority = p;
+    slots_[static_cast<std::size_t>(hw_thread)].priority.store(p, std::memory_order_release);
   }
 
   ThreadPriority priority(int hw_thread) const {
-    std::lock_guard<std::mutex> g(mu_);
-    return slots_[static_cast<std::size_t>(hw_thread)].priority;
+    return slots_[static_cast<std::size_t>(hw_thread)].priority.load(std::memory_order_acquire);
   }
 
   int free_threads() const {
@@ -172,15 +179,21 @@ class HwThreadMap {
     bool used = false;
     bool comm = false;
     int process = -1;
-    ThreadPriority priority = ThreadPriority::Application;
+    // Atomic so priority raise/lower never takes the map mutex; each slot
+    // has a single writer (its owning thread) once claimed.
+    std::atomic<ThreadPriority> priority{ThreadPriority::Application};
   };
 
   std::optional<int> claim(int process, bool comm) {
     std::lock_guard<std::mutex> g(mu_);
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (!slots_[i].used) {
-        slots_[i] = Slot{true, comm, process,
-                         comm ? ThreadPriority::CommLowest : ThreadPriority::Application};
+        Slot& s = slots_[i];
+        s.used = true;
+        s.comm = comm;
+        s.process = process;
+        s.priority.store(comm ? ThreadPriority::CommLowest : ThreadPriority::Application,
+                         std::memory_order_relaxed);
         return static_cast<int>(i);
       }
     }
@@ -188,7 +201,7 @@ class HwThreadMap {
   }
 
   mutable std::mutex mu_;
-  std::vector<Slot> slots_;
+  std::array<Slot, kHwThreadsPerNode> slots_;
 };
 
 }  // namespace pamix::hw

@@ -47,15 +47,39 @@ class WakeupUnit {
   /// 4 WAC register pairs per hardware thread × 68 threads on the node.
   static constexpr std::size_t kMaxWatches = 272;
 
+  /// A shared waiter: one sleeping thread parked over many watches, the way
+  /// a hardware thread's single `wait` covers all of its WAC registers.
+  /// Every watch registered with the slot bumps it on a hit, so the sleeper
+  /// learns *that* something fired from the slot and *what* fired by
+  /// comparing per-watch epochs against its armed snapshots.
+  ///
+  /// Slots, like watches, are owned by the unit and never destroyed until
+  /// the unit dies: a Watch holds a bare slot pointer, and producers may
+  /// notify long after the sleeping thread (e.g. a stopped commthread pool)
+  /// has gone away.
+  struct WaitSlot {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;  // guarded by mu
+  };
+
+  WaitSlot* create_wait_slot() {
+    std::lock_guard<std::mutex> g(mu_);
+    slots_.push_back(std::make_unique<WaitSlot>());
+    return slots_.back().get();
+  }
+
   /// Program a watch over [base, base+len). Returns its handle.
   /// Mirrors writing a WAC (wakeup address compare) register pair.
-  WatchHandle watch(const void* base, std::size_t len) {
-    return watch_many({{base, len}});
+  WatchHandle watch(const void* base, std::size_t len, WaitSlot* slot = nullptr) {
+    return watch_many({{base, len}}, slot);
   }
 
   /// Program one watch over several ranges (a thread owns multiple WAC
-  /// registers on the hardware; any hit wakes it).
-  WatchHandle watch_many(std::vector<std::pair<const void*, std::size_t>> ranges) {
+  /// registers on the hardware; any hit wakes it). A non-null `slot` routes
+  /// wakeups to the shared waiter instead of the watch's own cv.
+  WatchHandle watch_many(std::vector<std::pair<const void*, std::size_t>> ranges,
+                         WaitSlot* slot = nullptr) {
     std::lock_guard<std::mutex> g(mu_);
     const std::size_t h = count_.load(std::memory_order_relaxed);
     if (h >= kMaxWatches) {
@@ -64,6 +88,7 @@ class WakeupUnit {
     }
     watches_[h] = std::make_unique<Watch>();
     Watch& w = *watches_[h];
+    w.slot = slot;
     for (const auto& [base, len] : ranges) {
       w.ranges.emplace_back(reinterpret_cast<std::uintptr_t>(base), len);
     }
@@ -75,10 +100,17 @@ class WakeupUnit {
   }
 
   /// Snapshot the watch epoch. Call before checking the wake condition.
+  /// Lock-free: commthreads snapshot one epoch per owned context before
+  /// every sleep, so a mutex here would put a lock round-trip on the idle
+  /// transition of every worker.
   std::uint64_t arm(WatchHandle h) const {
-    const Watch& w = at(h);
-    std::lock_guard<std::mutex> g(w.mu);
-    return w.epoch;
+    return at(h).epoch.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot a shared waiter's epoch before checking the wake condition.
+  std::uint64_t arm_slot(const WaitSlot& s) const {
+    std::lock_guard<std::mutex> g(s.mu);
+    return s.epoch;
   }
 
   /// Suspend until a write lands in the watched range after `armed_epoch`
@@ -86,7 +118,7 @@ class WakeupUnit {
   void wait(WatchHandle h, std::uint64_t armed_epoch) {
     Watch& w = at(h);
     std::unique_lock<std::mutex> g(w.mu);
-    w.cv.wait(g, [&] { return w.epoch != armed_epoch; });
+    w.cv.wait(g, [&] { return w.epoch.load(std::memory_order_acquire) != armed_epoch; });
   }
 
   /// As `wait` but with a deadline; returns false on timeout. Used by
@@ -95,7 +127,17 @@ class WakeupUnit {
   bool wait_for(WatchHandle h, std::uint64_t armed_epoch, Duration d) {
     Watch& w = at(h);
     std::unique_lock<std::mutex> g(w.mu);
-    return w.cv.wait_for(g, d, [&] { return w.epoch != armed_epoch; });
+    return w.cv.wait_for(
+        g, d, [&] { return w.epoch.load(std::memory_order_acquire) != armed_epoch; });
+  }
+
+  /// Park on a shared waiter until any of its watches fires after
+  /// `armed_epoch` was taken; false on timeout. The slot-level sleep of the
+  /// per-context watch scheme: one wait covers every armed watch.
+  template <class Duration>
+  bool wait_slot(WaitSlot& s, std::uint64_t armed_epoch, Duration d) {
+    std::unique_lock<std::mutex> g(s.mu);
+    return s.cv.wait_for(g, d, [&] { return s.epoch != armed_epoch; });
   }
 
   /// Report a store to `addr`: wakes every thread waiting on a watch whose
@@ -110,11 +152,7 @@ class WakeupUnit {
       Watch& w = *watches_[i];
       for (const auto& [base, len] : w.ranges) {
         if (a >= base && a < base + len) {
-          {
-            std::lock_guard<std::mutex> wg(w.mu);
-            ++w.epoch;
-          }
-          w.cv.notify_all();
+          fire(w);
           break;
         }
       }
@@ -122,13 +160,19 @@ class WakeupUnit {
   }
 
   /// Wake a specific watch unconditionally (network GI signal, shutdown).
-  void notify_watch(WatchHandle h) {
-    Watch& w = at(h);
-    {
-      std::lock_guard<std::mutex> wg(w.mu);
-      ++w.epoch;
-    }
-    w.cv.notify_all();
+  void notify_watch(WatchHandle h) { fire(at(h)); }
+
+  /// Suppress waiter notification for watch `h`: stores still bump the
+  /// epoch (arm/re-check sees them) but no sleeper is woken. A blocking
+  /// caller that steals a context's progress (paper §V) mutes the watch
+  /// for the steal window — the stealer IS the consumer, so waking the
+  /// commthread per store is pure scheduler churn on its way to a trylock
+  /// loss. Nestable (counted); the un-muter must re-ring if work remains,
+  /// which is what keeps the mute window lost-wakeup-free.
+  void mute(WatchHandle h) { at(h).mute_count.fetch_add(1, std::memory_order_acq_rel); }
+  void unmute(WatchHandle h) { at(h).mute_count.fetch_sub(1, std::memory_order_acq_rel); }
+  bool muted(WatchHandle h) const {
+    return at(h).mute_count.load(std::memory_order_acquire) > 0;
   }
 
   std::size_t watch_count() const { return count_.load(std::memory_order_acquire); }
@@ -136,10 +180,34 @@ class WakeupUnit {
  private:
   struct Watch {
     std::vector<std::pair<std::uintptr_t, std::size_t>> ranges;
+    WaitSlot* slot = nullptr;  // shared waiter, or null → the own cv below
     mutable std::mutex mu;
     std::condition_variable cv;
-    std::uint64_t epoch = 0;
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<int> mute_count{0};
   };
+
+  /// Bump the watch epoch and wake its waiter. The empty critical section
+  /// before notify is the standard fence against a waiter that evaluated
+  /// its predicate but has not yet parked: acquiring the same mutex orders
+  /// the notify after the waiter is queued on the cv.
+  static void fire(Watch& w) {
+    w.epoch.fetch_add(1, std::memory_order_release);
+    // Muted: record the store in the epoch but let the sleeper sleep. A
+    // fire that races the unmute is covered by the un-muter's conditional
+    // re-ring (it checks for pending work after dropping the mute).
+    if (w.mute_count.load(std::memory_order_acquire) > 0) return;
+    if (w.slot != nullptr) {
+      {
+        std::lock_guard<std::mutex> sg(w.slot->mu);
+        ++w.slot->epoch;
+      }
+      w.slot->cv.notify_all();
+    } else {
+      { std::lock_guard<std::mutex> wg(w.mu); }
+      w.cv.notify_all();
+    }
+  }
 
   /// Resolve a handle to its Watch without the registration lock: slots
   /// never move (fixed array) and a handle only reaches a reader after the
@@ -153,6 +221,7 @@ class WakeupUnit {
   mutable std::mutex mu_;  // serializes registration only
   std::atomic<std::size_t> count_{0};
   std::array<std::unique_ptr<Watch>, kMaxWatches> watches_;
+  std::vector<std::unique_ptr<WaitSlot>> slots_;  // stable: grows under mu_ only
 };
 
 }  // namespace pamix::hw

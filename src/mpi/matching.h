@@ -67,6 +67,11 @@ struct RequestImpl {
   // Recv-side user buffer.
   void* buffer = nullptr;
   std::size_t capacity = 0;
+  // Hashed context this request's completing event lands on (-1 when the
+  // channel is unknown, e.g. ANY_SOURCE). With commthreads active, wait()
+  // steals progress on exactly this context (paper §V) and leaves the
+  // rest to the background pool.
+  int steal_ctx = -1;
   // Pool bookkeeping (owned by RequestPool, not reset between uses):
   // intrusive link for the lock-free reclaim stack and the shard the
   // request was acquired from, so a cross-thread release lands home.
@@ -78,6 +83,7 @@ struct RequestImpl {
     status = Status{};
     buffer = nullptr;
     capacity = 0;
+    steal_ctx = -1;
   }
   bool done() const { return complete.load(std::memory_order_acquire) != 0; }
   void finish() { complete.store(1, std::memory_order_release); }

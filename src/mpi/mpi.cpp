@@ -1,6 +1,7 @@
 #include "mpi/mpi.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 #include <thread>
@@ -41,6 +42,13 @@ void post_handoff_send(pami::Context& ctx, const Envelope& env, pami::Endpoint d
     }
   });
 }
+/// Streak length (isends since the last blocking call) past which the
+/// adaptive handoff policy stops injecting inline and starts posting to
+/// the commthread: a short streak is latency-shaped traffic (isend, then
+/// immediately block) where the caller wants the descriptor built NOW on
+/// its own cycles; a long streak is rate-shaped traffic (paper §IV-A)
+/// where pipelining construction to the commthread wins.
+constexpr int kInlineSendStreak = 8;
 }  // namespace
 
 struct Mpi::Impl {
@@ -60,6 +68,35 @@ struct Mpi::Impl {
   RequestPool requests;
   Library library;
   hw::L2AtomicMutex global_lock;  // the "classic" library's global lock
+  // isends since this task's last blocking call — the adaptive handoff
+  // discriminator. Shared across app threads on purpose: it is a traffic-
+  // shape heuristic, not a correctness input, so relaxed races are fine.
+  std::atomic<int> isend_streak{0};
+};
+
+/// RAII over a blocking call's progress-steal window (paper §V): while
+/// this thread polls progress itself, commthread wakeups for the hashed
+/// contexts are muted — every store the stealer is about to consume would
+/// otherwise also buy a futex wake into a guaranteed trylock loss.
+/// Destruction unmutes and re-rings anything left pollable.
+class Mpi::StealWindow {
+ public:
+  static constexpr int kMaxContexts = 64;
+
+  StealWindow(pami::Client& client, int nctx, bool active)
+      : client_(client), nctx_(active ? std::min(nctx, kMaxContexts) : 0) {
+    for (int i = 0; i < nctx_; ++i) epochs_[i] = client_.context(i).begin_steal();
+  }
+  ~StealWindow() {
+    for (int i = 0; i < nctx_; ++i) client_.context(i).end_steal(epochs_[i]);
+  }
+  StealWindow(const StealWindow&) = delete;
+  StealWindow& operator=(const StealWindow&) = delete;
+
+ private:
+  pami::Client& client_;
+  int nctx_;
+  std::array<std::uint64_t, kMaxContexts> epochs_;  // per-window, heap-free
 };
 
 // ------------------------------------------------------------------ world --
@@ -211,26 +248,47 @@ int Mpi::size(const Comm& c) const { return c->size(); }
 
 // --------------------------------------------------------------- progress --
 
-void Mpi::progress() {
+std::size_t Mpi::progress(bool* steal_recorded) {
   // Hashed contexts only: endpoint contexts belong to their bound thread
   // (single-advancer), so the shared progress loop must not touch them.
   const bool need_ctx_lock = commthreads_ != nullptr || level_ == ThreadLevel::Multiple;
+  std::size_t events = 0;
   for (int i = 0; i < base_contexts_; ++i) {
     pami::Context& ctx = client_.context(i);
     if (need_ctx_lock) {
       if (!ctx.trylock()) continue;  // a commthread is already on it
-      ctx.advance();
+      const std::size_t ev = ctx.advance();
+      if (ev > 0 && commthreads_ != nullptr && steal_recorded != nullptr &&
+          !*steal_recorded) {
+        // Blocking-call progress stealing (paper §V): the caller advanced
+        // a commthread-covered context itself instead of parking on the
+        // handoff. Counted once per blocking call; the trace record lands
+        // under the lock — the ring's single writer is whoever advances.
+        *steal_recorded = true;
+        impl_->obs.pvars.add(obs::Pvar::CommSteals);
+        ctx.obs().trace.record(obs::TraceEv::CommSteal, static_cast<std::uint32_t>(ev));
+      }
       ctx.unlock();
+      events += ev;
     } else {
-      ctx.advance();
+      events += ctx.advance();
     }
   }
+  return events;
 }
 
 void Mpi::progress_until(const std::function<bool()>& pred) {
+  impl_->isend_streak.store(0, std::memory_order_relaxed);
+  // Already satisfied (an eager send that completed locally at injection,
+  // a message already matched): skip the steal-window setup entirely.
+  if (pred()) return;
+  StealWindow steal(client_, base_contexts_, commthreads_ != nullptr);
+  bool steal_recorded = false;
   while (!pred()) {
-    progress();
-    std::this_thread::yield();
+    // Yield only on an empty pass: while this thread is finding events it
+    // is the progress engine, and handing the core away mid-stream just
+    // adds a scheduler round trip per message.
+    if (progress(&steal_recorded) == 0) std::this_thread::yield();
   }
 }
 
@@ -261,11 +319,52 @@ void Mpi::complete_isend(const CommImpl& c, int dest_rank, Request req, const vo
 
   const bool handoff = commthreads_ != nullptr && impl_->library == Library::ThreadOptimized;
   if (handoff) {
+    // PAMIX_COMM_SPIN_US=0 selects the legacy engine end to end: the
+    // fixed sweep/sleep loop on the workers AND the unconditional-handoff
+    // send path here, so the A/B before-arm measures the old design, not
+    // the old loop under the new send policy.
+    const bool adaptive = commthreads_->spin_us() > 0;
+    // Adaptive handoff: the isend streak since the last blocking call
+    // discriminates latency-shaped traffic (short streak — the caller is
+    // about to block, so inject on its own cycles under a trylock) from
+    // rate-shaped bursts (long streak — pipeline descriptor construction
+    // to the commthread, paper §IV-A). The inline arm engages only when
+    // the lock is free: it never preempts an active advancer, and the
+    // receive side's per-peer sequence parking absorbs any interleave
+    // with previously queued handoffs. On an oversubscribed host the
+    // handoff pipeline has no spare hardware thread to land on — the
+    // commthread's drain cycles come out of this core's own timeslice —
+    // so rate-shaped bursts also stay inline there and the commthread
+    // only backstops lock contention.
+    const int streak = impl_->isend_streak.fetch_add(1, std::memory_order_relaxed);
+    const bool inline_ok =
+        adaptive && (streak < kInlineSendStreak ||
+                     hw::oversubscribed_hint().load(std::memory_order_relaxed));
+    if (inline_ok && ctx.trylock()) {
+      pami::SendParams p;
+      p.dispatch = kMpiDispatchId;
+      p.dest = dest;
+      p.header = &env;
+      p.header_bytes = sizeof(env);
+      p.data = buf;
+      p.data_bytes = bytes;
+      p.on_local_done = [req] { req->finish(); };
+      // Eagain drains under the held lock: progress() would skip this
+      // context (its own trylock loses to us).
+      while (ctx.send(p) == pami::Result::Eagain) ctx.advance();
+      ctx.unlock();
+      impl_->obs.pvars.add(obs::Pvar::CommInlineSends);
+      return;
+    }
     // Message-rate path (paper §IV-A): hand descriptor construction and
     // injection to the commthread owning the hashed context. The envelope
     // lives in the closure's inline storage; SendParams are rebuilt on the
     // advancing thread so nothing move-only crosses the queue.
     post_handoff_send(ctx, env, dest, buf, bytes, req);
+    // Latency-sensitive fast wake: the queue-tail snoop above wakes the
+    // worker eventually; the doorbell store names the handoff as urgent
+    // and is what a sleeping commthread's fast-wake accounting sees.
+    commthreads_->ring_doorbell(&ctx);
     return;
   }
   pami::SendParams p;
@@ -295,6 +394,7 @@ Request Mpi::isend(const void* buf, std::size_t bytes, int dest, int tag, const 
   assert(initialized_);
   impl_->obs.pvars.add(obs::Pvar::MpiIsends);
   Request req = impl_->requests.acquire(RequestImpl::Kind::Send);
+  req->steal_ctx = (dest + c->id()) % base_contexts_;
   const bool classic_locked =
       impl_->library == Library::Classic && level_ == ThreadLevel::Multiple;
   if (classic_locked) impl_->global_lock.lock();
@@ -309,6 +409,10 @@ Request Mpi::irecv(void* buf, std::size_t bytes, int source, int tag, const Comm
   Request req = impl_->requests.acquire(RequestImpl::Kind::Recv);
   req->buffer = buf;
   req->capacity = bytes;
+  // The sender hashes its context from (dest, comm) and targets ours
+  // symmetrically from (src, comm), so a known source pins the arrival
+  // channel; ANY_SOURCE leaves it unknown (-1 → full-sweep wait).
+  if (source != kAnySource) req->steal_ctx = (source + c->id()) % base_contexts_;
   const bool classic_locked =
       impl_->library == Library::Classic && level_ == ThreadLevel::Multiple;
   if (classic_locked) impl_->global_lock.lock();
@@ -344,8 +448,51 @@ void Mpi::recv(void* buf, std::size_t bytes, int source, int tag, const Comm& c,
   wait(r, status);
 }
 
+void Mpi::wait_on_context(Request& r, int ctx_index) {
+  impl_->isend_streak.store(0, std::memory_order_relaxed);
+  if (r->done()) return;
+  pami::Context& ctx = client_.context(ctx_index);
+  const std::uint64_t epoch = ctx.begin_steal();
+  bool recorded = false;
+  // Bound: after this many consecutive empty passes, assume the
+  // completing event is not landing on this channel after all and fall
+  // back to the full sweep (which can never miss it).
+  constexpr int kMaxEmptyPasses = 4096;
+  int empty = 0;
+  while (!r->done() && empty < kMaxEmptyPasses) {
+    std::size_t ev = 0;
+    if (ctx.trylock()) {
+      ev = ctx.advance();
+      if (ev > 0 && !recorded) {
+        recorded = true;
+        impl_->obs.pvars.add(obs::Pvar::CommSteals);
+        ctx.obs().trace.record(obs::TraceEv::CommSteal, static_cast<std::uint32_t>(ev));
+      }
+      ctx.unlock();
+    }
+    if (ev == 0) {
+      ++empty;
+      std::this_thread::yield();
+    } else {
+      empty = 0;
+    }
+  }
+  ctx.end_steal(epoch);
+  if (!r->done()) progress_until([&] { return r->done(); });
+}
+
 void Mpi::wait(Request& r, Status* status) {
-  progress_until([&] { return r->done(); });
+  // Targeted steal (paper §V): a request whose completing event is bound
+  // to one hashed context polls exactly that context, leaving the rest of
+  // the partition to the commthread pool. Everything else (ANY_SOURCE, no
+  // commthreads) takes the full-sweep path.
+  const int sctx = r->steal_ctx;
+  if (commthreads_ != nullptr && commthreads_->thread_count() > 0 &&
+      commthreads_->spin_us() > 0 && sctx >= 0 && sctx < base_contexts_) {
+    wait_on_context(r, sctx);
+  } else {
+    progress_until([&] { return r->done(); });
+  }
   if (status != nullptr) *status = r->status;
   r.reset();
 }
@@ -372,6 +519,8 @@ void Mpi::waitall(std::vector<Request>& rs) {
   // overlapping the (modelled) id-to-object conversion with the completion
   // -counter loads, and queues the incomplete ones; phase two polls only
   // the queued residue while driving progress.
+  impl_->isend_streak.store(0, std::memory_order_relaxed);
+  StealWindow steal(client_, base_contexts_, commthreads_ != nullptr);
   std::vector<RequestImpl*> incomplete;
   incomplete.reserve(rs.size());
   for (Request& r : rs) {
@@ -379,8 +528,9 @@ void Mpi::waitall(std::vector<Request>& rs) {
   }
   // Phase two polls only the residue, dropping requests as they complete
   // (swap-erase keeps each sweep proportional to what is actually left).
+  bool steal_recorded = false;
   while (!incomplete.empty()) {
-    progress();
+    const std::size_t events = progress(&steal_recorded);
     for (std::size_t i = 0; i < incomplete.size();) {
       if (incomplete[i]->done()) {
         incomplete[i] = incomplete.back();
@@ -389,7 +539,9 @@ void Mpi::waitall(std::vector<Request>& rs) {
         ++i;
       }
     }
-    if (!incomplete.empty()) std::this_thread::yield();
+    // Same stealing discipline as progress_until: keep draining while
+    // events flow, yield the core only when a pass came up empty.
+    if (!incomplete.empty() && events == 0) std::this_thread::yield();
   }
   for (Request& r : rs) r.reset();
   rs.clear();

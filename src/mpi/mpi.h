@@ -190,10 +190,21 @@ class Mpi {
 
  private:
   struct Impl;
+  class StealWindow;  // blocking-call steal window (mutes commthread wakes)
   friend class MpiEndpoint;
 
-  void progress();
+  /// One pass over the hashed contexts. Returns events processed; with
+  /// commthreads active a winning trylock+advance is progress *stolen*
+  /// from the background thread (paper §V). A blocking caller passes
+  /// `steal_recorded` (initially false) so the steal is counted once per
+  /// blocking call in comm.steals, not once per pass.
+  std::size_t progress(bool* steal_recorded = nullptr);
   void progress_until(const std::function<bool()>& pred);
+  /// Blocking wait that steals progress on exactly one hashed context —
+  /// the request's bound channel — leaving the others to the commthread
+  /// pool. Falls back to the full sweep if the completion does not appear
+  /// (defensive: the channel hash and the sender's must agree).
+  void wait_on_context(Request& r, int ctx_index);
   pami::Context& context_for_send(const CommImpl& c, int dest_rank);
   void complete_isend(const CommImpl& c, int dest_rank, Request req, const void* buf,
                       std::size_t bytes, int tag);

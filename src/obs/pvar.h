@@ -66,6 +66,21 @@ enum class Pvar : std::uint32_t {
   // Context trylock attempts in the commthread sweep that lost to another
   // thread already advancing the context.
   CommLockMisses,
+  // Spin-then-sleep controller (comm.*): zero-event sweeps burned inside
+  // the spin window before arming the wakeup unit; wakes whose doorbell
+  // watch fired (a latency-sensitive handoff store, not a device producer);
+  // blocking MPI calls that advanced a commthread-covered context directly
+  // instead of waiting on handoff (paper §V progress stealing); and bounded
+  // sleeps that expired on the 50 ms deadline with no notify — a nonzero
+  // steady-state value means an arm/notify ordering bug.
+  CommSpinIters,
+  CommFastWakes,
+  CommSteals,
+  CommSleepTimeouts,
+  // Latency-shaped isends (short streak since the last blocking call) that
+  // trylocked the bound context and injected inline instead of posting a
+  // handoff — the steal-at-send arm of the adaptive handoff policy.
+  CommInlineSends,
   // Collective-network engine.
   CollRoundsContributed,
   CollRoundsCompleted,
@@ -157,6 +172,7 @@ enum class Pvar : std::uint32_t {
   ConfigAmFlushUs,
   ConfigNetBackend,  // NetBackendKind as int: 0 functional, 1 des
   ConfigSimSeed,
+  ConfigCommSpinUs,  // commthread spin window (µs); 0 = legacy sweep loop
   Count,
 };
 

@@ -27,6 +27,11 @@ const char* pvar_name(Pvar p) {
     case Pvar::CommWakeups: return "commthread.wakeups";
     case Pvar::CommSleeps: return "commthread.sleeps";
     case Pvar::CommLockMisses: return "comm.lock_misses";
+    case Pvar::CommSpinIters: return "comm.spin_iters";
+    case Pvar::CommFastWakes: return "comm.fast_wakes";
+    case Pvar::CommSteals: return "comm.steals";
+    case Pvar::CommSleepTimeouts: return "comm.sleep_timeouts";
+    case Pvar::CommInlineSends: return "comm.inline_sends";
     case Pvar::CollRoundsContributed: return "collnet.rounds_contributed";
     case Pvar::CollRoundsCompleted: return "collnet.rounds_completed";
     case Pvar::CollnetLockContended: return "collnet.lock_contended";
@@ -84,6 +89,7 @@ const char* pvar_name(Pvar p) {
     case Pvar::ConfigAmFlushUs: return "config.am_flush_us";
     case Pvar::ConfigNetBackend: return "config.net_backend";
     case Pvar::ConfigSimSeed: return "config.sim_seed";
+    case Pvar::ConfigCommSpinUs: return "config.comm_spin_us";
     case Pvar::Count: break;
   }
   return "?";
@@ -102,6 +108,9 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::WorkDrain: return "work.drain";
     case TraceEv::CommSleep: return "commthread.sleep";
     case TraceEv::CommWake: return "commthread.wake";
+    case TraceEv::CommSpin: return "commthread.spin";
+    case TraceEv::CommFastWake: return "commthread.fast_wake";
+    case TraceEv::CommSteal: return "commthread.steal";
     case TraceEv::CollPhase: return "collective.round";
     case TraceEv::CollSliceMath: return "collective.slice_math";
     case TraceEv::CollArm: return "collective.arm";
@@ -132,6 +141,9 @@ TraceCat trace_ev_cat(TraceEv ev) {
       return kCatWork;
     case TraceEv::CommSleep:
     case TraceEv::CommWake:
+    case TraceEv::CommSpin:
+    case TraceEv::CommFastWake:
+    case TraceEv::CommSteal:
       return kCatCommthread;
     case TraceEv::MpiMatch:
       return kCatMpi;

@@ -44,6 +44,9 @@ enum class TraceEv : std::uint8_t {
   WorkDrain,     // instant: arg = work items run in one pass
   CommSleep,     // span: a commthread's wakeup-unit sleep
   CommWake,      // instant: the store that ended the sleep arrived
+  CommSpin,      // span: the spin window between the last event and arming
+  CommFastWake,  // instant: a sleep ended by the handoff doorbell store
+  CommSteal,     // instant: a blocking call advanced a covered context; arg = events
   CollPhase,     // instant: a collective-network round fired; arg = round
   CollSliceMath, // span: parallel local reduce of one pipeline slice; arg = bytes
   CollArm,       // instant: master armed a network round; arg = round

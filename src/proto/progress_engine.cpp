@@ -326,6 +326,18 @@ std::vector<const void*> ProgressEngine::wakeup_addresses() const {
   return addrs;
 }
 
+std::vector<std::pair<const void*, std::size_t>> ProgressEngine::wakeup_ranges() const {
+  std::vector<std::pair<const void*, std::size_t>> ranges;
+  for (const Device* d : devices_) {
+    // Every wakeup-backed device publishes a 64-bit producer counter (work
+    // -queue tail, reception delivered-count, shm tail): one word per range.
+    if (const void* a = d->wakeup_address(); a != nullptr) {
+      ranges.emplace_back(a, sizeof(std::uint64_t));
+    }
+  }
+  return ranges;
+}
+
 bool ProgressEngine::has_pollable_work() const {
   for (const Device* d : devices_) {
     if (!d->idle()) return true;

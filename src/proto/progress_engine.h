@@ -116,6 +116,12 @@ class ProgressEngine {
   /// commthread wakeup watch.
   std::vector<const void*> wakeup_addresses() const;
 
+  /// The same addresses as (base, length) ranges — the WAC register image
+  /// of this one context. Commthreads program one watch per context from
+  /// this, so a wakeup-unit hit names the context that fired instead of
+  /// forcing a sweep of every covered context.
+  std::vector<std::pair<const void*, std::size_t>> wakeup_ranges() const;
+
   /// Any device has something for poll() to do right now (including
   /// poll-only devices with outstanding completions). `!has_pollable_work()`
   /// is the commthread sleep predicate: everything else outstanding is

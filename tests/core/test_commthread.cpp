@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "core/client.h"
@@ -129,6 +130,86 @@ TEST_F(CommThreadTest, StopIsIdempotentAndPromptWhileSleeping) {
 TEST_F(CommThreadTest, ZeroThreadsRequestedIsHarmless) {
   CommThreadPool pool(world_.client(0), 0);
   EXPECT_EQ(pool.thread_count(), 0);
+  pool.stop();
+}
+
+TEST_F(CommThreadTest, SleepTimeoutsStayZeroUnderLoad) {
+  // Every wake must come from a watch or the doorbell; the 50ms bounded
+  // sleep is a safety net. A nonzero count here means a producer's store
+  // was not covered by any armed watch — a lost wakeup.
+  std::atomic<int> received{0};
+  world_.client(1).context(0).set_dispatch(
+      1, [&](Context&, const void*, std::size_t, const void*, std::size_t, std::size_t,
+             Endpoint, RecvDescriptor*) { received.fetch_add(1); });
+  CommThreadPool pool(world_.client(1), 2);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      Context& sctx = world_.client(0).context(0);
+      while (sctx.send_immediate(1, Endpoint{1, 0}, nullptr, 0, nullptr, 0) !=
+             Result::Success) {
+        sctx.advance();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));  // let workers drain + re-arm
+  }
+  EXPECT_TRUE(eventually([&] { return received.load() == 200; }));
+  EXPECT_EQ(pool.sleep_timeouts(), 0u);
+  pool.stop();
+}
+
+TEST_F(CommThreadTest, DoorbellFastWakesSleepingWorker) {
+  CommThreadPool pool(world_.client(0), 1);
+  ASSERT_GT(pool.spin_us(), 0) << "doorbell only exists in adaptive mode";
+  ASSERT_TRUE(eventually([&] { return pool.sleeps() > 0; }));
+  // The ring is dropped unless the worker is between arm and wake, so keep
+  // ringing until one lands while it is parked.
+  Context& ctx = world_.client(0).context(0);
+  EXPECT_TRUE(eventually([&] {
+    pool.ring_doorbell(&ctx);
+    return pool.fast_wakes() > 0;
+  }));
+  EXPECT_EQ(pool.sleep_timeouts(), 0u);
+  pool.stop();
+}
+
+TEST_F(CommThreadTest, StealWindowMutesWatchAndReringsOnExit) {
+  // A blocking caller's steal window (Context::begin_steal/end_steal):
+  // while the window is open the commthread is not woken for new work on
+  // that context — the stealer is the consumer — and closing the window
+  // re-rings the watch if work was left behind, so nothing is stranded.
+  CommThreadPool pool(world_.client(0), 1);
+  Context& ctx = world_.client(0).context(0);
+  ASSERT_TRUE(eventually([&] { return pool.sleeps() > 0; }));
+
+  const std::uint64_t epoch = ctx.begin_steal();
+  std::atomic<bool> ran{false};
+  ctx.post([&] { ran.store(true); });
+  // Muted: the queue-tail store must not wake the sleeping worker. 20ms is
+  // well inside the 50ms bounded-sleep backstop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(ran.load());
+  // Closing the window without having consumed the item re-rings the
+  // watch; the worker wakes and drains it.
+  ctx.end_steal(epoch);
+  EXPECT_TRUE(eventually([&] { return ran.load(); }));
+  EXPECT_EQ(pool.sleep_timeouts(), 0u);
+  pool.stop();
+}
+
+TEST_F(CommThreadTest, SpinZeroSelectsLegacyController) {
+  ::setenv("PAMIX_COMM_SPIN_US", "0", 1);
+  CommThreadPool pool(world_.client(0), 1);
+  ::unsetenv("PAMIX_COMM_SPIN_US");
+  EXPECT_EQ(pool.spin_us(), 0);
+  // The legacy loop still makes progress (it is the A/B before-arm)...
+  std::atomic<bool> ran{false};
+  world_.client(0).context(0).post([&] { ran.store(true); });
+  EXPECT_TRUE(eventually([&] { return ran.load(); }));
+  // ...and steal windows degrade to no-ops: no per-context watch exists.
+  Context& ctx = world_.client(0).context(0);
+  const std::uint64_t epoch = ctx.begin_steal();
+  EXPECT_EQ(epoch, 0u);
+  ctx.end_steal(epoch);
   pool.stop();
 }
 

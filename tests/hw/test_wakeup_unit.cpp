@@ -74,6 +74,88 @@ TEST(WakeupUnit, NotifyWatchWakesUnconditionally) {
   SUCCEED();
 }
 
+TEST(WakeupUnit, WaitSlotSharedWaiterNamesFiringWatch) {
+  // The commthread sleep scheme: one slot covers several watches; the
+  // sleeper learns *that* something fired from the slot and *what* fired
+  // by comparing per-watch epochs against its armed snapshots.
+  WakeupUnit wu;
+  std::uint64_t a = 0, b = 0;
+  WakeupUnit::WaitSlot* slot = wu.create_wait_slot();
+  const auto ha = wu.watch(&a, sizeof(a), slot);
+  const auto hb = wu.watch(&b, sizeof(b), slot);
+  const std::uint64_t armed_a = wu.arm(ha);
+  const std::uint64_t armed_b = wu.arm(hb);
+  const std::uint64_t armed_slot = wu.arm_slot(*slot);
+  b = 7;
+  wu.notify_write(&b);
+  EXPECT_TRUE(wu.wait_slot(*slot, armed_slot, std::chrono::milliseconds(1000)));
+  EXPECT_EQ(wu.arm(ha), armed_a);  // a did not fire
+  EXPECT_NE(wu.arm(hb), armed_b);  // b names itself
+}
+
+TEST(WakeupUnit, ArmVsNotifyRaceNeverLosesWake) {
+  // Deterministic sweep of the arm-vs-notify interleavings: whatever the
+  // relative timing of the producer's store and the waiter's arm/park,
+  // the waiter must observe the wake — either the pre-armed epoch already
+  // moved (wait returns immediately) or the parked cv is signalled.
+  WakeupUnit wu;
+  std::uint64_t word = 0;
+  WakeupUnit::WaitSlot* slot = wu.create_wait_slot();
+  const auto h = wu.watch(&word, sizeof(word), slot);
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t armed = wu.arm(h);
+    const std::uint64_t armed_slot = wu.arm_slot(*slot);
+    std::thread producer([&] {
+      // Odd rounds: give the waiter time to park, so both orderings run.
+      if (round % 2 == 1) std::this_thread::sleep_for(std::chrono::microseconds(50));
+      word = static_cast<std::uint64_t>(round + 1);
+      wu.notify_write(&word);
+    });
+    if (wu.arm(h) == armed) {
+      EXPECT_TRUE(wu.wait_slot(*slot, armed_slot, std::chrono::milliseconds(2000)))
+          << "lost wakeup at round " << round;
+    }
+    producer.join();
+    EXPECT_NE(wu.arm(h), armed);
+  }
+}
+
+TEST(WakeupUnit, MutedWatchBumpsEpochWithoutWaking) {
+  // The steal-window contract: stores into a muted watch stay visible to
+  // arm/re-check (the epoch moves) but no sleeper is woken.
+  WakeupUnit wu;
+  std::uint64_t word = 0;
+  const auto h = wu.watch(&word, sizeof(word));
+  const std::uint64_t armed = wu.arm(h);
+  wu.mute(h);
+  EXPECT_TRUE(wu.muted(h));
+  word = 1;
+  wu.notify_write(&word);
+  EXPECT_NE(wu.arm(h), armed);  // store recorded...
+  const std::uint64_t rearmed = wu.arm(h);
+  EXPECT_FALSE(wu.wait_for(h, rearmed, std::chrono::milliseconds(30)));  // ...no wake
+  wu.unmute(h);
+  EXPECT_FALSE(wu.muted(h));
+  // The un-muter's re-ring reaches the sleeper again.
+  wu.notify_watch(h);
+  EXPECT_TRUE(wu.wait_for(h, rearmed, std::chrono::milliseconds(1000)));
+}
+
+TEST(WakeupUnit, MuteNestsAcrossConcurrentStealers) {
+  // Two blocking callers may bracket overlapping steal windows on the same
+  // context; the mute is counted, so the watch stays muted until the last
+  // window closes.
+  WakeupUnit wu;
+  std::uint64_t word = 0;
+  const auto h = wu.watch(&word, sizeof(word));
+  wu.mute(h);
+  wu.mute(h);
+  wu.unmute(h);
+  EXPECT_TRUE(wu.muted(h));
+  wu.unmute(h);
+  EXPECT_FALSE(wu.muted(h));
+}
+
 TEST(WakeupUnit, ManyWaitersAllWake) {
   WakeupUnit wu;
   std::uint64_t word = 0;
