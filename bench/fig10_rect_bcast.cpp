@@ -10,10 +10,29 @@
 // bench reports the achieved contention (1 = edge-disjoint) and depth, so
 // the 10x claim is backed by an actual tree packing, not an assumption.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
+#include "core/collectives.h"
 #include "mpi/mpi.h"
 #include "sim/rect_bcast.h"
+
+namespace {
+
+/// Software-stack pool misses: every domain except the simulated MU's
+/// packet-staging pools ("nodeN.mu"), whose backlog growth is reported but
+/// not gated (same split as amrpc_soak).
+std::uint64_t sw_pool_misses() {
+  std::uint64_t total = 0;
+  pamix::obs::Registry::instance().for_each([&](const pamix::obs::Domain& d) {
+    if (d.name.find(".mu") == std::string::npos) {
+      total += d.pvars.snapshot()[pamix::obs::Pvar::AllocPoolMisses];
+    }
+  });
+  return total;
+}
+
+}  // namespace
 
 int main() {
   using namespace pamix;
@@ -42,31 +61,93 @@ int main() {
   std::printf("speedup over single-tree collective-network bcast: %.1fx (paper: ~10x)\n",
               rect / single_tree);
 
-  // Functional leg: run the real slice-relay algorithm over a small
-  // machine (MPIX_Rectangle_bcast) and verify it delivers.
+  // Functional leg: run the real relay algorithm over a small machine
+  // (MPIX_Rectangle_bcast), verify delivery, and A/B the cut-through
+  // streaming chunk size against the store-and-forward schedule by
+  // mutating coll::tuning().rect_chunk between runs. This leg checks
+  // correctness and allocation discipline, not the pipelining win: the
+  // host transport has no per-hop serialization delay, so chunking only
+  // adds per-message overhead here and store-and-forward comes out
+  // faster. The cut-through speedup claim is measured where link time is
+  // modeled — the DES scenarios (scale_scenarios, ablate_rect_chunk).
+  // One warm-up iteration fills the tree cache, and the relay pre-sizes
+  // its chunk pool to the ack-window bound, so the measured window's
+  // pool-miss delta must be zero for the streamed arms.
   const int kIters = bench::env_iters("PAMIX_FIG10_ITERS", 5);
-  std::printf("\nFunctional host run (real tree relay, 8 nodes, 1MB, host clock, %d iters):\n",
-              kIters);
-  double host_mbps = 0;
-  {
+  const std::size_t bytes = 1u << 20;
+  struct HostRun {
+    double mbps = 0;
+    std::uint64_t pool_misses = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t inflight_peak = 0;
+    std::uint64_t fallbacks = 0;
+  };
+  const auto host_leg = [&](std::size_t chunk) {
+    const std::size_t saved = pami::coll::tuning().rect_chunk;
+    pami::coll::tuning().rect_chunk = chunk;
+    HostRun r;
+    // Each leg builds a fresh Machine whose domains accumulate in the
+    // process-wide registry, so per-leg counters are deltas against a
+    // snapshot taken before construction.
+    const obs::PvarSnapshot leg_start = obs::Registry::instance().totals();
+    obs::PvarSnapshot before, after;
     runtime::Machine machine(hw::TorusGeometry({2, 2, 2, 1, 1}), 1);
     mpi::MpiWorld world(machine, mpi::MpiConfig{});
-    const std::size_t bytes = 1u << 20;
     machine.run_spmd([&](int task) {
       mpi::Mpi& mp = world.at(task);
       mp.init(mpi::ThreadLevel::Single);
       const mpi::Comm w = mp.world();
       std::vector<std::uint8_t> buf(bytes, mp.rank(w) == 0 ? 0xAB : 0x00);
+      mp.mpix_rectangle_bcast(buf.data(), bytes, 0, w);  // warm pools + trees
       mp.barrier(w);
+      std::uint64_t misses_before = 0;
+      if (mp.rank(w) == 0) {
+        before = obs::Registry::instance().totals();
+        misses_before = sw_pool_misses();
+      }
+      mp.barrier(w);  // fence the snapshot from the measured window
       bench::Stopwatch sw;
       for (int i = 0; i < kIters; ++i) mp.mpix_rectangle_bcast(buf.data(), bytes, 0, w);
-      if (mp.rank(w) == 0) host_mbps = kIters * static_cast<double>(bytes) / sw.elapsed_us();
+      if (mp.rank(w) == 0) r.mbps = kIters * static_cast<double>(bytes) / sw.elapsed_us();
+      mp.barrier(w);
+      if (mp.rank(w) == 0) {
+        after = obs::Registry::instance().totals();
+        r.pool_misses = sw_pool_misses() - misses_before;
+      }
       if (buf[bytes - 1] != 0xAB) std::printf("  VERIFICATION FAILED at rank %d\n", mp.rank(w));
       mp.finalize();
     });
-    std::printf("  delivered and verified at every rank; %.0f MB/s broadcast rate on host\n",
-                host_mbps);
-  }
+    pami::coll::tuning().rect_chunk = saved;
+    const obs::PvarSnapshot d = after - before;
+    r.chunks = d[obs::Pvar::CollRectChunks];
+    // The peak counter is a leg-lifetime high-water mark (warm-up sets
+    // it), so report the leg delta, not the (usually zero)
+    // measured-window delta.
+    r.inflight_peak = after[obs::Pvar::CollRectInflightPeak] -
+                      leg_start[obs::Pvar::CollRectInflightPeak];
+    r.fallbacks =
+        after[obs::Pvar::CollRectFallbacks] - leg_start[obs::Pvar::CollRectFallbacks];
+    return r;
+  };
+
+  std::printf("\nFunctional host run (real tree relay, 8 nodes, 1MB, host clock, %d iters):\n",
+              kIters);
+  const HostRun streamed = host_leg(pami::coll::kRectChunkBytes);
+  const HostRun chunk4k = host_leg(4096);
+  const HostRun sf = host_leg(0);
+  std::printf("  %-22s %10s %10s %14s %10s\n", "arm", "mb_s", "chunks", "inflight_peak",
+              "misses");
+  std::printf("  %-22s %10.0f %10llu %14llu %10llu\n", "streamed (1K chunks)", streamed.mbps,
+              static_cast<unsigned long long>(streamed.chunks),
+              static_cast<unsigned long long>(streamed.inflight_peak),
+              static_cast<unsigned long long>(streamed.pool_misses));
+  std::printf("  %-22s %10.0f %10llu %14llu %10llu\n", "streamed (4K chunks)", chunk4k.mbps,
+              static_cast<unsigned long long>(chunk4k.chunks),
+              static_cast<unsigned long long>(chunk4k.inflight_peak),
+              static_cast<unsigned long long>(chunk4k.pool_misses));
+  std::printf("  %-22s %10.0f %10s %14s %10llu\n", "store-and-forward", sf.mbps, "-", "-",
+              static_cast<unsigned long long>(sf.pool_misses));
+  std::printf("  delivered and verified at every rank\n");
 
   bench::JsonResult json;
   json.add("iters", static_cast<std::uint64_t>(kIters));
@@ -75,8 +156,30 @@ int main() {
   json.add("max_depth", static_cast<std::uint64_t>(trees.max_depth()));
   json.add("valid", static_cast<std::uint64_t>(trees.validate() ? 1 : 0));
   json.add("model_speedup_vs_single_tree", rect / single_tree);
-  json.add("rect_1mb_host_mb_s", host_mbps);
+  json.add("rect_1mb_host_mb_s", streamed.mbps);
+  json.add("rect_1mb_host_chunks", streamed.chunks);
+  json.add("rect_1mb_host_inflight_peak", streamed.inflight_peak);
+  json.add("rect_1mb_host_4k_mb_s", chunk4k.mbps);
+  json.add("rect_1mb_host_sf_mb_s", sf.mbps);
+  json.add("rect_host_pool_misses", streamed.pool_misses + chunk4k.pool_misses);
+  json.add("rect_host_fallbacks", streamed.fallbacks + chunk4k.fallbacks + sf.fallbacks);
   json.write("BENCH_fig10.json");
   bench::obs_finish();
+
+  // CI gates: the geometry is rectangle-eligible, so any fallback means
+  // the eligibility check regressed; a pool miss in a streamed measured
+  // window means chunk recycling on the relay fast path stopped working.
+  if (streamed.fallbacks + chunk4k.fallbacks + sf.fallbacks != 0) {
+    std::fprintf(stderr, "fig10: unexpected rectangle-broadcast fallbacks\n");
+    return 1;
+  }
+  if (std::getenv("PAMIX_BENCH_STRICT_ALLOC") != nullptr &&
+      streamed.pool_misses + chunk4k.pool_misses > 0) {
+    std::fprintf(stderr,
+                 "fig10: PAMIX_BENCH_STRICT_ALLOC: %llu pool misses in the streamed "
+                 "relay's measured window (expected 0)\n",
+                 static_cast<unsigned long long>(streamed.pool_misses + chunk4k.pool_misses));
+    return 1;
+  }
   return 0;
 }

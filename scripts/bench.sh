@@ -24,7 +24,7 @@
 # Usage: scripts/bench.sh [--smoke] [--check] [--tolerance F] [bench...]
 #        PREFIX=dir scripts/bench.sh       (build-dir prefix, default: build)
 # Benches: fig5 endpoints fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale
-#          waitall commthread
+#          waitall commthread rectchunk
 # (table1 prints its rows but emits no JSON, so it is not part of the report.)
 # `scale` runs the DES scenario engine; its smoke mode keeps only the
 # 32/64-node calibration geometries, whose virtual-time keys are exact and
@@ -51,7 +51,7 @@ while [ $# -gt 0 ]; do
 done
 
 # bench name -> binary -> json file, plus smoke-scale env overrides.
-benches=(fig5 endpoints fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale waitall commthread)
+benches=(fig5 endpoints fig6 fig7 fig8 fig9 fig10 table2 table3 ctxhash amrpc scale waitall commthread rectchunk)
 binary_of() {
   case "$1" in
     fig5)    echo fig5_message_rate ;;
@@ -68,6 +68,7 @@ binary_of() {
     commthread) echo ablate_commthread ;;
     amrpc)   echo amrpc_soak ;;
     scale)   echo scale_scenarios ;;
+    rectchunk) echo ablate_rect_chunk ;;
     *) echo "unknown bench: $1" >&2; exit 2 ;;
   esac
 }
@@ -93,6 +94,7 @@ smoke_env() {
     commthread) echo "PAMIX_ABLCOMM_ITERS=300 PAMIX_ABLCOMM_MSGS=2000" ;;
     amrpc)   echo "PAMIX_BENCH_AMRPC_ITERS=500" ;;
     scale)   echo "PAMIX_SCALE_SMOKE=1" ;;
+    rectchunk) echo "PAMIX_RECTCHUNK_SMOKE=1" ;;
   esac
 }
 

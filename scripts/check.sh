@@ -35,7 +35,10 @@
 #              unit tests plus scale_scenarios at the 32/64-node calibration
 #              geometries (PAMIX_SCALE_SMOKE=1). Virtual time is exact, so
 #              the smoke keys must reproduce the committed BENCH_scale.json
-#              baseline bit-for-bit modulo float printing
+#              baseline bit-for-bit modulo float printing. Also runs the
+#              512-node cut-through rectangle-broadcast gate
+#              (PAMIX_RECTCHUNK_GATE=1): the default chunk size must hold
+#              the >= 9x multicolor-vs-single-path speedup
 #   perf-regress — scripts/bench.sh --smoke --check: run every JSON-emitting
 #              bench, merge BENCH_report.json, and compare throughput keys
 #              against the committed repo-root baselines. The tolerance is
@@ -124,12 +127,15 @@ for flavor in "${flavors[@]}"; do
     sim-smoke)
       echo "==> [sim-smoke] DES transport backend: unit tests + scale calibration run"
       cmake -B "${prefix}" -S . -DCMAKE_BUILD_TYPE=Release
-      cmake --build "${prefix}" -j "${jobs}" --target test_sim test_runtime scale_scenarios
+      cmake --build "${prefix}" -j "${jobs}" --target test_sim test_runtime scale_scenarios ablate_rect_chunk
       "${prefix}/tests/test_runtime" --gtest_filter='DesNetwork*'
       "${prefix}/tests/test_sim" --gtest_filter='Scenario.*:MpiModel.*'
       ( cd "${prefix}" &&
         PAMIX_SCALE_SMOKE=1 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/scale_scenarios )
-      test -s "${prefix}/BENCH_scale.json" ;;
+      test -s "${prefix}/BENCH_scale.json"
+      ( cd "${prefix}" &&
+        PAMIX_RECTCHUNK_GATE=1 PAMIX_BENCH_STRICT_ALLOC=1 ./bench/ablate_rect_chunk )
+      test -s "${prefix}/BENCH_rectchunk.json" ;;
     perf-regress)
       echo "==> [perf-regress] unified bench run + baseline comparison"
       PREFIX="${prefix}" scripts/bench.sh --smoke --check --tolerance 0.5

@@ -26,6 +26,10 @@ CollTuning& tuning() {
     }
     v.radix = core::env_int_or("PAMIX_COLL_RADIX", v.radix, 2, 64);
     v.overlap = core::env_flag_or("PAMIX_COLL_OVERLAP", true);
+    // 0 is a deliberate setting (store-and-forward A/B arm), so only the
+    // env parser's own validation applies; env_size_or keeps the K/M
+    // suffix discipline and the 256MiB typo cap.
+    v.rect_chunk = core::env_size_or("PAMIX_RECT_CHUNK", kRectChunkBytes);
     return v;
   }();
   return t;
@@ -39,6 +43,10 @@ struct CollHeader {
   std::int32_t geom = 0;
   std::uint64_t seq = 0;
   std::int32_t phase = 0;
+  // Chunk index within a streamed rectangle-broadcast relay (data and ack
+  // phases); 0 for every other collective, where (geom, seq, phase, src)
+  // alone is unique.
+  std::uint32_t chunk = 0;
 };
 
 /// Per-client matching state for the software collectives, plus the
@@ -60,22 +68,49 @@ struct CollState {
     std::int32_t src = -1;  // -1 = empty
     std::int32_t geom = 0;
     std::int32_t phase = 0;
+    std::uint32_t chunk = 0;
     std::uint64_t seq = 0;
     core::Buf data;
   };
   std::vector<Slot> slots;               // grows to peak concurrency, then stable
   std::map<int, std::uint64_t> seq;      // per-geometry operation counter
 
+  /// Reusable per-color scratch of the chunked rectangle relay (one
+  /// rectangle broadcast in flight per task at a time — the call is
+  /// blocking). Vectors grow to the geometry's color/children counts on
+  /// first use and are reused afterwards: zero steady-state allocation.
+  struct RectColor {
+    std::size_t off = 0;        // slice offset in the user buffer
+    std::size_t len = 0;        // slice length
+    std::uint32_t nchunks = 0;
+    std::uint32_t recv_next = 0;  // chunks landed from the parent
+    std::uint32_t fwd_next = 0;   // chunks forwarded to every child
+    bool done = false;
+    int parent_rank = -1;  // rank of the parent node's master (-1 at the root node)
+    std::vector<std::uint32_t> acked;  // per child: chunks confirmed received
+  };
+  std::vector<RectColor> rect;
+  std::uint64_t rect_inflight_peak = 0;  // mirror of the peak-tracking pvar
+
   explicit CollState(int task)
       : obs(obs::Registry::instance().create("coll", task, 0, /*want_ring=*/false)),
         pool(&obs.pvars) {
     obs.pvars.add(obs::Pvar::ConfigCollSlice, tuning().slice_bytes);
     obs.pvars.add(obs::Pvar::ConfigCollRadix, static_cast<std::uint64_t>(tuning().radix));
+    obs.pvars.add(obs::Pvar::ConfigRectChunk, tuning().rect_chunk);
   }
 
   core::Buf acquire(std::size_t n) {
     std::lock_guard<hw::L2AtomicMutex> g(mu);
     return pool.acquire(n);
+  }
+  /// Pre-size the deposit pool and the match table for `count` concurrent
+  /// `n`-byte deposits, so a demand burst up to that bound cannot grow
+  /// either (empty slots match insert_locked's reuse scan).
+  void reserve(std::size_t n, std::size_t count) {
+    std::lock_guard<hw::L2AtomicMutex> g(mu);
+    pool.reserve(n, count);
+    if (slots.size() < count) slots.resize(count);
   }
   core::Buf acquire_copy(const void* src, std::size_t n) {
     std::lock_guard<hw::L2AtomicMutex> g(mu);
@@ -95,10 +130,11 @@ struct CollState {
   }
 
   bool take(std::int32_t geom, std::uint64_t sq, std::int32_t phase, std::int32_t src,
-            core::Buf& out) {
+            core::Buf& out, std::uint32_t chunk = 0) {
     std::lock_guard<hw::L2AtomicMutex> g(mu);
     for (Slot& s : slots) {
-      if (s.src == src && s.seq == sq && s.geom == geom && s.phase == phase) {
+      if (s.src == src && s.seq == sq && s.geom == geom && s.phase == phase &&
+          s.chunk == chunk) {
         out = std::move(s.data);
         s.src = -1;
         return true;
@@ -115,6 +151,7 @@ struct CollState {
         s.src = src;
         s.geom = h.geom;
         s.phase = h.phase;
+        s.chunk = h.chunk;
         s.seq = h.seq;
         s.data = std::move(data);
         return;
@@ -124,6 +161,7 @@ struct CollState {
     s.src = src;
     s.geom = h.geom;
     s.phase = h.phase;
+    s.chunk = h.chunk;
     s.seq = h.seq;
     s.data = std::move(data);
     slots.push_back(std::move(s));
@@ -176,13 +214,17 @@ class ProgressSpin {
 /// eager/inline protocols, so the caller's buffer is immediately free;
 /// rendezvous-sized ones are pulled from the caller's buffer later, so the
 /// caller passes `pending` (on its stack) and must drain it (drain_sends)
-/// before its buffers go out of scope.
+/// before its buffers go out of scope. `chunk` disambiguates the streamed
+/// rectangle-relay messages sharing one (seq, phase); `hints` carries
+/// torus hint bits for sends that must stay on an algorithm-claimed link.
 void send_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase, std::size_t dest_rank,
-               const void* data, std::size_t bytes, std::atomic<int>& pending) {
+               const void* data, std::size_t bytes, std::atomic<int>& pending,
+               std::uint32_t chunk = 0, std::uint16_t hints = 0) {
   CollHeader h;
   h.geom = g.id();
   h.seq = seq;
   h.phase = phase;
+  h.chunk = chunk;
   SendParams p;
   p.dispatch = kCollDispatchId;
   p.dest = Endpoint{g.task_of(dest_rank), 0};
@@ -190,6 +232,7 @@ void send_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase, std::siz
   p.header_bytes = sizeof(h);
   p.data = data;
   p.data_bytes = bytes;
+  p.hints = hints;
   const ClientConfig& cfg = ctx.client().world().config();
   if (bytes > std::min(cfg.eager_limit, cfg.shm_eager_limit)) {
     pending.fetch_add(1, std::memory_order_acq_rel);
@@ -210,12 +253,12 @@ void drain_sends(Context& ctx, std::atomic<int>& pending) {
 }
 
 core::Buf wait_coll(Context& ctx, Geometry& g, std::uint64_t seq, int phase,
-                    std::size_t src_rank) {
+                    std::size_t src_rank, std::uint32_t chunk = 0) {
   CollState& st = state_of(ctx.client());
   const std::int32_t src = g.task_of(src_rank);
   core::Buf out;
   ProgressSpin spin(ctx);
-  while (!st.take(g.id(), seq, phase, src, out)) spin.spin();
+  while (!st.take(g.id(), seq, phase, src, out, chunk)) spin.spin();
   return out;
 }
 
@@ -763,8 +806,16 @@ void allgather(Context& ctx, Geometry& g, const void* sendbuf, void* recvbuf,
 
 namespace {
 
-/// Cached rectangle-broadcast trees + per-color children lists.
+/// Cached rectangle-broadcast trees + per-color children lists. Each child
+/// entry carries the torus hint bits that force the parent->child hop onto
+/// the link the color tree claimed: in an extent-2 ring both directions
+/// reach the child, and an unhinted send would let the router collapse the
+/// dimension's two color trees onto one wire.
 struct RectTrees {
+  struct Kid {
+    int node = 0;
+    std::uint16_t hints = 0;
+  };
   explicit RectTrees(const hw::TorusGeometry& torus, const hw::TorusRectangle& rect, int root)
       : trees(torus, rect, root) {
     children.resize(static_cast<std::size_t>(trees.colors()));
@@ -772,19 +823,41 @@ struct RectTrees {
       auto& per_node = children[static_cast<std::size_t>(c)];
       for (int node : trees.delivery_order(c)) {
         const int p = trees.parent(c, node);
-        if (p >= 0) per_node[p].push_back(node);
+        if (p < 0) continue;
+        per_node[p].push_back(
+            Kid{node, hw::hint_for_link(torus, p, node, trees.parent_link_index(c, node))});
       }
     }
   }
   sim::MulticolorRectBcast trees;
-  std::vector<std::map<int, std::vector<int>>> children;  // per color: node -> kids
+  std::vector<std::map<int, std::vector<Kid>>> children;  // per color: node -> kids
 };
+
+/// Chunk index of the next acknowledgment a parent expects from a child
+/// that has confirmed `acked` chunks: children ack every kRectAckChunks-th
+/// chunk and always the last one.
+std::uint32_t rect_ack_point(std::uint32_t acked, std::uint32_t nchunks) {
+  const std::uint32_t kp = (acked / kRectAckChunks) * kRectAckChunks + (kRectAckChunks - 1);
+  return std::min(kp, nchunks - 1);
+}
 
 }  // namespace
 
 void rectangle_broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
                          std::size_t bytes) {
+  CollState& st = state_of(ctx.client());
   if (!g.rectangle_eligible()) {
+    // The caller asked for torus color trees and is getting the k-nomial
+    // software tree instead — a large silent perf cliff on a misconfigured
+    // job. Count every degradation and warn once per process.
+    st.obs.pvars.add(obs::Pvar::CollRectFallbacks);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "pamix: rectangle_broadcast on non-rectangle geometry %d falls back to "
+                   "the regular broadcast (counted in coll.rect_fallbacks)\n",
+                   g.id());
+    }
     broadcast(ctx, g, root_rank, buffer, bytes);
     return;
   }
@@ -822,27 +895,173 @@ void rectangle_broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void*
     const int ncolors = rt->trees.colors();
     const std::size_t base = ncolors > 0 ? bytes / static_cast<std::size_t>(ncolors) : 0;
     const std::size_t rem = ncolors > 0 ? bytes % static_cast<std::size_t>(ncolors) : 0;
-    std::size_t off = 0;
-    for (int c = 0; c < ncolors; ++c) {
-      const std::size_t len = base + (static_cast<std::size_t>(c) < rem ? 1 : 0);
-      const int phase = 1000 + c;
-      if (my_node != root_node) {
-        const int parent_node = rt->trees.parent(c, my_node);
-        const int parent_master = g.node_group(parent_node).master_task;
-        core::Buf slice = wait_coll(ctx, g, seq, phase, *g.rank_of(parent_master));
-        assert(slice.size() == len);
-        if (len > 0) std::memcpy(buf + off, slice.data(), len);
-      }
-      const auto kids = rt->children[static_cast<std::size_t>(c)].find(my_node);
-      if (kids != rt->children[static_cast<std::size_t>(c)].end()) {
-        for (int child_node : kids->second) {
-          const int child_master = g.node_group(child_node).master_task;
-          send_coll(ctx, g, seq, phase, *g.rank_of(child_master), buf + off, len, pending);
+    const std::size_t C = tuning().rect_chunk;
+    if (C == 0) {
+      // Store-and-forward: each interior master receives its whole color
+      // slice before forwarding it. The pre-cut-through schedule, kept as
+      // the A/B baseline arm (PAMIX_RECT_CHUNK=0).
+      std::size_t off = 0;
+      for (int c = 0; c < ncolors; ++c) {
+        const std::size_t len = base + (static_cast<std::size_t>(c) < rem ? 1 : 0);
+        const int phase = 1000 + c;
+        if (my_node != root_node) {
+          const int parent_node = rt->trees.parent(c, my_node);
+          const int parent_master = g.node_group(parent_node).master_task;
+          core::Buf slice = wait_coll(ctx, g, seq, phase, *g.rank_of(parent_master));
+          assert(slice.size() == len);
+          if (len > 0) std::memcpy(buf + off, slice.data(), len);
         }
+        const auto kids = rt->children[static_cast<std::size_t>(c)].find(my_node);
+        if (kids != rt->children[static_cast<std::size_t>(c)].end()) {
+          for (const RectTrees::Kid& kid : kids->second) {
+            const int child_master = g.node_group(kid.node).master_task;
+            send_coll(ctx, g, seq, phase, *g.rank_of(child_master), buf + off, len, pending,
+                      /*chunk=*/0, kid.hints);
+          }
+        }
+        off += len;
       }
-      off += len;
+      drain_sends(ctx, pending);  // children pull slices from our buffer
+    } else {
+      // Cut-through: every color slice streams in C-byte chunks, phase
+      // 1000+c carrying the chunk index. An interior master forwards chunk
+      // k the moment it lands, while chunk k+1 is still in flight — the
+      // relay never waits for a whole slice, so deep trees cost one chunk
+      // of fill latency instead of one slice per hop. Children return acks
+      // on phase 2000+c at every rect_ack_point; a master stops forwarding
+      // a color once any child trails by kRectWindowChunks, bounding the
+      // pooled deposits a slow subtree can accumulate.
+      if (st.rect.size() < static_cast<std::size_t>(ncolors)) {
+        st.rect.resize(static_cast<std::size_t>(ncolors));
+      }
+      // Pre-size the deposit pool to the schedule's high-water: the ack
+      // window bounds untaken parent chunks at kRectWindowChunks per
+      // color, and back-to-back broadcasts overlap by at most one
+      // iteration (a parent starts seq+1 only after we acked — i.e.
+      // landed — all of seq), so 2*W*colors chunks covers any interleave.
+      // Demand timing is scheduler-dependent; reserving up front makes
+      // the steady-state miss count deterministically zero instead of
+      // "zero once jitter has explored the peak".
+      st.reserve(C, 2 * kRectWindowChunks * static_cast<std::size_t>(ncolors));
+      std::uint64_t inflight = 0;  // forwarded-but-unacked chunks, all colors
+      int remaining = 0;
+      std::size_t off = 0;
+      for (int c = 0; c < ncolors; ++c) {
+        CollState::RectColor& rc = st.rect[static_cast<std::size_t>(c)];
+        rc.off = off;
+        rc.len = base + (static_cast<std::size_t>(c) < rem ? 1 : 0);
+        off += rc.len;
+        rc.nchunks = static_cast<std::uint32_t>((rc.len + C - 1) / C);
+        rc.recv_next = 0;
+        rc.fwd_next = 0;
+        rc.done = false;
+        rc.parent_rank = -1;
+        if (my_node != root_node) {
+          const int parent_node = rt->trees.parent(c, my_node);
+          rc.parent_rank =
+              static_cast<int>(*g.rank_of(g.node_group(parent_node).master_task));
+        }
+        const auto kids = rt->children[static_cast<std::size_t>(c)].find(my_node);
+        const std::size_t nkids = kids != rt->children[static_cast<std::size_t>(c)].end()
+                                      ? kids->second.size()
+                                      : 0;
+        rc.acked.assign(nkids, 0);  // reuses capacity after the first call
+        ++remaining;
+      }
+      ProgressSpin spin(ctx);
+      while (remaining > 0) {
+        bool progressed = false;
+        for (int c = 0; c < ncolors; ++c) {
+          CollState::RectColor& rc = st.rect[static_cast<std::size_t>(c)];
+          if (rc.done) continue;
+          const int phase = 1000 + c;
+          const auto kit = rt->children[static_cast<std::size_t>(c)].find(my_node);
+          const std::vector<RectTrees::Kid>* kids =
+              kit != rt->children[static_cast<std::size_t>(c)].end() ? &kit->second : nullptr;
+          // 1. Land the next chunk from the parent; ack at ack points.
+          if (rc.parent_rank >= 0 && rc.recv_next < rc.nchunks) {
+            core::Buf data;
+            const std::int32_t parent_task =
+                g.task_of(static_cast<std::size_t>(rc.parent_rank));
+            if (st.take(g.id(), seq, phase, parent_task, data, rc.recv_next)) {
+              const std::uint32_t k = rc.recv_next;
+              const std::size_t clen = std::min(C, rc.len - static_cast<std::size_t>(k) * C);
+              assert(data.size() == clen);
+              std::memcpy(buf + rc.off + static_cast<std::size_t>(k) * C, data.data(), clen);
+              rc.recv_next = k + 1;
+              if ((k + 1) % kRectAckChunks == 0 || k + 1 == rc.nchunks) {
+                send_coll(ctx, g, seq, 2000 + c, static_cast<std::size_t>(rc.parent_rank),
+                          nullptr, 0, pending, /*chunk=*/k);
+              }
+              progressed = true;
+            }
+          }
+          // 2. Collect child acks (each ack point is deterministic, so the
+          // expected chunk index is computable from the confirmed count).
+          if (kids != nullptr) {
+            for (std::size_t i = 0; i < kids->size(); ++i) {
+              while (rc.acked[i] < rc.fwd_next) {
+                const std::uint32_t kp = rect_ack_point(rc.acked[i], rc.nchunks);
+                if (kp >= rc.fwd_next) break;  // not yet forwarded, so not yet acked
+                core::Buf ack;
+                const std::int32_t kid_task = g.node_group((*kids)[i].node).master_task;
+                if (!st.take(g.id(), seq, 2000 + c, kid_task, ack, kp)) break;
+                inflight -= kp + 1 - rc.acked[i];
+                rc.acked[i] = kp + 1;
+                progressed = true;
+              }
+            }
+            // 3. Forward every landed-and-unforwarded chunk the ack window
+            // allows (at the root node the whole buffer is already local).
+            const std::uint32_t avail = rc.parent_rank < 0 ? rc.nchunks : rc.recv_next;
+            while (rc.fwd_next < avail) {
+              bool window_open = true;
+              for (std::uint32_t a : rc.acked) {
+                if (rc.fwd_next >= a + kRectWindowChunks) window_open = false;
+              }
+              if (!window_open) break;
+              const std::uint32_t k = rc.fwd_next;
+              const std::size_t clen = std::min(C, rc.len - static_cast<std::size_t>(k) * C);
+              const std::uint64_t t0 = obs::now_ns();
+              for (const RectTrees::Kid& kid : *kids) {
+                send_coll(ctx, g, seq, phase,
+                          *g.rank_of(g.node_group(kid.node).master_task),
+                          buf + rc.off + static_cast<std::size_t>(k) * C, clen, pending, k,
+                          kid.hints);
+              }
+              ctx.obs().trace.record_span(obs::TraceEv::RectChunkRelay, t0,
+                                          static_cast<std::uint32_t>(clen));
+              st.obs.pvars.add(obs::Pvar::CollRectChunks);
+              inflight += kids->size();
+              if (inflight > st.rect_inflight_peak) {
+                st.obs.pvars.add(obs::Pvar::CollRectInflightPeak,
+                                 inflight - st.rect_inflight_peak);
+                st.rect_inflight_peak = inflight;
+              }
+              rc.fwd_next = k + 1;
+              progressed = true;
+            }
+          }
+          // 4. A color is done once its slice has fully landed and every
+          // child has confirmed the whole relay (so no deposit is leaked
+          // into the next operation's matching space).
+          bool finished = rc.parent_rank < 0 || rc.recv_next == rc.nchunks;
+          if (kids != nullptr) {
+            if (rc.fwd_next != rc.nchunks) finished = false;
+            for (std::uint32_t a : rc.acked) {
+              if (a != rc.nchunks) finished = false;
+            }
+          }
+          if (finished) {
+            rc.done = true;
+            --remaining;
+            progressed = true;
+          }
+        }
+        if (!progressed) spin.spin();
+      }
+      drain_sends(ctx, pending);  // rendezvous-sized chunks pull from our buffer
     }
-    drain_sends(ctx, pending);  // children pull slices from our buffer
     li.group->master_slot.publish(buffer);
   }
   local_barrier(ctx, li);

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "core/context.h"
 #include "core/geometry.h"
@@ -30,6 +31,25 @@ namespace pamix::pami::coll {
 
 /// Default pipeline slice for long reductions (Figure 4).
 inline constexpr std::size_t kPipelineSliceBytes = 64 * 1024;
+
+/// Default rectangle-broadcast relay chunk (cut-through streaming). Tuned
+/// by the DES chunk sweep (bench/ablate_rect_chunk): 1K keeps the deep
+/// color trees' pipelines full — fill latency stops dominating — while
+/// staying well inside the buffer-pool size classes, so relays are
+/// allocation-free in steady state.
+inline constexpr std::size_t kRectChunkBytes = 1024;
+
+/// In-flight bound of the chunked rectangle relay: a master may run at
+/// most this many chunks of one color ahead of a child's acknowledgment.
+/// The stand-in for finite reception FIFOs — without it a fast parent
+/// would pile unbounded pooled deposits onto a slow subtree.
+inline constexpr std::uint32_t kRectWindowChunks = 8;
+
+/// Children acknowledge every kRectAckChunks-th chunk (and always the
+/// last), so ack traffic is a fraction of data traffic. Must divide into
+/// the window: kRectWindowChunks >= 2 * kRectAckChunks keeps the pipe full
+/// while an ack is in flight.
+inline constexpr std::uint32_t kRectAckChunks = 4;
 
 /// Dispatch id reserved for the software-collective engine.
 inline constexpr DispatchId kCollDispatchId = 0xF01;
@@ -50,6 +70,12 @@ struct CollTuning {
   /// the next slice (the pre-pipeline schedule; benches use it as the
   /// "before" arm of the overlap A/B).
   bool overlap = true;
+  /// Rectangle-broadcast relay chunk in bytes (PAMIX_RECT_CHUNK, K/M
+  /// suffixes accepted, exported as config.rect_chunk). Interior nodes
+  /// forward chunk k down their color tree while chunk k+1 is still
+  /// arriving — cut-through instead of store-and-forward. 0 selects the
+  /// legacy whole-slice store-and-forward relay (the A/B baseline arm).
+  std::size_t rect_chunk = kRectChunkBytes;
 };
 
 CollTuning& tuning();
@@ -98,11 +124,16 @@ void reduce_scatter(Context& ctx, Geometry& g, const void* sendbuf, void* recvbu
                     std::size_t bytes_per_rank, hw::CombineOp op, hw::CombineType type);
 
 /// Multicolor rectangle broadcast (Figure 10), functional: the message is
-/// split into one slice per color and each slice relays down its own
+/// split into one slice per color and each slice streams down its own
 /// edge-disjoint spanning tree over PAMI point-to-point sends (torus
-/// links), rather than the collective network. Requires a
-/// rectangle-eligible geometry; falls back to the regular broadcast
-/// otherwise. The constructed trees are cached on the geometry.
+/// links), rather than the collective network. Slices move in
+/// tuning().rect_chunk-sized chunks with a bounded relay window
+/// (kRectWindowChunks) so an interior node forwards chunk k while chunk
+/// k+1 is still arriving; every chunk send carries the claimed link's
+/// torus hint bits. rect_chunk == 0 falls back to whole-slice
+/// store-and-forward. Requires a rectangle-eligible geometry; falls back
+/// to the regular broadcast otherwise (counted in coll.rect_fallbacks,
+/// warned once). The constructed trees are cached on the geometry.
 void rectangle_broadcast(Context& ctx, Geometry& g, std::size_t root_rank, void* buffer,
                          std::size_t bytes);
 

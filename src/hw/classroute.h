@@ -86,6 +86,21 @@ class ClassRoute {
       if (n.parent < 0 || !n.uplink.has_value()) return false;
       // The uplink must be a real torus hop from this node to the parent.
       if (geom_->neighbor(id, n.uplink->dim, n.uplink->dir) != n.parent) return false;
+      // The uplink must round-trip through the dense link index (the
+      // per-link accounting tables and the rect-bcast hint derivation both
+      // rely on link_index/link_from_index being exact inverses).
+      if (geom_->link_from_index(geom_->link_index(*n.uplink)) != *n.uplink) return false;
+      // The parent's matching down-tree input must be this uplink's wire
+      // pair: same dimension, reversed direction, rooted at the parent.
+      const ClassRouteNode& pn = nodes_[static_cast<std::size_t>(n.parent)];
+      bool mirrored = false;
+      for (std::size_t i = 0; i < pn.children.size(); ++i) {
+        if (pn.children[i] != id) continue;
+        const TorusLink& down = pn.downtree[i];
+        mirrored = down.node == n.parent && down.dim == n.uplink->dim &&
+                   down.dir == reverse(n.uplink->dir);
+      }
+      if (!mirrored) return false;
       // Walk to the root, guarding against cycles.
       int cur = id;
       int steps = 0;
@@ -129,9 +144,7 @@ class ClassRoute {
       p.children.push_back(id);
       // The down-tree input at the parent is the link arriving from the
       // child, i.e. the reverse of the child's uplink.
-      p.downtree.push_back(
-          TorusLink{n.parent, n.uplink->dim,
-                    n.uplink->dir == Dir::Plus ? Dir::Minus : Dir::Plus});
+      p.downtree.push_back(TorusLink{n.parent, n.uplink->dim, reverse(n.uplink->dir)});
     }
     // Depths via iterative BFS from the root.
     std::vector<int> stack{root_};

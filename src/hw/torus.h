@@ -59,6 +59,11 @@ struct TorusLink {
   friend bool operator==(const TorusLink&, const TorusLink&) = default;
 };
 
+/// Flip a link's direction (the link a neighbor would use to answer over
+/// the same wire pair). The source node is unchanged — pair with
+/// TorusGeometry::neighbor to build the true reverse link.
+constexpr Dir reverse(Dir dir) { return dir == Dir::Plus ? Dir::Minus : Dir::Plus; }
+
 /// Geometry of a (sub)machine: a 5D torus with per-dimension sizes.
 /// BG/Q midplanes are 4x4x4x4x2; a rack is 4x4x4x8x2 (1024 nodes); the
 /// largest configuration is 256 racks.
@@ -200,6 +205,16 @@ class TorusGeometry {
     return (l.node * kTorusDims + static_cast<int>(l.dim)) * 2 + static_cast<int>(l.dir);
   }
 
+  /// Invert link_index back to the directed link it indexes.
+  TorusLink link_from_index(int index) const {
+    TorusLink l;
+    l.dir = static_cast<Dir>(index & 1);
+    index >>= 1;
+    l.dim = static_cast<Dim>(index % kTorusDims);
+    l.node = index / kTorusDims;
+    return l;
+  }
+
   std::string to_string() const {
     std::string s;
     for (int i = 0; i < kTorusDims; ++i) {
@@ -213,6 +228,19 @@ class TorusGeometry {
   std::array<int, kTorusDims> dims_;
   int nodes_ = 1;
 };
+
+/// Hint mask forcing traffic from `src` onto the directed link with dense
+/// index `link` toward the one-hop neighbor `dst`, or 0 when `link` is not
+/// an src->dst hop. The rectangle-broadcast relays stamp this on EVERY
+/// chunk they forward: in an extent-2 ring both directions reach `dst`, so
+/// a single unhinted chunk would let the router collapse the dimension's
+/// two color trees onto one wire.
+inline std::uint16_t hint_for_link(const TorusGeometry& g, int src, int dst, int link) {
+  if (link < 0) return 0;
+  const TorusLink l = g.link_from_index(link);
+  if (l.node != src || g.neighbor(src, l.dim, l.dir) != dst) return 0;
+  return torus_hint(l.dim, l.dir);
+}
 
 /// An axis-aligned rectangular block of nodes — the shape eligible for
 /// collective-network classroutes (lines, planes, cubes, ...).

@@ -93,6 +93,14 @@ enum class Pvar : std::uint32_t {
   CollOverlapBytes,      // local math/copy bytes done while a round was in flight
   CollLocalReduceBytes,  // bytes this task reduced in the shared-address phase
   CollSwDeposits,        // software-collective messages matched/deposited
+  // Cut-through rectangle broadcast (Figure 10 streaming relay): chunks
+  // forwarded down color trees by this task, the peak number of
+  // unacknowledged chunks in flight toward any one child (bounded by the
+  // relay window), and silent fallbacks to the regular broadcast on
+  // non-rectangle-eligible geometries (scale scenarios assert zero).
+  CollRectChunks,
+  CollRectInflightPeak,
+  CollRectFallbacks,
   // MPI ("pamid") layer.
   MpiIsends,
   MpiIrecvs,
@@ -164,6 +172,7 @@ enum class Pvar : std::uint32_t {
   ConfigMuBatch,
   ConfigCollSlice,
   ConfigCollRadix,
+  ConfigRectChunk,  // rect-bcast relay chunk bytes; 0 = store-and-forward
   ConfigMpiMatch,  // 1 = hashed bins, 0 = ordered-list fallback
   ConfigEndpoints,   // endpoint contexts configured per task
   ConfigEpFallback,  // 1 = bound endpoints consult the global wildcard list

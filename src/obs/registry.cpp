@@ -40,6 +40,9 @@ const char* pvar_name(Pvar p) {
     case Pvar::CollOverlapBytes: return "coll.overlap_occupancy";
     case Pvar::CollLocalReduceBytes: return "coll.local_reduce_bytes";
     case Pvar::CollSwDeposits: return "coll.sw_deposits";
+    case Pvar::CollRectChunks: return "coll.rect_chunks";
+    case Pvar::CollRectInflightPeak: return "coll.rect_inflight_peak";
+    case Pvar::CollRectFallbacks: return "coll.rect_fallbacks";
     case Pvar::MpiIsends: return "mpi.isends";
     case Pvar::MpiIrecvs: return "mpi.irecvs";
     case Pvar::MpiMatchBinHits: return "mpi.match.bin_hits";
@@ -81,6 +84,7 @@ const char* pvar_name(Pvar p) {
     case Pvar::ConfigMuBatch: return "config.mu_batch";
     case Pvar::ConfigCollSlice: return "config.coll_slice";
     case Pvar::ConfigCollRadix: return "config.coll_radix";
+    case Pvar::ConfigRectChunk: return "config.rect_chunk";
     case Pvar::ConfigMpiMatch: return "config.mpi_match";
     case Pvar::ConfigEndpoints: return "config.endpoints";
     case Pvar::ConfigEpFallback: return "config.ep_fallback";
@@ -115,6 +119,7 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::CollSliceMath: return "collective.slice_math";
     case TraceEv::CollArm: return "collective.arm";
     case TraceEv::CollCopyOut: return "collective.copy_out";
+    case TraceEv::RectChunkRelay: return "collective.rect_chunk_relay";
     case TraceEv::MpiMatch: return "mpi.match";
     case TraceEv::AmDispatch: return "am.dispatch";
     case TraceEv::AmAggFlush: return "am.agg_flush";
@@ -155,6 +160,7 @@ TraceCat trace_ev_cat(TraceEv ev) {
     case TraceEv::CollSliceMath:
     case TraceEv::CollArm:
     case TraceEv::CollCopyOut:
+    case TraceEv::RectChunkRelay:
     case TraceEv::Count:
       break;
   }

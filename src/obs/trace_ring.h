@@ -51,6 +51,7 @@ enum class TraceEv : std::uint8_t {
   CollSliceMath, // span: parallel local reduce of one pipeline slice; arg = bytes
   CollArm,       // instant: master armed a network round; arg = round
   CollCopyOut,   // span: peer copy-out of a completed slice; arg = bytes
+  RectChunkRelay, // span: one rect-bcast chunk forwarded down a color tree; arg = bytes
   MpiMatch,      // span: one arrival through the MPI matcher; arg = seq
   AmDispatch,    // span: one AM handler execution; arg = payload bytes
   AmAggFlush,    // instant: one aggregation buffer flushed; arg = records

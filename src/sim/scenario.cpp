@@ -453,6 +453,7 @@ struct BcastState {
   std::vector<std::size_t> received;                    // [node]
   std::vector<std::vector<std::byte>>* out = nullptr;
   std::size_t per_node_total = 0;
+  std::uint64_t chunks = 0;  // verified chunk landings, all nodes
   int done_nodes = 0;
   double t_end = 0.0;
 
@@ -481,6 +482,17 @@ struct BcastState {
     const std::byte* land = rx[static_cast<std::size_t>(node * colors + color)].data();
     const std::size_t l = len(color, c);
     send_chunk(node, color, c, land);  // forward before accounting: pipelining
+    // Cut-through integrity: every landed chunk must equal the root's
+    // bytes at this (color, chunk) slot — a relay bug (wrong offset, stale
+    // landing buffer, crossed chunk ids) dies at the first bad hop instead
+    // of surfacing as a scrambled final payload.
+    if (std::memcmp(land,
+                    payload.data() + color_off[static_cast<std::size_t>(color)] +
+                        static_cast<std::size_t>(c) * chunk,
+                    l) != 0) {
+      fail("scenario: rect-bcast chunk payload mismatch");
+    }
+    ++chunks;
     if (out != nullptr) {
       std::memcpy((*out)[static_cast<std::size_t>(node)].data() +
                       color_off[static_cast<std::size_t>(color)] +
@@ -510,7 +522,6 @@ BcastStats scenario_rect_bcast(ScenarioWorld& w, std::size_t bytes, int colors,
   st.w = &w;
   st.n = n;
   st.colors = colors;
-  st.chunk = std::max<std::size_t>(1, chunk_bytes);
   st.per_node_total = bytes;
   st.out = payload_out;
 
@@ -525,6 +536,16 @@ BcastStats scenario_rect_bcast(ScenarioWorld& w, std::size_t bytes, int colors,
     st.color_bytes[static_cast<std::size_t>(c)] = l;
     off += l;
   }
+  if (chunk_bytes == 0) {
+    // Store-and-forward A/B arm: one "chunk" is a whole color slice, so an
+    // interior node holds the entire slice before re-injecting it — the
+    // schedule the cut-through pipeline is measured against.
+    std::size_t widest = 1;
+    for (std::size_t l : st.color_bytes) widest = std::max(widest, l);
+    st.chunk = widest;
+  } else {
+    st.chunk = chunk_bytes;
+  }
 
   // Child edges carry the torus hint of the tree's *claimed* directed
   // link: in extent-2 rings both directions reach the child, and without
@@ -536,17 +557,9 @@ BcastStats scenario_rect_bcast(ScenarioWorld& w, std::size_t bytes, int colors,
     for (int node = 0; node < n; ++node) {
       const int p = trees.parent(c, node);
       if (p < 0) continue;
-      const int plink = trees.parent_link_index(c, node);
       BcastState::Edge e;
       e.child = node;
-      for (int d = 0; d < hw::kTorusDims; ++d) {
-        for (const hw::Dir dir : {hw::Dir::Plus, hw::Dir::Minus}) {
-          const hw::TorusLink l{p, static_cast<hw::Dim>(d), dir};
-          if (geom.neighbor(p, l.dim, dir) == node && geom.link_index(l) == plink) {
-            e.hints = hw::torus_hint(l.dim, dir);
-          }
-        }
-      }
+      e.hints = hw::hint_for_link(geom, p, node, trees.parent_link_index(c, node));
       st.children[static_cast<std::size_t>(c)][static_cast<std::size_t>(p)].push_back(e);
     }
   }
@@ -614,6 +627,8 @@ BcastStats scenario_rect_bcast(ScenarioWorld& w, std::size_t bytes, int colors,
   out.total_us = st.t_end - t0;
   out.bandwidth_mb_s = out.total_us > 0.0 ? static_cast<double>(bytes) / out.total_us : 0.0;
   out.max_link_occupancy = w.net_pvars()[obs::Pvar::SimLinkMaxOccupancy];
+  out.chunk_bytes = st.chunk;
+  out.chunks = st.chunks;
   return out;
 }
 

@@ -129,13 +129,21 @@ struct BcastStats {
   double bandwidth_mb_s = 0.0;
   int colors = 0;
   std::uint64_t max_link_occupancy = 0;
+  std::size_t chunk_bytes = 0;   // effective relay chunk (slice size in SF mode)
+  std::uint64_t chunks = 0;      // chunk landings across all non-root nodes
 };
 /// Multicolor rectangle broadcast over the whole machine: the payload is
 /// split across `colors` edge-disjoint spanning trees (sim::
-/// MulticolorRectBcast), each forwarding chunk-by-chunk. `colors` <= the
-/// geometry's color count; 1 reproduces the single-path baseline the paper
-/// compares against. `payload_out`, when non-null, receives node 1..N-1
-/// landing buffers for verification (small geometries only).
+/// MulticolorRectBcast), each forwarding chunk-by-chunk — cut-through: an
+/// interior node re-injects chunk k toward its children the instant it
+/// lands, while chunk k+1 is still on the wire. Every landed chunk is
+/// verified byte-for-byte against the root payload at every node.
+/// `colors` <= the geometry's color count; 1 reproduces the single-path
+/// baseline the paper compares against. `chunk_bytes` == 0 selects
+/// store-and-forward (one chunk = one whole color slice), the A/B
+/// baseline for the streaming pipeline. `payload_out`, when non-null,
+/// receives node 1..N-1 landing buffers for verification (small
+/// geometries only).
 BcastStats scenario_rect_bcast(ScenarioWorld& w, std::size_t bytes, int colors,
                                std::size_t chunk_bytes = 4096,
                                std::vector<std::vector<std::byte>>* payload_out = nullptr);

@@ -233,6 +233,51 @@ TEST_F(AllocSteadyState, SoftwareCollectivesAreAllocationFree) {
       << " global allocations over 64 iterations";
 }
 
+TEST_F(AllocSteadyState, RectangleBroadcastStreamingIsAllocationFree) {
+  // Cut-through rectangle broadcast: after the tree cache, the per-color
+  // relay scratch, and the pre-reserved chunk pool warm up, streaming a
+  // payload chunk-by-chunk down the color trees must not touch the global
+  // allocator — chunks land in pooled Bufs sized by CollState::reserve,
+  // acks are zero-byte (bufferless) deposits, and the per-color state
+  // vectors reuse their capacity. Runs both delivery regimes: chunks
+  // below the eager limit (pooled deposit copy) and above it
+  // (rendezvous pull into a pooled buffer).
+  auto geom = world_.geometries().world_geometry();
+  ASSERT_TRUE(geom->optimized()) << "2x1x1x1x1 must be rectangle-eligible";
+  const std::size_t bytes = 40960;
+  for (const std::size_t chunk : {std::size_t{256}, std::size_t{2048}}) {
+    const std::size_t saved = coll::tuning().rect_chunk;
+    coll::tuning().rect_chunk = chunk;
+    std::atomic<std::uint64_t> before{0}, after{0};
+    machine_.run_spmd([&](int task) {
+      Context& cx = ctx(task);
+      std::vector<std::uint8_t> buf(bytes);
+      auto pass = [&](int iters) {
+        for (int i = 0; i < iters; ++i) {
+          if (*geom->rank_of(task) == 0) {
+            std::fill(buf.begin(), buf.end(), static_cast<std::uint8_t>(i + 1));
+          }
+          coll::rectangle_broadcast(cx, *geom, 0, buf.data(), bytes);
+          ASSERT_EQ(buf[bytes - 1], static_cast<std::uint8_t>(i + 1)) << "task " << task;
+        }
+        coll::barrier(cx, *geom);  // fences the snapshots below
+      };
+      // Warm-up passes: tree cache, relay scratch, reserved pool, slot
+      // table, MU staging. Two passes so the pass->pass boundary (its
+      // chunk-overlap pattern differs from a cold start) is seen too.
+      pass(16);
+      pass(16);
+      if (task == 0) before.store(allocations());
+      pass(32);  // measured
+      if (task == 0) after.store(allocations());
+    });
+    coll::tuning().rect_chunk = saved;
+    EXPECT_EQ(after.load() - before.load(), 0u)
+        << "steady-state streamed rectangle broadcast (chunk " << chunk << ") performed "
+        << (after.load() - before.load()) << " global allocations over 32 iterations";
+  }
+}
+
 TEST_F(AllocSteadyState, WorkQueuePostAdvanceIsAllocationFree) {
   WorkQueue& q = ctx(0).work_queue();
   int ran = 0;

@@ -6,6 +6,7 @@
 
 #include "core/client.h"
 #include "core/collectives.h"
+#include "obs/pvar.h"
 #include "runtime/machine.h"
 
 namespace pamix::pami {
@@ -88,12 +89,111 @@ TEST(RectBcastFunctionalIrregular, FallsBackForNonRectangles) {
   runtime::Machine machine(hw::TorusGeometry({2, 2, 1, 1, 1}), 1);
   ClientWorld world(machine, ClientConfig{});
   auto geom = world.geometries().get_or_create(5, Topology::list({0, 1, 3}));
+  const std::uint64_t fallbacks_before =
+      obs::Registry::instance().totals()[obs::Pvar::CollRectFallbacks];
   machine.run_spmd([&](int task) {
     if (!geom->rank_of(task).has_value()) return;
     Context& ctx = world.client(task).context(0);
     int v = *geom->rank_of(task) == 0 ? 77 : 0;
     coll::rectangle_broadcast(ctx, *geom, 0, &v, sizeof(v));
     EXPECT_EQ(v, 77);
+  });
+  // The silent downgrade to the radix-tree broadcast must be observable:
+  // every participating task counts one fallback.
+  EXPECT_EQ(obs::Registry::instance().totals()[obs::Pvar::CollRectFallbacks] -
+                fallbacks_before,
+            3u);
+}
+
+/// RAII chunk-size override for the sweep tests below (the tuning knob is
+/// process-global, so tests must restore it for their neighbors).
+class ScopedRectChunk {
+ public:
+  explicit ScopedRectChunk(std::size_t chunk) : saved_(coll::tuning().rect_chunk) {
+    coll::tuning().rect_chunk = chunk;
+  }
+  ~ScopedRectChunk() { coll::tuning().rect_chunk = saved_; }
+
+ private:
+  std::size_t saved_;
+};
+
+/// The streaming relay must deliver for any chunk size: one byte
+/// (degenerate maximum chunk count), odd sizes that never divide the
+/// slice, the default, and a chunk far larger than any color slice
+/// (degenerates to store-and-forward scheduling, single chunk per color).
+/// The all-extent-2 torus also exercises per-chunk hint bits on rings
+/// where +dir and -dir reach the same neighbor.
+TEST(RectBcastChunked, DeliversAtEveryChunkSize) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 2, 1, 1}), 1);
+  ClientWorld world(machine, ClientConfig{});
+  auto geom = world.geometries().world_geometry();
+  const std::size_t bytes = 40001;  // prime-ish: never a multiple of chunk*colors
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{97}, std::size_t{1024},
+                                  std::size_t{1} << 20}) {
+    ScopedRectChunk scoped(chunk);
+    machine.run_spmd([&](int task) {
+      Context& ctx = world.client(task).context(0);
+      std::vector<std::uint8_t> buf(bytes, 0);
+      if (*geom->rank_of(task) == 0) {
+        for (std::size_t i = 0; i < bytes; ++i) buf[i] = static_cast<std::uint8_t>(i * 13 + 5);
+      }
+      coll::rectangle_broadcast(ctx, *geom, 0, buf.data(), bytes);
+      for (std::size_t i = 0; i < bytes; i += 499) {
+        ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 13 + 5))
+            << "task " << task << " chunk " << chunk;
+      }
+      ASSERT_EQ(buf[bytes - 1], static_cast<std::uint8_t>((bytes - 1) * 13 + 5));
+    });
+  }
+}
+
+/// A 2-node line has the minimum color count; the payload is smaller than
+/// one chunk, so every color is a single short chunk (and some colors may
+/// be empty slices).
+TEST(RectBcastChunked, SingleChunkAndFewColors) {
+  runtime::Machine machine(hw::TorusGeometry({2, 1, 1, 1, 1}), 1);
+  ClientWorld world(machine, ClientConfig{});
+  auto geom = world.geometries().world_geometry();
+  ScopedRectChunk scoped(1024);
+  machine.run_spmd([&](int task) {
+    Context& ctx = world.client(task).context(0);
+    std::array<std::uint8_t, 100> buf{};
+    if (*geom->rank_of(task) == 0) {
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(i + 1);
+    }
+    coll::rectangle_broadcast(ctx, *geom, 0, buf.data(), buf.size());
+    EXPECT_EQ(buf[0], 1);
+    EXPECT_EQ(buf[99], 100);
+  });
+}
+
+/// Back-to-back streamed broadcasts with different payloads: per-chunk
+/// sequence matching must never cross-deliver between operations even
+/// when a fast task starts operation i+1 while a slow one finishes i.
+TEST(RectBcastChunked, BackToBackOperationsDoNotCrossDeliver) {
+  runtime::Machine machine(hw::TorusGeometry({2, 2, 2, 1, 1}), 1);
+  ClientWorld world(machine, ClientConfig{});
+  auto geom = world.geometries().world_geometry();
+  ScopedRectChunk scoped(256);
+  const std::size_t bytes = 12000;
+  machine.run_spmd([&](int task) {
+    Context& ctx = world.client(task).context(0);
+    std::vector<std::uint8_t> buf(bytes);
+    for (int iter = 0; iter < 8; ++iter) {
+      if (*geom->rank_of(task) == 0) {
+        for (std::size_t i = 0; i < bytes; ++i) {
+          buf[i] = static_cast<std::uint8_t>(i * 3 + iter * 41 + 1);
+        }
+      } else {
+        std::fill(buf.begin(), buf.end(), 0);
+      }
+      coll::rectangle_broadcast(ctx, *geom, 0, buf.data(), bytes);
+      for (std::size_t i = 0; i < bytes; i += 251) {
+        ASSERT_EQ(buf[i], static_cast<std::uint8_t>(i * 3 + iter * 41 + 1))
+            << "task " << task << " iter " << iter;
+      }
+    }
   });
 }
 

@@ -94,6 +94,37 @@ TEST(MulticolorRectBcast, DeliveryOrderIsRootFirstTopological) {
   }
 }
 
+TEST(MulticolorRectBcast, ParentLinkHintsForceTheClaimedWire) {
+  // The relays stamp hw::hint_for_link(parent, node, parent_link_index)
+  // on every chunk. For that to pin traffic to the tree's claimed wire,
+  // the hint must (a) exist for every non-root node, (b) be a single
+  // direction bit, and (c) name exactly the claimed link — including on
+  // extent-2 rings where +dir and -dir reach the same neighbor and an
+  // unhinted packet could collapse two color trees onto one wire.
+  for (const hw::TorusGeometry g : {hw::TorusGeometry({2, 2, 2, 1, 1}),
+                                    hw::TorusGeometry({3, 2, 1, 1, 1}),
+                                    hw::TorusGeometry({4, 4, 2, 1, 1})}) {
+    const MulticolorRectBcast b(g, hw::TorusRectangle::whole_machine(g), 0);
+    for (int c = 0; c < b.colors(); ++c) {
+      for (int n : b.delivery_order(c)) {
+        const int p = b.parent(c, n);
+        if (p < 0) continue;
+        const int link = b.parent_link_index(c, n);
+        const hw::TorusLink l = g.link_from_index(link);
+        EXPECT_EQ(g.link_index(l), link);  // dense index round-trips
+        EXPECT_EQ(l.node, p);
+        EXPECT_EQ(g.neighbor(p, l.dim, l.dir), n);
+        const std::uint16_t h = hw::hint_for_link(g, p, n, link);
+        EXPECT_EQ(h, hw::torus_hint(l.dim, l.dir));
+        EXPECT_EQ(h & (h - 1), 0);  // exactly one bit
+        EXPECT_NE(h, 0);
+        // A link that is not a p->n hop must produce no hint.
+        EXPECT_EQ(hw::hint_for_link(g, n, p, link), 0);
+      }
+    }
+  }
+}
+
 TEST(MulticolorRectBcast, EveryTreeSpansEveryNodeExactlyOnce) {
   const hw::TorusGeometry g({4, 4, 2, 1, 1});
   const MulticolorRectBcast b(g, hw::TorusRectangle::whole_machine(g), 0);

@@ -72,6 +72,49 @@ TEST(Scenario, MulticolorBcastBeatsSinglePath) {
   EXPECT_LT(tN, t1);
 }
 
+TEST(Scenario, RectBcastCutThroughBeatsStoreAndForward) {
+  // chunk_bytes = 0 is the store-and-forward emulation arm: every relay
+  // waits for its whole color slice before forwarding. Cut-through
+  // streaming must beat it in exact virtual time — the win is the point
+  // of the chunked relay (fill latency of one chunk per hop, not one
+  // slice per hop).
+  const std::size_t bytes = 256 * 1024;
+  sim::ScenarioWorld wsf(small_world());
+  const auto sf = sim::scenario_rect_bcast(wsf, bytes, /*colors=*/6, /*chunk_bytes=*/0);
+  sim::ScenarioWorld wct(small_world());
+  const auto ct = sim::scenario_rect_bcast(wct, bytes, /*colors=*/6, /*chunk_bytes=*/2048);
+  EXPECT_LT(ct.total_us, sf.total_us);
+  // SF mode reports the widest slice as its effective chunk and lands one
+  // chunk per (color, non-root node).
+  EXPECT_EQ(sf.chunk_bytes, (bytes + 5) / 6);
+  EXPECT_EQ(sf.chunks, 6u * 7u);
+  EXPECT_EQ(ct.chunk_bytes, 2048u);
+  EXPECT_GT(ct.chunks, sf.chunks);
+}
+
+TEST(Scenario, RectBcastStoreAndForwardStillDeliversEverywhere) {
+  sim::ScenarioWorld w(small_world());
+  std::vector<std::vector<std::byte>> payload;
+  const auto st =
+      sim::scenario_rect_bcast(w, 48 * 1024, /*colors=*/6, /*chunk_bytes=*/0, &payload);
+  EXPECT_EQ(st.colors, 6);
+  ASSERT_EQ(payload.size(), 8u);
+  for (std::size_t n = 1; n < payload.size(); ++n) EXPECT_EQ(payload[n], payload[0]);
+}
+
+TEST(Scenario, RectBcastSingleColorChunkedDelivers) {
+  // One color: the whole payload streams down one tree in 512B chunks —
+  // the degenerate case the speedup gates divide by.
+  sim::ScenarioWorld w(small_world());
+  std::vector<std::vector<std::byte>> payload;
+  const auto st =
+      sim::scenario_rect_bcast(w, 16 * 1024, /*colors=*/1, /*chunk_bytes=*/512, &payload);
+  EXPECT_EQ(st.colors, 1);
+  EXPECT_EQ(st.chunks, 32u * 7u);  // 32 chunks landing at each of 7 non-root nodes
+  ASSERT_EQ(payload.size(), 8u);
+  for (std::size_t n = 1; n < payload.size(); ++n) EXPECT_EQ(payload[n], payload[0]);
+}
+
 TEST(Scenario, HotspotCongestsSharedLinks) {
   sim::ScenarioWorld w(small_world());
   const auto hot = sim::scenario_hotspot(w, 8 * 1024);
